@@ -1,0 +1,180 @@
+package mmusim
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (deliverable per-artifact benches) and measures simulator
+// throughput per memory-management organization.
+//
+// Run everything:
+//
+//	go test -bench . -benchmem
+//
+// Each paper-artifact bench runs its experiment at reduced (Quick)
+// resolution so the whole suite finishes in minutes; use cmd/vmexperiment
+// for full-resolution reproductions. Custom metrics attach the headline
+// numbers (vmcpi, mcpi) to the bench output so regressions in simulated
+// behaviour — not just in speed — are visible in benchstat diffs.
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchTrace memoizes traces across benchmarks.
+var benchTraces = map[string]*Trace{}
+
+func benchTrace(b *testing.B, bench string, n int) *Trace {
+	if tr, ok := benchTraces[bench]; ok && tr.Len() >= n {
+		return &Trace{Name: tr.Name, Refs: tr.Refs[:n]}
+	}
+	tr, err := GenerateTrace(bench, 42, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTraces[bench] = tr
+	return tr
+}
+
+// runExperimentBench executes one paper experiment per iteration.
+func runExperimentBench(b *testing.B, id string) {
+	opts := ExperimentOptions{Quick: true, Seed: 42, Instructions: 60_000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment(id, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Paper tables (static cost/configuration tables).
+
+func BenchmarkTable1SimulationDetails(b *testing.B) { runExperimentBench(b, "tab1") }
+func BenchmarkTable2MCPIComponents(b *testing.B)    { runExperimentBench(b, "tab2") }
+func BenchmarkTable3VMCPIComponents(b *testing.B)   { runExperimentBench(b, "tab3") }
+func BenchmarkTable4PageTableEvents(b *testing.B)   { runExperimentBench(b, "tab4") }
+
+// Paper figures (simulation sweeps).
+
+func BenchmarkFig6VMCPIvsCacheOrgGCC(b *testing.B)    { runExperimentBench(b, "fig6") }
+func BenchmarkFig7VMCPIvsCacheOrgVortex(b *testing.B) { runExperimentBench(b, "fig7") }
+func BenchmarkFig8BreakdownGCC(b *testing.B)          { runExperimentBench(b, "fig8") }
+func BenchmarkFig9BreakdownVortex(b *testing.B)       { runExperimentBench(b, "fig9") }
+func BenchmarkFig10InterruptOverhead(b *testing.B)    { runExperimentBench(b, "fig10") }
+func BenchmarkFig11InflictedMisses(b *testing.B)      { runExperimentBench(b, "fig11") }
+func BenchmarkFig12TotalOverhead(b *testing.B)        { runExperimentBench(b, "fig12") }
+
+// Abstract claims and §4.2/§5 extensions.
+
+func BenchmarkTLBSizeSensitivity(b *testing.B)  { runExperimentBench(b, "tlbsize") }
+func BenchmarkHybridOrganizations(b *testing.B) { runExperimentBench(b, "hybrids") }
+
+// Simulator throughput, one sub-benchmark per organization. The custom
+// metrics expose the simulated results so behavioural drift shows up in
+// benchstat output alongside performance drift.
+func BenchmarkSimulate(b *testing.B) {
+	const n = 200_000
+	for _, vm := range VMs() {
+		b.Run(strings.ReplaceAll(vm, "/", "-"), func(b *testing.B) {
+			tr := benchTrace(b, "gcc", n)
+			cfg := DefaultConfig(vm)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var lastVMCPI, lastMCPI float64
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(cfg, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastVMCPI, lastMCPI = res.VMCPI(), res.MCPI()
+			}
+			b.StopTimer()
+			instrPerSec := float64(n) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(instrPerSec/1e6, "Minstr/s")
+			b.ReportMetric(lastVMCPI, "vmcpi")
+			b.ReportMetric(lastMCPI, "mcpi")
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures trace-generation throughput per
+// benchmark model.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for _, bench := range Benchmarks() {
+		b.Run(bench, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := GenerateTrace(bench, uint64(i+1), 50_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTLBPartitioning measures the effect of the 16
+// protected slots (the design choice DESIGN.md calls out): ULTRIX with
+// and without a partitioned TLB.
+func BenchmarkAblationTLBPartitioning(b *testing.B) {
+	tr := benchTrace(b, "gcc", 200_000)
+	for _, prot := range []int{16, 0} {
+		name := "partitioned"
+		if prot == 0 {
+			name = "unpartitioned"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig(VMUltrix)
+			cfg.TLBProtectedSlots = prot
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(cfg, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.VMCPI()
+			}
+			b.ReportMetric(last, "vmcpi")
+		})
+	}
+}
+
+// BenchmarkAblationAssociativity measures the direct-mapped-vs-2-way
+// choice the paper deliberately fixed ("set associative caches, while
+// giving better performance, would add too many variables").
+func BenchmarkAblationAssociativity(b *testing.B) {
+	tr := benchTrace(b, "gcc", 200_000)
+	for _, assoc := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "direct", 2: "2way", 4: "4way"}[assoc], func(b *testing.B) {
+			cfg := DefaultConfig(VMUltrix)
+			cfg.L1Assoc, cfg.L2Assoc = assoc, assoc
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(cfg, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.MCPI()
+			}
+			b.ReportMetric(last, "mcpi")
+		})
+	}
+}
+
+// BenchmarkAblationTLBPolicy compares random replacement (the paper's
+// MIPS-like configuration) against LRU and FIFO.
+func BenchmarkAblationTLBPolicy(b *testing.B) {
+	tr := benchTrace(b, "gcc", 200_000)
+	for name, policy := range map[string]TLBPolicy{"random": TLBRandom, "lru": TLBLRU, "fifo": TLBFIFO} {
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig(VMUltrix)
+			cfg.TLBPolicy = policy
+			var last float64
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(cfg, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.VMCPI()
+			}
+			b.ReportMetric(last, "vmcpi")
+		})
+	}
+}

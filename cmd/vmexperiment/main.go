@@ -1,0 +1,76 @@
+// Command vmexperiment regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vmexperiment fig6                 # one experiment
+//	vmexperiment fig8 fig9            # several
+//	vmexperiment all                  # every table and figure
+//	vmexperiment -quick -csv out/ all # fast pass, CSVs written per id
+//
+// Experiment ids: tab1–tab4 (the paper's tables), fig6–fig9 (its printed
+// figures), fig10–fig12 (the interrupt/inflicted-miss/total-overhead
+// results), tlbsize and hybrids (the abstract's TLB-sensitivity claim and
+// the §4.2/§5 hybrid organizations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	mmusim "repro"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "override the experiment's default benchmark")
+		n       = flag.Int("n", 0, "trace length in instructions (0 = experiment default)")
+		seed    = flag.Uint64("seed", 42, "deterministic seed")
+		quick   = flag.Bool("quick", false, "reduced-resolution fast pass")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files into")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vmexperiment [flags] <id>... | all\nids: %v\nflags:\n",
+			mmusim.Experiments())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = mmusim.Experiments()
+	}
+	opts := mmusim.ExperimentOptions{
+		Bench:        *bench,
+		Instructions: *n,
+		Seed:         *seed,
+		Quick:        *quick,
+		Workers:      *workers,
+	}
+	for _, id := range ids {
+		rep, err := mmusim.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmexperiment:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s ===\n\n%s\n", rep.ID, rep.Title, rep.Text)
+		if *csvDir != "" && rep.CSV != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "vmexperiment:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, rep.ID+".csv")
+			if err := os.WriteFile(path, []byte(rep.CSV), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "vmexperiment:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("(csv written to %s)\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command vmsim runs a single memory-management simulation and prints the
+// full MCPI/VMCPI break-down in the paper's Table 2/Table 3 taxonomy.
+//
+// Usage:
+//
+//	vmsim -vm ultrix -bench gcc -n 1000000
+//	vmsim -vm pa-risc -bench vortex -l1 8192 -l2 1048576 -l1line 32 -l2line 64
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	mmusim "repro"
+)
+
+func main() {
+	var (
+		vm      = flag.String("vm", mmusim.VMUltrix, "organization: one of "+fmt.Sprint(mmusim.VMs()))
+		bench   = flag.String("bench", "gcc", "benchmark: one of "+fmt.Sprint(mmusim.Benchmarks()))
+		n       = flag.Int("n", 1_000_000, "trace length in instructions")
+		seed    = flag.Uint64("seed", 42, "deterministic seed")
+		l1      = flag.Int("l1", 32<<10, "L1 cache size per side (bytes)")
+		l2      = flag.Int("l2", 2<<20, "L2 cache size per side (bytes)")
+		l1line  = flag.Int("l1line", 64, "L1 linesize (bytes)")
+		l2line  = flag.Int("l2line", 128, "L2 linesize (bytes)")
+		tlbN    = flag.Int("tlb", 128, "TLB entries per side")
+		tlb2N   = flag.Int("tlb2", 0, "unified second-level TLB entries (0 = none)")
+		intCost = flag.Uint64("intcost", 50, "cycles per precise interrupt (paper: 10/50/200)")
+		warmup  = flag.Int("warmup", 200_000, "uncharged warmup instructions (capped at half the trace)")
+		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of the text break-down")
+		traceIn = flag.String("tracefile", "", "replay this trace file instead of generating -bench")
+		dinIn   = flag.String("din", "", "replay this Dinero-format text trace instead of generating -bench")
+	)
+	flag.Parse()
+
+	cfg := mmusim.DefaultConfig(*vm)
+	cfg.L1SizeBytes, cfg.L2SizeBytes = *l1, *l2
+	cfg.L1LineBytes, cfg.L2LineBytes = *l1line, *l2line
+	cfg.TLBEntries = *tlbN
+	cfg.TLB2Entries = *tlb2N
+	cfg.InterruptCost = *intCost
+	cfg.WarmupInstrs = *warmup
+	cfg.Seed = *seed
+
+	var res *mmusim.Result
+	var err error
+	switch {
+	case *traceIn != "":
+		var f *os.File
+		if f, err = os.Open(*traceIn); err == nil {
+			var tr *mmusim.Trace
+			if tr, err = mmusim.ReadTrace(f); err == nil {
+				res, err = mmusim.Simulate(cfg, tr)
+			}
+			f.Close()
+		}
+	case *dinIn != "":
+		var f *os.File
+		if f, err = os.Open(*dinIn); err == nil {
+			var tr *mmusim.Trace
+			if tr, err = mmusim.ReadDineroTrace(f, *dinIn); err == nil {
+				res, err = mmusim.Simulate(cfg, tr)
+			}
+			f.Close()
+		}
+	default:
+		res, err = mmusim.RunBenchmark(cfg, *bench, *seed, *n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmsim:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "vmsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(res.BreakdownString())
+	fmt.Printf("  total CPI (1-CPI core + overheads @%d-cycle interrupts) = %.5f\n",
+		cfg.InterruptCost, res.TotalCPI())
+}

@@ -1,0 +1,110 @@
+// Command vmsweep runs a configuration cross-product over one benchmark
+// and emits a CSV row per point — the raw data behind the paper's figures,
+// for plotting with external tools.
+//
+// Usage:
+//
+//	vmsweep -bench gcc -vms ultrix,intel -l1 1024,8192,65536 > gcc.csv
+//	vmsweep -bench vortex -vms all -l1 paper -l2 paper -lines paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	mmusim "repro"
+)
+
+func parseInts(s string, paper []int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if s == "paper" {
+		return paper, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+var (
+	paperL1    = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+	paperL2    = []int{1 << 20, 2 << 20, 4 << 20}
+	paperLines = []int{16, 32, 64, 128}
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gcc", "benchmark")
+		vms     = flag.String("vms", "ultrix,mach,intel,pa-risc,notlb", "comma list of organizations, or 'all'")
+		l1s     = flag.String("l1", "", "comma list of L1 sizes in bytes, or 'paper'")
+		l2s     = flag.String("l2", "", "comma list of L2 sizes in bytes, or 'paper'")
+		l1lines = flag.String("l1lines", "", "comma list of L1 linesizes, or 'paper'")
+		l2lines = flag.String("l2lines", "", "comma list of L2 linesizes, or 'paper'")
+		tlbs    = flag.String("tlb", "", "comma list of TLB sizes")
+		n       = flag.Int("n", 500_000, "trace length in instructions")
+		seed    = flag.Uint64("seed", 42, "deterministic seed")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "vmsweep:", err)
+		os.Exit(1)
+	}
+
+	vmList := strings.Split(*vms, ",")
+	if *vms == "all" {
+		vmList = mmusim.VMs()
+	}
+	space := mmusim.SweepSpace{Base: mmusim.DefaultConfig(vmList[0]), VMs: vmList}
+	space.Base.Seed = *seed
+	var err error
+	if space.L1Sizes, err = parseInts(*l1s, paperL1); err != nil {
+		fail(err)
+	}
+	if space.L2Sizes, err = parseInts(*l2s, paperL2); err != nil {
+		fail(err)
+	}
+	if space.L1Lines, err = parseInts(*l1lines, paperLines); err != nil {
+		fail(err)
+	}
+	if space.L2Lines, err = parseInts(*l2lines, paperLines); err != nil {
+		fail(err)
+	}
+	if space.TLBEntries, err = parseInts(*tlbs, nil); err != nil {
+		fail(err)
+	}
+
+	tr, err := mmusim.GenerateTrace(*bench, *seed, *n)
+	if err != nil {
+		fail(err)
+	}
+	cfgs := space.Configs()
+	fmt.Fprintf(os.Stderr, "vmsweep: %d configurations × %d instructions (%s)\n",
+		len(cfgs), *n, *bench)
+
+	fmt.Println("benchmark,vm,l1_bytes,l2_bytes,l1_line,l2_line,tlb_entries," +
+		"mcpi,vmcpi,int_cpi_10,int_cpi_50,int_cpi_200,interrupts,itlb_missrate,dtlb_missrate")
+	for _, p := range mmusim.Sweep(tr, cfgs, *workers) {
+		if p.Err != nil {
+			fail(p.Err)
+		}
+		r := p.Result
+		c := p.Config
+		fmt.Printf("%s,%s,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.6f,%.6f\n",
+			*bench, c.VM, c.L1SizeBytes, c.L2SizeBytes, c.L1LineBytes, c.L2LineBytes,
+			c.TLBEntries, r.MCPI(), r.VMCPI(),
+			r.Counters.InterruptCPI(10), r.Counters.InterruptCPI(50), r.Counters.InterruptCPI(200),
+			r.Counters.Interrupts, r.Counters.ITLBMissRate(), r.Counters.DTLBMissRate())
+	}
+}

@@ -1,0 +1,99 @@
+// Command vmtrace generates a synthetic benchmark trace and prints its
+// summary statistics — footprints, reference mix, and the hottest data
+// pages — for validating workload models against the qualitative
+// properties the paper describes.
+//
+// Usage:
+//
+//	vmtrace -bench vortex -n 500000
+//	vmtrace -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	mmusim "repro"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "gcc", "benchmark")
+		n     = flag.Int("n", 500_000, "trace length in instructions")
+		seed  = flag.Uint64("seed", 42, "deterministic seed")
+		top   = flag.Int("top", 10, "hottest data pages to list")
+		list  = flag.Bool("list", false, "list available benchmarks and exit")
+		out   = flag.String("o", "", "write the generated trace to this file (binary format)")
+		in    = flag.String("i", "", "inspect an existing trace file instead of generating")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range mmusim.Benchmarks() {
+			p, err := mmusim.BenchmarkProfile(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vmtrace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s %s\n", name, p.Description)
+		}
+		return
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "vmtrace:", err)
+		os.Exit(1)
+	}
+	var tr *mmusim.Trace
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if tr, err = mmusim.ReadTrace(f); err != nil {
+			fail(err)
+		}
+		*bench = tr.Name
+	} else {
+		var err error
+		if tr, err = mmusim.GenerateTrace(*bench, *seed, *n); err != nil {
+			fail(err)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := mmusim.WriteTrace(f, tr); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d-instruction trace to %s\n", tr.Len(), *out)
+	}
+	st := tr.ComputeStats()
+	fmt.Printf("%s: %s\n", *bench, st)
+	tlbReach := 128 * 4096
+	fmt.Printf("TLB reach (128 x 4KB) = %dKB; code %.1fx reach, data %.1fx reach\n",
+		tlbReach/1024,
+		float64(st.CodeBytes)/float64(tlbReach),
+		float64(st.DataBytes)/float64(tlbReach))
+
+	hist := tr.PageHistogram()
+	if *top > len(hist) {
+		*top = len(hist)
+	}
+	fmt.Printf("hottest %d data pages (of %d):\n", *top, len(hist))
+	var total uint64
+	for _, pc := range hist {
+		total += pc.Count
+	}
+	for _, pc := range hist[:*top] {
+		fmt.Printf("  vpn %#08x  %8d refs (%.2f%%)\n",
+			pc.VPN, pc.Count, float64(pc.Count)/float64(total)*100)
+	}
+}

@@ -1,0 +1,40 @@
+// Package mmusim is a comparative simulator for memory management units,
+// TLB-refill mechanisms, and page table organizations, reproducing
+// Jacob & Mudge, "A Look at Several Memory Management Units, TLB-Refill
+// Mechanisms, and Page Table Organizations" (ASPLOS VIII, 1998).
+//
+// The simulator drives synthetic SPEC'95-like reference streams through a
+// split two-level virtually-addressed cache hierarchy and one of twelve
+// memory-management organizations:
+//
+//   - ultrix   — 2-tier hierarchical table, software-managed TLB, bottom-up
+//   - mach     — 3-tier hierarchical table, software-managed TLB, bottom-up
+//   - intel    — 2-tier hierarchical table, hardware-managed TLB, top-down
+//   - pa-risc  — hashed inverted table, software-managed TLB
+//   - notlb    — software-managed caches, no TLB (softvm/VMP style)
+//   - base     — no virtual memory (baseline cache behaviour)
+//   - hw-mips, powerpc, spur, pfsm-hier, pfsm-hashed — the hybrid
+//     organizations the paper interpolates (§4.2) and the programmable
+//     finite-state-machine walker it proposes (§5)
+//   - clustered — a Talluri & Hill-style subblocked hashed table, the
+//     era's contemporary alternative
+//
+// Measurements follow the paper's taxonomy: MCPI (memory-system cycles
+// per user instruction, including the cache misses the VM system inflicts
+// on the application) and VMCPI (page-table-walk and TLB-refill cycles
+// per user instruction, broken down per Table 3), plus precise-interrupt
+// counts evaluated at 10/50/200 cycles per interrupt.
+//
+// # Quick start
+//
+//	cfg := mmusim.DefaultConfig(mmusim.VMUltrix)
+//	res, err := mmusim.RunBenchmark(cfg, "gcc", 42, 1_000_000)
+//	if err != nil { ... }
+//	fmt.Println(res.BreakdownString())
+//
+// The experiments subsystem regenerates every table and figure of the
+// paper's evaluation:
+//
+//	rep, err := mmusim.RunExperiment("fig6", mmusim.ExperimentOptions{})
+//	fmt.Println(rep.Text)
+package mmusim

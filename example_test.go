@@ -1,0 +1,70 @@
+package mmusim_test
+
+import (
+	"fmt"
+	"log"
+
+	mmusim "repro"
+)
+
+// ExampleSimulate runs one organization over one synthetic trace and
+// prints the headline overheads.
+func ExampleSimulate() {
+	tr, err := mmusim.GenerateTrace("ijpeg", 1, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mmusim.DefaultConfig(mmusim.VMIntel)
+	res, err := mmusim.Simulate(cfg, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("organization=%s workload=%s interrupts=%d\n",
+		res.Config.VM, res.Workload, res.Counters.Interrupts)
+	// Output:
+	// organization=intel workload=ijpeg interrupts=0
+}
+
+// ExampleSweep fans a configuration cross-product over one trace.
+func ExampleSweep() {
+	tr, err := mmusim.GenerateTrace("ijpeg", 1, 50_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	space := mmusim.SweepSpace{
+		Base: mmusim.DefaultConfig(mmusim.VMUltrix),
+		VMs:  []string{mmusim.VMUltrix, mmusim.VMIntel},
+	}
+	for _, p := range mmusim.Sweep(tr, space.Configs(), 0) {
+		if p.Err != nil {
+			log.Fatal(p.Err)
+		}
+		fmt.Printf("%s ran %d instructions\n", p.Config.VM, p.Result.Counters.UserInstrs)
+	}
+	// Output:
+	// ultrix ran 25000 instructions
+	// intel ran 25000 instructions
+}
+
+// ExampleMultiprogram builds a multiprogrammed trace with round-robin
+// scheduling.
+func ExampleMultiprogram() {
+	tr, err := mmusim.Multiprogram([]string{"gcc", "ijpeg"}, 1, 10_000, 2_500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d instructions, %d context switches\n", tr.Len(), tr.ContextSwitches())
+	// Output:
+	// 10000 instructions, 3 context switches
+}
+
+// ExampleRunExperiment regenerates a paper table.
+func ExampleRunExperiment() {
+	rep, err := mmusim.RunExperiment("tab2", mmusim.ExperimentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Title)
+	// Output:
+	// Table 2
+}

@@ -1,0 +1,68 @@
+// TLB-size sensitivity study: the abstract's claim that "systems are
+// fairly sensitive to TLB size", reproduced by sweeping the per-side TLB
+// entry count from 16 to 512 across the TLB-based organizations.
+//
+// Run with:
+//
+//	go run ./examples/tlbsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mmusim "repro"
+)
+
+func main() {
+	tr, err := mmusim.GenerateTrace("gcc", 42, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vms := []string{mmusim.VMUltrix, mmusim.VMMach, mmusim.VMIntel, mmusim.VMPARISC}
+	sizes := []int{16, 32, 64, 128, 256, 512}
+
+	var cfgs []mmusim.Config
+	for _, vm := range vms {
+		for _, sz := range sizes {
+			c := mmusim.DefaultConfig(vm)
+			c.TLBEntries = sz
+			cfgs = append(cfgs, c)
+		}
+	}
+	pts := mmusim.Sweep(tr, cfgs, 0)
+
+	fmt.Printf("%-8s", "entries")
+	for _, vm := range vms {
+		fmt.Printf("  %12s", vm)
+	}
+	fmt.Println("   (VMCPI, gcc)")
+	i := 0
+	byVM := make(map[string][]float64)
+	for _, vm := range vms {
+		for range sizes {
+			p := pts[i]
+			i++
+			if p.Err != nil {
+				log.Fatal(p.Err)
+			}
+			byVM[vm] = append(byVM[vm], p.Result.VMCPI())
+		}
+	}
+	for row, sz := range sizes {
+		fmt.Printf("%-8d", sz)
+		for _, vm := range vms {
+			fmt.Printf("  %12.5f", byVM[vm][row])
+		}
+		fmt.Println()
+	}
+
+	for _, vm := range vms {
+		first, last := byVM[vm][0], byVM[vm][len(sizes)-1]
+		if last > 0 {
+			fmt.Printf("%s: a %dx TLB cut VMCPI by %.1fx\n",
+				vm, sizes[len(sizes)-1]/sizes[0], first/last)
+		}
+	}
+}

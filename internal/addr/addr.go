@@ -1,0 +1,147 @@
+// Package addr defines the simulated address space, page geometry, and the
+// address arithmetic helpers shared by every other simulator package.
+//
+// The simulation uses a single flat 32-bit address space carried in uint64
+// values, laid out after the MIPS convention the paper's systems assume:
+//
+//	0x00000000 – 0x7FFFFFFF   user virtual space (kuseg, 2GB)
+//	0x80000000 – 0xBFFFFFFF   mapped kernel virtual space (kseg2-like, 1.5GB
+//	                          of it is used for virtually-addressed page
+//	                          tables in the ULTRIX/MACH/NOTLB organizations)
+//	0xC0000000 – 0xFFFFFFFF   unmapped window (kseg0-like): simulated
+//	                          physical memory appears here, as do the
+//	                          page-aligned TLB-miss handler code segments
+//
+// References through the unmapped window never consult a TLB (the hardware
+// translates them by offset), but they are cacheable — exactly the
+// behaviour the paper assumes for root page tables, hashed page tables and
+// handler code "located in unmapped space".
+package addr
+
+import "fmt"
+
+// Page geometry. The paper simulates 4KB pages exclusively (Table 1); the
+// page size is a constant rather than a parameter so that VPN arithmetic
+// stays branch-free in the hot simulation loop.
+const (
+	// PageShift is log2 of the page size.
+	PageShift = 12
+	// PageSize is the size of a virtual-memory page in bytes.
+	PageSize = 1 << PageShift
+	// PageMask masks the offset-within-page bits of an address.
+	PageMask = PageSize - 1
+)
+
+// Address-space region boundaries.
+const (
+	// UserBase and UserTop delimit the 2GB user virtual address space.
+	UserBase uint64 = 0x00000000
+	UserTop  uint64 = 0x80000000
+
+	// KernelBase and KernelTop delimit mapped kernel virtual space.
+	KernelBase uint64 = 0x80000000
+	KernelTop  uint64 = 0xC0000000
+
+	// UnmappedBase and UnmappedTop delimit the unmapped, cacheable
+	// window. Physical address P appears at UnmappedBase+P.
+	UnmappedBase uint64 = 0xC0000000
+	UnmappedTop  uint64 = 0x100000000
+)
+
+// Fixed virtual/unmapped placements used by the page-table organizations.
+// These mirror the layouts in the paper's Figures 1–5. All bases are
+// page-aligned and chosen so the regions cannot overlap for the simulated
+// table sizes.
+const (
+	// UltrixUPTBase is the virtual base of the 2MB Ultrix/MIPS user page
+	// table (Figure 1). It sits at the bottom of mapped kernel space.
+	UltrixUPTBase uint64 = 0x80000000
+
+	// MachUPTBase is the virtual base of the Mach per-process 2MB user
+	// page table region (Figure 2); process 0's table starts here.
+	MachUPTBase uint64 = 0x80000000
+
+	// MachKPTBase is the virtual base of the 4MB Mach kernel page table
+	// that maps the whole 4GB kernel space (Figure 2). Placed at the top
+	// of mapped kernel space.
+	MachKPTBase uint64 = 0xBFC00000
+
+	// NoTLBUPTBase is the virtual base region for the disjunct page-group
+	// table of the NOTLB organization (Figure 5). Page groups are
+	// scattered within a 64MB window starting here.
+	NoTLBUPTBase uint64 = 0x90000000
+	// NoTLBUPTWindow is the size of the scatter window for disjunct page
+	// groups.
+	NoTLBUPTWindow uint64 = 64 << 20
+
+	// HandlerCodeBase is the unmapped address of the first TLB-miss /
+	// cache-miss handler code segment. Each handler's code is page
+	// aligned ("the start of the handler code is page-aligned"). The
+	// base is deliberately not a multiple of any simulated cache size so
+	// the handlers do not systematically collide with the start of the
+	// application's code segment in the direct-mapped virtual caches.
+	HandlerCodeBase uint64 = 0xFF0AB000
+)
+
+// DefaultPhysMemBytes is the simulated physical memory size: "We define
+// our simulated physical memory to be 8MB" (paper §3.1, PA-RISC).
+const DefaultPhysMemBytes = 8 << 20
+
+// VPN returns the virtual page number of a.
+func VPN(a uint64) uint64 { return a >> PageShift }
+
+// PageBase returns the address of the first byte of the page containing a.
+func PageBase(a uint64) uint64 { return a &^ uint64(PageMask) }
+
+// PageOffset returns the offset of a within its page.
+func PageOffset(a uint64) uint64 { return a & PageMask }
+
+// IsUser reports whether a lies in user virtual space.
+func IsUser(a uint64) bool { return a < UserTop }
+
+// IsKernelMapped reports whether a lies in mapped kernel virtual space.
+func IsKernelMapped(a uint64) bool { return a >= KernelBase && a < KernelTop }
+
+// IsUnmapped reports whether a lies in the unmapped window (references
+// there bypass the TLB entirely).
+func IsUnmapped(a uint64) bool { return a >= UnmappedBase }
+
+// Unmapped converts a physical address into its unmapped-window alias.
+func Unmapped(phys uint64) uint64 { return UnmappedBase + phys }
+
+// PhysOf converts an unmapped-window address back to the physical address
+// it aliases. It panics if a is not in the unmapped window; that always
+// indicates a simulator bug rather than a recoverable condition.
+func PhysOf(a uint64) uint64 {
+	if !IsUnmapped(a) {
+		panic(fmt.Sprintf("addr: PhysOf(%#x): not an unmapped-window address", a))
+	}
+	return a - UnmappedBase
+}
+
+// HandlerPC returns the page-aligned code address for handler index i.
+// Handlers are spaced a page apart so that distinct handlers never share
+// an instruction-cache line (the paper aligns each handler on a page
+// boundary for the same reason).
+func HandlerPC(i int) uint64 {
+	return HandlerCodeBase + uint64(i)<<PageShift
+}
+
+// KB and MB are size helpers for configuration literals.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+)
+
+// IsPow2 reports whether v is a power of two (and non-zero).
+func IsPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// Log2 returns floor(log2(v)) for v > 0, and 0 for v == 0.
+func Log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

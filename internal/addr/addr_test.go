@@ -1,0 +1,167 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageGeometry(t *testing.T) {
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096 (paper Table 1)", PageSize)
+	}
+	if 1<<PageShift != PageSize {
+		t.Fatal("PageShift inconsistent with PageSize")
+	}
+	if PageMask != PageSize-1 {
+		t.Fatal("PageMask inconsistent with PageSize")
+	}
+}
+
+func TestVPNAndOffsetRoundTrip(t *testing.T) {
+	f := func(a uint64) bool {
+		a &= 0xFFFFFFFF // stay in the simulated 32-bit space
+		return VPN(a)<<PageShift+PageOffset(a) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageBase(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0},
+		{1, 0},
+		{4095, 0},
+		{4096, 4096},
+		{0x12345678, 0x12345000},
+	}
+	for _, c := range cases {
+		if got := PageBase(c.in); got != c.want {
+			t.Errorf("PageBase(%#x) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRegionPredicatesPartition(t *testing.T) {
+	// Every 32-bit address is in exactly one region.
+	samples := []uint64{0, 1, UserTop - 1, UserTop, KernelBase, KernelTop - 1,
+		KernelTop, UnmappedBase, UnmappedTop - 1, 0x7FFFFFFF, 0xDEADBEEF}
+	for _, a := range samples {
+		n := 0
+		if IsUser(a) {
+			n++
+		}
+		if IsKernelMapped(a) {
+			n++
+		}
+		if IsUnmapped(a) {
+			n++
+		}
+		if n != 1 {
+			t.Errorf("address %#x is in %d regions, want exactly 1", a, n)
+		}
+	}
+}
+
+func TestUserSpaceIs2GB(t *testing.T) {
+	if UserTop-UserBase != 2<<30 {
+		t.Fatalf("user space is %d bytes, want 2GB (paper Figure 1)", UserTop-UserBase)
+	}
+}
+
+func TestUnmappedRoundTrip(t *testing.T) {
+	f := func(p uint32) bool {
+		phys := uint64(p) % DefaultPhysMemBytes
+		return PhysOf(Unmapped(phys)) == phys
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhysOfPanicsOutsideWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PhysOf of a user address did not panic")
+		}
+	}()
+	PhysOf(0x1000)
+}
+
+func TestHandlerPCsPageAlignedAndDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 32; i++ {
+		pc := HandlerPC(i)
+		if PageOffset(pc) != 0 {
+			t.Errorf("HandlerPC(%d) = %#x not page aligned", i, pc)
+		}
+		if !IsUnmapped(pc) {
+			t.Errorf("HandlerPC(%d) = %#x not in unmapped space", i, pc)
+		}
+		if seen[pc] {
+			t.Errorf("HandlerPC(%d) = %#x duplicates another handler", i, pc)
+		}
+		seen[pc] = true
+	}
+}
+
+func TestTablePlacementsDisjoint(t *testing.T) {
+	type region struct {
+		name      string
+		base, len uint64
+	}
+	regions := []region{
+		{"ultrixUPT", UltrixUPTBase, 2 << 20},
+		{"machKPT", MachKPTBase, 4 << 20},
+		{"notlbUPT", NoTLBUPTBase, NoTLBUPTWindow},
+		{"handlers", HandlerCodeBase, 64 * PageSize},
+		{"physWindow", UnmappedBase, DefaultPhysMemBytes},
+	}
+	// machUPT shares a base with ultrixUPT intentionally (they are never
+	// simulated together), so it is excluded. Everything else must be
+	// pairwise disjoint.
+	for i := 0; i < len(regions); i++ {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.base < b.base+b.len && b.base < a.base+a.len {
+				t.Errorf("regions %s and %s overlap", a.name, b.name)
+			}
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 1024, 1 << 40} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 6, 1000} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint
+	}{{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {4096, 12}, {1 << 20, 20}}
+	for _, c := range cases {
+		if got := Log2(c.in); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLog2IsPow2Consistency(t *testing.T) {
+	f := func(shift uint8) bool {
+		s := uint(shift % 63)
+		v := uint64(1) << s
+		return IsPow2(v) && Log2(v) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package cache models the virtually-addressed, blocking cache hierarchy
+// the paper simulates: split, direct-mapped, write-allocate, write-through
+// caches at both L1 and L2 (paper Table 1).
+//
+// Because the caches are write-through, no line is ever dirty and there is
+// no writeback traffic to model; the simulation cost model charges only
+// for misses (20 cycles to reach L2, 500 cycles to reach memory — paper
+// Table 2). A store therefore behaves exactly like a load for the purposes
+// of miss accounting: write-allocate means a store miss fetches the line.
+//
+// Direct-mapped is the paper's configuration ("set associative or unified
+// caches, while giving better performance, would add too many variables"),
+// but the package also supports set associativity with LRU replacement as
+// an ablation knob.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Config describes a single cache.
+type Config struct {
+	// SizeBytes is the capacity in bytes ("per side" in paper terms:
+	// a split cache is modelled as two independent Caches).
+	SizeBytes int
+	// LineBytes is the line (block) size in bytes.
+	LineBytes int
+	// Assoc is the set associativity; 1 means direct-mapped. 0 is
+	// normalized to 1.
+	Assoc int
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	assoc := c.Assoc
+	if assoc == 0 {
+		assoc = 1
+	}
+	switch {
+	case c.SizeBytes <= 0:
+		return fmt.Errorf("cache: size %d must be positive", c.SizeBytes)
+	case c.LineBytes <= 0:
+		return fmt.Errorf("cache: line size %d must be positive", c.LineBytes)
+	case !addr.IsPow2(uint64(c.SizeBytes)):
+		return fmt.Errorf("cache: size %d must be a power of two", c.SizeBytes)
+	case !addr.IsPow2(uint64(c.LineBytes)):
+		return fmt.Errorf("cache: line size %d must be a power of two", c.LineBytes)
+	case assoc < 0 || !addr.IsPow2(uint64(assoc)):
+		return fmt.Errorf("cache: associativity %d must be a positive power of two", c.Assoc)
+	case c.SizeBytes < c.LineBytes*assoc:
+		return fmt.Errorf("cache: size %d too small for %d-byte lines at associativity %d",
+			c.SizeBytes, c.LineBytes, assoc)
+	}
+	return nil
+}
+
+// Stats accumulates access counts for one cache.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a single cache array. It is indexed by whatever address it is
+// handed; the simulation hands it virtual addresses, making it a virtual
+// cache exactly as in the paper.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	assoc     int
+	// lines holds, per way-slot, the line address + 1 (so that the zero
+	// value means "invalid"). Layout: set-major, way-minor.
+	lines []uint64
+	// age holds per-slot LRU counters (only consulted when assoc > 1).
+	age  []uint64
+	tick uint64
+
+	stats Stats
+}
+
+// New constructs a cache. It panics on an invalid configuration: cache
+// shapes come from experiment configs that are validated up front, so an
+// invalid shape reaching this point is a programming error.
+func New(cfg Config) *Cache {
+	if cfg.Assoc == 0 {
+		cfg.Assoc = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	nSets := nLines / cfg.Assoc
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: addr.Log2(uint64(cfg.LineBytes)),
+		setMask:   uint64(nSets - 1),
+		assoc:     cfg.Assoc,
+		lines:     make([]uint64, nLines),
+	}
+	if cfg.Assoc > 1 {
+		c.age = make([]uint64, nLines)
+	}
+	return c
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.lines) / c.assoc }
+
+// LineAddr returns the line-granular address (address >> lineShift) of a.
+func (c *Cache) LineAddr(a uint64) uint64 { return a >> c.lineShift }
+
+// Access performs a load or store at address a: it probes the cache and,
+// on a miss, allocates the line (write-allocate). It returns true on hit.
+func (c *Cache) Access(a uint64) bool {
+	c.stats.Accesses++
+	line := a >> c.lineShift
+	key := line + 1
+	set := int(line&c.setMask) * c.assoc
+	if c.assoc == 1 {
+		if c.lines[set] == key {
+			return true
+		}
+		c.lines[set] = key
+		c.stats.Misses++
+		return false
+	}
+	c.tick++
+	victim := set
+	oldest := ^uint64(0)
+	for w := set; w < set+c.assoc; w++ {
+		if c.lines[w] == key {
+			c.age[w] = c.tick
+			return true
+		}
+		if c.age[w] < oldest {
+			oldest = c.age[w]
+			victim = w
+		}
+	}
+	c.lines[victim] = key
+	c.age[victim] = c.tick
+	c.stats.Misses++
+	return false
+}
+
+// Probe reports whether address a is resident without changing any state
+// (no fill, no LRU update, no statistics).
+func (c *Cache) Probe(a uint64) bool {
+	line := a >> c.lineShift
+	key := line + 1
+	set := int(line&c.setMask) * c.assoc
+	for w := set; w < set+c.assoc; w++ {
+		if c.lines[w] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line containing a if it is resident, returning
+// whether it was. It models software-managed consistency actions (the VMP
+// style the paper cites) and is used by failure-injection tests.
+func (c *Cache) Invalidate(a uint64) bool {
+	line := a >> c.lineShift
+	key := line + 1
+	set := int(line&c.setMask) * c.assoc
+	for w := set; w < set+c.assoc; w++ {
+		if c.lines[w] == key {
+			c.lines[w] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the entire cache. Statistics are preserved.
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = 0
+	}
+	for i := range c.age {
+		c.age[i] = 0
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the accumulated statistics without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Resident returns the number of valid lines currently held.
+func (c *Cache) Resident() int {
+	n := 0
+	for _, l := range c.lines {
+		if l != 0 {
+			n++
+		}
+	}
+	return n
+}

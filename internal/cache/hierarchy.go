@@ -1,0 +1,85 @@
+package cache
+
+// Level identifies where in the memory hierarchy an access was satisfied.
+type Level int
+
+// Hierarchy levels, ordered by distance from the processor.
+const (
+	// L1Hit: the access hit the level-1 cache.
+	L1Hit Level = 1
+	// L2Hit: the access missed L1 but hit the level-2 cache.
+	L2Hit Level = 2
+	// Memory: the access missed both cache levels.
+	Memory Level = 3
+)
+
+// String returns a short label for the level.
+func (l Level) String() string {
+	switch l {
+	case L1Hit:
+		return "L1"
+	case L2Hit:
+		return "L2"
+	case Memory:
+		return "MEM"
+	default:
+		return "invalid"
+	}
+}
+
+// Hierarchy is a two-level blocking cache stack (one side of the split
+// hierarchy: either the instruction side or the data side). Both levels
+// are virtually indexed; on an L1 miss the reference proceeds to L2, and
+// on an L2 miss the line is brought in from memory and allocated at both
+// levels (blocking, write-allocate at both levels).
+type Hierarchy struct {
+	l1 *Cache
+	l2 *Cache
+}
+
+// NewHierarchy builds a two-level stack from the two cache configs.
+func NewHierarchy(l1, l2 Config) *Hierarchy {
+	return &Hierarchy{l1: New(l1), l2: New(l2)}
+}
+
+// Access performs a reference at address a and returns the level that
+// satisfied it, filling lines on the way (write-allocate, both levels).
+func (h *Hierarchy) Access(a uint64) Level {
+	if h.l1.Access(a) {
+		return L1Hit
+	}
+	if h.l2.Access(a) {
+		return L2Hit
+	}
+	return Memory
+}
+
+// Probe reports the level that would satisfy a reference to a, without
+// changing any cache state.
+func (h *Hierarchy) Probe(a uint64) Level {
+	if h.l1.Probe(a) {
+		return L1Hit
+	}
+	if h.l2.Probe(a) {
+		return L2Hit
+	}
+	return Memory
+}
+
+// L1 returns the level-1 cache.
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 returns the level-2 cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// Flush invalidates both levels.
+func (h *Hierarchy) Flush() {
+	h.l1.Flush()
+	h.l2.Flush()
+}
+
+// ResetStats clears statistics at both levels.
+func (h *Hierarchy) ResetStats() {
+	h.l1.ResetStats()
+	h.l2.ResetStats()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ctxswitch",
+		Title: "Context-switch study — multiprogrammed workload; ASID-tagged TLBs " +
+			"(MIPS/PA-RISC) vs flush-on-switch (classical x86) across scheduling quanta",
+		DefaultBench: "",
+		Run:          runCtxSwitch,
+	})
+}
+
+// ctxQuanta returns the swept scheduling quanta (instructions/timeslice).
+func ctxQuanta(quick bool) []int {
+	if quick {
+		return []int{1_000, 20_000}
+	}
+	return []int{500, 2_000, 10_000, 50_000, 200_000}
+}
+
+func runCtxSwitch(o Options) (*Report, error) {
+	o = o.withDefaults("gcc")
+	mix := []string{"gcc", "vortex", "ijpeg"}
+	vms := []string{sim.VMUltrix, sim.VMMach, sim.VMIntel, sim.VMPARISC}
+	quanta := ctxQuanta(o.Quick)
+
+	chart := &report.Chart{
+		Title:  fmt.Sprintf("VMCPI vs scheduling quantum — %s multiprogrammed", strings.Join(mix, "+")),
+		XLabel: "quantum (instructions)",
+		YLabel: "VMCPI",
+		Height: 12,
+	}
+	csv := report.NewTable("mix", "vm", "quantum", "vmcpi", "mcpi",
+		"context_switches", "itlb_missrate", "dtlb_missrate", "asid_mode")
+	var text strings.Builder
+	fmt.Fprintf(&text, "ctxswitch — %s, %d instructions per quantum point\n\n",
+		strings.Join(mix, "+"), o.Instructions)
+
+	for _, vm := range vms {
+		var series []report.Point
+		for _, q := range quanta {
+			tr, err := workload.Multiprogram(mix, o.Seed, o.Instructions, q)
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.Default(vm)
+			cfg.Seed = o.Seed
+			res, err := sim.Simulate(cfg, tr)
+			if err != nil {
+				return nil, err
+			}
+			mode := "tagged"
+			if vm == sim.VMIntel {
+				mode = "flush"
+			}
+			series = append(series, report.Point{X: float64(q), Y: res.VMCPI()})
+			csv.AddRowf(strings.Join(mix, "+"), vm, q, res.VMCPI(), res.MCPI(),
+				res.Counters.ContextSwitches,
+				res.Counters.ITLBMissRate(), res.Counters.DTLBMissRate(), mode)
+		}
+		chart.AddSeries(vm, series)
+	}
+	text.WriteString(chart.String())
+	text.WriteString("\nThe ASID-tagged organizations (ultrix/mach/pa-risc) hold their TLB\n" +
+		"contents across switches; the untagged x86 TLB is flushed every\n" +
+		"quantum, eroding its hardware-walk advantage as the quantum shrinks.\n" +
+		"Compare an x86 with tagged entries via Config.ASIDs = ASIDTagged.\n")
+	return &Report{ID: "ctxswitch", Title: "Context-switch study", Text: text.String(), CSV: csv.CSV()}, nil
+}

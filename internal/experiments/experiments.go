@@ -1,0 +1,124 @@
+// Package experiments reproduces the paper's tables and figures: each
+// experiment takes Options, runs the required simulations, and returns a
+// Report with human-readable text (tables and ASCII charts standing in
+// for the paper's plots) plus machine-readable CSV.
+//
+// The experiment ids follow the paper: tab1–tab4 are its tables, fig6–fig9
+// its printed figures, and fig10–fig12 the results its abstract and §4
+// describe on the pages truncated from the available scan (interrupt-cost
+// scaling, VM-inflicted application cache misses, and total VM overhead).
+// tlbsize and hybrids cover the abstract's TLB-size-sensitivity claim and
+// the §4.2/§5 interpolated organizations.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options parameterizes an experiment run.
+type Options struct {
+	// Bench is the workload name; empty selects the experiment's own
+	// default (the benchmark the paper uses for that figure).
+	Bench string
+	// Instructions is the synthetic trace length; 0 selects 500k.
+	Instructions int
+	// Seed drives workload generation and TLB replacement.
+	Seed uint64
+	// Workers bounds sweep parallelism; 0 selects GOMAXPROCS.
+	Workers int
+	// Quick shrinks the swept space and trace for smoke tests and
+	// benchmarks (minutes → seconds at reduced resolution).
+	Quick bool
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults(defaultBench string) Options {
+	if o.Bench == "" {
+		o.Bench = defaultBench
+	}
+	if o.Instructions == 0 {
+		if o.Quick {
+			o.Instructions = 60_000
+		} else {
+			o.Instructions = 500_000
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// makeTrace generates the workload trace for the options.
+func makeTrace(o Options) (*trace.Trace, error) {
+	p, err := workload.ByName(o.Bench)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(p, o.Seed, o.Instructions), nil
+}
+
+// Report is an experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	// Text is the formatted human-readable reproduction.
+	Text string
+	// CSV is the machine-readable data behind it (may be empty for
+	// static tables).
+	CSV string
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// DefaultBench is the benchmark the paper uses for this artifact.
+	DefaultBench string
+	Run          func(Options) (*Report, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment, sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs returns the sorted experiment ids.
+func IDs() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}
+
+// Run looks up and executes the experiment id with the given options.
+func Run(id string, o Options) (*Report, error) {
+	e, err := ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(o)
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick(bench string) Options {
+	return Options{Bench: bench, Quick: true, Seed: 7, Instructions: 40_000}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ctxswitch", "fig10", "fig11", "fig12", "fig6", "fig7", "fig8", "fig9",
+		"hybrids", "softcache", "tab1", "tab2", "tab3", "tab4", "tlb2", "tlbsize"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.DefaultBench != "gcc" {
+		t.Fatalf("fig6 default bench = %q, want gcc", e.DefaultBench)
+	}
+	if _, err := ByID("nonesuch"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	cases := map[string][]string{
+		"tab1": {"Benchmarks", "128-entry", "4 KB", "10, 50, 200"},
+		"tab2": {"L1i-miss", "20 cycles", "500 cycles"},
+		"tab3": {"uhandler", "rpte-MEM", "handler-L2"},
+		"tab4": {"ULTRIX", "500 instrs", "7 cycles", "variable # PTE loads"},
+	}
+	for id, wants := range cases {
+		rep, err := Run(id, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, w := range wants {
+			if !strings.Contains(rep.Text, w) {
+				t.Errorf("%s missing %q:\n%s", id, w, rep.Text)
+			}
+		}
+		if rep.CSV == "" {
+			t.Errorf("%s: empty CSV", id)
+		}
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	rep, err := Run("fig6", quick(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"ULTRIX", "MACH", "INTEL", "PA-RISC", "NOTLB", "lines", "VMCPI"} {
+		if !strings.Contains(rep.Text, w) {
+			t.Errorf("fig6 text missing %q", w)
+		}
+	}
+	if !strings.HasPrefix(rep.CSV, "benchmark,vm,l1_bytes") {
+		t.Errorf("fig6 CSV header = %q", strings.SplitN(rep.CSV, "\n", 2)[0])
+	}
+	// 5 VMs × 2 L2 × 2 combos × 3 L1 = 60 data rows + header.
+	if rows := strings.Count(rep.CSV, "\n"); rows != 61 {
+		t.Errorf("fig6 CSV rows = %d, want 61", rows)
+	}
+}
+
+func TestFig7UsesVortexByDefault(t *testing.T) {
+	rep, err := Run("fig7", quick(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.CSV, "vortex") {
+		t.Error("fig7 did not run vortex")
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	rep, err := Run("fig8", quick(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"uhandler", "upte-L2", "rpte-MEM", "ULTRIX", "NOTLB"} {
+		if !strings.Contains(rep.Text, w) {
+			t.Errorf("fig8 missing %q", w)
+		}
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	rep, err := Run("fig9", quick(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.CSV, "vortex") {
+		t.Error("fig9 did not run vortex")
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	rep, err := Run("fig10", quick(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "intel") {
+		t.Error("fig10 missing intel row")
+	}
+	// INTEL must report zero interrupts.
+	for _, line := range strings.Split(rep.CSV, "\n") {
+		if strings.Contains(line, "intel") && !strings.Contains(line, ",0.00000,") {
+			// interrupts_per_1k field is the 3rd column
+			fields := strings.Split(line, ",")
+			if len(fields) > 2 && fields[2] != "0.00000" {
+				t.Errorf("intel interrupts/1k = %s, want 0", fields[2])
+			}
+		}
+	}
+}
+
+func TestFig11ShowsInflictedMisses(t *testing.T) {
+	rep, err := Run("fig11", quick(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "inflicted") {
+		t.Error("fig11 missing inflicted column")
+	}
+	if !strings.Contains(rep.Text, "BASE MCPI") {
+		t.Error("fig11 missing baseline comparison")
+	}
+}
+
+func TestFig12CoversFocusBenchmarks(t *testing.T) {
+	rep, err := Run("fig12", Options{Quick: true, Seed: 7, Instructions: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []string{"gcc", "vortex", "ijpeg"} {
+		if !strings.Contains(rep.CSV, b) {
+			t.Errorf("fig12 missing benchmark %s", b)
+		}
+	}
+	if !strings.Contains(rep.Text, "%") {
+		t.Error("fig12 missing percentage output")
+	}
+}
+
+func TestTLBSizeQuick(t *testing.T) {
+	rep, err := Run("tlbsize", quick(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "TLB entries") {
+		t.Error("tlbsize missing axis label")
+	}
+	if !strings.Contains(rep.CSV, "itlb_missrate") {
+		t.Error("tlbsize CSV missing miss rates")
+	}
+}
+
+func TestSoftCacheQuick(t *testing.T) {
+	rep, err := Run("softcache", Options{Quick: true, Seed: 42, Instructions: 250_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "bypass") || !strings.Contains(rep.CSV, "winner") {
+		t.Fatalf("softcache output incomplete:\n%s", rep.Text)
+	}
+	// At 4-byte stride caching must win; at 256-byte stride bypass must.
+	if !strings.Contains(rep.CSV, "4,") {
+		t.Fatal("stride column missing")
+	}
+	lines := strings.Split(strings.TrimSpace(rep.CSV), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasSuffix(last, "bypass") {
+		t.Errorf("largest stride should favour bypass: %q", last)
+	}
+	first := lines[1]
+	if !strings.HasSuffix(first, "cache") {
+		t.Errorf("word stride should favour caching: %q", first)
+	}
+}
+
+func TestTLB2Quick(t *testing.T) {
+	rep, err := Run("tlb2", quick(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"L2-TLB", "walks", "ultrix", "intel"} {
+		if !strings.Contains(rep.Text, w) {
+			t.Errorf("tlb2 missing %q", w)
+		}
+	}
+}
+
+func TestCtxSwitchQuick(t *testing.T) {
+	rep, err := Run("ctxswitch", Options{Quick: true, Seed: 7, Instructions: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"quantum", "intel", "flush", "tagged"} {
+		if !strings.Contains(rep.Text+rep.CSV, w) {
+			t.Errorf("ctxswitch missing %q", w)
+		}
+	}
+	if !strings.Contains(rep.CSV, "context_switches") {
+		t.Error("ctxswitch CSV missing switch counts")
+	}
+}
+
+func TestHybridsQuick(t *testing.T) {
+	rep, err := Run("hybrids", quick(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"powerpc", "hw-mips", "spur", "pfsm", "ultrix"} {
+		if !strings.Contains(rep.Text, w) {
+			t.Errorf("hybrids missing %q", w)
+		}
+	}
+}
+
+func TestUnknownBenchmarkErrors(t *testing.T) {
+	if _, err := Run("fig6", Options{Bench: "nonesuch", Quick: true}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults("gcc")
+	if o.Bench != "gcc" || o.Instructions != 500_000 || o.Seed == 0 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults("gcc")
+	if q.Instructions >= o.Instructions {
+		t.Fatal("Quick did not shrink the trace")
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+func init() {
+	register(Experiment{
+		ID:           "fig6",
+		Title:        "Figure 6: VMCPI vs. L1 and L2 cache size and linesize — GCC",
+		DefaultBench: "gcc",
+		Run:          func(o Options) (*Report, error) { return runVMCPISweep("fig6", o, "gcc") },
+	})
+	register(Experiment{
+		ID:           "fig7",
+		Title:        "Figure 7: VMCPI vs. L1 and L2 cache size and linesize — VORTEX",
+		DefaultBench: "vortex",
+		Run:          func(o Options) (*Report, error) { return runVMCPISweep("fig7", o, "vortex") },
+	})
+	register(Experiment{
+		ID:           "fig8",
+		Title:        "Figure 8: VMCPI break-downs (64/128-byte L1/L2 linesizes) — GCC",
+		DefaultBench: "gcc",
+		Run:          func(o Options) (*Report, error) { return runBreakdown("fig8", o, "gcc") },
+	})
+	register(Experiment{
+		ID:           "fig9",
+		Title:        "Figure 9: VMCPI break-downs (64/128-byte L1/L2 linesizes) — VORTEX",
+		DefaultBench: "vortex",
+		Run:          func(o Options) (*Report, error) { return runBreakdown("fig9", o, "vortex") },
+	})
+}
+
+// lineCombo is one (L1 linesize, L2 linesize) curve in figures 6–7.
+type lineCombo struct{ l1, l2 int }
+
+func lineCombos(quick bool) []lineCombo {
+	if quick {
+		return []lineCombo{{16, 64}, {64, 128}}
+	}
+	var out []lineCombo
+	for _, l1 := range sweep.PaperLineSizes() {
+		for _, l2 := range sweep.PaperLineSizes() {
+			if l2 < l1 {
+				continue // an L2 line shorter than L1's is not simulated
+			}
+			out = append(out, lineCombo{l1, l2})
+		}
+	}
+	return out
+}
+
+func l1Sizes(quick bool) []int {
+	if quick {
+		return []int{1 << 10, 8 << 10, 64 << 10}
+	}
+	return sweep.PaperL1Sizes()
+}
+
+func l2Sizes(quick bool) []int {
+	if quick {
+		return []int{1 << 20, 4 << 20}
+	}
+	return sweep.PaperL2Sizes()
+}
+
+// vmList returns the five VM organizations of figures 6–9 (BASE has no
+// VMCPI and is omitted, as in the paper).
+func vmList() []string {
+	return []string{sim.VMUltrix, sim.VMMach, sim.VMIntel, sim.VMPARISC, sim.VMNoTLB}
+}
+
+// runVMCPISweep reproduces figures 6 and 7: total VMCPI as a function of
+// L1 cache size, one curve per linesize configuration, one panel per
+// (VM organization, L2 size).
+func runVMCPISweep(id string, o Options, bench string) (*Report, error) {
+	o = o.withDefaults(bench)
+	tr, err := makeTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	combos := lineCombos(o.Quick)
+	l1s := l1Sizes(o.Quick)
+	l2s := l2Sizes(o.Quick)
+
+	var cfgs []sim.Config
+	for _, vm := range vmList() {
+		for _, l2 := range l2s {
+			for _, combo := range combos {
+				for _, l1 := range l1s {
+					c := sim.Default(vm)
+					c.L1SizeBytes, c.L2SizeBytes = l1, l2
+					c.L1LineBytes, c.L2LineBytes = combo.l1, combo.l2
+					c.Seed = o.Seed
+					cfgs = append(cfgs, c)
+				}
+			}
+		}
+	}
+	pts := sweep.Run(tr, cfgs, o.Workers)
+
+	var text strings.Builder
+	csv := report.NewTable("benchmark", "vm", "l1_bytes", "l2_bytes", "l1_line", "l2_line", "vmcpi", "mcpi", "interrupts")
+	fmt.Fprintf(&text, "%s — %s, %d instructions\n", id, o.Bench, o.Instructions)
+	fmt.Fprintf(&text, "Each panel: VMCPI vs L1 size; one curve per L1/L2 linesize pair.\n\n")
+
+	i := 0
+	for _, vm := range vmList() {
+		for _, l2 := range l2s {
+			chart := &report.Chart{
+				Title:  fmt.Sprintf("%s — %dMB L2 cache (%s)", strings.ToUpper(vm), l2/addr.MB, o.Bench),
+				XLabel: "L1 cache size per side",
+				YLabel: "VMCPI",
+				Height: 12,
+			}
+			for _, combo := range combos {
+				var series []report.Point
+				for range l1s {
+					p := pts[i]
+					i++
+					if p.Err != nil {
+						return nil, p.Err
+					}
+					r := p.Result
+					series = append(series, report.Point{X: float64(r.Config.L1SizeBytes), Y: r.VMCPI()})
+					csv.AddRowf(o.Bench, vm, r.Config.L1SizeBytes, r.Config.L2SizeBytes,
+						r.Config.L1LineBytes, r.Config.L2LineBytes,
+						r.VMCPI(), r.MCPI(), r.Counters.Interrupts)
+				}
+				chart.AddSeries(fmt.Sprintf("%d/%dB lines", combo.l1, combo.l2), series)
+			}
+			text.WriteString(chart.String())
+			text.WriteByte('\n')
+		}
+	}
+	e, _ := ByID(id)
+	return &Report{ID: id, Title: e.Title, Text: text.String(), CSV: csv.CSV()}, nil
+}
+
+// runBreakdown reproduces figures 8 and 9: per-component VMCPI stacked
+// break-downs at the best-performing 64/128-byte linesizes, across L1 and
+// L2 cache sizes, for each VM organization.
+func runBreakdown(id string, o Options, bench string) (*Report, error) {
+	o = o.withDefaults(bench)
+	tr, err := makeTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	l1s := l1Sizes(o.Quick)
+	l2s := l2Sizes(o.Quick)
+
+	var cfgs []sim.Config
+	for _, vm := range vmList() {
+		for _, l2 := range l2s {
+			for _, l1 := range l1s {
+				c := sim.Default(vm)
+				c.L1SizeBytes, c.L2SizeBytes = l1, l2
+				c.L1LineBytes, c.L2LineBytes = 64, 128
+				c.Seed = o.Seed
+				cfgs = append(cfgs, c)
+			}
+		}
+	}
+	pts := sweep.Run(tr, cfgs, o.Workers)
+
+	comps := stats.VMCPIComponents()
+	var text strings.Builder
+	header := []string{"L1", "L2", "VMCPI"}
+	for _, c := range comps {
+		header = append(header, c.String())
+	}
+	csv := report.NewTable(append([]string{"benchmark", "vm"}, header...)...)
+	fmt.Fprintf(&text, "%s — %s, %d instructions, 64/128-byte L1/L2 linesizes\n\n", id, o.Bench, o.Instructions)
+
+	i := 0
+	for _, vm := range vmList() {
+		t := report.NewTable(header...)
+		for range l2s {
+			for range l1s {
+				p := pts[i]
+				i++
+				if p.Err != nil {
+					return nil, p.Err
+				}
+				r := p.Result
+				row := []interface{}{
+					fmt.Sprintf("%dKB", r.Config.L1SizeBytes/addr.KB),
+					fmt.Sprintf("%dMB", r.Config.L2SizeBytes/addr.MB),
+					r.VMCPI(),
+				}
+				csvRow := []interface{}{o.Bench, vm}
+				csvRow = append(csvRow, row...)
+				for _, c := range comps {
+					row = append(row, r.Counters.CPI(c))
+					csvRow = append(csvRow, r.Counters.CPI(c))
+				}
+				t.AddRowf(row...)
+				csv.AddRowf(csvRow...)
+			}
+		}
+		fmt.Fprintf(&text, "%s\n%s\n", strings.ToUpper(vm), t.String())
+	}
+	e, _ := ByID(id)
+	return &Report{ID: id, Title: e.Title, Text: text.String(), CSV: csv.CSV()}, nil
+}

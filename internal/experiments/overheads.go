@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "fig10",
+		Title: "Figure 10: interrupt overhead — VMCPI plus precise-interrupt cost at " +
+			"10/50/200 cycles per interrupt",
+		DefaultBench: "gcc",
+		Run:          runFig10,
+	})
+	register(Experiment{
+		ID: "fig11",
+		Title: "Figure 11: VM-inflicted application cache misses — MCPI under each VM " +
+			"organization vs the BASE (no-VM) configuration",
+		DefaultBench: "gcc",
+		Run:          runFig11,
+	})
+	register(Experiment{
+		ID: "fig12",
+		Title: "Figure 12: total VM overhead (handler cost + inflicted misses + " +
+			"interrupts) relative to a 1-CPI machine — the paper's 10–30% result",
+		DefaultBench: "",
+		Run:          runFig12,
+	})
+}
+
+// runPaperVMs simulates all Table-1 organizations (including BASE) on one
+// trace at the default cache configuration and returns results keyed by
+// organization, in PaperVMs order.
+func runPaperVMs(o Options, tr *trace.Trace) (map[string]*sim.Result, error) {
+	var cfgs []sim.Config
+	for _, vm := range sim.PaperVMs() {
+		c := sim.Default(vm)
+		c.Seed = o.Seed
+		cfgs = append(cfgs, c)
+	}
+	pts := sweep.Run(tr, cfgs, o.Workers)
+	out := make(map[string]*sim.Result, len(pts))
+	for _, p := range pts {
+		if p.Err != nil {
+			return nil, p.Err
+		}
+		out[p.Config.VM] = p.Result
+	}
+	return out, nil
+}
+
+func runFig10(o Options) (*Report, error) {
+	o = o.withDefaults("gcc")
+	tr, err := makeTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runPaperVMs(o, tr)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("VM sim", "interrupts/1k instrs", "VMCPI",
+		"int CPI @10", "int CPI @50", "int CPI @200", "VMCPI+int @200")
+	csv := report.NewTable("benchmark", "vm", "interrupts_per_1k", "vmcpi",
+		"int_cpi_10", "int_cpi_50", "int_cpi_200")
+	for _, vm := range sim.PaperVMs() {
+		if vm == sim.VMBase {
+			continue
+		}
+		r := results[vm]
+		perK := float64(r.Counters.Interrupts) / float64(r.Counters.UserInstrs) * 1000
+		t.AddRowf(vm, perK, r.VMCPI(),
+			r.Counters.InterruptCPI(10), r.Counters.InterruptCPI(50), r.Counters.InterruptCPI(200),
+			r.VMCPI()+r.Counters.InterruptCPI(200))
+		csv.AddRowf(o.Bench, vm, perK, r.VMCPI(),
+			r.Counters.InterruptCPI(10), r.Counters.InterruptCPI(50), r.Counters.InterruptCPI(200))
+	}
+	var text strings.Builder
+	fmt.Fprintf(&text, "fig10 — %s, %d instructions, default caches (%s)\n\n",
+		o.Bench, o.Instructions, sim.Default(sim.VMBase).Label())
+	text.WriteString(t.String())
+	text.WriteString("\nHardware-walked schemes (INTEL) take no interrupts; at 200-cycle\n" +
+		"interrupts the software-managed schemes' interrupt cost rivals or\n" +
+		"exceeds their entire page-table-walk cost.\n")
+	return &Report{ID: "fig10", Title: "Figure 10", Text: text.String(), CSV: csv.CSV()}, nil
+}
+
+func runFig11(o Options) (*Report, error) {
+	o = o.withDefaults("gcc")
+	tr, err := makeTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	results, err := runPaperVMs(o, tr)
+	if err != nil {
+		return nil, err
+	}
+	base := results[sim.VMBase]
+	t := report.NewTable("VM sim", "MCPI", "BASE MCPI", "inflicted MCPI", "VMCPI",
+		"inflicted/VMCPI", "VM total (VMCPI+inflicted)")
+	csv := report.NewTable("benchmark", "vm", "mcpi", "base_mcpi", "inflicted_mcpi", "vmcpi")
+	for _, vm := range sim.PaperVMs() {
+		if vm == sim.VMBase {
+			continue
+		}
+		r := results[vm]
+		inflicted := r.MCPI() - base.MCPI()
+		ratio := 0.0
+		if r.VMCPI() > 0 {
+			ratio = inflicted / r.VMCPI()
+		}
+		t.AddRowf(vm, r.MCPI(), base.MCPI(), inflicted, r.VMCPI(), ratio, r.VMCPI()+inflicted)
+		csv.AddRowf(o.Bench, vm, r.MCPI(), base.MCPI(), inflicted, r.VMCPI())
+	}
+	var text strings.Builder
+	fmt.Fprintf(&text, "fig11 — %s, %d instructions, default caches\n\n", o.Bench, o.Instructions)
+	text.WriteString(t.String())
+	text.WriteString("\n'Inflicted MCPI' is the application cache-miss cost the VM system\n" +
+		"adds by displacing user code and data — the cost normally excluded\n" +
+		"from VM studies, which the paper shows roughly doubles the total.\n")
+	return &Report{ID: "fig11", Title: "Figure 11", Text: text.String(), CSV: csv.CSV()}, nil
+}
+
+func runFig12(o Options) (*Report, error) {
+	benches := workload.PaperFocus()
+	if o.Bench != "" {
+		benches = []string{o.Bench}
+	}
+	o = o.withDefaults(benches[0])
+	t := report.NewTable("benchmark", "VM sim", "walk+refill %", "+inflicted %", "+interrupts@50 %", "+interrupts@200 %")
+	csv := report.NewTable("benchmark", "vm", "vmcpi_pct", "with_inflicted_pct",
+		"with_int50_pct", "with_int200_pct")
+	var text strings.Builder
+	fmt.Fprintf(&text, "fig12 — total VM overhead as %% of a 1-CPI machine's base execution\n")
+	fmt.Fprintf(&text, "(base = 1 CPI + BASE MCPI), %d instructions per benchmark\n\n", o.Instructions)
+	for _, bench := range benches {
+		bo := o
+		bo.Bench = bench
+		tr, err := makeTrace(bo)
+		if err != nil {
+			return nil, err
+		}
+		results, err := runPaperVMs(bo, tr)
+		if err != nil {
+			return nil, err
+		}
+		base := results[sim.VMBase]
+		baseCPI := 1 + base.MCPI()
+		for _, vm := range sim.PaperVMs() {
+			if vm == sim.VMBase {
+				continue
+			}
+			r := results[vm]
+			inflicted := r.MCPI() - base.MCPI()
+			walk := r.VMCPI() / baseCPI * 100
+			withInf := (r.VMCPI() + inflicted) / baseCPI * 100
+			with50 := (r.VMCPI() + inflicted + r.Counters.InterruptCPI(50)) / baseCPI * 100
+			with200 := (r.VMCPI() + inflicted + r.Counters.InterruptCPI(200)) / baseCPI * 100
+			t.AddRow(bench, vm,
+				fmt.Sprintf("%.2f%%", walk), fmt.Sprintf("%.2f%%", withInf),
+				fmt.Sprintf("%.2f%%", with50), fmt.Sprintf("%.2f%%", with200))
+			csv.AddRowf(bench, vm, walk, withInf, with50, with200)
+		}
+	}
+	text.WriteString(t.String())
+	text.WriteString("\nThe paper's claim: the walk/refill column is the traditionally-\n" +
+		"reported 5-10%; adding inflicted misses roughly doubles it (10-20%),\n" +
+		"and adding interrupt cost brings the total to 10-30%.\n")
+	return &Report{ID: "fig12", Title: "Figure 12", Text: text.String(), CSV: csv.CSV()}, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID: "softcache",
+		Title: "Software-controlled cacheability (§5, third observation) — caching vs " +
+			"bypassing a streaming scan, as a function of scan stride",
+		DefaultBench: "",
+		Run:          runSoftCache,
+	})
+}
+
+// softCacheStrides are the swept scan strides. At small strides caching
+// wins (each fetched line serves many accesses); at line-sized and larger
+// strides every access misses anyway and caching only pollutes.
+func softCacheStrides(quick bool) []int {
+	if quick {
+		return []int{4, 256}
+	}
+	return []int{4, 16, 64, 128, 256}
+}
+
+// streamingProfile builds an ijpeg-like profile whose large scan stream
+// has the given stride and cacheability.
+func streamingProfile(stride int, uncached bool) workload.Profile {
+	return workload.Profile{
+		Name:               "stream",
+		Description:        "synthetic streaming kernel for the cacheability study",
+		CodeFunctions:      24,
+		CodeFootprintBytes: 64 << 10,
+		CallProb:           0.012,
+		RetProb:            0.011,
+		LoopProb:           0.18,
+		LoopSpan:           8,
+		DataRefRatio:       0.32,
+		StoreFrac:          0.25,
+		Models: []workload.ModelSpec{
+			// The reused working set the stream would otherwise pollute:
+			// sized to (just) fit the 2MB L2, so every line the stream
+			// displaces is a line the program will miss on again.
+			{Kind: workload.Chase, Weight: 4.0, Bytes: 1792 << 10,
+				HotFrac: 1.0, HotPages: 448, JumpProb: 0.10},
+			// The stream under study: larger than any simulated L2, so
+			// cached stream lines are never reused across scans.
+			{Kind: workload.Stride, Weight: 1.2, Bytes: 6 << 20,
+				StrideBytes: stride, ArrayBytes: 512 << 10, Uncached: uncached},
+		},
+	}
+}
+
+func runSoftCache(o Options) (*Report, error) {
+	o = o.withDefaults("gcc") // bench unused; defaults fill instructions/seed
+	strides := softCacheStrides(o.Quick)
+
+	t := report.NewTable("stride", "MCPI cached", "MCPI bypassed", "winner")
+	csv := report.NewTable("stride_bytes", "mcpi_cached", "mcpi_uncached", "winner")
+	var text strings.Builder
+	fmt.Fprintf(&text, "softcache — streaming kernel, %d instructions, NOTLB organization\n\n", o.Instructions)
+
+	for _, stride := range strides {
+		mcpi := func(uncached bool) (float64, error) {
+			tr := workload.Generate(streamingProfile(stride, uncached), o.Seed, o.Instructions)
+			cfg := sim.Default(sim.VMNoTLB)
+			cfg.Seed = o.Seed
+			res, err := sim.Simulate(cfg, tr)
+			if err != nil {
+				return 0, err
+			}
+			return res.MCPI() + res.VMCPI(), nil
+		}
+		cached, err := mcpi(false)
+		if err != nil {
+			return nil, err
+		}
+		bypassed, err := mcpi(true)
+		if err != nil {
+			return nil, err
+		}
+		winner := "cache"
+		if bypassed < cached {
+			winner = "bypass"
+		}
+		t.AddRowf(fmt.Sprintf("%dB", stride), cached, bypassed, winner)
+		csv.AddRowf(stride, cached, bypassed, winner)
+	}
+	text.WriteString(t.String())
+	text.WriteString("\nAt word strides the cache amortizes each fetched line over many\n" +
+		"accesses; as the stride approaches the line size, caching the stream\n" +
+		"buys nothing and only displaces the reused working set — the case for\n" +
+		"the OS choosing cacheability per line, which only software-managed\n" +
+		"caches (NOTLB/softvm) can express.\n")
+	return &Report{ID: "softcache", Title: "Software-controlled cacheability", Text: text.String(), CSV: csv.CSV()}, nil
+}

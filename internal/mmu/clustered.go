@@ -1,0 +1,49 @@
+package mmu
+
+import (
+	"repro/internal/addr"
+	"repro/internal/mem"
+	"repro/internal/ptable"
+	"repro/internal/stats"
+)
+
+// Clustered is the clustered/subblocked hashed-page-table organization
+// (Talluri & Hill style) on a software-managed TLB: the same
+// twenty-instruction handler shape as PA-RISC, but walking a table whose
+// entries each map a cluster of consecutive pages — an organization the
+// paper's era proposed to combine the inverted table's density with the
+// hierarchical table's spatial locality.
+type Clustered struct {
+	pt *ptable.Clustered
+}
+
+// NewClustered builds the walker over a fresh clustered table in phys.
+func NewClustered(phys *mem.Phys) *Clustered {
+	return &Clustered{pt: ptable.NewClustered(phys)}
+}
+
+// Name returns "clustered".
+func (c *Clustered) Name() string { return ptable.NameClustered }
+
+// UsesTLB reports true.
+func (c *Clustered) UsesTLB() bool { return true }
+
+// ProtectedSlots returns 0 (unpartitioned, like PA-RISC).
+func (c *Clustered) ProtectedSlots() int { return 0 }
+
+// ASIDsInTLB reports true.
+func (c *Clustered) ASIDsInTLB() bool { return true }
+
+// Table exposes the clustered table for chain statistics.
+func (c *Clustered) Table() *ptable.Clustered { return c.pt }
+
+// HandleMiss hashes the faulting cluster and walks the chain; chain
+// element loads are charged like PA-RISC's.
+func (c *Clustered) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
+	m.Interrupt()
+	m.ExecHandler(stats.UHandler, addr.HandlerPC(hClustered), PARISCHandlerInstrs, true)
+	for _, a := range c.pt.ChainAddrs(asid, va) {
+		m.PTELoad(a, stats.UPTEL2, stats.UPTEMem)
+	}
+	insertUser(m, asid, va, instr)
+}

@@ -1,0 +1,201 @@
+package mmu
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/ptable"
+	"repro/internal/stats"
+)
+
+// This file implements the organizations the paper interpolates rather
+// than simulates directly (§4.2: "We can use these results to interpolate
+// for the costs of other VM organizations, such as an inverted page table
+// with a hardware-managed TLB, a MIPS-style page table with a
+// hardware-managed TLB, or a system with no TLB but a hardware-walked
+// page table (as in SPUR)") and the programmable finite state machine its
+// conclusions recommend ("A likely future memory-management design would
+// use a programmable finite state machine that walks the page table in a
+// user-defined manner").
+
+// Organization names for the hybrid walkers.
+const (
+	NameHWMIPS  = "hw-mips"
+	NamePowerPC = "powerpc"
+	NameSPUR    = "spur"
+	NamePFSM    = "pfsm"
+)
+
+// HWMIPS is a MIPS-style bottom-up hierarchical table walked by a
+// hardware state machine: no interrupt, no instruction-cache footprint,
+// but the UPTE reference still translates through the (partitioned)
+// D-TLB, falling back to a physical root-table access on a nested miss.
+type HWMIPS struct {
+	pt *ptable.Ultrix
+}
+
+// NewHWMIPS builds the walker over a fresh Ultrix-style table in phys.
+func NewHWMIPS(phys *mem.Phys) *HWMIPS { return &HWMIPS{pt: ptable.NewUltrix(phys)} }
+
+// Name returns "hw-mips".
+func (h *HWMIPS) Name() string { return NameHWMIPS }
+
+// UsesTLB reports true.
+func (h *HWMIPS) UsesTLB() bool { return true }
+
+// ProtectedSlots returns 16: the hardware still wires UPT mappings into
+// protected slots, as the MIPS convention requires.
+func (h *HWMIPS) ProtectedSlots() int { return 16 }
+
+// ASIDsInTLB reports true (MIPS-style tagged entries).
+func (h *HWMIPS) ASIDsInTLB() bool { return true }
+
+// HandleMiss performs the hardware bottom-up walk: four cycles when the
+// UPT page is already mapped, seven (the Intel figure) when the root
+// level must be consulted.
+func (h *HWMIPS) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
+	upte := h.pt.UPTEAddr(asid, va)
+	if m.DTLBLookup(asid, addr.VPN(upte)) {
+		m.ExecHandler(stats.UHandler, 0, 4, false)
+	} else {
+		m.ExecHandler(stats.UHandler, 0, IntelWalkCycles, false)
+		m.PTELoad(h.pt.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
+		m.DTLBInsertProtected(asid, addr.VPN(upte))
+	}
+	m.PTELoad(upte, stats.UPTEL2, stats.UPTEMem)
+	insertUser(m, asid, va, instr)
+}
+
+// PowerPC merges the two winners of the paper's comparison — "the best
+// solution would be to merge these two and use a hardware-managed TLB
+// with an inverted page table. Note that this is exactly what has been
+// done in the PowerPC" — a hardware state machine walking the hashed
+// inverted table in physical space.
+type PowerPC struct {
+	pt *ptable.PARISC
+}
+
+// NewPowerPC builds the walker over a fresh hashed table in phys.
+func NewPowerPC(phys *mem.Phys) *PowerPC { return &PowerPC{pt: ptable.NewPARISC(phys)} }
+
+// Name returns "powerpc".
+func (p *PowerPC) Name() string { return NamePowerPC }
+
+// UsesTLB reports true.
+func (p *PowerPC) UsesTLB() bool { return true }
+
+// ProtectedSlots returns 0.
+func (p *PowerPC) ProtectedSlots() int { return 0 }
+
+// ASIDsInTLB reports true (segment-register-derived VSIDs).
+func (p *PowerPC) ASIDsInTLB() bool { return true }
+
+// Table exposes the hashed table for chain statistics.
+func (p *PowerPC) Table() *ptable.PARISC { return p.pt }
+
+// HandleMiss hashes in hardware and walks the chain with physical loads.
+func (p *PowerPC) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
+	m.ExecHandler(stats.UHandler, 0, IntelWalkCycles, false)
+	for _, a := range p.pt.ChainAddrs(asid, va) {
+		m.PTELoad(a, stats.UPTEL2, stats.UPTEMem)
+	}
+	insertUser(m, asid, va, instr)
+}
+
+// SPUR is the no-TLB, hardware-walked organization (the paper cites the
+// SPUR multiprocessor): user-level L2 misses trigger a hardware walk of
+// the disjunct table — the NOTLB data path without interrupts or handler
+// instruction fetches.
+type SPUR struct {
+	pt *ptable.NoTLB
+}
+
+// NewSPUR builds the walker over a fresh disjunct table in phys.
+func NewSPUR(phys *mem.Phys) *SPUR { return &SPUR{pt: ptable.NewNoTLB(phys)} }
+
+// Name returns "spur".
+func (s *SPUR) Name() string { return NameSPUR }
+
+// UsesTLB reports false.
+func (s *SPUR) UsesTLB() bool { return false }
+
+// ProtectedSlots returns 0.
+func (s *SPUR) ProtectedSlots() int { return 0 }
+
+// ASIDsInTLB reports true vacuously (ASID-tagged virtual caches).
+func (s *SPUR) ASIDsInTLB() bool { return true }
+
+// HandleMiss performs the hardware in-cache translation.
+func (s *SPUR) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
+	m.ExecHandler(stats.UHandler, 0, IntelWalkCycles, false)
+	if lvl := m.PTELoad(s.pt.UPTEAddr(asid, va), stats.UPTEL2, stats.UPTEMem); lvl == cache.Memory {
+		m.ExecHandler(stats.RHandler, 0, 4, false)
+		m.PTELoad(s.pt.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
+	}
+}
+
+// PFSMTable selects the page-table format a programmable FSM walks.
+type PFSMTable int
+
+// PFSM table formats.
+const (
+	// PFSMHierarchical walks an x86-style two-tier physical table.
+	PFSMHierarchical PFSMTable = iota
+	// PFSMHashed walks a PA-RISC-style hashed inverted table.
+	PFSMHashed
+)
+
+// PFSM is the programmable finite state machine of the paper's
+// conclusions: a hardware walker whose table format and per-walk cycle
+// cost are software-defined, giving "the flexibility of alternate page
+// table organizations … and yet no interrupt or I-cache overhead".
+type PFSM struct {
+	table  PFSMTable
+	cycles int
+	hier   *ptable.Intel
+	hashed *ptable.PARISC
+}
+
+// NewPFSM builds a programmable walker for the given table format at the
+// given per-walk microcode cost (cycles <= 0 defaults to the Intel
+// seven).
+func NewPFSM(phys *mem.Phys, table PFSMTable, cycles int) *PFSM {
+	if cycles <= 0 {
+		cycles = IntelWalkCycles
+	}
+	p := &PFSM{table: table, cycles: cycles}
+	switch table {
+	case PFSMHashed:
+		p.hashed = ptable.NewPARISC(phys)
+	default:
+		p.hier = ptable.NewIntel(phys)
+	}
+	return p
+}
+
+// Name returns "pfsm".
+func (p *PFSM) Name() string { return NamePFSM }
+
+// UsesTLB reports true.
+func (p *PFSM) UsesTLB() bool { return true }
+
+// ProtectedSlots returns 0.
+func (p *PFSM) ProtectedSlots() int { return 0 }
+
+// ASIDsInTLB reports true: a from-scratch design would tag its entries.
+func (p *PFSM) ASIDsInTLB() bool { return true }
+
+// HandleMiss runs the microcoded walk for the configured format.
+func (p *PFSM) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
+	m.ExecHandler(stats.UHandler, 0, p.cycles, false)
+	switch p.table {
+	case PFSMHashed:
+		for _, a := range p.hashed.ChainAddrs(asid, va) {
+			m.PTELoad(a, stats.UPTEL2, stats.UPTEMem)
+		}
+	default:
+		m.PTELoad(p.hier.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
+		m.PTELoad(p.hier.UPTEAddr(asid, va), stats.UPTEL2, stats.UPTEMem)
+	}
+	insertUser(m, asid, va, instr)
+}

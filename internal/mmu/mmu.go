@@ -1,0 +1,126 @@
+// Package mmu implements the paper's TLB-refill mechanisms: one walker
+// per memory-management organization (Table 4), plus the hybrid
+// organizations the paper interpolates in §4.2 and the programmable
+// finite-state-machine walker it proposes in its conclusions.
+//
+// A walker is invoked by the simulation engine when a reference cannot be
+// translated (a TLB miss for the TLB-based organizations; a user-level L2
+// cache miss for the software-managed-cache organizations) and performs
+// the charged work of locating the mapping: executing handler code
+// through the instruction caches (software-managed TLBs only), loading
+// PTEs through the data caches and — for bottom-up virtual tables —
+// through the data TLB, taking nested exceptions, and inserting the
+// translation into the right TLB partition.
+package mmu
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/stats"
+)
+
+// Machine is the view of the simulated machine a walker manipulates. The
+// simulation engine implements it.
+type Machine interface {
+	// ExecHandler simulates executing n handler instructions starting at
+	// page-aligned pc: it charges n cycles to comp (the handler's base
+	// cost at one instruction per cycle), and, if fetchesCode is true
+	// (software-managed TLB/cache schemes), runs each instruction fetch
+	// through the instruction caches, charging handler-L2/handler-MEM
+	// for misses. Hardware-walked schemes pass fetchesCode=false and an
+	// n equal to their state-machine cycle count.
+	ExecHandler(comp stats.Component, pc uint64, n int, fetchesCode bool)
+
+	// PTELoad performs a data reference to a page-table entry at address
+	// a (virtual or unmapped), charging l2c on an L1 D-cache miss and
+	// memc on an L2 D-cache miss, and returns the satisfying level.
+	PTELoad(a uint64, l2c, memc stats.Component) cache.Level
+
+	// DTLBLookup probes the data TLB for vpn in address space asid (a
+	// handler's load of a virtually-addressed PTE), with full
+	// statistics.
+	DTLBLookup(asid uint8, vpn uint64) bool
+	// DTLBInsert inserts a user-level translation into the data TLB.
+	DTLBInsert(asid uint8, vpn uint64)
+	// DTLBInsertProtected inserts a root/kernel-level translation into
+	// the data TLB's protected partition (or main partition if the TLB
+	// is unpartitioned).
+	DTLBInsertProtected(asid uint8, vpn uint64)
+	// ITLBInsert inserts a user-level translation into the instruction
+	// TLB.
+	ITLBInsert(asid uint8, vpn uint64)
+
+	// Interrupt records that the VM system took a precise interrupt.
+	Interrupt()
+}
+
+// Refill is one memory-management organization's miss-handling mechanism.
+type Refill interface {
+	// Name returns the organization name ("ultrix", "intel", …).
+	Name() string
+	// UsesTLB reports whether the organization translates through TLBs
+	// (false for the software-managed-cache organizations).
+	UsesTLB() bool
+	// ProtectedSlots returns how many TLB slots the organization
+	// reserves for root-level PTEs (16 for the MIPS-style partitioned
+	// TLBs, 0 otherwise).
+	ProtectedSlots() int
+	// ASIDsInTLB reports whether the organization's TLB entries carry
+	// address-space ids (MIPS ASIDs, PA-RISC space ids). Organizations
+	// without them (the classical x86) must flush their TLBs on every
+	// context switch.
+	ASIDsInTLB() bool
+	// HandleMiss services a translation miss for virtual address va in
+	// address space asid. For TLB-based organizations it is invoked on
+	// an I-TLB miss (instr=true) or D-TLB miss (instr=false) and must
+	// insert the translation. For no-TLB organizations it is invoked on
+	// a user L2 cache miss.
+	HandleMiss(m Machine, asid uint8, va uint64, instr bool)
+}
+
+// Handler lengths and costs (paper Table 4 and §3.1).
+const (
+	// UserHandlerInstrs is the user-level TLB-miss handler length for
+	// the MIPS-style software-managed TLBs and the NOTLB cache-miss
+	// handler ("The user-level handler is ten instructions long").
+	UserHandlerInstrs = 10
+	// KernelHandlerInstrs is the nested handler length ("the
+	// kernel-level handler is twenty").
+	KernelHandlerInstrs = 20
+	// MachRootHandlerInstrs is MACH's deliberately expensive root path
+	// ("Root-level misses take a long path of 500 instructions").
+	MachRootHandlerInstrs = 500
+	// MachRootAdminLoads is the number of additional administrative
+	// loads the MACH root handler performs.
+	MachRootAdminLoads = 10
+	// PARISCHandlerInstrs is the hashed-table handler length ("The
+	// handler is twenty instructions long").
+	PARISCHandlerInstrs = 20
+	// IntelWalkCycles is the x86 hardware state machine's cost ("The
+	// simulated TLB-miss handler takes seven cycles to execute").
+	IntelWalkCycles = 7
+)
+
+// Handler code placement: distinct page-aligned code segments per handler
+// (paper: "the beginning of each section of handler code is aligned on a
+// page boundary"). Indices into addr.HandlerPC.
+const (
+	hUltrixUser = iota
+	hUltrixRoot
+	hMachUser
+	hMachKernel
+	hMachRoot
+	hPARISC
+	hNoTLBUser
+	hNoTLBRoot
+	hClustered
+)
+
+// inserter routes the final translation to the right TLB.
+func insertUser(m Machine, asid uint8, va uint64, instr bool) {
+	if instr {
+		m.ITLBInsert(asid, addr.VPN(va))
+	} else {
+		m.DTLBInsert(asid, addr.VPN(va))
+	}
+}

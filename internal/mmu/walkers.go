@@ -1,0 +1,232 @@
+package mmu
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/ptable"
+	"repro/internal/stats"
+)
+
+// Ultrix is the DEC Ultrix organization on a MIPS-style software-managed
+// TLB (paper §3.1 ULTRIX): a two-tiered table walked bottom-up. The
+// ten-instruction user handler loads the UPTE through the D-TLB; if that
+// load itself misses the D-TLB, a twenty-instruction root handler loads
+// the root PTE from the wired physical root table and installs the
+// user-page-table mapping in a protected TLB slot.
+type Ultrix struct {
+	pt *ptable.Ultrix
+}
+
+// NewUltrix builds the walker over a fresh page table in phys.
+func NewUltrix(phys *mem.Phys) *Ultrix { return &Ultrix{pt: ptable.NewUltrix(phys)} }
+
+// Name returns "ultrix".
+func (u *Ultrix) Name() string { return ptable.NameUltrix }
+
+// UsesTLB reports true.
+func (u *Ultrix) UsesTLB() bool { return true }
+
+// ProtectedSlots returns 16 (MIPS-style partitioned TLB).
+func (u *Ultrix) ProtectedSlots() int { return 16 }
+
+// ASIDsInTLB reports true: MIPS TLB entries carry ASIDs.
+func (u *Ultrix) ASIDsInTLB() bool { return true }
+
+// HandleMiss implements the walk_page_table pseudocode of paper §3.1.
+func (u *Ultrix) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
+	m.Interrupt()
+	m.ExecHandler(stats.UHandler, addr.HandlerPC(hUltrixUser), UserHandlerInstrs, true)
+	upte := u.pt.UPTEAddr(asid, va)
+	if !m.DTLBLookup(asid, addr.VPN(upte)) {
+		// The UPTE load faulted: nested exception into the root handler,
+		// which reads the wired root table (physical; cannot itself miss
+		// the TLB) and installs the UPT-page mapping protected.
+		m.Interrupt()
+		m.ExecHandler(stats.RHandler, addr.HandlerPC(hUltrixRoot), KernelHandlerInstrs, true)
+		m.PTELoad(u.pt.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
+		m.DTLBInsertProtected(asid, addr.VPN(upte))
+	}
+	m.PTELoad(upte, stats.UPTEL2, stats.UPTEMem)
+	insertUser(m, asid, va, instr)
+}
+
+// Mach is the Mach organization on MIPS (paper §3.1 MACH): a three-tiered
+// table walked bottom-up. The kernel-level handler services D-TLB misses
+// on UPTE loads; the root-level handler services D-TLB misses on KPTE
+// loads and is deliberately expensive (500 instructions plus ten
+// administrative loads) to model Mach's general-exception path.
+type Mach struct {
+	pt    *ptable.Mach
+	admin mem.Region
+	// adminCursor walks the administrative data so the loads displace
+	// real cache lines rather than hitting one hot line forever.
+	adminCursor uint64
+}
+
+// NewMach builds the walker over a fresh page table in phys.
+func NewMach(phys *mem.Phys) *Mach {
+	return &Mach{
+		pt:    ptable.NewMach(phys),
+		admin: phys.MustReserve("mach-admin", 16<<10),
+	}
+}
+
+// Name returns "mach".
+func (mc *Mach) Name() string { return ptable.NameMach }
+
+// UsesTLB reports true.
+func (mc *Mach) UsesTLB() bool { return true }
+
+// ProtectedSlots returns 16 (MIPS-style partitioned TLB).
+func (mc *Mach) ProtectedSlots() int { return 16 }
+
+// ASIDsInTLB reports true: MIPS TLB entries carry ASIDs.
+func (mc *Mach) ASIDsInTLB() bool { return true }
+
+// HandleMiss implements the three-level bottom-up walk. Kernel-space
+// structures (the kernel table and below) are shared, so their TLB
+// entries live in address space 0 regardless of the faulting process.
+func (mc *Mach) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
+	m.Interrupt()
+	m.ExecHandler(stats.UHandler, addr.HandlerPC(hMachUser), UserHandlerInstrs, true)
+	upte := mc.pt.UPTEAddr(asid, va)
+	if !m.DTLBLookup(0, addr.VPN(upte)) {
+		m.Interrupt()
+		m.ExecHandler(stats.KHandler, addr.HandlerPC(hMachKernel), KernelHandlerInstrs, true)
+		kpte := mc.pt.KPTEAddr(upte)
+		if !m.DTLBLookup(0, addr.VPN(kpte)) {
+			m.Interrupt()
+			m.ExecHandler(stats.RHandler, addr.HandlerPC(hMachRoot), MachRootHandlerInstrs, true)
+			// Administrative memory activity, accounted under the
+			// rpte components (paper §4.2: "rpte-MEM, … along with
+			// rpte-L2 and rhandlers, is where we account for the
+			// simulated 'administrative' memory activity").
+			for i := 0; i < MachRootAdminLoads; i++ {
+				a := mc.admin.Base + mc.adminCursor%mc.admin.Size
+				m.PTELoad(addr.Unmapped(a), stats.RPTEL2, stats.RPTEMem)
+				mc.adminCursor += 64
+			}
+			m.PTELoad(mc.pt.RPTEAddr(kpte), stats.RPTEL2, stats.RPTEMem)
+			m.DTLBInsertProtected(0, addr.VPN(kpte))
+		}
+		m.PTELoad(kpte, stats.KPTEL2, stats.KPTEMem)
+		m.DTLBInsertProtected(0, addr.VPN(upte))
+	}
+	m.PTELoad(upte, stats.UPTEL2, stats.UPTEMem)
+	insertUser(m, asid, va, instr)
+}
+
+// Intel is the x86 organization (paper §3.1 INTEL): a hardware-managed
+// TLB refilled by a seven-cycle state machine that walks the two-tiered
+// table top-down in physical space. No interrupt is taken, the
+// instruction caches are untouched, and the root PTE is referenced on
+// every miss (it is never cached in the TLB).
+type Intel struct {
+	pt *ptable.Intel
+}
+
+// NewIntel builds the walker over a fresh page table in phys.
+func NewIntel(phys *mem.Phys) *Intel { return &Intel{pt: ptable.NewIntel(phys)} }
+
+// Name returns "intel".
+func (i *Intel) Name() string { return ptable.NameIntel }
+
+// UsesTLB reports true.
+func (i *Intel) UsesTLB() bool { return true }
+
+// ProtectedSlots returns 0: "the TLBs are not partitioned … all 128
+// entries in each TLB are available for user-level PTEs".
+func (i *Intel) ProtectedSlots() int { return 0 }
+
+// ASIDsInTLB reports false: the classical x86 TLB is untagged and must be
+// flushed on every address-space switch.
+func (i *Intel) ASIDsInTLB() bool { return false }
+
+// HandleMiss performs the seven-cycle hardware walk with two physical
+// PTE loads.
+func (i *Intel) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
+	m.ExecHandler(stats.UHandler, 0, IntelWalkCycles, false)
+	m.PTELoad(i.pt.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
+	m.PTELoad(i.pt.UPTEAddr(asid, va), stats.UPTEL2, stats.UPTEMem)
+	insertUser(m, asid, va, instr)
+}
+
+// PARISC is the HP-UX hashed-page-table organization (paper §3.1
+// PA-RISC): a software-managed TLB refilled by a twenty-instruction
+// handler that hashes the faulting address and walks the collision chain
+// through physical, cacheable space. The TLB is not partitioned; entries
+// carry space ids.
+type PARISC struct {
+	pt *ptable.PARISC
+}
+
+// NewPARISC builds the walker over a fresh hashed table in phys.
+func NewPARISC(phys *mem.Phys) *PARISC { return &PARISC{pt: ptable.NewPARISC(phys)} }
+
+// Name returns "pa-risc".
+func (p *PARISC) Name() string { return ptable.NamePARISC }
+
+// UsesTLB reports true.
+func (p *PARISC) UsesTLB() bool { return true }
+
+// ProtectedSlots returns 0 (unpartitioned, like INTEL).
+func (p *PARISC) ProtectedSlots() int { return 0 }
+
+// ASIDsInTLB reports true: PA-RISC TLB entries carry space ids.
+func (p *PARISC) ASIDsInTLB() bool { return true }
+
+// Table exposes the hashed table for chain-length statistics.
+func (p *PARISC) Table() *ptable.PARISC { return p.pt }
+
+// HandleMiss hashes the address and walks the chain; every chain element
+// is a 16-byte PTE load charged to the upte components ("variable # PTE
+// loads", Table 4).
+func (p *PARISC) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
+	m.Interrupt()
+	m.ExecHandler(stats.UHandler, addr.HandlerPC(hPARISC), PARISCHandlerInstrs, true)
+	for _, a := range p.pt.ChainAddrs(asid, va) {
+		m.PTELoad(a, stats.UPTEL2, stats.UPTEMem)
+	}
+	insertUser(m, asid, va, instr)
+}
+
+// NoTLB is the softvm/VMP organization (paper §3.1 NOTLB): there is no
+// TLB; the operating system receives an interrupt on every user-level L2
+// cache miss and performs the translation + cache fill in software,
+// walking a disjunct two-tiered table. If the UPTE load itself misses the
+// L2 cache, a nested root handler loads the root PTE from physical space.
+type NoTLB struct {
+	pt *ptable.NoTLB
+}
+
+// NewNoTLB builds the walker over a fresh disjunct table in phys.
+func NewNoTLB(phys *mem.Phys) *NoTLB { return &NoTLB{pt: ptable.NewNoTLB(phys)} }
+
+// Name returns "notlb".
+func (n *NoTLB) Name() string { return ptable.NameNoTLB }
+
+// UsesTLB reports false: misses are detected at the L2 cache.
+func (n *NoTLB) UsesTLB() bool { return false }
+
+// ProtectedSlots returns 0.
+func (n *NoTLB) ProtectedSlots() int { return 0 }
+
+// ASIDsInTLB reports true vacuously: the virtual caches carry ASIDs in
+// their tags (the softvm assumption), so nothing is flushed on a switch.
+func (n *NoTLB) ASIDsInTLB() bool { return true }
+
+// HandleMiss runs the ten-instruction cache-miss handler; the UPTE load
+// goes through the data caches (it is a virtual address in the disjunct
+// window) and, if it misses the L2, the twenty-instruction root handler
+// loads the root PTE. Handler code is in unmapped space, so its own
+// misses are charged but cannot recurse.
+func (n *NoTLB) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
+	m.Interrupt()
+	m.ExecHandler(stats.UHandler, addr.HandlerPC(hNoTLBUser), UserHandlerInstrs, true)
+	if lvl := m.PTELoad(n.pt.UPTEAddr(asid, va), stats.UPTEL2, stats.UPTEMem); lvl == cache.Memory {
+		m.Interrupt()
+		m.ExecHandler(stats.RHandler, addr.HandlerPC(hNoTLBRoot), KernelHandlerInstrs, true)
+		m.PTELoad(n.pt.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
+	}
+}

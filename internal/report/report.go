@@ -1,0 +1,225 @@
+// Package report formats simulation results as aligned text tables, CSV,
+// and ASCII line charts — the textual equivalents of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with
+// %v except float64, which uses %.5f.
+func (t *Table) AddRowf(vals ...interface{}) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.5f", x)
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of (x, y) points for a chart.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one chart sample.
+type Point struct {
+	X, Y float64
+}
+
+// Chart renders named series as an ASCII line chart with a log2 x-axis
+// label row — the shape of the paper's VMCPI-vs-cache-size figures.
+type Chart struct {
+	Title  string
+	YLabel string
+	XLabel string
+	// Height in character rows for the plot area (default 16).
+	Height int
+	Series []Series
+}
+
+// AddSeries appends a series.
+func (c *Chart) AddSeries(name string, pts []Point) {
+	c.Series = append(c.Series, Series{Name: name, Points: pts})
+}
+
+// String renders the chart. Each series is drawn with its own marker
+// rune; a legend follows the plot.
+func (c *Chart) String() string {
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	markers := []byte("ox+*#@%&$~")
+	// Collect the x positions (union, sorted) and y range.
+	xsSet := map[float64]struct{}{}
+	ymax := 0.0
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = struct{}{}
+			if p.Y > ymax {
+				ymax = p.Y
+			}
+		}
+	}
+	if len(xsSet) == 0 {
+		return c.Title + " (no data)\n"
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	if ymax == 0 {
+		ymax = 1
+	}
+	cols := len(xs)
+	colW := 6
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colW))
+	}
+	xcol := func(x float64) int {
+		for i, v := range xs {
+			if v == x {
+				return i*colW + colW/2
+			}
+		}
+		return 0
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			row := height - 1 - int(math.Round(p.Y/ymax*float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][xcol(p.X)] = m
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, line := range grid {
+		y := ymax * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&b, "%9.4f |%s\n", y, string(line))
+	}
+	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", cols*colW) + "\n")
+	b.WriteString(strings.Repeat(" ", 11))
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-*s", colW, compactNum(x))
+	}
+	b.WriteByte('\n')
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "          x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "          %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// compactNum renders sizes compactly (1024 -> "1K", 2097152 -> "2M").
+func compactNum(v float64) string {
+	switch {
+	case v >= 1<<20 && math.Mod(v, 1<<20) == 0:
+		return fmt.Sprintf("%.0fM", v/(1<<20))
+	case v >= 1<<10 && math.Mod(v, 1<<10) == 0:
+		return fmt.Sprintf("%.0fK", v/(1<<10))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("vm", "vmcpi")
+	tb.AddRow("ultrix", "0.012")
+	tb.AddRow("pa-risc", "0.009")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "vm") || !strings.Contains(lines[0], "vmcpi") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	// All rows equal width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("rows unaligned: %q vs %q", lines[2], lines[3])
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.AddRow("x")
+	if !strings.Contains(tb.String(), "x") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("name", "val", "n")
+	tb.AddRowf("x", 0.123456789, 42)
+	s := tb.String()
+	if !strings.Contains(s, "0.12346") {
+		t.Fatalf("float not formatted to 5 places: %s", s)
+	}
+	if !strings.Contains(s, "42") {
+		t.Fatalf("int missing: %s", s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1", "x,y")
+	tb.AddRow("2", `quote"inside`)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `1,"x,y"` {
+		t.Fatalf("quoted cell = %q", lines[1])
+	}
+	if lines[2] != `2,"quote""inside"` {
+		t.Fatalf("escaped quote = %q", lines[2])
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	c := &Chart{Title: "VMCPI vs L1", XLabel: "L1 bytes", YLabel: "VMCPI"}
+	c.AddSeries("ultrix", []Point{{1024, 0.05}, {2048, 0.04}, {4096, 0.02}})
+	c.AddSeries("intel", []Point{{1024, 0.03}, {2048, 0.02}, {4096, 0.01}})
+	s := c.String()
+	if !strings.Contains(s, "VMCPI vs L1") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(s, "o ultrix") || !strings.Contains(s, "x intel") {
+		t.Fatalf("legend missing:\n%s", s)
+	}
+	if !strings.Contains(s, "1K") || !strings.Contains(s, "4K") {
+		t.Fatalf("x-axis labels missing:\n%s", s)
+	}
+	if !strings.Contains(s, "o") || !strings.Contains(s, "x") {
+		t.Fatal("markers missing from plot area")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("empty chart not handled")
+	}
+}
+
+func TestChartAllZeroYs(t *testing.T) {
+	c := &Chart{}
+	c.AddSeries("flat", []Point{{1, 0}, {2, 0}})
+	s := c.String() // must not divide by zero
+	if !strings.Contains(s, "flat") {
+		t.Fatal("flat series lost")
+	}
+}
+
+func TestCompactNum(t *testing.T) {
+	cases := map[float64]string{
+		1024:    "1K",
+		2048:    "2K",
+		1 << 20: "1M",
+		4 << 20: "4M",
+		100:     "100",
+		1.5:     "1.5",
+	}
+	for in, want := range cases {
+		if got := compactNum(in); got != want {
+			t.Errorf("compactNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Every source of randomness in the simulation (TLB random replacement,
+// synthetic workload generation) draws from an rng.Source seeded by the
+// experiment configuration, so any run is exactly reproducible. The
+// generator is an xorshift64* variant: tiny state, good statistical
+// quality for simulation purposes, and no dependence on math/rand global
+// state or wall-clock seeding.
+package rng
+
+// Source is a deterministic pseudo-random number generator. The zero
+// value is not usable; construct with New.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zeroes fixed point.
+func New(seed uint64) *Source {
+	s := &Source{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (s *Source) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15 // golden-ratio constant
+	}
+	// Scramble the seed with splitmix64 so that nearby seeds (0, 1, 2, …)
+	// produce uncorrelated streams.
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	s.state = z
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	x := s.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (s *Source) Uint32() uint32 {
+	return uint32(s.Uint64() >> 32)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, simplified: a plain
+	// multiply-shift has bias at most n/2^64, which is far below anything
+	// observable in simulation, so no rejection loop is needed.
+	hi, _ := mul64(s.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics if
+// n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with zero n")
+	}
+	hi, _ := mul64(s.Uint64(), n)
+	return hi
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (mean 1/p), i.e. the number of trials up to and including
+// the first success. p must be in (0, 1]; values outside are clamped.
+func (s *Source) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		p = 1e-9
+	}
+	n := 1
+	for s.Float64() >= p {
+		n++
+		if n >= 1<<20 { // statistically unreachable guard
+			break
+		}
+	}
+	return n
+}
+
+// Pick returns an index in [0, len(weights)) with probability
+// proportional to weights[i]. All-zero weights select index 0.
+func (s *Source) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Split returns a new Source whose stream is a deterministic function of
+// this source's seed lineage and the given label. It is used to derive
+// independent streams for sub-components (e.g. the I-TLB and D-TLB of one
+// simulation) without the components perturbing each other's sequences.
+func (s *Source) Split(label uint64) *Source {
+	return New(s.state ^ (label * 0xD1B54A32D192ED03))
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo). It mirrors
+// math/bits.Mul64 but is written out locally to keep this package free of
+// even stdlib dependencies that would show up in profiles.
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}

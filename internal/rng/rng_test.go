@@ -1,0 +1,249 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedZeroUsable(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck stream")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds collided %d/100 times", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("reseed: step %d: got %#x want %#x", i, got, first[i])
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 128, 1000003} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nRange(t *testing.T) {
+	s := New(9)
+	for _, n := range []uint64{1, 5, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	s := New(11)
+	const n, trials = 8, 80000
+	var buckets [n]int
+	for i := 0; i < trials; i++ {
+		buckets[s.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range buckets {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d: %d observations, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(13)
+	const p = 0.25
+	const trials = 50000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += s.Geometric(p)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-1/p) > 0.2 {
+		t.Fatalf("geometric mean = %.3f, want ~%.3f", mean, 1/p)
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	s := New(17)
+	if got := s.Geometric(1.0); got != 1 {
+		t.Fatalf("Geometric(1) = %d, want 1", got)
+	}
+	if got := s.Geometric(2.0); got != 1 {
+		t.Fatalf("Geometric(2) = %d, want 1", got)
+	}
+	// p <= 0 is clamped, must terminate.
+	if got := s.Geometric(0); got < 1 {
+		t.Fatalf("Geometric(0) = %d, want >= 1", got)
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	s := New(19)
+	w := []float64{0, 0, 1, 0}
+	for i := 0; i < 100; i++ {
+		if got := s.Pick(w); got != 2 {
+			t.Fatalf("Pick with single non-zero weight chose %d", got)
+		}
+	}
+}
+
+func TestPickAllZeroWeights(t *testing.T) {
+	s := New(23)
+	if got := s.Pick([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("Pick(all-zero) = %d, want 0", got)
+	}
+}
+
+func TestPickProportions(t *testing.T) {
+	s := New(29)
+	w := []float64{1, 3}
+	const trials = 40000
+	var count [2]int
+	for i := 0; i < trials; i++ {
+		count[s.Pick(w)]++
+	}
+	frac := float64(count[1]) / trials
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("Pick proportions: got %.3f for weight-3 arm, want ~0.75", frac)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(31)
+	a := parent.Split(1)
+	b := parent.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d/100 times", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	mk := func() uint64 { return New(31).Split(5).Uint64() }
+	if mk() != mk() {
+		t.Fatal("Split is not deterministic")
+	}
+}
+
+func TestMul64MatchesBits(t *testing.T) {
+	// Cross-check the local 128-bit multiply against arithmetic identity:
+	// (x*y) mod 2^64 must equal lo, and hi must match long multiplication
+	// over 32-bit halves computed a second way.
+	f := func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		if lo != x*y {
+			return false
+		}
+		// Recompute hi via float approximation bound check (coarse) plus
+		// exact recomputation with different association.
+		x0, x1 := x&0xFFFFFFFF, x>>32
+		y0, y1 := y&0xFFFFFFFF, y>>32
+		mid := x1*y0 + (x0*y0)>>32
+		mid2 := x0*y1 + (mid & 0xFFFFFFFF)
+		wantHi := x1*y1 + (mid >> 32) + (mid2 >> 32)
+		return hi == wantHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64BitsLookRandom(t *testing.T) {
+	// Popcount over many samples should average ~32 bits set.
+	s := New(37)
+	total := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		v := s.Uint64()
+		for v != 0 {
+			total += int(v & 1)
+			v >>= 1
+		}
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-32) > 0.5 {
+		t.Fatalf("mean popcount %.2f, want ~32", mean)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Intn(128)
+	}
+	_ = sink
+}

@@ -1,0 +1,257 @@
+// Package sim is the trace-driven simulator core: it drives a reference
+// stream through the TLBs, the split two-level virtually-addressed cache
+// hierarchy, and a memory-management organization's refill mechanism,
+// accumulating the paper's MCPI/VMCPI statistics (§3.1's simulator
+// pseudocode).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/tlb"
+)
+
+// VM organization names accepted by Config.VM. The first six are the
+// paper's Table 1 rows; the rest are the §4.2/§5 hybrids.
+const (
+	VMBase       = "base"
+	VMUltrix     = "ultrix"
+	VMMach       = "mach"
+	VMIntel      = "intel"
+	VMPARISC     = "pa-risc"
+	VMNoTLB      = "notlb"
+	VMHWMIPS     = "hw-mips"
+	VMPowerPC    = "powerpc"
+	VMSPUR       = "spur"
+	VMPFSMHier   = "pfsm-hier"
+	VMPFSMHashed = "pfsm-hashed"
+	VMClustered  = "clustered"
+)
+
+// PaperVMs returns the organizations in the paper's Table 1, in its
+// presentation order (BASE last, as the no-VM reference).
+func PaperVMs() []string {
+	return []string{VMUltrix, VMMach, VMIntel, VMPARISC, VMNoTLB, VMBase}
+}
+
+// HybridVMs returns the interpolated organizations of §4.2, the
+// programmable-FSM proposal of §5, and the clustered-table contemporary.
+func HybridVMs() []string {
+	return []string{VMHWMIPS, VMPowerPC, VMSPUR, VMPFSMHier, VMPFSMHashed, VMClustered}
+}
+
+// AllVMs returns every accepted organization name, sorted.
+func AllVMs() []string {
+	out := append(PaperVMs(), HybridVMs()...)
+	sort.Strings(out)
+	return out
+}
+
+// Config describes one simulation run. Zero-valued fields are filled by
+// Default; construct via Default(vm) and override.
+type Config struct {
+	// VM is the memory-management organization name.
+	VM string
+
+	// Cache geometry, per side (the caches are split I/D).
+	L1SizeBytes int
+	L2SizeBytes int
+	L1LineBytes int
+	L2LineBytes int
+	// Associativities; 1 (direct-mapped) is the paper's configuration.
+	L1Assoc int
+	L2Assoc int
+	// UnifiedCaches merges the instruction and data sides into single
+	// L1/L2 caches of the same per-side capacities — the configuration
+	// the paper deliberately excluded ("unified caches … would add too
+	// many variables"), provided as an ablation.
+	UnifiedCaches bool
+
+	// TLBEntries is the per-side TLB size (paper: 128). Ignored by
+	// organizations without TLBs.
+	TLBEntries int
+	// TLB2Entries enables a unified second-level TLB of this many
+	// entries behind the split first-level TLBs (0, the paper's
+	// configuration, disables it). An extension beyond the paper,
+	// modelling the two-level TLB hierarchies that followed it.
+	TLB2Entries int
+	// TLB2Latency is the cycles charged per second-level TLB hit
+	// (0 defaults to 2 when TLB2Entries > 0).
+	TLB2Latency int
+	// TLBPolicy is the replacement policy (paper: random).
+	TLBPolicy tlb.Policy
+	// TLBProtectedSlots < 0 selects the organization's own convention
+	// (16 for ULTRIX/MACH/HW-MIPS, 0 otherwise); >= 0 overrides it.
+	TLBProtectedSlots int
+
+	// InterruptCost is the per-interrupt cycle cost used by Result
+	// convenience accessors; the paper's three costs can always be
+	// evaluated from the interrupt count afterwards.
+	InterruptCost uint64
+
+	// PhysMemBytes sizes simulated physical memory (paper: 8MB).
+	PhysMemBytes uint64
+
+	// Seed drives all simulation randomness (TLB random replacement).
+	Seed uint64
+
+	// WarmupInstrs is the number of leading trace instructions simulated
+	// without charging statistics, so that compulsory misses do not
+	// dominate the way they would not in the paper's 200M-instruction
+	// traces. It is capped at half the trace length.
+	WarmupInstrs int
+
+	// ASIDs selects how the TLBs behave across context switches in
+	// multiprogrammed traces: ASIDAuto uses the organization's own
+	// convention (tagged entries everywhere except the classical x86,
+	// which flushes); ASIDTagged and ASIDFlush override it.
+	ASIDs ASIDPolicy
+}
+
+// ASIDPolicy selects TLB behaviour across address-space switches.
+type ASIDPolicy int
+
+// ASID policies.
+const (
+	// ASIDAuto follows the organization's convention.
+	ASIDAuto ASIDPolicy = iota
+	// ASIDTagged tags every TLB entry with its address space.
+	ASIDTagged
+	// ASIDFlush flushes the TLBs on every context switch.
+	ASIDFlush
+)
+
+// String returns the policy name.
+func (p ASIDPolicy) String() string {
+	switch p {
+	case ASIDAuto:
+		return "auto"
+	case ASIDTagged:
+		return "tagged"
+	case ASIDFlush:
+		return "flush"
+	default:
+		return "invalid"
+	}
+}
+
+// Default returns the paper's baseline configuration for the given
+// organization: 64/128-byte L1/L2 linesizes (the best-performing choice,
+// §4.2), 32KB L1 and 2MB L2 per side, 128-entry TLBs with random
+// replacement, 8MB physical memory, 50-cycle interrupts.
+func Default(vm string) Config {
+	return Config{
+		VM:                vm,
+		L1SizeBytes:       32 * addr.KB,
+		L2SizeBytes:       2 * addr.MB,
+		L1LineBytes:       64,
+		L2LineBytes:       128,
+		L1Assoc:           1,
+		L2Assoc:           1,
+		TLBEntries:        128,
+		TLBPolicy:         tlb.Random,
+		TLBProtectedSlots: -1,
+		InterruptCost:     50,
+		PhysMemBytes:      addr.DefaultPhysMemBytes,
+		Seed:              1,
+		WarmupInstrs:      200_000,
+	}
+}
+
+// resolveProtectedSlots returns the protected-slot count a configuration
+// actually uses for the given organization: the explicit override if one
+// is set, else the organization's own convention — in either case capped
+// at half the TLB so that scaled-down TLBs (the tlbsize sweep goes to 16
+// entries) keep a proportional partition rather than becoming all-
+// protected, which no real part would do.
+func resolveProtectedSlots(r mmu.Refill, c Config) int {
+	prot := c.TLBProtectedSlots
+	if prot < 0 {
+		prot = r.ProtectedSlots()
+	}
+	if max := c.TLBEntries / 2; prot > max {
+		prot = max
+	}
+	return prot
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	refill, err := buildRefill(c.VM, mem.New(c.PhysMemBytes))
+	if err != nil {
+		return err
+	}
+	l1 := cache.Config{SizeBytes: c.L1SizeBytes, LineBytes: c.L1LineBytes, Assoc: c.L1Assoc}
+	if err := l1.Validate(); err != nil {
+		return fmt.Errorf("sim: L1: %w", err)
+	}
+	l2 := cache.Config{SizeBytes: c.L2SizeBytes, LineBytes: c.L2LineBytes, Assoc: c.L2Assoc}
+	if err := l2.Validate(); err != nil {
+		return fmt.Errorf("sim: L2: %w", err)
+	}
+	if c.L2SizeBytes < c.L1SizeBytes {
+		return fmt.Errorf("sim: L2 (%d) smaller than L1 (%d)", c.L2SizeBytes, c.L1SizeBytes)
+	}
+	if refill != nil && refill.UsesTLB() {
+		tc := tlb.Config{
+			Entries:        c.TLBEntries,
+			ProtectedSlots: resolveProtectedSlots(refill, c),
+			Policy:         c.TLBPolicy,
+		}
+		if err := tc.Validate(); err != nil {
+			return fmt.Errorf("sim: TLB: %w", err)
+		}
+	}
+	if c.PhysMemBytes == 0 {
+		return fmt.Errorf("sim: physical memory size must be non-zero")
+	}
+	if c.TLB2Entries < 0 || c.TLB2Latency < 0 {
+		return fmt.Errorf("sim: second-level TLB parameters must be non-negative")
+	}
+	return nil
+}
+
+// Label returns a compact identifier for tables and CSV rows.
+func (c Config) Label() string {
+	return fmt.Sprintf("%s/L1=%dKB.%dB/L2=%dKB.%dB/tlb=%d",
+		c.VM, c.L1SizeBytes/addr.KB, c.L1LineBytes,
+		c.L2SizeBytes/addr.KB, c.L2LineBytes, c.TLBEntries)
+}
+
+// buildRefill constructs the named organization's walker over phys.
+// VMBase returns (nil, nil): no VM system at all.
+func buildRefill(vm string, phys *mem.Phys) (mmu.Refill, error) {
+	switch vm {
+	case VMBase:
+		return nil, nil
+	case VMUltrix:
+		return mmu.NewUltrix(phys), nil
+	case VMMach:
+		return mmu.NewMach(phys), nil
+	case VMIntel:
+		return mmu.NewIntel(phys), nil
+	case VMPARISC:
+		return mmu.NewPARISC(phys), nil
+	case VMNoTLB:
+		return mmu.NewNoTLB(phys), nil
+	case VMHWMIPS:
+		return mmu.NewHWMIPS(phys), nil
+	case VMPowerPC:
+		return mmu.NewPowerPC(phys), nil
+	case VMSPUR:
+		return mmu.NewSPUR(phys), nil
+	case VMPFSMHier:
+		return mmu.NewPFSM(phys, mmu.PFSMHierarchical, 0), nil
+	case VMPFSMHashed:
+		return mmu.NewPFSM(phys, mmu.PFSMHashed, 0), nil
+	case VMClustered:
+		return mmu.NewClustered(phys), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown VM organization %q (have %v)", vm, AllVMs())
+	}
+}

@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/mmu"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+)
+
+// Engine executes one simulation configuration over a trace. An Engine
+// carries warm state (caches, TLBs, page tables); construct a fresh one
+// per measured run.
+type Engine struct {
+	cfg     Config
+	phys    *mem.Phys
+	refill  mmu.Refill
+	usesTLB bool
+	itlb    *tlb.TLB
+	dtlb    *tlb.TLB
+	// tlb2 is the optional unified second-level TLB; tlb2Cost is the
+	// cycles charged when it satisfies a first-level miss.
+	tlb2     *tlb.TLB
+	tlb2Cost uint64
+	icache   *cache.Hierarchy
+	dcache   *cache.Hierarchy
+	c        stats.Counters
+	// live is false during the warmup prefix: the machine state (caches,
+	// TLBs, page tables) evolves but nothing is charged.
+	live bool
+	// taggedTLB: TLB entries carry ASIDs; otherwise both TLBs are
+	// flushed on every context switch (the classical x86 behaviour).
+	taggedTLB bool
+	curASID   uint8
+}
+
+// tlbKey composes the fully-associative TLB lookup key. With tagged TLBs
+// the ASID disambiguates same-VPN entries from different address spaces;
+// untagged TLBs are flushed on switches, so the bare VPN suffices.
+func (e *Engine) tlbKey(asid uint8, vpn uint64) uint64 {
+	if e.taggedTLB {
+		return uint64(asid)<<32 | vpn
+	}
+	return vpn
+}
+
+// userCacheAddr tags a user virtual address with its address space: the
+// virtually-indexed caches keep the same set index (the tag bits sit far
+// above any index bit) but distinguish different processes' contents —
+// ASID-tagged virtual caches, as the paper's §2 describes. Kernel and
+// unmapped addresses are global and pass through untagged.
+func userCacheAddr(asid uint8, a uint64) uint64 {
+	return uint64(asid)<<36 | a
+}
+
+// switchTo performs the context-switch work when the running address
+// space changes.
+func (e *Engine) switchTo(asid uint8) {
+	e.curASID = asid
+	if e.usesTLB && !e.taggedTLB {
+		e.itlb.Flush()
+		e.dtlb.Flush()
+		if e.tlb2 != nil {
+			e.tlb2.Flush()
+		}
+	}
+}
+
+// Statically assert the engine satisfies the walker-facing interface.
+var _ mmu.Machine = (*Engine)(nil)
+
+// NewEngine builds an engine for cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	phys := mem.New(cfg.PhysMemBytes)
+	refill, err := buildRefill(cfg.VM, phys)
+	if err != nil {
+		return nil, err
+	}
+	l1cfg := cache.Config{SizeBytes: cfg.L1SizeBytes, LineBytes: cfg.L1LineBytes, Assoc: cfg.L1Assoc}
+	l2cfg := cache.Config{SizeBytes: cfg.L2SizeBytes, LineBytes: cfg.L2LineBytes, Assoc: cfg.L2Assoc}
+	e := &Engine{
+		cfg:    cfg,
+		phys:   phys,
+		refill: refill,
+		icache: cache.NewHierarchy(l1cfg, l2cfg),
+	}
+	if cfg.UnifiedCaches {
+		// One shared hierarchy: instruction fetches and data references
+		// contend for the same lines.
+		e.dcache = e.icache
+	} else {
+		e.dcache = cache.NewHierarchy(l1cfg, l2cfg)
+	}
+	if refill != nil && refill.UsesTLB() {
+		e.usesTLB = true
+		switch cfg.ASIDs {
+		case ASIDTagged:
+			e.taggedTLB = true
+		case ASIDFlush:
+			e.taggedTLB = false
+		default:
+			e.taggedTLB = refill.ASIDsInTLB()
+		}
+		tcfg := tlb.Config{
+			Entries:        cfg.TLBEntries,
+			ProtectedSlots: resolveProtectedSlots(refill, cfg),
+			Policy:         cfg.TLBPolicy,
+		}
+		tcfg.Seed = cfg.Seed ^ 0x1711
+		e.itlb = tlb.New(tcfg)
+		tcfg.Seed = cfg.Seed ^ 0x2722
+		e.dtlb = tlb.New(tcfg)
+		if cfg.TLB2Entries > 0 {
+			e.tlb2 = tlb.New(tlb.Config{
+				Entries: cfg.TLB2Entries,
+				Policy:  cfg.TLBPolicy,
+				Seed:    cfg.Seed ^ 0x3733,
+			})
+			e.tlb2Cost = uint64(cfg.TLB2Latency)
+			if e.tlb2Cost == 0 {
+				e.tlb2Cost = 2
+			}
+		}
+	}
+	return e, nil
+}
+
+// itlbHit resolves an instruction translation through the TLB hierarchy:
+// first-level hit, then (if configured) the unified second-level TLB.
+// It reports whether the walker must run.
+func (e *Engine) itlbHit(key uint64) bool {
+	if e.itlb.Lookup(key) {
+		return true
+	}
+	if e.tlb2 != nil && e.tlb2.Lookup(key) {
+		if e.live {
+			e.c.Charge(stats.TLB2Hit, e.tlb2Cost)
+		}
+		e.itlb.Insert(key)
+		return true
+	}
+	return false
+}
+
+// dtlbHit is itlbHit for the data side.
+func (e *Engine) dtlbHit(key uint64) bool {
+	if e.dtlb.Lookup(key) {
+		return true
+	}
+	if e.tlb2 != nil && e.tlb2.Lookup(key) {
+		if e.live {
+			e.c.Charge(stats.TLB2Hit, e.tlb2Cost)
+		}
+		e.dtlb.Insert(key)
+		return true
+	}
+	return false
+}
+
+// Run replays tr through the simulated machine, following the paper's
+// §3.1 pseudocode: translate the fetch (walking the page table on an
+// I-TLB miss), look up the I-cache, then — for loads and stores —
+// translate the data address and look up the D-cache. For organizations
+// without TLBs the walker runs on user-level L2 misses instead.
+func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	noTLBRefill := e.refill != nil && !e.usesTLB
+	warm := e.cfg.WarmupInstrs
+	if warm > len(tr.Refs)/2 {
+		warm = len(tr.Refs) / 2
+	}
+	e.live = warm == 0
+	for i := range tr.Refs {
+		if i == warm && !e.live {
+			// Warmup over: start measuring. Cache/TLB contents carry
+			// over; statistics restart from zero.
+			e.live = true
+			if e.usesTLB {
+				e.itlb.ResetStats()
+				e.dtlb.ResetStats()
+			}
+		}
+		r := &tr.Refs[i]
+		if r.ASID != e.curASID {
+			e.switchTo(r.ASID)
+			if e.live {
+				e.c.ContextSwitches++
+			}
+		}
+		if e.live {
+			e.c.UserInstrs++
+		}
+
+		// Instruction side.
+		if e.usesTLB && !e.itlbHit(e.tlbKey(r.ASID, addr.VPN(r.PC))) {
+			e.refill.HandleMiss(e, r.ASID, r.PC, true)
+		}
+		lvl := e.icache.Access(userCacheAddr(r.ASID, r.PC))
+		if lvl != cache.L1Hit && e.live {
+			e.c.Charge(stats.L1IMiss, stats.L1MissPenalty)
+			if lvl == cache.Memory {
+				e.c.Charge(stats.L2IMiss, stats.L2MissPenalty)
+			}
+		}
+		if lvl == cache.Memory && noTLBRefill {
+			e.refill.HandleMiss(e, r.ASID, r.PC, true)
+		}
+
+		// Data side.
+		if r.Kind == trace.None {
+			continue
+		}
+		if e.usesTLB && !e.dtlbHit(e.tlbKey(r.ASID, addr.VPN(r.Data))) {
+			e.refill.HandleMiss(e, r.ASID, r.Data, false)
+		}
+		if r.Flags&trace.FlagUncached != 0 {
+			// Software-controlled cacheability (§5): the reference goes
+			// straight to memory — full miss latency, but no line is
+			// allocated, so it cannot displace cached data. It also
+			// cannot trigger the software cache-fill handler: the OS
+			// marked it uncacheable precisely to skip the fill.
+			if e.live {
+				e.c.Charge(stats.L1DMiss, stats.L1MissPenalty)
+				e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
+			}
+			continue
+		}
+		lvl = e.dcache.Access(userCacheAddr(r.ASID, r.Data))
+		if lvl != cache.L1Hit && e.live {
+			e.c.Charge(stats.L1DMiss, stats.L1MissPenalty)
+			if lvl == cache.Memory {
+				e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
+			}
+		}
+		if lvl == cache.Memory && noTLBRefill {
+			e.refill.HandleMiss(e, r.ASID, r.Data, false)
+		}
+	}
+	if e.usesTLB {
+		ist, dst := e.itlb.Stats(), e.dtlb.Stats()
+		e.c.ITLBLookups, e.c.ITLBMisses = ist.Lookups, ist.Misses
+		e.c.DTLBLookups, e.c.DTLBMisses = dst.Lookups, dst.Misses
+	}
+	res := &Result{
+		Config:         e.cfg,
+		Workload:       tr.Name,
+		Counters:       e.c,
+		AvgChainLength: chainStats(e.refill),
+	}
+	return res, nil
+}
+
+// chainStats extracts the average collision-chain length from hashed-
+// table organizations; 0 otherwise.
+func chainStats(r mmu.Refill) float64 {
+	switch w := r.(type) {
+	case *mmu.PARISC:
+		return w.Table().AverageChainLength()
+	case *mmu.PowerPC:
+		return w.Table().AverageChainLength()
+	case *mmu.Clustered:
+		return w.Table().AverageChainLength()
+	default:
+		return 0
+	}
+}
+
+// --- mmu.Machine implementation -------------------------------------
+
+// ExecHandler charges the handler's base cost and, for software handlers,
+// streams its instruction fetches through the I-caches.
+func (e *Engine) ExecHandler(comp stats.Component, pc uint64, n int, fetchesCode bool) {
+	if e.live {
+		e.c.Charge(comp, uint64(n))
+	}
+	if !fetchesCode {
+		return
+	}
+	for i := 0; i < n; i++ {
+		lvl := e.icache.Access(pc + uint64(i)*4)
+		if lvl != cache.L1Hit && e.live {
+			e.c.Charge(stats.HandlerL2, stats.L1MissPenalty)
+			if lvl == cache.Memory {
+				e.c.Charge(stats.HandlerMem, stats.L2MissPenalty)
+			}
+		}
+	}
+}
+
+// PTELoad runs a page-table-entry reference through the D-caches.
+func (e *Engine) PTELoad(a uint64, l2c, memc stats.Component) cache.Level {
+	lvl := e.dcache.Access(a)
+	if lvl != cache.L1Hit && e.live {
+		e.c.Charge(l2c, stats.L1MissPenalty)
+		if lvl == cache.Memory {
+			e.c.Charge(memc, stats.L2MissPenalty)
+		}
+	}
+	return lvl
+}
+
+// DTLBLookup probes the D-TLB on behalf of a handler's PTE reference.
+func (e *Engine) DTLBLookup(asid uint8, vpn uint64) bool {
+	return e.dtlbHit(e.tlbKey(asid, vpn))
+}
+
+// DTLBInsert installs a user translation in the D-TLB.
+func (e *Engine) DTLBInsert(asid uint8, vpn uint64) {
+	key := e.tlbKey(asid, vpn)
+	e.dtlb.Insert(key)
+	if e.tlb2 != nil {
+		e.tlb2.Insert(key)
+	}
+}
+
+// DTLBInsertProtected installs a root/kernel translation in the D-TLB's
+// protected partition.
+func (e *Engine) DTLBInsertProtected(asid uint8, vpn uint64) {
+	e.dtlb.InsertProtected(e.tlbKey(asid, vpn))
+}
+
+// ITLBInsert installs a user translation in the I-TLB.
+func (e *Engine) ITLBInsert(asid uint8, vpn uint64) {
+	key := e.tlbKey(asid, vpn)
+	e.itlb.Insert(key)
+	if e.tlb2 != nil {
+		e.tlb2.Insert(key)
+	}
+}
+
+// Interrupt counts a precise interrupt taken by the VM system.
+func (e *Engine) Interrupt() {
+	if e.live {
+		e.c.Interrupts++
+	}
+}
+
+// Simulate is the one-call convenience: build an engine for cfg and run
+// it over tr.
+func Simulate(cfg Config, tr *trace.Trace) (*Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(tr)
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"encoding/json"
+
+	"repro/internal/stats"
+)
+
+// resultJSON is the stable wire format for a Result: flat, self-
+// describing component names (the paper's tags), suitable for downstream
+// plotting pipelines.
+type resultJSON struct {
+	VM             string             `json:"vm"`
+	Workload       string             `json:"workload"`
+	L1SizeBytes    int                `json:"l1_size_bytes"`
+	L2SizeBytes    int                `json:"l2_size_bytes"`
+	L1LineBytes    int                `json:"l1_line_bytes"`
+	L2LineBytes    int                `json:"l2_line_bytes"`
+	TLBEntries     int                `json:"tlb_entries"`
+	TLB2Entries    int                `json:"tlb2_entries,omitempty"`
+	Seed           uint64             `json:"seed"`
+	UserInstrs     uint64             `json:"user_instructions"`
+	MCPI           float64            `json:"mcpi"`
+	VMCPI          float64            `json:"vmcpi"`
+	Interrupts     uint64             `json:"interrupts"`
+	IntCPI10       float64            `json:"interrupt_cpi_10"`
+	IntCPI50       float64            `json:"interrupt_cpi_50"`
+	IntCPI200      float64            `json:"interrupt_cpi_200"`
+	ITLBMissRate   float64            `json:"itlb_miss_rate"`
+	DTLBMissRate   float64            `json:"dtlb_miss_rate"`
+	CtxSwitches    uint64             `json:"context_switches,omitempty"`
+	AvgChainLength float64            `json:"avg_chain_length,omitempty"`
+	Components     map[string]float64 `json:"components"`
+	Events         map[string]uint64  `json:"events"`
+}
+
+// MarshalJSON serializes the result with the paper's component tags.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{
+		VM:             r.Config.VM,
+		Workload:       r.Workload,
+		L1SizeBytes:    r.Config.L1SizeBytes,
+		L2SizeBytes:    r.Config.L2SizeBytes,
+		L1LineBytes:    r.Config.L1LineBytes,
+		L2LineBytes:    r.Config.L2LineBytes,
+		TLBEntries:     r.Config.TLBEntries,
+		TLB2Entries:    r.Config.TLB2Entries,
+		Seed:           r.Config.Seed,
+		UserInstrs:     r.Counters.UserInstrs,
+		MCPI:           r.MCPI(),
+		VMCPI:          r.VMCPI(),
+		Interrupts:     r.Counters.Interrupts,
+		IntCPI10:       r.Counters.InterruptCPI(10),
+		IntCPI50:       r.Counters.InterruptCPI(50),
+		IntCPI200:      r.Counters.InterruptCPI(200),
+		ITLBMissRate:   r.Counters.ITLBMissRate(),
+		DTLBMissRate:   r.Counters.DTLBMissRate(),
+		CtxSwitches:    r.Counters.ContextSwitches,
+		AvgChainLength: r.AvgChainLength,
+		Components:     map[string]float64{},
+		Events:         map[string]uint64{},
+	}
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		if r.Counters.Events[c] == 0 {
+			continue
+		}
+		out.Components[c.String()] = r.Counters.CPI(c)
+		out.Events[c.String()] = r.Counters.Events[c]
+	}
+	return json.Marshal(out)
+}

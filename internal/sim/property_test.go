@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestArbitraryConfigsNeverPanic drives randomized (but valid) cache,
+// TLB, and organization choices through a short trace and checks basic
+// sanity of the outputs.
+func TestArbitraryConfigsNeverPanic(t *testing.T) {
+	vms := AllVMs()
+	short := tr(t, "ijpeg", 5_000)
+	check := func(vmSel, l1Sel, lineSel1, lineSel2, tlbSel, asidSel uint8) bool {
+		cfg := Default(vms[int(vmSel)%len(vms)])
+		cfg.L1SizeBytes = 1 << (10 + l1Sel%8)
+		cfg.L1LineBytes = 16 << (lineSel1 % 4)
+		cfg.L2LineBytes = cfg.L1LineBytes << (lineSel2 % 2)
+		cfg.TLBEntries = 32 << (tlbSel % 4)
+		cfg.ASIDs = ASIDPolicy(asidSel % 3)
+		cfg.WarmupInstrs = 0
+		res, err := Simulate(cfg, short)
+		if err != nil {
+			return false
+		}
+		if res.MCPI() < 0 || res.VMCPI() < 0 {
+			return false
+		}
+		if res.Counters.UserInstrs != uint64(short.Len()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventCycleConsistency: for every component, the charged cycles must
+// be consistent with the event count and the component's cost structure.
+func TestEventCycleConsistency(t *testing.T) {
+	for _, vm := range AllVMs() {
+		res := run(t, Default(vm), "gcc", 40_000)
+		c := &res.Counters
+		fixed := map[stats.Component]uint64{
+			stats.L1IMiss: stats.L1MissPenalty, stats.L1DMiss: stats.L1MissPenalty,
+			stats.L2IMiss: stats.L2MissPenalty, stats.L2DMiss: stats.L2MissPenalty,
+			stats.UPTEL2: stats.L1MissPenalty, stats.UPTEMem: stats.L2MissPenalty,
+			stats.KPTEL2: stats.L1MissPenalty, stats.KPTEMem: stats.L2MissPenalty,
+			stats.RPTEL2: stats.L1MissPenalty, stats.RPTEMem: stats.L2MissPenalty,
+			stats.HandlerL2: stats.L1MissPenalty, stats.HandlerMem: stats.L2MissPenalty,
+		}
+		for comp, cost := range fixed {
+			if c.Cycles[comp] != c.Events[comp]*cost {
+				t.Errorf("%s/%v: cycles %d != events %d × cost %d",
+					vm, comp, c.Cycles[comp], c.Events[comp], cost)
+			}
+		}
+		// Handler base components: cycles must be a positive multiple of
+		// events (handler lengths vary per organization).
+		for _, comp := range []stats.Component{stats.UHandler, stats.KHandler, stats.RHandler} {
+			if c.Events[comp] > 0 && c.Cycles[comp] < c.Events[comp] {
+				t.Errorf("%s/%v: cycles %d below events %d", vm, comp, c.Cycles[comp], c.Events[comp])
+			}
+		}
+	}
+}
+
+// TestNestedHandlerOrdering: across every hierarchical organization,
+// deeper handlers can never fire more often than the level above them.
+func TestNestedHandlerOrdering(t *testing.T) {
+	for _, vm := range []string{VMUltrix, VMMach, VMNoTLB} {
+		res := run(t, Default(vm), "gcc", 60_000)
+		c := &res.Counters
+		if c.Events[stats.KHandler] > c.Events[stats.UHandler] {
+			t.Errorf("%s: khandler > uhandler", vm)
+		}
+		if vm == VMMach && c.Events[stats.RHandler] > c.Events[stats.KHandler] {
+			t.Errorf("%s: rhandler > khandler", vm)
+		}
+		if vm != VMMach && c.Events[stats.RHandler] > c.Events[stats.UHandler] {
+			t.Errorf("%s: rhandler > uhandler", vm)
+		}
+	}
+}
+
+// TestSeedStability: the simulated overheads must not be an artifact of
+// one particular seed — across seeds, VMCPI should stay within a modest
+// band.
+func TestSeedStability(t *testing.T) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi float64
+	for i, seed := range []uint64{1, 2, 3, 4, 5} {
+		cfg := Default(VMUltrix)
+		cfg.Seed = seed
+		cfg.WarmupInstrs = 20_000
+		res, err := Simulate(cfg, workload.Generate(p, seed, 120_000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := res.VMCPI()
+		if i == 0 {
+			lo, hi = v, v
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 2*lo {
+		t.Fatalf("VMCPI seed spread too wide: [%.5f, %.5f]", lo, hi)
+	}
+}
+
+// TestInterruptCountMatchesHandlerEvents: for the software-managed
+// organizations, every handler activation is one precise interrupt.
+func TestInterruptCountMatchesHandlerEvents(t *testing.T) {
+	for _, vm := range []string{VMUltrix, VMMach, VMPARISC, VMNoTLB, VMClustered} {
+		res := run(t, Default(vm), "gcc", 50_000)
+		c := &res.Counters
+		handlers := c.Events[stats.UHandler] + c.Events[stats.KHandler] + c.Events[stats.RHandler]
+		if c.Interrupts != handlers {
+			t.Errorf("%s: interrupts %d != handler activations %d", vm, c.Interrupts, handlers)
+		}
+	}
+}
+
+// TestUncachedRefsNeverFillCaches: a trace of purely uncached data
+// references must leave the D-side cold and charge full miss latency for
+// every access.
+func TestUncachedRefsNeverFillCaches(t *testing.T) {
+	refs := make([]trace.Ref, 100)
+	for i := range refs {
+		refs[i] = trace.Ref{
+			PC:    0x1000,
+			Data:  uint64(0x2000 + i*4),
+			Kind:  trace.Load,
+			Flags: trace.FlagUncached,
+		}
+	}
+	cfg := Default(VMBase)
+	cfg.WarmupInstrs = 0
+	res, err := Simulate(cfg, &trace.Trace{Name: "uncached", Refs: refs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &res.Counters
+	if c.Events[stats.L1DMiss] != 100 || c.Events[stats.L2DMiss] != 100 {
+		t.Fatalf("uncached refs: L1d=%d L2d=%d, want 100/100",
+			c.Events[stats.L1DMiss], c.Events[stats.L2DMiss])
+	}
+}
+
+// TestUncachedSkipsNoTLBHandler: under NOTLB, uncached references do not
+// invoke the cache-fill handler.
+func TestUncachedSkipsNoTLBHandler(t *testing.T) {
+	refs := make([]trace.Ref, 64)
+	for i := range refs {
+		refs[i] = trace.Ref{
+			PC:    0x1000, // single hot page: at most a couple of I-side fills
+			Data:  uint64(0x100000 + i*4096),
+			Kind:  trace.Load,
+			Flags: trace.FlagUncached,
+		}
+	}
+	cfg := Default(VMNoTLB)
+	cfg.WarmupInstrs = 0
+	res, err := Simulate(cfg, &trace.Trace{Name: "uncached-notlb", Refs: refs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the instruction side may have triggered fills (one page).
+	if res.Counters.Events[stats.UHandler] > 2 {
+		t.Fatalf("uncached data refs invoked %d handlers", res.Counters.Events[stats.UHandler])
+	}
+}
+
+// TestMultiSeedSweepAgreesOnWinner: the INTEL-beats-ULTRIX result must
+// hold for several seeds, not one lucky draw.
+func TestMultiSeedSweepAgreesOnWinner(t *testing.T) {
+	p, _ := workload.ByName("gcc")
+	for _, seed := range []uint64{1, 9, 77} {
+		trc := workload.Generate(p, seed, 100_000)
+		intel := Default(VMIntel)
+		intel.Seed = seed
+		ultrix := Default(VMUltrix)
+		ultrix.Seed = seed
+		ri, err := Simulate(intel, trc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := Simulate(ultrix, trc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iTotal := ri.VMCPI() + ri.Counters.InterruptCPI(50)
+		uTotal := ru.VMCPI() + ru.Counters.InterruptCPI(50)
+		if iTotal >= uTotal {
+			t.Errorf("seed %d: intel total %.5f not below ultrix %.5f", seed, iTotal, uTotal)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Result is one simulation's outcome.
+type Result struct {
+	// Config the run used.
+	Config Config
+	// Workload is the trace name.
+	Workload string
+	// Counters holds the MCPI/VMCPI/interrupt measurements.
+	Counters stats.Counters
+	// AvgChainLength is the hashed-table average collision-chain length
+	// (hashed organizations only; 0 otherwise).
+	AvgChainLength float64
+}
+
+// MCPI returns the memory-system overhead per user instruction.
+func (r *Result) MCPI() float64 { return r.Counters.MCPI() }
+
+// VMCPI returns the VM overhead per user instruction (without interrupt
+// cost).
+func (r *Result) VMCPI() float64 { return r.Counters.VMCPI() }
+
+// InterruptCPI returns interrupt overhead at the configured cost.
+func (r *Result) InterruptCPI() float64 {
+	return r.Counters.InterruptCPI(r.Config.InterruptCost)
+}
+
+// TotalCPI returns the machine CPI assuming the paper's 1-CPI core:
+// 1 + MCPI + VMCPI + interrupt overhead.
+func (r *Result) TotalCPI() float64 {
+	return 1 + r.Counters.TotalOverheadCPI(r.Config.InterruptCost)
+}
+
+// String formats a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s %s: MCPI=%.4f VMCPI=%.4f intCPI=%.4f (interrupts=%d, itlbMiss=%.5f, dtlbMiss=%.5f)",
+		r.Workload, r.Config.Label(), r.MCPI(), r.VMCPI(), r.InterruptCPI(),
+		r.Counters.Interrupts, r.Counters.ITLBMissRate(), r.Counters.DTLBMissRate())
+}
+
+// BreakdownString formats the full per-component break-down in the
+// paper's Table 2/Table 3 taxonomy.
+func (r *Result) BreakdownString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s (%d user instructions)\n", r.Config.VM, r.Workload, r.Counters.UserInstrs)
+	fmt.Fprintf(&b, "  MCPI  = %.5f\n", r.MCPI())
+	for _, c := range stats.MCPIComponents() {
+		if r.Counters.Events[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "    %-12s %.5f  (%d events)\n", c, r.Counters.CPI(c), r.Counters.Events[c])
+	}
+	fmt.Fprintf(&b, "  VMCPI = %.5f\n", r.VMCPI())
+	for _, c := range stats.VMCPIComponents() {
+		if r.Counters.Events[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "    %-12s %.5f  (%d events)\n", c, r.Counters.CPI(c), r.Counters.Events[c])
+	}
+	fmt.Fprintf(&b, "  interrupts = %d:", r.Counters.Interrupts)
+	for _, cost := range stats.InterruptCosts {
+		fmt.Fprintf(&b, "  @%d=%.5f", cost, r.Counters.InterruptCPI(cost))
+	}
+	b.WriteByte('\n')
+	if r.AvgChainLength > 0 {
+		fmt.Fprintf(&b, "  avg hash-chain length = %.3f\n", r.AvgChainLength)
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func tlb2cfg(entries int) Config {
+	cfg := Default(VMIntel)
+	cfg.TLB2Entries = entries
+	cfg.WarmupInstrs = 0
+	return cfg
+}
+
+func TestTLB2ReducesWalks(t *testing.T) {
+	without, err := Simulate(tlb2cfg(0), tr(t, "gcc", 80_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Simulate(tlb2cfg(2048), tr(t, "gcc", 80_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second-level TLB must absorb a substantial share of the
+	// first-level misses: fewer page-table walks (uhandler events).
+	if with.Counters.Events[stats.UHandler] >= without.Counters.Events[stats.UHandler] {
+		t.Fatalf("walks did not drop with an L2 TLB: %d vs %d",
+			with.Counters.Events[stats.UHandler], without.Counters.Events[stats.UHandler])
+	}
+	if with.Counters.Events[stats.TLB2Hit] == 0 {
+		t.Fatal("no L2-TLB hits recorded")
+	}
+	// Conservation: every first-level miss is either an L2-TLB hit or a
+	// walk.
+	misses := with.Counters.ITLBMisses + with.Counters.DTLBMisses
+	if with.Counters.Events[stats.TLB2Hit]+with.Counters.Events[stats.UHandler] != misses {
+		t.Fatalf("L2 hits %d + walks %d != first-level misses %d",
+			with.Counters.Events[stats.TLB2Hit], with.Counters.Events[stats.UHandler], misses)
+	}
+}
+
+func TestTLB2HitCostCharged(t *testing.T) {
+	cfg := tlb2cfg(2048)
+	cfg.TLB2Latency = 5
+	res, err := Simulate(cfg, tr(t, "gcc", 60_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &res.Counters
+	if c.Cycles[stats.TLB2Hit] != 5*c.Events[stats.TLB2Hit] {
+		t.Fatalf("L2-TLB cycles %d != 5 × %d events",
+			c.Cycles[stats.TLB2Hit], c.Events[stats.TLB2Hit])
+	}
+}
+
+func TestTLB2DefaultLatency(t *testing.T) {
+	res, err := Simulate(tlb2cfg(2048), tr(t, "gcc", 60_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &res.Counters
+	if c.Events[stats.TLB2Hit] > 0 && c.Cycles[stats.TLB2Hit] != 2*c.Events[stats.TLB2Hit] {
+		t.Fatalf("default latency not 2 cycles: %d cycles for %d events",
+			c.Cycles[stats.TLB2Hit], c.Events[stats.TLB2Hit])
+	}
+}
+
+func TestTLB2DisabledHasNoComponent(t *testing.T) {
+	res := run(t, Default(VMUltrix), "gcc", 40_000)
+	if res.Counters.Events[stats.TLB2Hit] != 0 {
+		t.Fatal("L2-TLB events without an L2 TLB")
+	}
+}
+
+func TestTLB2InvalidConfigRejected(t *testing.T) {
+	cfg := Default(VMUltrix)
+	cfg.TLB2Entries = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative TLB2Entries accepted")
+	}
+	cfg = Default(VMUltrix)
+	cfg.TLB2Latency = -5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative TLB2Latency accepted")
+	}
+}
+
+func TestTLB2FlushedOnSwitchWhenUntagged(t *testing.T) {
+	// With flush semantics (intel), shrinking the quantum must still
+	// raise walks even with a big L2 TLB — it gets flushed too.
+	cfg := tlb2cfg(4096)
+	fine, err := Simulate(cfg, mpTrace(t, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Simulate(cfg, mpTrace(t, 30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Counters.Events[stats.UHandler] <= coarse.Counters.Events[stats.UHandler] {
+		t.Fatalf("L2 TLB survived flushes: walks %d vs %d",
+			fine.Counters.Events[stats.UHandler], coarse.Counters.Events[stats.UHandler])
+	}
+}
+
+func TestClusteredOrganizationRuns(t *testing.T) {
+	res := run(t, Default(VMClustered), "gcc", 60_000)
+	if res.Counters.Events[stats.UHandler] == 0 {
+		t.Fatal("clustered organization performed no walks")
+	}
+	if res.AvgChainLength <= 0 {
+		t.Fatal("clustered organization reported no chain length")
+	}
+	if res.Counters.Interrupts == 0 {
+		t.Fatal("clustered software handler must interrupt")
+	}
+}
+
+func TestClusteredBeatsPARISCOnSequentialFootprint(t *testing.T) {
+	// ijpeg's sequential scans are the clustered table's best case: its
+	// PTE loads should miss the L1 D-cache less than PA-RISC's 16-byte
+	// scattered entries.
+	cl := run(t, Default(VMClustered), "ijpeg", 100_000)
+	pa := run(t, Default(VMPARISC), "ijpeg", 100_000)
+	clPTE := cl.Counters.CPI(stats.UPTEL2) + cl.Counters.CPI(stats.UPTEMem)
+	paPTE := pa.Counters.CPI(stats.UPTEL2) + pa.Counters.CPI(stats.UPTEMem)
+	if clPTE > paPTE {
+		t.Fatalf("clustered PTE-miss CPI %.6f above PA-RISC %.6f", clPTE, paPTE)
+	}
+}

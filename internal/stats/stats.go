@@ -1,0 +1,207 @@
+// Package stats implements the paper's measurement taxonomy: MCPI
+// (memory-system cycles per user instruction, Table 2) and VMCPI
+// (virtual-memory cycles per user instruction, Table 3), plus interrupt
+// accounting.
+//
+// CPI here is always normalized by the number of user-level instructions:
+// "execution cycles divided by the number of user-level instructions"
+// (paper §3.2). MCPI covers only user-level references — but, because the
+// caches are shared with the miss handlers, it naturally includes the
+// misses inflicted on the application by VM-displaced lines. VMCPI covers
+// every cycle spent walking page tables and refilling TLBs (or filling
+// cache lines, for the NOTLB organization). Interrupt cost is kept as an
+// event count so a single simulation can be evaluated at each of the
+// paper's 10/50/200-cycle interrupt costs.
+package stats
+
+import "fmt"
+
+// Miss penalties (paper Table 2): an L1 miss costs 20 cycles to reach L2;
+// an L2 miss costs a further 500 cycles to reach memory.
+const (
+	L1MissPenalty = 20
+	L2MissPenalty = 500
+)
+
+// InterruptCosts are the three costs of taking a precise interrupt that
+// the paper sweeps (Table 1).
+var InterruptCosts = []uint64{10, 50, 200}
+
+// Component identifies one row of the paper's Table 2 (MCPI) or Table 3
+// (VMCPI) cost break-down.
+type Component int
+
+// MCPI components (Table 2).
+const (
+	// L1IMiss: a user instruction fetch missed the L1 I-cache.
+	L1IMiss Component = iota
+	// L1DMiss: a user load/store missed the L1 D-cache.
+	L1DMiss
+	// L2IMiss: a user instruction fetch missed the L2 I-cache.
+	L2IMiss
+	// L2DMiss: a user load/store missed the L2 D-cache.
+	L2DMiss
+
+	// VMCPI components (Table 3).
+
+	// UHandler: invocation of the user-level miss handler (base cost).
+	UHandler
+	// UPTEL2: a UPTE lookup missed the L1 D-cache.
+	UPTEL2
+	// UPTEMem: a UPTE lookup missed the L2 D-cache.
+	UPTEMem
+	// KHandler: invocation of the kernel-level miss handler (MACH only).
+	KHandler
+	// KPTEL2: a KPTE lookup missed the L1 D-cache.
+	KPTEL2
+	// KPTEMem: a KPTE lookup missed the L2 D-cache.
+	KPTEMem
+	// RHandler: invocation of the root-level miss handler.
+	RHandler
+	// RPTEL2: a root-PTE lookup missed the L1 D-cache.
+	RPTEL2
+	// RPTEMem: a root-PTE lookup missed the L2 D-cache.
+	RPTEMem
+	// HandlerL2: a handler instruction fetch missed the L1 I-cache.
+	HandlerL2
+	// HandlerMem: a handler instruction fetch missed the L2 I-cache.
+	HandlerMem
+	// TLB2Hit: a first-level TLB miss was satisfied by the second-level
+	// TLB (an extension beyond the paper's single-level TLBs).
+	TLB2Hit
+
+	// NumComponents is the count of distinct components.
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"L1i-miss", "L1d-miss", "L2i-miss", "L2d-miss",
+	"uhandler", "upte-L2", "upte-MEM",
+	"khandler", "kpte-L2", "kpte-MEM",
+	"rhandler", "rpte-L2", "rpte-MEM",
+	"handler-L2", "handler-MEM", "l2tlb-hit",
+}
+
+// String returns the paper's tag for the component.
+func (c Component) String() string {
+	if c < 0 || c >= NumComponents {
+		return fmt.Sprintf("component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// IsVM reports whether the component belongs to VMCPI (Table 3) rather
+// than MCPI (Table 2).
+func (c Component) IsVM() bool { return c >= UHandler && c < NumComponents }
+
+// MCPIComponents lists the Table 2 components in presentation order.
+func MCPIComponents() []Component {
+	return []Component{L1IMiss, L1DMiss, L2IMiss, L2DMiss}
+}
+
+// VMCPIComponents lists the Table 3 components in presentation order.
+func VMCPIComponents() []Component {
+	return []Component{
+		UHandler, UPTEL2, UPTEMem,
+		KHandler, KPTEL2, KPTEMem,
+		RHandler, RPTEL2, RPTEMem,
+		HandlerL2, HandlerMem, TLB2Hit,
+	}
+}
+
+// Counters accumulates one simulation's measurements.
+type Counters struct {
+	// UserInstrs is the number of user-level instructions executed —
+	// the CPI denominator.
+	UserInstrs uint64
+	// Events[c] counts occurrences of component c; Cycles[c] the cycles
+	// charged to it.
+	Events [NumComponents]uint64
+	Cycles [NumComponents]uint64
+	// Interrupts counts precise interrupts taken by the VM system.
+	Interrupts uint64
+	// ContextSwitches counts address-space switches observed in the
+	// measured window (multiprogrammed traces only).
+	ContextSwitches uint64
+
+	// TLB activity (copied from the TLBs at end of run; zero when the
+	// organization has no TLBs).
+	ITLBLookups, ITLBMisses uint64
+	DTLBLookups, DTLBMisses uint64
+}
+
+// Charge records one occurrence of component c costing the given cycles.
+func (s *Counters) Charge(c Component, cycles uint64) {
+	s.Events[c]++
+	s.Cycles[c] += cycles
+}
+
+// CPI returns the cycles charged to component c per user instruction.
+func (s *Counters) CPI(c Component) float64 {
+	if s.UserInstrs == 0 {
+		return 0
+	}
+	return float64(s.Cycles[c]) / float64(s.UserInstrs)
+}
+
+// MCPI returns the total Table 2 overhead per user instruction.
+func (s *Counters) MCPI() float64 {
+	var total float64
+	for _, c := range MCPIComponents() {
+		total += s.CPI(c)
+	}
+	return total
+}
+
+// VMCPI returns the total Table 3 overhead per user instruction. It does
+// not include interrupt cost, which the paper accounts separately.
+func (s *Counters) VMCPI() float64 {
+	var total float64
+	for _, c := range VMCPIComponents() {
+		total += s.CPI(c)
+	}
+	return total
+}
+
+// InterruptCPI returns the overhead of taking the recorded interrupts at
+// the given per-interrupt cost.
+func (s *Counters) InterruptCPI(costCycles uint64) float64 {
+	if s.UserInstrs == 0 {
+		return 0
+	}
+	return float64(s.Interrupts*costCycles) / float64(s.UserInstrs)
+}
+
+// TotalOverheadCPI returns MCPI + VMCPI + interrupt overhead — the
+// "everything included" figure behind the paper's 10–30% claim.
+func (s *Counters) TotalOverheadCPI(interruptCost uint64) float64 {
+	return s.MCPI() + s.VMCPI() + s.InterruptCPI(interruptCost)
+}
+
+// ITLBMissRate returns the I-TLB miss rate over user fetches.
+func (s *Counters) ITLBMissRate() float64 { return rate(s.ITLBMisses, s.ITLBLookups) }
+
+// DTLBMissRate returns the D-TLB miss rate over all D-TLB lookups.
+func (s *Counters) DTLBMissRate() float64 { return rate(s.DTLBMisses, s.DTLBLookups) }
+
+func rate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Add accumulates other into s (used when aggregating sweep shards).
+func (s *Counters) Add(other *Counters) {
+	s.UserInstrs += other.UserInstrs
+	for c := Component(0); c < NumComponents; c++ {
+		s.Events[c] += other.Events[c]
+		s.Cycles[c] += other.Cycles[c]
+	}
+	s.Interrupts += other.Interrupts
+	s.ContextSwitches += other.ContextSwitches
+	s.ITLBLookups += other.ITLBLookups
+	s.ITLBMisses += other.ITLBMisses
+	s.DTLBLookups += other.DTLBLookups
+	s.DTLBMisses += other.DTLBMisses
+}

@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestPenaltiesMatchPaper(t *testing.T) {
+	if L1MissPenalty != 20 || L2MissPenalty != 500 {
+		t.Fatalf("penalties %d/%d, want 20/500 (paper Table 2)", L1MissPenalty, L2MissPenalty)
+	}
+	want := []uint64{10, 50, 200}
+	for i, c := range InterruptCosts {
+		if c != want[i] {
+			t.Fatalf("InterruptCosts = %v, want %v (paper Table 1)", InterruptCosts, want)
+		}
+	}
+}
+
+func TestComponentNamesMatchPaperTags(t *testing.T) {
+	want := map[Component]string{
+		L1IMiss:    "L1i-miss",
+		L2DMiss:    "L2d-miss",
+		UHandler:   "uhandler",
+		UPTEL2:     "upte-L2",
+		UPTEMem:    "upte-MEM",
+		KHandler:   "khandler",
+		KPTEL2:     "kpte-L2",
+		KPTEMem:    "kpte-MEM",
+		RHandler:   "rhandler",
+		RPTEL2:     "rpte-L2",
+		RPTEMem:    "rpte-MEM",
+		HandlerL2:  "handler-L2",
+		HandlerMem: "handler-MEM",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), name)
+		}
+	}
+	if !strings.Contains(Component(99).String(), "component") {
+		t.Error("out-of-range component String not defensive")
+	}
+}
+
+func TestComponentPartition(t *testing.T) {
+	// Every component is either MCPI or VMCPI, never both; the two lists
+	// together cover all components exactly once.
+	seen := map[Component]bool{}
+	for _, c := range MCPIComponents() {
+		if c.IsVM() {
+			t.Errorf("%v listed as MCPI but IsVM()", c)
+		}
+		seen[c] = true
+	}
+	for _, c := range VMCPIComponents() {
+		if !c.IsVM() {
+			t.Errorf("%v listed as VMCPI but !IsVM()", c)
+		}
+		if seen[c] {
+			t.Errorf("%v in both lists", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) != int(NumComponents) {
+		t.Errorf("lists cover %d components, want %d", len(seen), NumComponents)
+	}
+}
+
+func TestChargeAndCPI(t *testing.T) {
+	var s Counters
+	s.UserInstrs = 1000
+	s.Charge(UHandler, 10)
+	s.Charge(UHandler, 10)
+	s.Charge(UPTEL2, 20)
+	if s.Events[UHandler] != 2 || s.Cycles[UHandler] != 20 {
+		t.Fatalf("events/cycles = %d/%d", s.Events[UHandler], s.Cycles[UHandler])
+	}
+	if !almost(s.CPI(UHandler), 0.02) {
+		t.Fatalf("CPI(uhandler) = %v", s.CPI(UHandler))
+	}
+	if !almost(s.VMCPI(), 0.04) {
+		t.Fatalf("VMCPI = %v, want 0.04", s.VMCPI())
+	}
+	if s.MCPI() != 0 {
+		t.Fatalf("MCPI = %v, want 0", s.MCPI())
+	}
+}
+
+func TestZeroInstrsSafe(t *testing.T) {
+	var s Counters
+	s.Charge(L1IMiss, 20)
+	if s.CPI(L1IMiss) != 0 || s.MCPI() != 0 || s.VMCPI() != 0 || s.InterruptCPI(200) != 0 {
+		t.Fatal("zero-instruction counters must report 0, not NaN/Inf")
+	}
+}
+
+func TestMCPISum(t *testing.T) {
+	var s Counters
+	s.UserInstrs = 100
+	s.Charge(L1IMiss, 20)
+	s.Charge(L1DMiss, 20)
+	s.Charge(L2IMiss, 500)
+	s.Charge(L2DMiss, 500)
+	if !almost(s.MCPI(), (20+20+500+500)/100.0) {
+		t.Fatalf("MCPI = %v", s.MCPI())
+	}
+}
+
+func TestInterruptCPI(t *testing.T) {
+	var s Counters
+	s.UserInstrs = 1000
+	s.Interrupts = 5
+	if !almost(s.InterruptCPI(200), 1.0) {
+		t.Fatalf("InterruptCPI(200) = %v, want 1.0", s.InterruptCPI(200))
+	}
+	if !almost(s.InterruptCPI(10), 0.05) {
+		t.Fatalf("InterruptCPI(10) = %v, want 0.05", s.InterruptCPI(10))
+	}
+}
+
+func TestTotalOverhead(t *testing.T) {
+	var s Counters
+	s.UserInstrs = 100
+	s.Charge(L1IMiss, 20)  // MCPI 0.2
+	s.Charge(UHandler, 10) // VMCPI 0.1
+	s.Interrupts = 2       // at cost 50: 1.0
+	if !almost(s.TotalOverheadCPI(50), 0.2+0.1+1.0) {
+		t.Fatalf("TotalOverheadCPI = %v", s.TotalOverheadCPI(50))
+	}
+}
+
+func TestTLBMissRates(t *testing.T) {
+	var s Counters
+	s.ITLBLookups, s.ITLBMisses = 100, 5
+	s.DTLBLookups, s.DTLBMisses = 50, 10
+	if !almost(s.ITLBMissRate(), 0.05) || !almost(s.DTLBMissRate(), 0.2) {
+		t.Fatalf("miss rates = %v/%v", s.ITLBMissRate(), s.DTLBMissRate())
+	}
+	var z Counters
+	if z.ITLBMissRate() != 0 || z.DTLBMissRate() != 0 {
+		t.Fatal("zero-lookup rates must be 0")
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	var a, b Counters
+	a.UserInstrs, b.UserInstrs = 10, 20
+	a.Charge(UHandler, 10)
+	b.Charge(UHandler, 30)
+	b.Interrupts = 3
+	b.ITLBLookups, b.ITLBMisses = 7, 2
+	b.DTLBLookups, b.DTLBMisses = 9, 4
+	a.Add(&b)
+	if a.UserInstrs != 30 || a.Events[UHandler] != 2 || a.Cycles[UHandler] != 40 {
+		t.Fatalf("Add result = %+v", a)
+	}
+	if a.Interrupts != 3 || a.ITLBLookups != 7 || a.DTLBMisses != 4 {
+		t.Fatal("Add missed fields")
+	}
+}
+
+func TestAddCommutesWithCPIProperty(t *testing.T) {
+	// Property: merging two counter sets then computing total cycles
+	// equals summing the parts (CPI is a weighted mean).
+	f := func(e1, e2 uint16, c1, c2 uint16, n1, n2 uint16) bool {
+		var a, b Counters
+		a.UserInstrs = uint64(n1) + 1
+		b.UserInstrs = uint64(n2) + 1
+		for i := 0; i < int(e1%16); i++ {
+			a.Charge(UPTEL2, uint64(c1))
+		}
+		for i := 0; i < int(e2%16); i++ {
+			b.Charge(UPTEL2, uint64(c2))
+		}
+		wantCycles := a.Cycles[UPTEL2] + b.Cycles[UPTEL2]
+		wantInstrs := a.UserInstrs + b.UserInstrs
+		a.Add(&b)
+		return a.Cycles[UPTEL2] == wantCycles && a.UserInstrs == wantInstrs &&
+			almost(a.CPI(UPTEL2), float64(wantCycles)/float64(wantInstrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVMCPIAndMCPIAreDisjointProperty(t *testing.T) {
+	// Property: charging any single component moves exactly one of
+	// MCPI/VMCPI.
+	f := func(compRaw uint8, cycles uint16) bool {
+		c := Component(int(compRaw) % int(NumComponents))
+		var s Counters
+		s.UserInstrs = 1
+		s.Charge(c, uint64(cycles))
+		m, v := s.MCPI(), s.VMCPI()
+		if c.IsVM() {
+			return m == 0 && almost(v, float64(cycles))
+		}
+		return v == 0 && almost(m, float64(cycles))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

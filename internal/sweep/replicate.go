@@ -1,0 +1,150 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Replication holds summary statistics of one metric over repeated runs
+// with independent seeds.
+type Replication struct {
+	// Seeds are the seeds used, in order.
+	Seeds []uint64
+	// Values holds the per-seed metric values, aligned with Seeds.
+	Values []float64
+}
+
+// Mean returns the sample mean.
+func (r Replication) Mean() float64 {
+	if len(r.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.Values {
+		sum += v
+	}
+	return sum / float64(len(r.Values))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator).
+func (r Replication) StdDev() float64 {
+	n := len(r.Values)
+	if n < 2 {
+		return 0
+	}
+	mean := r.Mean()
+	var ss float64
+	for _, v := range r.Values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min and Max return the extremes (0 for an empty replication).
+func (r Replication) Min() float64 {
+	if len(r.Values) == 0 {
+		return 0
+	}
+	m := r.Values[0]
+	for _, v := range r.Values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest value.
+func (r Replication) Max() float64 {
+	if len(r.Values) == 0 {
+		return 0
+	}
+	m := r.Values[0]
+	for _, v := range r.Values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// String formats the replication as mean ± stddev [min, max].
+func (r Replication) String() string {
+	return fmt.Sprintf("%.5f ± %.5f [%.5f, %.5f] (n=%d)",
+		r.Mean(), r.StdDev(), r.Min(), r.Max(), len(r.Values))
+}
+
+// Metric extracts a scalar from a simulation result.
+type Metric func(*sim.Result) float64
+
+// Standard metrics.
+var (
+	// MetricVMCPI extracts the VM overhead per instruction.
+	MetricVMCPI Metric = func(r *sim.Result) float64 { return r.VMCPI() }
+	// MetricMCPI extracts the memory-system overhead per instruction.
+	MetricMCPI Metric = func(r *sim.Result) float64 { return r.MCPI() }
+)
+
+// Replicate runs cfg over independently-seeded traces produced by gen and
+// summarizes the metric. Each replication uses seed seeds[i] for both the
+// trace and the simulation, so replications are fully independent yet
+// individually reproducible.
+func Replicate(cfg sim.Config, gen func(seed uint64) (*trace.Trace, error),
+	metric Metric, seeds []uint64, workers int) (Replication, error) {
+	if len(seeds) == 0 {
+		return Replication{}, fmt.Errorf("sweep: Replicate needs at least one seed")
+	}
+	rep := Replication{Seeds: append([]uint64(nil), seeds...), Values: make([]float64, len(seeds))}
+	type job struct {
+		idx int
+		res *sim.Result
+		err error
+	}
+	// Traces differ per seed, so the shared-trace Run helper does not
+	// apply; run a small worker pool directly.
+	if workers <= 0 || workers > len(seeds) {
+		workers = len(seeds)
+	}
+	jobs := make(chan int)
+	done := make(chan job)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				c := cfg
+				c.Seed = seeds[i]
+				tr, err := gen(seeds[i])
+				if err != nil {
+					done <- job{idx: i, err: err}
+					continue
+				}
+				res, err := sim.Simulate(c, tr)
+				done <- job{idx: i, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range seeds {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	var firstErr error
+	for range seeds {
+		j := <-done
+		if j.err != nil {
+			if firstErr == nil {
+				firstErr = j.err
+			}
+			continue
+		}
+		rep.Values[j.idx] = metric(j.res)
+	}
+	if firstErr != nil {
+		return Replication{}, firstErr
+	}
+	return rep, nil
+}

@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func gccGen(n int) func(seed uint64) (*trace.Trace, error) {
+	return func(seed uint64) (*trace.Trace, error) {
+		p, err := workload.ByName("gcc")
+		if err != nil {
+			return nil, err
+		}
+		return workload.Generate(p, seed, n), nil
+	}
+}
+
+func TestReplicationStats(t *testing.T) {
+	r := Replication{Values: []float64{1, 2, 3, 4}}
+	if r.Mean() != 2.5 {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	if got := r.StdDev(); math.Abs(got-1.29099) > 1e-4 {
+		t.Fatalf("stddev = %v", got)
+	}
+	if r.Min() != 1 || r.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	s := r.String()
+	if !strings.Contains(s, "±") || !strings.Contains(s, "n=4") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestReplicationEmptyAndSingle(t *testing.T) {
+	var empty Replication
+	if empty.Mean() != 0 || empty.StdDev() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatal("empty replication stats not zero")
+	}
+	one := Replication{Values: []float64{7}}
+	if one.Mean() != 7 || one.StdDev() != 0 {
+		t.Fatal("single-value replication wrong")
+	}
+}
+
+func TestReplicateRunsAllSeeds(t *testing.T) {
+	cfg := sim.Default(sim.VMUltrix)
+	cfg.WarmupInstrs = 0
+	rep, err := Replicate(cfg, gccGen(30_000), MetricVMCPI, []uint64{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 3 {
+		t.Fatalf("values = %v", rep.Values)
+	}
+	for i, v := range rep.Values {
+		if v <= 0 {
+			t.Fatalf("seed %d produced VMCPI %v", rep.Seeds[i], v)
+		}
+	}
+	// Distinct seeds produce distinct (but similar) values.
+	if rep.Values[0] == rep.Values[1] && rep.Values[1] == rep.Values[2] {
+		t.Fatal("all seeds produced identical values; seeding broken")
+	}
+	if rep.Max() > 3*rep.Min() {
+		t.Fatalf("seed spread implausibly wide: %s", rep)
+	}
+}
+
+func TestReplicateDeterministicPerSeedSet(t *testing.T) {
+	cfg := sim.Default(sim.VMIntel)
+	cfg.WarmupInstrs = 0
+	a, err := Replicate(cfg, gccGen(20_000), MetricMCPI, []uint64{5, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replicate(cfg, gccGen(20_000), MetricMCPI, []uint64{5, 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatal("replication not deterministic across worker counts")
+		}
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	cfg := sim.Default(sim.VMUltrix)
+	if _, err := Replicate(cfg, gccGen(100), MetricVMCPI, nil, 0); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+	bad := func(seed uint64) (*trace.Trace, error) { return nil, fmt.Errorf("boom") }
+	if _, err := Replicate(cfg, bad, MetricVMCPI, []uint64{1}, 0); err == nil {
+		t.Fatal("generator error swallowed")
+	}
+	badCfg := sim.Default("nonesuch")
+	if _, err := Replicate(badCfg, gccGen(100), MetricVMCPI, []uint64{1}, 0); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

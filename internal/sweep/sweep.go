@@ -1,0 +1,142 @@
+// Package sweep runs cross-products of simulation configurations over a
+// shared trace, in parallel. The paper evaluates "a space equal to the
+// effective cross-product" of Table 1's variables; this package provides
+// the cross-product enumeration and the worker pool that makes those
+// hundreds of runs tractable.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Point is one sweep outcome.
+type Point struct {
+	Config sim.Config
+	Result *sim.Result
+	Err    error
+}
+
+// Run simulates every configuration over tr, using the given number of
+// workers (0 selects GOMAXPROCS). The returned slice is index-aligned
+// with cfgs. The trace is shared read-only across workers.
+func Run(tr *trace.Trace, cfgs []sim.Config, workers int) []Point {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	points := make([]Point, len(cfgs))
+	if len(cfgs) == 0 {
+		return points
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	simulate := func(i int) (p Point) {
+		// A panic in one configuration (a modelling bug) must not take
+		// down a thousand-point sweep: convert it to a point error.
+		defer func() {
+			if r := recover(); r != nil {
+				p = Point{Config: cfgs[i], Err: fmt.Errorf("sweep: config %s panicked: %v", cfgs[i].Label(), r)}
+			}
+		}()
+		res, err := sim.Simulate(cfgs[i], tr)
+		return Point{Config: cfgs[i], Result: res, Err: err}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				points[i] = simulate(i)
+			}
+		}()
+	}
+	for i := range cfgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return points
+}
+
+// Space enumerates a configuration cross-product. Nil/empty dimensions
+// inherit the corresponding Base value.
+type Space struct {
+	// Base supplies every field not swept.
+	Base sim.Config
+
+	VMs        []string
+	L1Sizes    []int
+	L2Sizes    []int
+	L1Lines    []int
+	L2Lines    []int
+	TLBEntries []int
+	Seeds      []uint64
+}
+
+// PaperL1Sizes are Table 1's L1 sizes (bytes per side).
+func PaperL1Sizes() []int {
+	return []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+}
+
+// PaperL2Sizes are the L2 sizes the figures sweep (bytes per side).
+func PaperL2Sizes() []int { return []int{1 << 20, 2 << 20, 4 << 20} }
+
+// PaperLineSizes are Table 1's linesizes (bytes).
+func PaperLineSizes() []int { return []int{16, 32, 64, 128} }
+
+// Configs expands the cross-product in deterministic order (VMs
+// outermost, seeds innermost).
+func (s Space) Configs() []sim.Config {
+	vms := s.VMs
+	if len(vms) == 0 {
+		vms = []string{s.Base.VM}
+	}
+	l1s := orDefaultInt(s.L1Sizes, s.Base.L1SizeBytes)
+	l2s := orDefaultInt(s.L2Sizes, s.Base.L2SizeBytes)
+	l1l := orDefaultInt(s.L1Lines, s.Base.L1LineBytes)
+	l2l := orDefaultInt(s.L2Lines, s.Base.L2LineBytes)
+	tlbs := orDefaultInt(s.TLBEntries, s.Base.TLBEntries)
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{s.Base.Seed}
+	}
+	var out []sim.Config
+	for _, vm := range vms {
+		for _, l1 := range l1s {
+			for _, l2 := range l2s {
+				for _, ll1 := range l1l {
+					for _, ll2 := range l2l {
+						for _, tl := range tlbs {
+							for _, seed := range seeds {
+								c := s.Base
+								c.VM = vm
+								c.L1SizeBytes = l1
+								c.L2SizeBytes = l2
+								c.L1LineBytes = ll1
+								c.L2LineBytes = ll2
+								c.TLBEntries = tl
+								c.Seed = seed
+								out = append(out, c)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func orDefaultInt(vals []int, def int) []int {
+	if len(vals) == 0 {
+		return []int{def}
+	}
+	return vals
+}

@@ -1,0 +1,278 @@
+// Package tlb models the translation lookaside buffers the paper
+// simulates: fully associative, random replacement, 128 entries per side
+// (split I-TLB / D-TLB), 4KB pages (paper Table 1).
+//
+// The MIPS-like organizations (ULTRIX, MACH) reserve 16 "protected" lower
+// slots for root-level PTEs — the kernel mappings that cover the user page
+// table pages — so that user-level entries cannot evict them. The x86 and
+// PA-RISC organizations do not partition the TLB: all 128 slots hold
+// user-level entries and root-level PTEs are never cached in the TLB.
+//
+// The TLB stores only the virtual page number: the simulator is
+// trace-driven and never needs the translated frame, only the hit/miss
+// behaviour, exactly like the paper's simulator.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Policy selects the replacement policy within a TLB partition.
+type Policy int
+
+// Replacement policies. Random is the paper's configuration ("TLBs are
+// fully associative with random replacement, similar to MIPS"); LRU and
+// FIFO are ablation knobs.
+const (
+	Random Policy = iota
+	LRU
+	FIFO
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Random:
+		return "random"
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	default:
+		return "invalid"
+	}
+}
+
+// Config describes one TLB.
+type Config struct {
+	// Entries is the total number of slots (paper: 128 per side).
+	Entries int
+	// ProtectedSlots is the number of slots reserved for protected
+	// (root/kernel PTE) entries: 16 for ULTRIX/MACH, 0 for INTEL/PA-RISC.
+	ProtectedSlots int
+	// Policy is the replacement policy (default Random).
+	Policy Policy
+	// Seed seeds the random-replacement stream.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Entries <= 0:
+		return fmt.Errorf("tlb: entries %d must be positive", c.Entries)
+	case c.ProtectedSlots < 0:
+		return fmt.Errorf("tlb: protected slots %d must be non-negative", c.ProtectedSlots)
+	case c.ProtectedSlots >= c.Entries:
+		return fmt.Errorf("tlb: protected slots %d must leave room for user entries (total %d)",
+			c.ProtectedSlots, c.Entries)
+	case c.Policy != Random && c.Policy != LRU && c.Policy != FIFO:
+		return fmt.Errorf("tlb: unknown policy %d", c.Policy)
+	}
+	return nil
+}
+
+// Stats accumulates TLB event counts.
+type Stats struct {
+	Lookups uint64
+	Misses  uint64
+	// Inserts counts insertions into the main (user) partition;
+	// ProtectedInserts counts insertions into the protected partition.
+	Inserts          uint64
+	ProtectedInserts uint64
+}
+
+// MissRate returns Misses/Lookups, or 0 for an untouched TLB.
+func (s Stats) MissRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Lookups)
+}
+
+// TLB is a fully-associative translation buffer, optionally partitioned
+// into a protected region (slots [0, ProtectedSlots)) and a main region.
+type TLB struct {
+	cfg Config
+	// slot i holds VPN+1; zero means invalid.
+	slots []uint64
+	// index maps resident VPN -> slot, giving O(1) fully-associative
+	// lookup regardless of TLB size.
+	index map[uint64]int
+
+	// Per-partition replacement state.
+	age      []uint64 // LRU timestamps
+	tick     uint64
+	fifoMain int // next-victim rotor, main partition
+	fifoProt int // next-victim rotor, protected partition
+
+	rand  *rng.Source
+	stats Stats
+}
+
+// New constructs a TLB. It panics on an invalid configuration (configs are
+// validated at experiment-construction time; an invalid one here is a
+// programming error).
+func New(cfg Config) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	t := &TLB{
+		cfg:   cfg,
+		slots: make([]uint64, cfg.Entries),
+		index: make(map[uint64]int, cfg.Entries*2),
+		rand:  rng.New(cfg.Seed),
+	}
+	if cfg.Policy == LRU {
+		t.age = make([]uint64, cfg.Entries)
+	}
+	return t
+}
+
+// Config returns the configuration the TLB was built with.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Lookup probes the TLB for vpn, updating statistics and (for LRU)
+// recency. It returns true on hit.
+func (t *TLB) Lookup(vpn uint64) bool {
+	t.stats.Lookups++
+	slot, ok := t.index[vpn]
+	if !ok {
+		t.stats.Misses++
+		return false
+	}
+	if t.age != nil {
+		t.tick++
+		t.age[slot] = t.tick
+	}
+	return true
+}
+
+// Probe reports whether vpn is resident without perturbing statistics or
+// replacement state.
+func (t *TLB) Probe(vpn uint64) bool {
+	_, ok := t.index[vpn]
+	return ok
+}
+
+// Insert places vpn into the main (user) partition, evicting per the
+// replacement policy if the partition is full. Inserting a VPN that is
+// already resident anywhere refreshes it in place.
+func (t *TLB) Insert(vpn uint64) {
+	t.stats.Inserts++
+	t.insert(vpn, t.cfg.ProtectedSlots, t.cfg.Entries, &t.fifoMain)
+}
+
+// InsertProtected places vpn into the protected partition (root-level
+// PTEs in the ULTRIX/MACH organizations). If the TLB has no protected
+// partition the entry goes into the main partition instead; this models
+// an unpartitioned TLB caching kernel mappings alongside user ones.
+func (t *TLB) InsertProtected(vpn uint64) {
+	t.stats.ProtectedInserts++
+	if t.cfg.ProtectedSlots == 0 {
+		t.insert(vpn, 0, t.cfg.Entries, &t.fifoMain)
+		return
+	}
+	t.insert(vpn, 0, t.cfg.ProtectedSlots, &t.fifoProt)
+}
+
+// insert places vpn into a slot within [lo, hi), choosing a victim by the
+// configured policy.
+func (t *TLB) insert(vpn uint64, lo, hi int, rotor *int) {
+	if slot, ok := t.index[vpn]; ok {
+		// Already resident: refresh recency and keep the slot.
+		if t.age != nil {
+			t.tick++
+			t.age[slot] = t.tick
+		}
+		return
+	}
+	n := hi - lo
+	var victim int
+	switch {
+	case t.cfg.Policy == FIFO:
+		victim = lo + *rotor
+		*rotor = (*rotor + 1) % n
+	case t.cfg.Policy == LRU:
+		victim = lo
+		oldest := ^uint64(0)
+		for s := lo; s < hi; s++ {
+			if t.slots[s] == 0 {
+				victim = s
+				break
+			}
+			if t.age[s] < oldest {
+				oldest = t.age[s]
+				victim = s
+			}
+		}
+	default: // Random — but fill invalid slots first, like real hardware
+		victim = -1
+		for s := lo; s < hi; s++ {
+			if t.slots[s] == 0 {
+				victim = s
+				break
+			}
+		}
+		if victim < 0 {
+			victim = lo + t.rand.Intn(n)
+		}
+	}
+	if old := t.slots[victim]; old != 0 {
+		delete(t.index, old-1)
+	}
+	t.slots[victim] = vpn + 1
+	t.index[vpn] = victim
+	if t.age != nil {
+		t.tick++
+		t.age[victim] = t.tick
+	}
+}
+
+// Evict removes vpn if resident, returning whether it was. It models an
+// explicit TLB shootdown.
+func (t *TLB) Evict(vpn uint64) bool {
+	slot, ok := t.index[vpn]
+	if !ok {
+		return false
+	}
+	t.slots[slot] = 0
+	delete(t.index, vpn)
+	return true
+}
+
+// Flush invalidates every entry (e.g. on an address-space switch in a TLB
+// without ASIDs). Statistics are preserved.
+func (t *TLB) Flush() {
+	for i := range t.slots {
+		t.slots[i] = 0
+	}
+	for i := range t.age {
+		t.age[i] = 0
+	}
+	t.index = make(map[uint64]int, t.cfg.Entries*2)
+	t.fifoMain, t.fifoProt = 0, 0
+}
+
+// Stats returns the accumulated statistics.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats clears statistics without touching contents.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// Resident returns the number of valid entries.
+func (t *TLB) Resident() int { return len(t.index) }
+
+// ResidentProtected returns the number of valid entries in the protected
+// partition.
+func (t *TLB) ResidentProtected() int {
+	n := 0
+	for s := 0; s < t.cfg.ProtectedSlots; s++ {
+		if t.slots[s] != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,351 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg(entries, prot int) Config {
+	return Config{Entries: entries, ProtectedSlots: prot, Seed: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{Entries: 128},
+		{Entries: 128, ProtectedSlots: 16},
+		{Entries: 4, ProtectedSlots: 2, Policy: LRU},
+		{Entries: 16, Policy: FIFO},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{Entries: 0},
+		{Entries: -1},
+		{Entries: 16, ProtectedSlots: -1},
+		{Entries: 16, ProtectedSlots: 16},
+		{Entries: 16, ProtectedSlots: 17},
+		{Entries: 16, Policy: Policy(9)},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	tb := New(cfg(8, 0))
+	if tb.Lookup(100) {
+		t.Fatal("cold lookup hit")
+	}
+	tb.Insert(100)
+	if !tb.Lookup(100) {
+		t.Fatal("lookup after insert missed")
+	}
+	st := tb.Stats()
+	if st.Lookups != 2 || st.Misses != 1 || st.Inserts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	tb := New(cfg(8, 0))
+	for v := uint64(0); v < 100; v++ {
+		tb.Insert(v)
+	}
+	if tb.Resident() != 8 {
+		t.Fatalf("resident = %d, want 8", tb.Resident())
+	}
+}
+
+func TestFillsInvalidSlotsBeforeEvicting(t *testing.T) {
+	tb := New(cfg(8, 0))
+	for v := uint64(0); v < 8; v++ {
+		tb.Insert(v)
+	}
+	// No evictions should have happened: all 8 remain resident.
+	for v := uint64(0); v < 8; v++ {
+		if !tb.Probe(v) {
+			t.Fatalf("vpn %d evicted while invalid slots existed", v)
+		}
+	}
+}
+
+func TestDuplicateInsertKeepsSingleEntry(t *testing.T) {
+	tb := New(cfg(8, 0))
+	tb.Insert(42)
+	tb.Insert(42)
+	tb.Insert(42)
+	if tb.Resident() != 1 {
+		t.Fatalf("resident = %d after duplicate inserts, want 1", tb.Resident())
+	}
+}
+
+func TestProtectedPartitionShieldsRootEntries(t *testing.T) {
+	// The ULTRIX/MACH property: user-level churn can never evict a
+	// protected root-level PTE (paper §3.1).
+	tb := New(cfg(128, 16))
+	for v := uint64(0); v < 16; v++ {
+		tb.InsertProtected(1_000_000 + v)
+	}
+	for v := uint64(0); v < 10_000; v++ {
+		tb.Insert(v)
+	}
+	for v := uint64(0); v < 16; v++ {
+		if !tb.Probe(1_000_000 + v) {
+			t.Fatalf("protected entry %d evicted by user churn", v)
+		}
+	}
+	if tb.ResidentProtected() != 16 {
+		t.Fatalf("ResidentProtected = %d, want 16", tb.ResidentProtected())
+	}
+}
+
+func TestProtectedChurnStaysInPartition(t *testing.T) {
+	// Conversely, protected churn must not evict user entries from the
+	// main partition.
+	tb := New(cfg(32, 4))
+	for v := uint64(0); v < 28; v++ {
+		tb.Insert(v)
+	}
+	for v := uint64(0); v < 1000; v++ {
+		tb.InsertProtected(5_000_000 + v)
+	}
+	for v := uint64(0); v < 28; v++ {
+		if !tb.Probe(v) {
+			t.Fatalf("user entry %d evicted by protected churn", v)
+		}
+	}
+}
+
+func TestUnpartitionedProtectedInsertGoesToMain(t *testing.T) {
+	// INTEL/PA-RISC style: no partition; protected inserts share slots.
+	tb := New(cfg(8, 0))
+	tb.InsertProtected(7)
+	if !tb.Probe(7) {
+		t.Fatal("protected insert lost in unpartitioned TLB")
+	}
+	if tb.Stats().ProtectedInserts != 1 {
+		t.Fatal("ProtectedInserts not counted")
+	}
+}
+
+func TestEffectiveUserCapacityShrinksWithPartition(t *testing.T) {
+	// 128-entry TLB with 16 protected slots holds only 112 user entries —
+	// the paper's reason INTEL's unpartitioned TLB has an edge.
+	tb := New(cfg(128, 16))
+	for v := uint64(0); v < 1000; v++ {
+		tb.Insert(v)
+	}
+	user := tb.Resident() - tb.ResidentProtected()
+	if user != 112 {
+		t.Fatalf("user-partition residency = %d, want 112", user)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	tb := New(cfg(8, 0))
+	tb.Insert(3)
+	if !tb.Evict(3) {
+		t.Fatal("Evict of resident entry returned false")
+	}
+	if tb.Probe(3) {
+		t.Fatal("entry survived Evict")
+	}
+	if tb.Evict(3) {
+		t.Fatal("Evict of absent entry returned true")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tb := New(cfg(16, 4))
+	tb.Insert(1)
+	tb.InsertProtected(2)
+	tb.Flush()
+	if tb.Resident() != 0 || tb.ResidentProtected() != 0 {
+		t.Fatal("entries survived Flush")
+	}
+	if tb.Stats().Inserts != 1 {
+		t.Fatal("Flush cleared statistics")
+	}
+}
+
+func TestLRUPolicy(t *testing.T) {
+	tb := New(Config{Entries: 2, Policy: LRU, Seed: 1})
+	tb.Insert(1)
+	tb.Insert(2)
+	tb.Lookup(1) // 1 becomes MRU
+	tb.Insert(3) // must evict 2
+	if !tb.Probe(1) {
+		t.Fatal("LRU evicted MRU entry")
+	}
+	if tb.Probe(2) {
+		t.Fatal("LRU kept LRU entry")
+	}
+	if !tb.Probe(3) {
+		t.Fatal("LRU lost the inserted entry")
+	}
+}
+
+func TestFIFOPolicy(t *testing.T) {
+	tb := New(Config{Entries: 2, Policy: FIFO, Seed: 1})
+	tb.Insert(1)
+	tb.Insert(2)
+	tb.Lookup(1) // recency must NOT matter for FIFO
+	tb.Insert(3) // evicts slot 0 (vpn 1)
+	if tb.Probe(1) {
+		t.Fatal("FIFO did not evict oldest slot")
+	}
+	if !tb.Probe(2) || !tb.Probe(3) {
+		t.Fatal("FIFO evicted wrong entry")
+	}
+	tb.Insert(4) // evicts slot 1 (vpn 2)
+	if tb.Probe(2) {
+		t.Fatal("FIFO rotor did not advance")
+	}
+}
+
+func TestRandomReplacementIsDeterministicPerSeed(t *testing.T) {
+	run := func() []bool {
+		tb := New(Config{Entries: 4, Seed: 77})
+		var out []bool
+		for v := uint64(0); v < 64; v++ {
+			out = append(out, tb.Lookup(v%7))
+			if !out[len(out)-1] {
+				tb.Insert(v % 7)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("random-replacement runs diverged at step %d", i)
+		}
+	}
+}
+
+func TestProbeDoesNotPerturbStats(t *testing.T) {
+	tb := New(cfg(8, 0))
+	tb.Probe(1)
+	if tb.Stats().Lookups != 0 {
+		t.Fatal("Probe counted as lookup")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	tb := New(cfg(8, 0))
+	tb.Lookup(1)
+	tb.Insert(1)
+	tb.Lookup(1)
+	if got := tb.Stats().MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %v, want 0.5", got)
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Fatal("empty MissRate not 0")
+	}
+	tb.ResetStats()
+	if tb.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestInsertLookupProperty(t *testing.T) {
+	// Property: for any insert sequence, a lookup immediately after an
+	// insert of the same VPN hits, and residency never exceeds capacity.
+	f := func(vpns []uint16, protSel uint8) bool {
+		prot := int(protSel % 8)
+		tb := New(Config{Entries: 16, ProtectedSlots: prot, Seed: 3})
+		for _, raw := range vpns {
+			v := uint64(raw % 64)
+			tb.Insert(v)
+			if !tb.Probe(v) {
+				return false
+			}
+			if tb.Resident() > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexConsistencyProperty(t *testing.T) {
+	// Property: after arbitrary interleaved operations, every indexed VPN
+	// is actually in its slot and every valid slot is indexed.
+	f := func(ops []uint32) bool {
+		tb := New(Config{Entries: 8, ProtectedSlots: 2, Seed: 5})
+		for _, op := range ops {
+			v := uint64(op % 32)
+			switch (op >> 8) % 4 {
+			case 0:
+				tb.Insert(v)
+			case 1:
+				tb.InsertProtected(v)
+			case 2:
+				tb.Lookup(v)
+			case 3:
+				tb.Evict(v)
+			}
+		}
+		// Verify bidirectional consistency.
+		for vpn, slot := range tb.index {
+			if tb.slots[slot] != vpn+1 {
+				return false
+			}
+		}
+		valid := 0
+		for _, s := range tb.slots {
+			if s != 0 {
+				valid++
+			}
+		}
+		return valid == len(tb.index)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	cases := map[Policy]string{Random: "random", LRU: "lru", FIFO: "fifo", Policy(9): "invalid"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("Policy(%d).String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bad config did not panic")
+		}
+	}()
+	New(Config{Entries: 0})
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tb := New(Config{Entries: 128, ProtectedSlots: 16, Seed: 1})
+	for v := uint64(0); v < 112; v++ {
+		tb.Insert(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(uint64(i) % 112)
+	}
+}
+
+func BenchmarkInsertChurn(b *testing.B) {
+	tb := New(Config{Entries: 128, ProtectedSlots: 16, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Insert(uint64(i) % 4096)
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDinero parses the classic "din" trace format used by Dinero and
+// much of the 1990s cache-simulation literature — the kind of tool the
+// paper's own traces passed through. Each non-empty line is
+//
+//	<label> <address>
+//
+// where label 0 is a data read, 1 a data write, and 2 an instruction
+// fetch, and address is hexadecimal (with or without an 0x prefix).
+// Anything after the address (some tools append a size or comment) is
+// ignored, as are blank lines and lines starting with '#' or '-'.
+//
+// The din format interleaves fetches and data references as separate
+// records; this adapter folds them into the simulator's one-instruction
+// records: an instruction fetch opens a new record, and the following
+// data reference (if any) attaches to it. A second data reference before
+// the next fetch synthesizes an additional record at the same PC (a
+// multi-access instruction). Data references before the first fetch
+// synthesize records at a placeholder PC. Addresses are masked into the
+// simulated 31-bit user space.
+func ReadDinero(r io.Reader, name string) (*Trace, error) {
+	const placeholderPC = 0x00400000
+	const userMask = 0x7FFFFFFF
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	out := &Trace{Name: name}
+	cur := Ref{PC: placeholderPC}
+	open := false // cur holds a fetched-but-unflushed instruction
+	lineNo := 0
+
+	flush := func() {
+		if open {
+			out.Refs = append(out.Refs, cur)
+			open = false
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '-' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("trace: din line %d: want \"<label> <hexaddr>\", got %q", lineNo, line)
+		}
+		a, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: din line %d: bad address %q: %v", lineNo, fields[1], err)
+		}
+		a &= userMask
+		switch fields[0] {
+		case "2": // instruction fetch
+			flush()
+			cur = Ref{PC: a &^ 3}
+			open = true
+		case "0", "1": // data read / write
+			kind := Load
+			if fields[0] == "1" {
+				kind = Store
+			}
+			if !open || cur.Kind != None {
+				// No pending instruction (or it already has a data
+				// access): synthesize one at the last PC.
+				pc := cur.PC
+				flush()
+				cur = Ref{PC: pc}
+				open = true
+			}
+			cur.Data = a
+			cur.Kind = kind
+		default:
+			return nil, fmt.Errorf("trace: din line %d: unknown label %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading din input: %w", err)
+	}
+	flush()
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

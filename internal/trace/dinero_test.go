@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadDineroBasic(t *testing.T) {
+	in := `
+2 400100
+0 10000
+2 400104
+2 400108
+1 10008
+`
+	tr, err := ReadDinero(strings.NewReader(in), "din")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Ref{
+		{PC: 0x400100, Data: 0x10000, Kind: Load},
+		{PC: 0x400104},
+		{PC: 0x400108, Data: 0x10008, Kind: Store},
+	}
+	if len(tr.Refs) != len(want) {
+		t.Fatalf("got %d refs, want %d: %+v", len(tr.Refs), len(want), tr.Refs)
+	}
+	for i := range want {
+		if tr.Refs[i] != want[i] {
+			t.Fatalf("ref %d = %+v, want %+v", i, tr.Refs[i], want[i])
+		}
+	}
+}
+
+func TestReadDineroMultipleDataPerFetch(t *testing.T) {
+	in := "2 400100\n0 10000\n0 10004\n1 10008\n"
+	tr, err := ReadDinero(strings.NewReader(in), "din")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One real instruction plus two synthesized at the same PC.
+	if len(tr.Refs) != 3 {
+		t.Fatalf("refs = %+v", tr.Refs)
+	}
+	for i, r := range tr.Refs {
+		if r.PC != 0x400100 {
+			t.Fatalf("ref %d PC = %#x", i, r.PC)
+		}
+		if r.Kind == None {
+			t.Fatalf("ref %d has no data access", i)
+		}
+	}
+	if tr.Refs[2].Kind != Store {
+		t.Fatal("last access should be the store")
+	}
+}
+
+func TestReadDineroDataBeforeFirstFetch(t *testing.T) {
+	tr, err := ReadDinero(strings.NewReader("0 2000\n"), "din")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Refs) != 1 || tr.Refs[0].Kind != Load || tr.Refs[0].PC == 0 {
+		t.Fatalf("refs = %+v", tr.Refs)
+	}
+}
+
+func TestReadDineroCommentsAndExtras(t *testing.T) {
+	in := "# comment\n- another\n2 0x400100 4 whatever\n\n0 10000 8\n"
+	tr, err := ReadDinero(strings.NewReader(in), "din")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Refs) != 1 || tr.Refs[0].Kind != Load {
+		t.Fatalf("refs = %+v", tr.Refs)
+	}
+}
+
+func TestReadDineroMasksIntoUserSpace(t *testing.T) {
+	tr, err := ReadDinero(strings.NewReader("2 FFFFFFFC\n0 C0000010\n"), "din")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("masked trace invalid: %v", err)
+	}
+	if tr.Refs[0].PC != 0x7FFFFFFC {
+		t.Fatalf("PC = %#x", tr.Refs[0].PC)
+	}
+	if tr.Refs[0].Data != 0x40000010 {
+		t.Fatalf("data = %#x", tr.Refs[0].Data)
+	}
+}
+
+func TestReadDineroErrors(t *testing.T) {
+	cases := []string{
+		"2\n",          // missing address
+		"2 nothex\n",   // bad address
+		"9 400100\n",   // unknown label
+		"fetch 4000\n", // non-numeric label
+	}
+	for _, in := range cases {
+		if _, err := ReadDinero(strings.NewReader(in), "bad"); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadDineroEmpty(t *testing.T) {
+	tr, err := ReadDinero(strings.NewReader(""), "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}

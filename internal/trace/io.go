@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: a fixed header followed by packed records. The
+// format exists so traces can be generated once (or captured from
+// elsewhere) and replayed across tools and machines; it is deliberately
+// simple, little-endian, and versioned.
+//
+//	magic   [8]byte  "MMUTRC01"
+//	nameLen uint32   followed by nameLen bytes of UTF-8 name
+//	count   uint64   number of records
+//	records          count × 18 bytes:
+//	    pc   uint64
+//	    data uint64
+//	    kind uint8   (trace.Kind)
+//	    meta uint8   (asid<<4 | flags&0xF)
+const (
+	magic = "MMUTRC01"
+	// recordBytes is the packed size of one Ref.
+	recordBytes = 18
+)
+
+// maxSerializedRefs bounds reads so a corrupt header cannot trigger an
+// enormous allocation.
+const maxSerializedRefs = 1 << 31
+
+// WriteTo serializes the trace. It returns the byte count written.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	if err := write([]byte(magic)); err != nil {
+		return n, err
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(t.Name)))
+	if err := write(u32[:]); err != nil {
+		return n, err
+	}
+	if err := write([]byte(t.Name)); err != nil {
+		return n, err
+	}
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(t.Refs)))
+	if err := write(u64[:]); err != nil {
+		return n, err
+	}
+	var rec [recordBytes]byte
+	for i := range t.Refs {
+		r := &t.Refs[i]
+		binary.LittleEndian.PutUint64(rec[0:], r.PC)
+		binary.LittleEndian.PutUint64(rec[8:], r.Data)
+		rec[16] = byte(r.Kind)
+		rec[17] = r.ASID<<4 | r.Flags&0xF
+		if err := write(rec[:]); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom deserializes a trace written by WriteTo. The result is
+// validated before being returned.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a trace file, or wrong version)", head)
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(br, u32[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	nameLen := binary.LittleEndian.Uint32(u32[:])
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	var u64 [8]byte
+	if _, err := io.ReadFull(br, u64[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading record count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(u64[:])
+	if count > maxSerializedRefs {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	out := &Trace{Name: string(name), Refs: make([]Ref, count)}
+	var rec [recordBytes]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
+		}
+		out.Refs[i] = Ref{
+			PC:    binary.LittleEndian.Uint64(rec[0:]),
+			Data:  binary.LittleEndian.Uint64(rec[8:]),
+			Kind:  Kind(rec[16]),
+			ASID:  rec[17] >> 4,
+			Flags: rec[17] & 0xF,
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, in *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := in.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	out, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestTraceIORoundTrip(t *testing.T) {
+	in := &Trace{
+		Name: "round-trip",
+		Refs: []Ref{
+			{PC: 0x1000, Kind: None},
+			{PC: 0x1004, Data: 0x20000, Kind: Load},
+			{PC: 0x1008, Data: 0x7FFFFFF8, Kind: Store, ASID: 3},
+			{PC: 0x100C, Data: 0x30000, Kind: Load, ASID: 15, Flags: FlagUncached},
+		},
+	}
+	out := roundTrip(t, in)
+	if out.Name != in.Name {
+		t.Fatalf("name %q != %q", out.Name, in.Name)
+	}
+	if len(out.Refs) != len(in.Refs) {
+		t.Fatalf("len %d != %d", len(out.Refs), len(in.Refs))
+	}
+	for i := range in.Refs {
+		if out.Refs[i] != in.Refs[i] {
+			t.Fatalf("ref %d: %+v != %+v", i, out.Refs[i], in.Refs[i])
+		}
+	}
+}
+
+func TestTraceIOEmpty(t *testing.T) {
+	out := roundTrip(t, &Trace{Name: "empty"})
+	if out.Len() != 0 || out.Name != "empty" {
+		t.Fatalf("empty round trip = %+v", out)
+	}
+}
+
+func TestTraceIORejectsBadMagic(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader("NOTATRCE-blah")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTraceIORejectsTruncation(t *testing.T) {
+	in := &Trace{Name: "x", Refs: []Ref{{PC: 0x1000}, {PC: 0x1004}}}
+	var buf bytes.Buffer
+	if _, err := in.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, len(magic) + 2, len(full) - 5} {
+		if _, err := ReadFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTraceIORejectsImplausibleHeader(t *testing.T) {
+	// Oversized name length.
+	raw := []byte(magic)
+	raw = append(raw, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := ReadFrom(bytes.NewReader(raw)); err == nil {
+		t.Fatal("implausible name length accepted")
+	}
+}
+
+func TestTraceIOValidatesContent(t *testing.T) {
+	// A record with a kernel-space PC must be rejected on read even if
+	// the encoding is well-formed. Encode manually by constructing an
+	// invalid trace and serializing it (WriteTo does not validate).
+	in := &Trace{Name: "bad", Refs: []Ref{{PC: 0xC0000000}}}
+	var buf bytes.Buffer
+	if _, err := in.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(&buf); err == nil {
+		t.Fatal("invalid trace content accepted on read")
+	}
+}
+
+func TestTraceIOLargeTrace(t *testing.T) {
+	in := &Trace{Name: "large"}
+	for i := 0; i < 100_000; i++ {
+		in.Refs = append(in.Refs, Ref{PC: uint64(i%1024) * 4, Data: uint64(i) * 8, Kind: Load})
+	}
+	out := roundTrip(t, in)
+	if out.Len() != in.Len() {
+		t.Fatalf("len %d != %d", out.Len(), in.Len())
+	}
+	for _, i := range []int{0, 57_123, 99_999} {
+		if out.Refs[i] != in.Refs[i] {
+			t.Fatalf("ref %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package trace defines the reference streams the simulator consumes.
+//
+// The paper drives its simulator with address traces of the SPEC '95
+// integer benchmarks. This package defines the in-memory trace
+// representation — one record per user-level instruction, carrying the
+// fetch address and an optional data access — together with summary
+// statistics (footprints, reference mix) used to sanity-check synthetic
+// workloads against the qualitative properties the paper describes.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+)
+
+// Kind classifies an instruction's data access.
+type Kind uint8
+
+// Data-access kinds.
+const (
+	// None: the instruction makes no data reference.
+	None Kind = iota
+	// Load: the instruction reads memory.
+	Load
+	// Store: the instruction writes memory.
+	Store
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return "invalid"
+	}
+}
+
+// MaxASIDs bounds the address-space ids a trace may use; it matches the
+// per-process structures the page-table organizations pre-reserve.
+const MaxASIDs = 16
+
+// Ref flags.
+const (
+	// FlagUncached marks the data reference as bypassing the caches —
+	// the per-line software-controlled cacheability the paper's §5
+	// attributes to software-managed caches. The reference is still
+	// translated (it needs a physical address) but neither probes nor
+	// fills the data caches.
+	FlagUncached uint8 = 1 << iota
+)
+
+// Ref is one user-level instruction: its fetch address and, if Kind is
+// Load or Store, the address of its data reference. ASID identifies the
+// issuing process's address space; single-process traces leave it zero.
+type Ref struct {
+	PC    uint64
+	Data  uint64
+	Kind  Kind
+	ASID  uint8
+	Flags uint8
+}
+
+// Trace is a named, replayable reference stream.
+type Trace struct {
+	Name string
+	Refs []Ref
+}
+
+// Len returns the number of instructions.
+func (t *Trace) Len() int { return len(t.Refs) }
+
+// Stats summarizes a trace.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	// CodePages / DataPages are the distinct 4KB page counts.
+	CodePages int
+	DataPages int
+	// CodeBytes / DataBytes are the page-granular footprints.
+	CodeBytes uint64
+	DataBytes uint64
+	// DataRefRatio is (loads+stores)/instructions.
+	DataRefRatio float64
+}
+
+// String formats the summary for human consumption.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"instrs=%d loads=%d stores=%d dataRefRatio=%.3f code=%dKB(%d pages) data=%dKB(%d pages)",
+		s.Instructions, s.Loads, s.Stores, s.DataRefRatio,
+		s.CodeBytes/1024, s.CodePages, s.DataBytes/1024, s.DataPages)
+}
+
+// ComputeStats scans the trace and returns its summary.
+func (t *Trace) ComputeStats() Stats {
+	codePages := map[uint64]struct{}{}
+	dataPages := map[uint64]struct{}{}
+	var s Stats
+	for _, r := range t.Refs {
+		s.Instructions++
+		codePages[addr.VPN(r.PC)] = struct{}{}
+		switch r.Kind {
+		case Load:
+			s.Loads++
+			dataPages[addr.VPN(r.Data)] = struct{}{}
+		case Store:
+			s.Stores++
+			dataPages[addr.VPN(r.Data)] = struct{}{}
+		}
+	}
+	s.CodePages = len(codePages)
+	s.DataPages = len(dataPages)
+	s.CodeBytes = uint64(s.CodePages) * addr.PageSize
+	s.DataBytes = uint64(s.DataPages) * addr.PageSize
+	if s.Instructions > 0 {
+		s.DataRefRatio = float64(s.Loads+s.Stores) / float64(s.Instructions)
+	}
+	return s
+}
+
+// PageHistogram returns, for the data side, the reference count per
+// virtual page, sorted descending — used to verify locality skew in
+// synthetic workloads (hot pages first).
+func (t *Trace) PageHistogram() []PageCount {
+	counts := map[uint64]uint64{}
+	for _, r := range t.Refs {
+		if r.Kind != None {
+			counts[addr.VPN(r.Data)]++
+		}
+	}
+	out := make([]PageCount, 0, len(counts))
+	for vpn, n := range counts {
+		out = append(out, PageCount{VPN: vpn, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].VPN < out[j].VPN
+	})
+	return out
+}
+
+// PageCount pairs a virtual page with its reference count.
+type PageCount struct {
+	VPN   uint64
+	Count uint64
+}
+
+// Validate checks the invariants every trace consumed by the simulator
+// must satisfy: all PCs and data addresses in user space, and Kind
+// consistent with Data.
+func (t *Trace) Validate() error {
+	for i, r := range t.Refs {
+		if !addr.IsUser(r.PC) {
+			return fmt.Errorf("trace %q ref %d: PC %#x outside user space", t.Name, i, r.PC)
+		}
+		if r.Kind != None && !addr.IsUser(r.Data) {
+			return fmt.Errorf("trace %q ref %d: data %#x outside user space", t.Name, i, r.Data)
+		}
+		if r.Kind > Store {
+			return fmt.Errorf("trace %q ref %d: invalid kind %d", t.Name, i, r.Kind)
+		}
+		if r.ASID >= MaxASIDs {
+			return fmt.Errorf("trace %q ref %d: ASID %d exceeds the %d supported address spaces",
+				t.Name, i, r.ASID, MaxASIDs)
+		}
+	}
+	return nil
+}
+
+// ContextSwitches counts the ASID changes along the trace.
+func (t *Trace) ContextSwitches() int {
+	n := 0
+	for i := 1; i < len(t.Refs); i++ {
+		if t.Refs[i].ASID != t.Refs[i-1].ASID {
+			n++
+		}
+	}
+	return n
+}

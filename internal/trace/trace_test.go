@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Name: "sample",
+		Refs: []Ref{
+			{PC: 0x1000, Kind: None},
+			{PC: 0x1004, Data: 0x20000, Kind: Load},
+			{PC: 0x1008, Data: 0x20004, Kind: Store},
+			{PC: 0x2000, Data: 0x30000, Kind: Load},
+		},
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{None: "none", Load: "load", Store: "store", Kind(9): "invalid"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := sample().ComputeStats()
+	if s.Instructions != 4 || s.Loads != 2 || s.Stores != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.CodePages != 2 {
+		t.Fatalf("code pages = %d, want 2", s.CodePages)
+	}
+	if s.DataPages != 2 {
+		t.Fatalf("data pages = %d, want 2", s.DataPages)
+	}
+	if s.DataRefRatio != 0.75 {
+		t.Fatalf("data ref ratio = %v, want 0.75", s.DataRefRatio)
+	}
+	if s.CodeBytes != 2*addr.PageSize {
+		t.Fatalf("code bytes = %d", s.CodeBytes)
+	}
+}
+
+func TestStatsStringMentionsKeyFields(t *testing.T) {
+	str := sample().ComputeStats().String()
+	for _, want := range []string{"instrs=4", "loads=2", "stores=1"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("Stats.String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestEmptyTraceStats(t *testing.T) {
+	tr := &Trace{Name: "empty"}
+	s := tr.ComputeStats()
+	if s.Instructions != 0 || s.DataRefRatio != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("Len of empty trace not 0")
+	}
+}
+
+func TestPageHistogramSortedDescending(t *testing.T) {
+	tr := &Trace{Refs: []Ref{
+		{PC: 0, Data: 0x5000, Kind: Load},
+		{PC: 0, Data: 0x5004, Kind: Load},
+		{PC: 0, Data: 0x5008, Kind: Store},
+		{PC: 0, Data: 0x9000, Kind: Load},
+		{PC: 0, Kind: None}, // must not contribute
+	}}
+	h := tr.PageHistogram()
+	if len(h) != 2 {
+		t.Fatalf("histogram has %d pages, want 2", len(h))
+	}
+	if h[0].VPN != 5 || h[0].Count != 3 {
+		t.Fatalf("hottest = %+v, want vpn 5 count 3", h[0])
+	}
+	if h[1].Count > h[0].Count {
+		t.Fatal("histogram not sorted descending")
+	}
+}
+
+func TestPageHistogramTieBreaksByVPN(t *testing.T) {
+	tr := &Trace{Refs: []Ref{
+		{Data: 0x9000, Kind: Load},
+		{Data: 0x5000, Kind: Load},
+	}}
+	h := tr.PageHistogram()
+	if h[0].VPN != 5 || h[1].VPN != 9 {
+		t.Fatalf("tie-break order wrong: %+v", h)
+	}
+}
+
+func TestValidateAcceptsGoodTrace(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadPC(t *testing.T) {
+	tr := &Trace{Name: "bad", Refs: []Ref{{PC: addr.KernelBase, Kind: None}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("kernel-space PC accepted")
+	}
+}
+
+func TestValidateRejectsBadData(t *testing.T) {
+	tr := &Trace{Name: "bad", Refs: []Ref{{PC: 0x1000, Data: addr.UnmappedBase, Kind: Load}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("unmapped-space data address accepted")
+	}
+}
+
+func TestValidateRejectsBadKind(t *testing.T) {
+	tr := &Trace{Name: "bad", Refs: []Ref{{PC: 0x1000, Kind: Kind(7)}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+}
+
+func TestValidateIgnoresDataWhenKindNone(t *testing.T) {
+	// A Kind==None ref may carry garbage in Data; only PC matters.
+	tr := &Trace{Name: "ok", Refs: []Ref{{PC: 0x1000, Data: addr.UnmappedBase, Kind: None}}}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Kind==None data address rejected: %v", err)
+	}
+}

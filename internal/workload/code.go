@@ -1,0 +1,139 @@
+package workload
+
+import "repro/internal/rng"
+
+// codeModel produces the instruction-fetch address stream: a random walk
+// over a synthetic program of CodeFunctions functions laid out
+// sequentially from codeBase, with Zipf-weighted call targets (a few hot
+// functions dominate, as in real integer codes), bounded call depth,
+// backward loop branches, and sequential fall-through otherwise.
+type codeModel struct {
+	r *rng.Source
+	// fn layout
+	base []uint64 // per-function base PC
+	size []int    // per-function length in instructions
+	// call-target weights: Zipf over function index.
+	callW []float64
+	// walk state
+	stack []codeFrame
+	cur   codeFrame
+	entry int // hottest function; execution restarts here
+
+	pCall, pRet, pLoop float64
+	loopSpan           int
+}
+
+type codeFrame struct {
+	fn  int
+	off int
+}
+
+const maxCallDepth = 24
+
+func newCodeModel(p Profile, r *rng.Source) *codeModel {
+	m := &codeModel{
+		r:        r,
+		pCall:    p.CallProb,
+		pRet:     p.RetProb,
+		pLoop:    p.LoopProb,
+		loopSpan: p.LoopSpan,
+	}
+	if m.loopSpan <= 0 {
+		m.loopSpan = 16
+	}
+	// Divide the code footprint among the functions with ×4 variation in
+	// size, keeping the total at the configured footprint.
+	totalInstrs := p.CodeFootprintBytes / 4
+	m.base = make([]uint64, p.CodeFunctions)
+	m.size = make([]int, p.CodeFunctions)
+	m.callW = make([]float64, p.CodeFunctions)
+	remaining := totalInstrs
+	pc := uint64(codeBase)
+	for i := 0; i < p.CodeFunctions; i++ {
+		avg := remaining / (p.CodeFunctions - i)
+		sz := avg/2 + r.Intn(avg+1)
+		if sz < 4 {
+			sz = 4
+		}
+		if i == p.CodeFunctions-1 {
+			sz = remaining
+			if sz < 4 {
+				sz = 4
+			}
+		}
+		m.base[i] = pc
+		m.size[i] = sz
+		pc += uint64(sz) * 4
+		remaining -= sz
+	}
+	// Zipf-ish popularity, assigned through a random permutation of the
+	// layout order: real programs' hot functions sit at arbitrary
+	// positions in the text segment, so hot code must land at arbitrary
+	// cache indexes rather than systematically at the segment base.
+	perm := make([]int, p.CodeFunctions)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for rank, fn := range perm {
+		m.callW[fn] = 1 / float64(rank+1)
+	}
+	// Execution starts in (and restarts at) the hottest function.
+	m.cur = codeFrame{fn: perm[0], off: 0}
+	m.entry = perm[0]
+	return m
+}
+
+// step returns the current instruction's PC and advances the walk.
+func (m *codeModel) step() uint64 {
+	pc := m.base[m.cur.fn] + uint64(m.cur.off)*4
+	x := m.r.Float64()
+	switch {
+	case x < m.pCall && len(m.stack) < maxCallDepth:
+		callee := m.r.Pick(m.callW)
+		m.stack = append(m.stack, codeFrame{fn: m.cur.fn, off: m.cur.off + 1})
+		m.cur = codeFrame{fn: callee, off: 0}
+	case x < m.pCall+m.pRet && len(m.stack) > 0:
+		m.cur = m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		m.clampOff()
+	case x < m.pCall+m.pRet+m.pLoop:
+		m.cur.off -= m.loopSpan
+		if m.cur.off < 0 {
+			m.cur.off = 0
+		}
+	default:
+		m.cur.off++
+		if m.cur.off >= m.size[m.cur.fn] {
+			// Fell off the end: return if possible, else restart.
+			if len(m.stack) > 0 {
+				m.cur = m.stack[len(m.stack)-1]
+				m.stack = m.stack[:len(m.stack)-1]
+				m.clampOff()
+			} else {
+				m.cur = codeFrame{fn: m.entry, off: 0}
+			}
+		}
+	}
+	return pc
+}
+
+// clampOff keeps the resumed offset inside the resumed function (the
+// saved return offset may equal the function length).
+func (m *codeModel) clampOff() {
+	if m.cur.off >= m.size[m.cur.fn] {
+		m.cur.off = 0
+	}
+}
+
+// footprintBytes returns the total laid-out code size.
+func (m *codeModel) footprintBytes() int {
+	total := 0
+	for _, s := range m.size {
+		total += s * 4
+	}
+	return total
+}

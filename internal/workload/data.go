@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"repro/internal/addr"
+	"repro/internal/rng"
+)
+
+// dataModel produces data-reference addresses.
+type dataModel interface {
+	next() uint64
+}
+
+// newDataModel constructs the model for spec, placing its region in the
+// data segment reserved for mixture slot idx (each model gets its own
+// 64MB-spaced segment, so synthetic heaps are sparse in the address space
+// the way real multi-arena allocators are).
+func newDataModel(spec ModelSpec, idx int, r *rng.Source) dataModel {
+	base := uint64(heapBase) + uint64(idx)*heapSpace
+	switch spec.Kind {
+	case Global:
+		return &globalModel{r: r, base: base, size: uint64(spec.Bytes)}
+	case Stack:
+		return &stackModel{r: r, size: uint64(spec.Bytes)}
+	case Stride:
+		s := spec.StrideBytes
+		if s <= 0 {
+			s = 4
+		}
+		al := spec.ArrayBytes
+		if al <= 0 {
+			al = 16 << 10
+		}
+		return &strideModel{r: r, base: base, size: uint64(spec.Bytes),
+			stride: uint64(s), arrayLen: uint64(al)}
+	case Chase:
+		pages := uint64(spec.Bytes) >> addr.PageShift
+		if pages == 0 {
+			pages = 1
+		}
+		hot := uint64(spec.HotPages)
+		if hot == 0 || hot > pages {
+			hot = (pages + 3) / 4
+		}
+		hf := spec.HotFrac
+		if hf <= 0 {
+			hf = 0.6
+		}
+		jp := spec.JumpProb
+		if jp <= 0 {
+			jp = 0.05
+		}
+		return &chaseModel{r: r, base: base, pages: pages, hotPages: hot, hotFrac: hf, jumpProb: jp}
+	case Hash:
+		pp := spec.ProbeProb
+		if pp <= 0 {
+			pp = 0.10
+		}
+		return &hashModel{r: r, base: base, size: uint64(spec.Bytes), probeProb: pp}
+	default:
+		panic("workload: unknown model kind")
+	}
+}
+
+// globalModel: references over a small static region; mild random walk so
+// successive accesses are often on the same line.
+type globalModel struct {
+	r    *rng.Source
+	base uint64
+	size uint64
+	cur  uint64
+}
+
+func (g *globalModel) next() uint64 {
+	if g.r.Float64() < 0.75 {
+		// Stay near the previous reference (same or adjacent line).
+		delta := uint64(g.r.Intn(64)) &^ 3
+		g.cur = (g.cur + delta) % g.size
+	} else {
+		g.cur = g.r.Uint64n(g.size) &^ 3
+	}
+	return g.base + g.cur
+}
+
+// stackModel: a stack pointer performing a bounded random walk below the
+// top of user space, with accesses at small offsets above it — deep
+// recursion moves the pointer far, but most activity stays within a few
+// cache lines of the current frame.
+type stackModel struct {
+	r    *rng.Source
+	size uint64
+	sp   uint64 // distance below stackTop
+}
+
+func (s *stackModel) next() uint64 {
+	// Push/pop activity: move sp by up to two "frames" either way.
+	move := int64(s.r.Intn(257)) - 128
+	nsp := int64(s.sp) + move
+	if nsp < 0 {
+		nsp = 0
+	}
+	if nsp >= int64(s.size) {
+		nsp = int64(s.size) - 1
+	}
+	s.sp = uint64(nsp)
+	off := uint64(s.r.Intn(96)) &^ 3 // access within the active frame
+	a := uint64(stackTop) - s.sp - off
+	return a &^ 3
+}
+
+// strideModel: sequential scans. The model walks an "array" (a contiguous
+// run within the region) with a fixed stride; when the scan completes it
+// jumps to a new array at a random offset. This produces the classic
+// spatial-locality signature whose miss rate halves as linesize doubles.
+type strideModel struct {
+	r        *rng.Source
+	base     uint64
+	size     uint64
+	stride   uint64
+	arrayLen uint64
+	start    uint64
+	cur      uint64
+}
+
+func (s *strideModel) next() uint64 {
+	if s.cur >= s.arrayLen {
+		s.start = s.r.Uint64n(s.size) &^ 63
+		s.cur = 0
+	}
+	a := s.base + (s.start+s.cur)%s.size
+	s.cur += s.stride
+	return a &^ 3
+}
+
+// chaseModel: pointer chasing with object traversal. The model follows a
+// pointer to an object (at a random offset of a random page — a
+// configurable fraction lands in a small hot subset: allocator metadata,
+// list heads) and then works on that object — accesses within a small
+// object-sized window — before following the next pointer. Pointer
+// *follows* have no spatial correlation — the paper's description of heap
+// behaviour — while the within-object run supplies the temporal locality
+// real programs have.
+type chaseModel struct {
+	r        *rng.Source
+	base     uint64
+	pages    uint64
+	hotPages uint64
+	hotFrac  float64
+	// jumpProb is the per-access probability of following a pointer to a
+	// new object rather than continuing on the current one.
+	jumpProb float64
+	obj      uint64 // current object base (0 = none yet)
+	objSpan  uint64 // current object size in bytes
+}
+
+func (c *chaseModel) next() uint64 {
+	if c.obj == 0 || c.r.Float64() < c.jumpProb {
+		var page uint64
+		if c.r.Float64() < c.hotFrac {
+			page = c.r.Uint64n(c.hotPages)
+		} else {
+			page = c.r.Uint64n(c.pages)
+		}
+		// Heap objects are tens to a couple hundred bytes.
+		c.objSpan = 32 << c.r.Intn(3) // 32, 64 or 128 bytes
+		limit := addr.PageSize - c.objSpan
+		c.obj = c.base + page<<addr.PageShift + (c.r.Uint64n(limit) &^ 7)
+		return c.obj
+	}
+	return c.obj + (c.r.Uint64n(c.objSpan) &^ 7)
+}
+
+// hashModel: probe-then-work over a large table. A probe lands uniformly
+// anywhere in the table (no spatial correlation between probes — the
+// vortex signature); the small record found is then accessed a few times
+// before the next probe. Records are deliberately smaller than any
+// simulated cache line, so longer lines buy almost nothing — the "poor
+// spatial locality" behaviour the paper attributes to database codes.
+type hashModel struct {
+	r    *rng.Source
+	base uint64
+	size uint64
+	// probeProb is the per-access probability of starting a fresh
+	// uniform probe rather than continuing on the current record.
+	probeProb float64
+	rec       uint64
+}
+
+const hashRecordBytes = 16
+
+func (h *hashModel) next() uint64 {
+	if h.rec == 0 || h.r.Float64() < h.probeProb {
+		h.rec = h.base + (h.r.Uint64n(h.size-hashRecordBytes) &^ 7)
+		return h.rec
+	}
+	return h.rec + (h.r.Uint64n(hashRecordBytes) &^ 7)
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestMultiprogramRoundRobin(t *testing.T) {
+	tr, err := Multiprogram([]string{"gcc", "ijpeg"}, 7, 10_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10_000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// ASIDs alternate in quantum-sized runs: 0 for [0,1000), 1 for
+	// [1000,2000), ...
+	for i, r := range tr.Refs {
+		want := uint8((i / 1000) % 2)
+		if r.ASID != want {
+			t.Fatalf("ref %d: ASID %d, want %d", i, r.ASID, want)
+		}
+	}
+	if got := tr.ContextSwitches(); got != 9 {
+		t.Fatalf("context switches = %d, want 9", got)
+	}
+}
+
+func TestMultiprogramPartialFinalQuantum(t *testing.T) {
+	tr, err := Multiprogram([]string{"gcc"}, 7, 2_500, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2_500 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.ContextSwitches() != 0 {
+		t.Fatal("single-benchmark trace has switches")
+	}
+}
+
+func TestMultiprogramDistinctStreamsForSameBenchmark(t *testing.T) {
+	tr, err := Multiprogram([]string{"gcc", "gcc"}, 7, 4_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two gcc copies must not replay identical address streams.
+	same := 0
+	for i := 0; i < 1000; i++ {
+		a, b := tr.Refs[i], tr.Refs[i+1000]
+		if a.PC == b.PC && a.Data == b.Data {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("two copies of the same benchmark replayed identical streams")
+	}
+}
+
+func TestMultiprogramDeterministic(t *testing.T) {
+	a, err := Multiprogram([]string{"gcc", "vortex"}, 3, 5_000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Multiprogram([]string{"gcc", "vortex"}, 3, 5_000, 500)
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			t.Fatalf("multiprogram traces diverged at %d", i)
+		}
+	}
+}
+
+func TestMultiprogramErrors(t *testing.T) {
+	if _, err := Multiprogram(nil, 1, 100, 10); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := Multiprogram([]string{"nonesuch"}, 1, 100, 10); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Multiprogram([]string{"gcc"}, 1, 100, 0); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	tooMany := make([]string, trace.MaxASIDs+1)
+	for i := range tooMany {
+		tooMany[i] = "gcc"
+	}
+	if _, err := Multiprogram(tooMany, 1, 100, 10); err == nil {
+		t.Fatal("over-wide mix accepted")
+	}
+}

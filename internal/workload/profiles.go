@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profiles for the SPEC '95 integer suite (paper Table 1: "Benchmarks:
+// SPEC '95 integer suite"). The paper focuses on gcc and vortex (the
+// worst virtual-memory performers) and ijpeg (the counterexample); the
+// rest of the suite is provided for completeness of the harness.
+//
+// Tunings encode the qualitative characterizations the paper relies on:
+// footprints relative to the 512KB TLB reach (128 entries × 4KB) and to
+// the 1–4MB L2 cache sizes, and each benchmark's spatial-locality
+// signature.
+var profiles = []Profile{
+	{
+		Name: "gcc",
+		Description: "optimizing compiler: large sparse code footprint, " +
+			"several-MB data footprint spread over many allocation arenas; " +
+			"one of the paper's two worst VM performers",
+		CodeFunctions:      192,
+		CodeFootprintBytes: 640 << 10,
+		CallProb:           0.024,
+		RetProb:            0.0225,
+		LoopProb:           0.080,
+		LoopSpan:           12,
+		DataRefRatio:       0.36,
+		StoreFrac:          0.34,
+		Models: []ModelSpec{
+			{Kind: Global, Weight: 1.2, Bytes: 48 << 10},
+			{Kind: Stack, Weight: 1.6, Bytes: 96 << 10},
+			{Kind: Chase, Weight: 2.4, Bytes: 1536 << 10, HotFrac: 0.55, HotPages: 96, JumpProb: 0.015},
+			{Kind: Stride, Weight: 1.4, Bytes: 1 << 20, StrideBytes: 8, ArrayBytes: 8 << 10},
+			{Kind: Hash, Weight: 1.0, Bytes: 1 << 20, ProbeProb: 0.015},
+		},
+	},
+	{
+		Name: "vortex",
+		Description: "object-oriented database: data accesses with poor " +
+			"spatial locality over a large heap; the paper's other worst VM performer",
+		CodeFunctions:      128,
+		CodeFootprintBytes: 448 << 10,
+		CallProb:           0.024,
+		RetProb:            0.0225,
+		LoopProb:           0.090,
+		LoopSpan:           14,
+		DataRefRatio:       0.38,
+		StoreFrac:          0.30,
+		Models: []ModelSpec{
+			{Kind: Global, Weight: 0.8, Bytes: 32 << 10},
+			{Kind: Stack, Weight: 1.0, Bytes: 48 << 10},
+			{Kind: Hash, Weight: 3.0, Bytes: 2560 << 10, ProbeProb: 0.018},
+			{Kind: Chase, Weight: 2.2, Bytes: 1536 << 10, HotFrac: 0.45, HotPages: 64, JumpProb: 0.018},
+		},
+	},
+	{
+		Name: "ijpeg",
+		Description: "image compression: small code, streaming scans over " +
+			"image buffers with strong spatial locality; the paper's counterexample benchmark",
+		CodeFunctions:      40,
+		CodeFootprintBytes: 96 << 10,
+		CallProb:           0.015,
+		RetProb:            0.014,
+		LoopProb:           0.170,
+		LoopSpan:           10,
+		DataRefRatio:       0.30,
+		StoreFrac:          0.28,
+		Models: []ModelSpec{
+			{Kind: Global, Weight: 1.0, Bytes: 16 << 10},
+			{Kind: Stack, Weight: 0.5, Bytes: 16 << 10},
+			{Kind: Stride, Weight: 5.0, Bytes: 384 << 10, StrideBytes: 4, ArrayBytes: 48 << 10},
+		},
+	},
+	{
+		Name: "compress",
+		Description: "LZW compression: tiny code, one streaming input scan " +
+			"plus uniform probes of a dictionary hash table",
+		CodeFunctions:      16,
+		CodeFootprintBytes: 48 << 10,
+		CallProb:           0.010,
+		RetProb:            0.010,
+		LoopProb:           0.200,
+		LoopSpan:           8,
+		DataRefRatio:       0.32,
+		StoreFrac:          0.30,
+		Models: []ModelSpec{
+			{Kind: Stride, Weight: 2.5, Bytes: 256 << 10, StrideBytes: 4, ArrayBytes: 64 << 10},
+			{Kind: Hash, Weight: 2.0, Bytes: 320 << 10, ProbeProb: 0.06},
+			{Kind: Stack, Weight: 0.5, Bytes: 8 << 10},
+		},
+	},
+	{
+		Name: "li",
+		Description: "lisp interpreter: pointer chasing over a cons heap " +
+			"with a hot allocator frontier, deep recursion on the stack",
+		CodeFunctions:      64,
+		CodeFootprintBytes: 128 << 10,
+		CallProb:           0.045,
+		RetProb:            0.043,
+		LoopProb:           0.080,
+		LoopSpan:           10,
+		DataRefRatio:       0.34,
+		StoreFrac:          0.32,
+		Models: []ModelSpec{
+			{Kind: Chase, Weight: 3.5, Bytes: 512 << 10, HotFrac: 0.65, HotPages: 32, JumpProb: 0.03},
+			{Kind: Stack, Weight: 2.0, Bytes: 128 << 10},
+			{Kind: Global, Weight: 0.8, Bytes: 16 << 10},
+		},
+	},
+	{
+		Name: "perl",
+		Description: "perl interpreter: medium code, mixed heap behaviour — " +
+			"string scans, symbol-table probes, pointer-linked structures",
+		CodeFunctions:      96,
+		CodeFootprintBytes: 320 << 10,
+		CallProb:           0.032,
+		RetProb:            0.030,
+		LoopProb:           0.095,
+		LoopSpan:           12,
+		DataRefRatio:       0.36,
+		StoreFrac:          0.33,
+		Models: []ModelSpec{
+			{Kind: Chase, Weight: 2.0, Bytes: 1 << 20, HotFrac: 0.55, HotPages: 48, JumpProb: 0.025},
+			{Kind: Hash, Weight: 1.5, Bytes: 512 << 10, ProbeProb: 0.018},
+			{Kind: Stride, Weight: 1.0, Bytes: 512 << 10, StrideBytes: 8, ArrayBytes: 8 << 10},
+			{Kind: Stack, Weight: 1.5, Bytes: 64 << 10},
+		},
+	},
+	{
+		Name: "m88ksim",
+		Description: "microprocessor simulator: small hot code loop over " +
+			"compact simulator state tables",
+		CodeFunctions:      48,
+		CodeFootprintBytes: 96 << 10,
+		CallProb:           0.020,
+		RetProb:            0.019,
+		LoopProb:           0.160,
+		LoopSpan:           10,
+		DataRefRatio:       0.30,
+		StoreFrac:          0.30,
+		Models: []ModelSpec{
+			{Kind: Global, Weight: 3.0, Bytes: 96 << 10},
+			{Kind: Stride, Weight: 1.5, Bytes: 128 << 10, StrideBytes: 16, ArrayBytes: 16 << 10},
+			{Kind: Stack, Weight: 1.0, Bytes: 16 << 10},
+		},
+	},
+	{
+		Name: "go",
+		Description: "go-playing program: branchy code over board-evaluation " +
+			"structures with moderate pointer chasing",
+		CodeFunctions:      80,
+		CodeFootprintBytes: 256 << 10,
+		CallProb:           0.035,
+		RetProb:            0.033,
+		LoopProb:           0.085,
+		LoopSpan:           12,
+		DataRefRatio:       0.31,
+		StoreFrac:          0.29,
+		Models: []ModelSpec{
+			{Kind: Chase, Weight: 2.5, Bytes: 768 << 10, HotFrac: 0.60, HotPages: 40, JumpProb: 0.025},
+			{Kind: Global, Weight: 1.5, Bytes: 48 << 10},
+			{Kind: Stack, Weight: 1.0, Bytes: 48 << 10},
+		},
+	},
+}
+
+// Profiles returns all benchmark profiles, sorted by name.
+func Profiles() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the benchmark names, sorted.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ByName returns the named profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+}
+
+// PaperFocus returns the three benchmarks the paper's results section
+// concentrates on: "we focus only on the benchmarks that have the worst
+// virtual memory performance: gcc and vortex, and one that provides
+// interesting counterexamples: ijpeg."
+func PaperFocus() []string { return []string{"gcc", "vortex", "ijpeg"} }

@@ -1,0 +1,312 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+func gccProfile(t *testing.T) Profile {
+	t.Helper()
+	p, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileValidateRejections(t *testing.T) {
+	base := gccProfile(t)
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.CodeFunctions = 0 },
+		func(p *Profile) { p.CodeFootprintBytes = 10 },
+		func(p *Profile) { p.DataRefRatio = 1.5 },
+		func(p *Profile) { p.DataRefRatio = -0.1 },
+		func(p *Profile) { p.StoreFrac = 2 },
+		func(p *Profile) { p.Models = nil },
+		func(p *Profile) { p.Models = []ModelSpec{{Kind: Global, Weight: -1, Bytes: 100}} },
+		func(p *Profile) { p.Models = []ModelSpec{{Kind: Global, Weight: 1, Bytes: 0}} },
+		func(p *Profile) { p.Models = []ModelSpec{{Kind: ModelKind(99), Weight: 1, Bytes: 100}} },
+	}
+	for i, mutate := range mutations {
+		p := base
+		p.Models = append([]ModelSpec(nil), base.Models...)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestNamesSortedAndUnique(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("only %d profiles; want the SPEC'95 integer suite", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatalf("names not sorted/unique at %q", names[i])
+		}
+	}
+}
+
+func TestPaperFocusAvailable(t *testing.T) {
+	for _, n := range PaperFocus() {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("focus benchmark %s missing: %v", n, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := gccProfile(t)
+	a := Generate(p, 7, 5000)
+	b := Generate(p, 7, 5000)
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			t.Fatalf("traces diverged at instruction %d", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	p := gccProfile(t)
+	a := Generate(p, 1, 2000)
+	b := Generate(p, 2, 2000)
+	same := 0
+	for i := range a.Refs {
+		if a.Refs[i] == b.Refs[i] {
+			same++
+		}
+	}
+	if same == len(a.Refs) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestBenchmarksShareSeedButNotStreams(t *testing.T) {
+	pg := gccProfile(t)
+	pv, _ := ByName("vortex")
+	a := Generate(pg, 5, 1000)
+	b := Generate(pv, 5, 1000)
+	same := 0
+	for i := range a.Refs {
+		if a.Refs[i].Data == b.Refs[i].Data && a.Refs[i].Kind == b.Refs[i].Kind && a.Refs[i].Kind != trace.None {
+			same++
+		}
+	}
+	if same > len(a.Refs)/10 {
+		t.Fatalf("gcc and vortex streams correlated: %d/%d identical data refs", same, len(a.Refs))
+	}
+}
+
+func TestTracesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		tr := Generate(p, 3, 20000)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestDataRefRatioHonored(t *testing.T) {
+	for _, p := range Profiles() {
+		s := Generate(p, 11, 50000).ComputeStats()
+		if diff := s.DataRefRatio - p.DataRefRatio; diff > 0.02 || diff < -0.02 {
+			t.Errorf("%s: data ref ratio %.3f, configured %.3f", p.Name, s.DataRefRatio, p.DataRefRatio)
+		}
+	}
+}
+
+func TestStoreFractionHonored(t *testing.T) {
+	p := gccProfile(t)
+	s := Generate(p, 13, 50000).ComputeStats()
+	frac := float64(s.Stores) / float64(s.Loads+s.Stores)
+	if frac < p.StoreFrac-0.03 || frac > p.StoreFrac+0.03 {
+		t.Fatalf("store fraction %.3f, configured %.3f", frac, p.StoreFrac)
+	}
+}
+
+func TestCodeFootprintNearConfigured(t *testing.T) {
+	for _, p := range Profiles() {
+		g := New(p, 1)
+		got := g.code.footprintBytes()
+		want := p.CodeFootprintBytes
+		if got < want*9/10 || got > want*11/10 {
+			t.Errorf("%s: laid-out code %d bytes, configured %d", p.Name, got, want)
+		}
+	}
+}
+
+func TestFootprintOrdering(t *testing.T) {
+	// The relative-footprint facts the paper's analysis rests on:
+	// gcc and vortex must dwarf ijpeg on both sides.
+	const n = 400000
+	sg := Generate(mustProfile(t, "gcc"), 17, n).ComputeStats()
+	sv := Generate(mustProfile(t, "vortex"), 17, n).ComputeStats()
+	si := Generate(mustProfile(t, "ijpeg"), 17, n).ComputeStats()
+	if sg.CodePages <= 2*si.CodePages {
+		t.Errorf("gcc code pages %d not >> ijpeg %d", sg.CodePages, si.CodePages)
+	}
+	if sg.DataPages <= 3*si.DataPages {
+		t.Errorf("gcc data pages %d not >> ijpeg %d", sg.DataPages, si.DataPages)
+	}
+	if sv.DataPages <= 3*si.DataPages {
+		t.Errorf("vortex data pages %d not >> ijpeg %d", sv.DataPages, si.DataPages)
+	}
+	// TLB-reach facts: gcc/vortex data exceed the 128-entry TLB reach;
+	// ijpeg's does not exceed it by much.
+	tlbReachPages := 128
+	if sg.DataPages < 2*tlbReachPages {
+		t.Errorf("gcc data pages %d do not exceed TLB reach", sg.DataPages)
+	}
+	if sv.DataPages < 2*tlbReachPages {
+		t.Errorf("vortex data pages %d do not exceed TLB reach", sv.DataPages)
+	}
+	if si.DataPages > tlbReachPages {
+		t.Errorf("ijpeg data pages %d exceed TLB reach; should be the counterexample", si.DataPages)
+	}
+}
+
+func TestWorkloadsFitSimulatedPhysicalMemory(t *testing.T) {
+	// Total touched pages (code + data) must fit 8MB = 2048 frames with
+	// room for page tables, or the paper's PA-RISC sizing breaks.
+	for _, name := range PaperFocus() {
+		s := Generate(mustProfile(t, name), 19, 400000).ComputeStats()
+		total := s.CodePages + s.DataPages
+		if total > 1800 {
+			t.Errorf("%s touches %d pages; must stay under ~1800 of 2048 frames", name, total)
+		}
+	}
+}
+
+func TestLocalitySkew(t *testing.T) {
+	// Hot pages must dominate for chase-heavy profiles: the top 10% of
+	// pages should receive well over half the references for li.
+	tr := Generate(mustProfile(t, "li"), 23, 200000)
+	h := tr.PageHistogram()
+	if len(h) < 20 {
+		t.Skip("too few pages to measure skew")
+	}
+	var total, top uint64
+	cut := len(h) / 10
+	for i, pc := range h {
+		total += pc.Count
+		if i < cut {
+			top += pc.Count
+		}
+	}
+	if float64(top)/float64(total) < 0.5 {
+		t.Errorf("top-decile pages take %.2f of references; want > 0.5", float64(top)/float64(total))
+	}
+}
+
+func TestVortexPoorerSpatialLocalityThanIjpeg(t *testing.T) {
+	// Spatial locality proxy: fraction of data refs landing on the same
+	// 64-byte line as the previous data ref from the same benchmark.
+	sameLineFrac := func(name string) float64 {
+		tr := Generate(mustProfile(t, name), 29, 100000)
+		var prev uint64
+		var has bool
+		same, total := 0, 0
+		for _, r := range tr.Refs {
+			if r.Kind == trace.None {
+				continue
+			}
+			if has {
+				total++
+				if r.Data>>6 == prev>>6 {
+					same++
+				}
+			}
+			prev, has = r.Data, true
+		}
+		return float64(same) / float64(total)
+	}
+	v, i := sameLineFrac("vortex"), sameLineFrac("ijpeg")
+	if v >= i {
+		t.Fatalf("vortex same-line fraction %.3f not below ijpeg %.3f", v, i)
+	}
+}
+
+func TestCodeAddressesInCodeSegment(t *testing.T) {
+	tr := Generate(gccProfile(t), 31, 50000)
+	for _, r := range tr.Refs {
+		if r.PC < codeBase || r.PC >= heapBase {
+			t.Fatalf("PC %#x outside code segment", r.PC)
+		}
+		if r.PC%4 != 0 {
+			t.Fatalf("PC %#x not instruction-aligned", r.PC)
+		}
+	}
+}
+
+func TestDataAddressesInUserSpace(t *testing.T) {
+	for _, p := range Profiles() {
+		tr := Generate(p, 37, 30000)
+		for _, r := range tr.Refs {
+			if r.Kind == trace.None {
+				continue
+			}
+			if !addr.IsUser(r.Data) {
+				t.Fatalf("%s: data address %#x outside user space", p.Name, r.Data)
+			}
+		}
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	want := map[ModelKind]string{Global: "global", Stack: "stack", Stride: "stride",
+		Chase: "chase", Hash: "hash", ModelKind(42): "invalid"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("ModelKind(%d) = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid profile did not panic")
+		}
+	}()
+	New(Profile{}, 1)
+}
+
+func mustProfile(t *testing.T, name string) Profile {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkGenerateGCC(b *testing.B) {
+	p, _ := ByName("gcc")
+	g := New(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}

@@ -1,0 +1,171 @@
+package mmusim
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Core simulation types, aliased from the implementation packages so
+// callers need only this package.
+type (
+	// Config describes one simulation run (organization, cache and TLB
+	// geometry, interrupt cost, physical memory, seed).
+	Config = sim.Config
+	// Result is one simulation's outcome: MCPI/VMCPI break-downs,
+	// interrupt counts, TLB miss rates.
+	Result = sim.Result
+	// Trace is a replayable reference stream.
+	Trace = trace.Trace
+	// TraceStats summarizes a trace (footprints, reference mix).
+	TraceStats = trace.Stats
+	// WorkloadProfile is a synthetic benchmark description.
+	WorkloadProfile = workload.Profile
+	// ExperimentOptions parameterizes a paper-experiment run.
+	ExperimentOptions = experiments.Options
+	// ExperimentReport is a regenerated paper table/figure.
+	ExperimentReport = experiments.Report
+	// SweepSpace enumerates a configuration cross-product.
+	SweepSpace = sweep.Space
+	// SweepPoint is one sweep outcome.
+	SweepPoint = sweep.Point
+	// TLBPolicy selects the TLB replacement policy.
+	TLBPolicy = tlb.Policy
+)
+
+// TLB replacement policies. TLBRandom is the paper's configuration.
+const (
+	TLBRandom = tlb.Random
+	TLBLRU    = tlb.LRU
+	TLBFIFO   = tlb.FIFO
+)
+
+// ASIDPolicy selects TLB behaviour across context switches in
+// multiprogrammed traces.
+type ASIDPolicy = sim.ASIDPolicy
+
+// ASID policies: ASIDAuto follows the organization's convention (tagged
+// everywhere except the classical x86, which flushes); the others
+// override it.
+const (
+	ASIDAuto   = sim.ASIDAuto
+	ASIDTagged = sim.ASIDTagged
+	ASIDFlush  = sim.ASIDFlush
+)
+
+// Multiprogram builds a multiprogrammed trace: the named benchmarks run
+// round-robin with the given scheduling quantum, each in its own address
+// space.
+func Multiprogram(benchNames []string, seed uint64, n, quantum int) (*Trace, error) {
+	return workload.Multiprogram(benchNames, seed, n, quantum)
+}
+
+// VM organization names.
+const (
+	VMBase       = sim.VMBase
+	VMUltrix     = sim.VMUltrix
+	VMMach       = sim.VMMach
+	VMIntel      = sim.VMIntel
+	VMPARISC     = sim.VMPARISC
+	VMNoTLB      = sim.VMNoTLB
+	VMHWMIPS     = sim.VMHWMIPS
+	VMPowerPC    = sim.VMPowerPC
+	VMSPUR       = sim.VMSPUR
+	VMPFSMHier   = sim.VMPFSMHier
+	VMPFSMHashed = sim.VMPFSMHashed
+	VMClustered  = sim.VMClustered
+)
+
+// DefaultConfig returns the paper's baseline configuration for the given
+// organization: 32KB/2MB caches with 64/128-byte lines, 128-entry TLBs
+// with random replacement, 8MB physical memory.
+func DefaultConfig(vm string) Config { return sim.Default(vm) }
+
+// VMs returns every supported organization name.
+func VMs() []string { return sim.AllVMs() }
+
+// PaperVMs returns the six organizations of the paper's Table 1.
+func PaperVMs() []string { return sim.PaperVMs() }
+
+// HybridVMs returns the §4.2/§5 hybrid organizations.
+func HybridVMs() []string { return sim.HybridVMs() }
+
+// Benchmarks returns the available synthetic benchmark names.
+func Benchmarks() []string { return workload.Names() }
+
+// BenchmarkProfile returns the named benchmark's profile.
+func BenchmarkProfile(name string) (WorkloadProfile, error) { return workload.ByName(name) }
+
+// GenerateTrace materializes an n-instruction synthetic trace for the
+// named benchmark on the given seed.
+func GenerateTrace(bench string, seed uint64, n int) (*Trace, error) {
+	p, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(p, seed, n), nil
+}
+
+// WriteTrace serializes tr in the binary trace format (replayable by
+// ReadTrace and the -tracefile flags of the tools).
+func WriteTrace(w io.Writer, tr *Trace) error {
+	_, err := tr.WriteTo(w)
+	return err
+}
+
+// ReadTrace deserializes a trace written by WriteTrace and validates it.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.ReadFrom(r) }
+
+// ReadDineroTrace parses the classic Dinero "din" text format
+// (`<label> <hexaddr>` lines; 0=read, 1=write, 2=ifetch), allowing real
+// captured traces to drive the simulator in place of the synthetic
+// workload models.
+func ReadDineroTrace(r io.Reader, name string) (*Trace, error) {
+	return trace.ReadDinero(r, name)
+}
+
+// Simulate runs cfg over tr.
+func Simulate(cfg Config, tr *Trace) (*Result, error) { return sim.Simulate(cfg, tr) }
+
+// RunBenchmark generates the named benchmark's trace and simulates cfg
+// over it — the one-call entry point.
+func RunBenchmark(cfg Config, bench string, seed uint64, n int) (*Result, error) {
+	tr, err := GenerateTrace(bench, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	return Simulate(cfg, tr)
+}
+
+// Sweep simulates every configuration over tr in parallel (workers <= 0
+// selects GOMAXPROCS). The result slice is index-aligned with cfgs.
+func Sweep(tr *Trace, cfgs []Config, workers int) []SweepPoint {
+	return sweep.Run(tr, cfgs, workers)
+}
+
+// Replication summarizes a metric over repeated independently-seeded
+// runs (mean, standard deviation, extremes).
+type Replication = sweep.Replication
+
+// ReplicateBenchmark runs cfg over the named benchmark at each seed and
+// summarizes VMCPI; use it to attach error bars to any single-point
+// comparison.
+func ReplicateBenchmark(cfg Config, bench string, n int, seeds []uint64) (Replication, error) {
+	return sweep.Replicate(cfg, func(seed uint64) (*Trace, error) {
+		return GenerateTrace(bench, seed, n)
+	}, sweep.MetricVMCPI, seeds, 0)
+}
+
+// Experiments returns the ids of every reproducible paper artifact
+// (tab1–tab4, fig6–fig12, tlbsize, hybrids).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates the identified paper table or figure.
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentReport, error) {
+	return experiments.Run(id, o)
+}

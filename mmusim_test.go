@@ -1,0 +1,126 @@
+package mmusim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultConfig(VMUltrix)
+	cfg.WarmupInstrs = 10_000
+	res, err := RunBenchmark(cfg, "gcc", 42, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMCPI() <= 0 {
+		t.Fatal("no VM overhead measured")
+	}
+	if res.Counters.UserInstrs != 40_000 {
+		t.Fatalf("instrs = %d, want 40000 after warmup", res.Counters.UserInstrs)
+	}
+}
+
+func TestFacadeListings(t *testing.T) {
+	if len(VMs()) != 12 {
+		t.Fatalf("VMs() = %v", VMs())
+	}
+	if len(PaperVMs()) != 6 || len(HybridVMs()) != 6 {
+		t.Fatal("paper/hybrid VM splits wrong")
+	}
+	if len(Benchmarks()) < 8 {
+		t.Fatalf("Benchmarks() = %v", Benchmarks())
+	}
+	if len(Experiments()) != 16 {
+		t.Fatalf("Experiments() = %v", Experiments())
+	}
+}
+
+func TestFacadeTraceAndProfile(t *testing.T) {
+	p, err := BenchmarkProfile("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "vortex" || !strings.Contains(p.Description, "spatial locality") {
+		t.Fatalf("profile = %+v", p)
+	}
+	tr, err := GenerateTrace("vortex", 1, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10_000 {
+		t.Fatalf("trace len = %d", tr.Len())
+	}
+	st := tr.ComputeStats()
+	if st.DataPages == 0 {
+		t.Fatal("no data pages touched")
+	}
+	if _, err := GenerateTrace("nonesuch", 1, 10); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	tr, err := GenerateTrace("ijpeg", 3, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := SweepSpace{
+		Base: DefaultConfig(VMIntel),
+		VMs:  []string{VMIntel, VMPowerPC},
+	}
+	pts := Sweep(tr, space.Configs(), 0)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Fatal(p.Err)
+		}
+	}
+}
+
+func TestFacadeReplicate(t *testing.T) {
+	cfg := DefaultConfig(VMUltrix)
+	cfg.WarmupInstrs = 0
+	rep, err := ReplicateBenchmark(cfg, "ijpeg", 20_000, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Values) != 3 || rep.Mean() < 0 {
+		t.Fatalf("replication = %s", rep)
+	}
+	if !strings.Contains(rep.String(), "n=3") {
+		t.Fatalf("String = %q", rep.String())
+	}
+}
+
+func TestFacadeTraceIO(t *testing.T) {
+	tr, err := GenerateTrace("ijpeg", 1, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() || back.Name != tr.Name {
+		t.Fatal("trace IO round trip mismatch")
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	rep, err := RunExperiment("tab4", ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "PA-RISC") {
+		t.Fatalf("tab4 = %s", rep.Text)
+	}
+	if _, err := RunExperiment("nonesuch", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
