@@ -1,0 +1,194 @@
+// End-to-end smoke tests: build the four command binaries and run them
+// the way a user would — tiny traces, real flags — asserting exit
+// status and that the output parses.
+package cmd_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// binDir holds the binaries built once in TestMain.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "vmtools")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binDir = dir
+	for _, tool := range []string{"vmsim", "vmtrace", "vmsweep", "vmexperiment"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
+		cmd.Dir = "." // the cmd/ directory
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n%s", tool, err, out)
+			os.Exit(1)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// run executes a built tool and returns stdout, stderr, and exit code.
+func run(t *testing.T, tool string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", tool, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestVMSimText(t *testing.T) {
+	out, errOut, code := run(t, "vmsim", "-vm", "ultrix", "-bench", "gcc", "-n", "4000", "-warmup", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"MCPI", "VMCPI", "total CPI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVMSimJSON(t *testing.T) {
+	out, errOut, code := run(t, "vmsim", "-vm", "mach", "-bench", "ijpeg", "-n", "4000", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var res struct {
+		VM         string  `json:"vm"`
+		UserInstrs uint64  `json:"user_instructions"`
+		MCPI       float64 `json:"mcpi"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if res.VM != "mach" || res.UserInstrs == 0 || res.MCPI <= 0 {
+		t.Fatalf("-json output has implausible fields: %+v\n%s", res, out)
+	}
+}
+
+func TestVMSimCheckAndInvariants(t *testing.T) {
+	out, errOut, code := run(t, "vmsim",
+		"-vm", "intel", "-bench", "gcc", "-n", "4000", "-check", "-invariants")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "reference models agree") {
+		t.Errorf("-check did not report agreement:\n%s", out)
+	}
+}
+
+func TestVMSimRejectsUnknownVM(t *testing.T) {
+	_, errOut, code := run(t, "vmsim", "-vm", "vax")
+	if code == 0 {
+		t.Fatal("unknown -vm accepted")
+	}
+	if !strings.Contains(errOut, "vax") {
+		t.Errorf("stderr does not name the bad organization: %s", errOut)
+	}
+}
+
+func TestVMTraceGenerateInspectRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trc")
+	out, errOut, code := run(t, "vmtrace", "-bench", "vortex", "-n", "4000", "-o", path)
+	if code != 0 {
+		t.Fatalf("generate: exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "instrs=4000") {
+		t.Errorf("summary missing instruction count:\n%s", out)
+	}
+	out2, errOut, code := run(t, "vmtrace", "-i", path)
+	if code != 0 {
+		t.Fatalf("inspect: exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out2, "instrs=4000") {
+		t.Errorf("inspection of the written trace disagrees:\n%s", out2)
+	}
+}
+
+func TestVMTraceList(t *testing.T) {
+	out, errOut, code := run(t, "vmtrace", "-list")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, bench := range []string{"gcc", "vortex", "ijpeg"} {
+		if !strings.Contains(out, bench) {
+			t.Errorf("-list missing %q:\n%s", bench, out)
+		}
+	}
+}
+
+func TestVMSweepCSV(t *testing.T) {
+	out, errOut, code := run(t, "vmsweep",
+		"-bench", "gcc", "-n", "4000", "-vms", "ultrix,intel",
+		"-l1", "32768", "-l2", "2097152", "-l1lines", "64", "-l2lines", "128")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not CSV: %v\n%s", err, out)
+	}
+	if len(rows) != 3 { // header + one row per organization
+		t.Fatalf("got %d CSV rows, want 3:\n%s", len(rows), out)
+	}
+	mcpiCol := -1
+	for i, name := range rows[0] {
+		if name == "mcpi" {
+			mcpiCol = i
+		}
+	}
+	if mcpiCol < 0 {
+		t.Fatalf("no mcpi column in header %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if v, err := strconv.ParseFloat(row[mcpiCol], 64); err != nil || v <= 0 {
+			t.Errorf("bad mcpi cell %q in row %v (err=%v)", row[mcpiCol], row, err)
+		}
+	}
+}
+
+func TestVMExperimentQuick(t *testing.T) {
+	dir := t.TempDir()
+	out, errOut, code := run(t, "vmexperiment",
+		"-quick", "-n", "20000", "-csv", dir, "tab1", "fig7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"=== tab1", "=== fig7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	for _, id := range []string{"tab1", "fig7"} {
+		if _, err := os.Stat(filepath.Join(dir, id+".csv")); err != nil {
+			t.Errorf("expected CSV for %s: %v", id, err)
+		}
+	}
+}
+
+func TestVMExperimentUsageOnNoArgs(t *testing.T) {
+	_, _, code := run(t, "vmexperiment")
+	if code != 2 {
+		t.Fatalf("no-args exit = %d, want 2 (usage)", code)
+	}
+}

@@ -33,6 +33,8 @@ func main() {
 		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of the text break-down")
 		traceIn = flag.String("tracefile", "", "replay this trace file instead of generating -bench")
 		dinIn   = flag.String("din", "", "replay this Dinero-format text trace instead of generating -bench")
+		doCheck = flag.Bool("check", false, "replay the run through the differential oracle (internal/check) and fail on any divergence")
+		invar   = flag.Bool("invariants", false, "assert conservation-law invariants on every simulation step (slower)")
 	)
 	flag.Parse()
 
@@ -44,31 +46,51 @@ func main() {
 	cfg.InterruptCost = *intCost
 	cfg.WarmupInstrs = *warmup
 	cfg.Seed = *seed
+	cfg.CheckInvariants = *invar
 
-	var res *mmusim.Result
+	var tr *mmusim.Trace
 	var err error
 	switch {
 	case *traceIn != "":
 		var f *os.File
 		if f, err = os.Open(*traceIn); err == nil {
-			var tr *mmusim.Trace
-			if tr, err = mmusim.ReadTrace(f); err == nil {
-				res, err = mmusim.Simulate(cfg, tr)
-			}
+			tr, err = mmusim.ReadTrace(f)
 			f.Close()
 		}
 	case *dinIn != "":
 		var f *os.File
 		if f, err = os.Open(*dinIn); err == nil {
-			var tr *mmusim.Trace
-			if tr, err = mmusim.ReadDineroTrace(f, *dinIn); err == nil {
-				res, err = mmusim.Simulate(cfg, tr)
-			}
+			tr, err = mmusim.ReadDineroTrace(f, *dinIn)
 			f.Close()
 		}
 	default:
-		res, err = mmusim.RunBenchmark(cfg, *bench, *seed, *n)
+		tr, err = mmusim.GenerateTrace(*bench, *seed, *n)
 	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmsim:", err)
+		os.Exit(1)
+	}
+
+	if *doCheck {
+		report, cerr := mmusim.CheckDivergence(cfg, tr)
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "vmsim: check:", cerr)
+			os.Exit(1)
+		}
+		if report != "" {
+			fmt.Fprintln(os.Stderr, "vmsim: check: engine diverges from the reference models:")
+			fmt.Fprintln(os.Stderr, report)
+			os.Exit(1)
+		}
+		// In JSON mode stdout must stay pure JSON for piping.
+		dst := os.Stdout
+		if *asJSON {
+			dst = os.Stderr
+		}
+		fmt.Fprintf(dst, "check: engine and reference models agree over %d references\n", tr.Len())
+	}
+
+	res, err := mmusim.Simulate(cfg, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmsim:", err)
 		os.Exit(1)

@@ -1,0 +1,26 @@
+// Package check is the simulator's correctness oracle: naive,
+// obviously-correct reference models of every component the paper's
+// numbers depend on, a differential harness that replays a trace through
+// internal/sim and the reference models in lockstep and reports the
+// first divergence, and cross-run conservation laws (BASE equivalence
+// under zero-cost refills, prefix consistency and interrupt
+// monotonicity in trace length).
+//
+// The reference models are written for clarity, not speed: linear scans
+// instead of index maps, recency lists instead of age ticks,
+// division/modulo instead of shift/mask, and page-table layouts
+// re-derived from the paper's Figures 1–5 as raw numeric constants
+// rather than shared with internal/addr or internal/ptable. The one
+// deliberately shared piece is internal/rng with the engine's exact
+// per-TLB seeds: random replacement picks victims from a pseudo-random
+// stream, and the two implementations can only be compared step-by-step
+// if they draw the same stream. Everything else — cache indexing, TLB
+// partitioning and policies, walk sequences, physical layout — is an
+// independent reimplementation, so a silent bug introduced on either
+// side shows up as a divergence pinned to the exact reference that
+// caused it.
+//
+// The package covers the six paper organizations (ultrix, mach, intel,
+// pa-risc, notlb, base); the hybrid organizations of §4.2/§5 are out of
+// scope for the oracle and rejected by NewRefEngine.
+package check

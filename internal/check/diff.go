@@ -1,0 +1,141 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// digestStride is how often the harness compares full machine-state
+// digests. Counters are compared after every reference (cheap); digests
+// scan every cache line, so they are sampled — any state divergence the
+// sample window misses still surfaces through the counters the moment
+// it affects a hit/miss outcome.
+const digestStride = 512
+
+// Divergence describes the first disagreement between the optimized
+// engine and the reference model: which reference exposed it, which
+// observable differed, and both machines' state dumps.
+type Divergence struct {
+	// Index is the 0-based position in the trace of the reference after
+	// which the engines disagreed.
+	Index int
+	// Ref is that reference.
+	Ref trace.Ref
+	// Field names the observable that differs (a counter field like
+	// "cycles[upte-L2]", or a digest field like "digest.DL1").
+	Field string
+	// Got is the engine's value; Want the reference model's.
+	Got, Want uint64
+	// EngineState and RefState are both machines' state dumps at the
+	// divergence.
+	EngineState, RefState string
+}
+
+// String formats the divergence for humans.
+func (d *Divergence) String() string {
+	return fmt.Sprintf(
+		"divergence at ref %d (pc=%#x data=%#x kind=%s asid=%d): %s = %d (engine) vs %d (reference)\n%s%s",
+		d.Index, d.Ref.PC, d.Ref.Data, d.Ref.Kind, d.Ref.ASID,
+		d.Field, d.Got, d.Want, d.EngineState, d.RefState)
+}
+
+// Diff replays tr through a sim.Engine and a RefEngine for cfg in
+// lockstep and returns the first divergence, or nil if the machines
+// agree after every reference. A non-nil error reports a setup problem
+// or an engine invariant violation, not a divergence.
+func Diff(cfg sim.Config, tr *trace.Trace) (*Divergence, error) {
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := NewRefEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return DiffEngines(eng, ref, tr)
+}
+
+// DiffEngines is Diff over pre-built engines, so tests can inject
+// deliberately corrupted models.
+func DiffEngines(eng *sim.Engine, ref *RefEngine, tr *trace.Trace) (*Divergence, error) {
+	if err := eng.Begin(tr); err != nil {
+		return nil, err
+	}
+	ref.Begin(tr)
+	report := func(i int, field string, got, want uint64) *Divergence {
+		return &Divergence{
+			Index: i, Ref: tr.Refs[i], Field: field, Got: got, Want: want,
+			EngineState: eng.StateSummary(), RefState: ref.StateSummary(),
+		}
+	}
+	for i := range tr.Refs {
+		r := &tr.Refs[i]
+		if err := eng.Step(r); err != nil {
+			return nil, err
+		}
+		ref.Step(r)
+		if field, got, want, same := firstCounterDiff(eng.Snapshot(), ref.Snapshot()); !same {
+			return report(i, field, got, want), nil
+		}
+		if i%digestStride == digestStride-1 || i == len(tr.Refs)-1 {
+			if field, got, want, same := firstDigestDiff(eng.Digest(), ref.Digest()); !same {
+				return report(i, field, got, want), nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// firstCounterDiff compares two counter snapshots field by field and
+// returns the first differing one.
+func firstCounterDiff(got, want stats.Counters) (field string, g, w uint64, same bool) {
+	scalar := []struct {
+		name string
+		g, w uint64
+	}{
+		{"userInstrs", got.UserInstrs, want.UserInstrs},
+		{"interrupts", got.Interrupts, want.Interrupts},
+		{"contextSwitches", got.ContextSwitches, want.ContextSwitches},
+		{"itlbLookups", got.ITLBLookups, want.ITLBLookups},
+		{"itlbMisses", got.ITLBMisses, want.ITLBMisses},
+		{"dtlbLookups", got.DTLBLookups, want.DTLBLookups},
+		{"dtlbMisses", got.DTLBMisses, want.DTLBMisses},
+	}
+	for _, s := range scalar {
+		if s.g != s.w {
+			return s.name, s.g, s.w, false
+		}
+	}
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		if got.Events[c] != want.Events[c] {
+			return fmt.Sprintf("events[%s]", c), got.Events[c], want.Events[c], false
+		}
+		if got.Cycles[c] != want.Cycles[c] {
+			return fmt.Sprintf("cycles[%s]", c), got.Cycles[c], want.Cycles[c], false
+		}
+	}
+	return "", 0, 0, true
+}
+
+// firstDigestDiff compares two machine-state digests.
+func firstDigestDiff(got, want sim.Digest) (field string, g, w uint64, same bool) {
+	fields := []struct {
+		name string
+		g, w int
+	}{
+		{"digest.IL1", got.IL1, want.IL1}, {"digest.IL2", got.IL2, want.IL2},
+		{"digest.DL1", got.DL1, want.DL1}, {"digest.DL2", got.DL2, want.DL2},
+		{"digest.ITLB", got.ITLB, want.ITLB}, {"digest.ITLBProt", got.ITLBProt, want.ITLBProt},
+		{"digest.DTLB", got.DTLB, want.DTLB}, {"digest.DTLBProt", got.DTLBProt, want.DTLBProt},
+		{"digest.TLB2", got.TLB2, want.TLB2},
+	}
+	for _, f := range fields {
+		if f.g != f.w {
+			return f.name, uint64(f.g), uint64(f.w), false
+		}
+	}
+	return "", 0, 0, true
+}

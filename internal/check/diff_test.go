@@ -1,0 +1,201 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// genTrace builds a deterministic single-process workload trace.
+func genTrace(t *testing.T, bench string, n int) *trace.Trace {
+	t.Helper()
+	p, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatalf("workload %q: %v", bench, err)
+	}
+	return workload.Generate(p, 7, n)
+}
+
+// mpTrace builds a deterministic multiprogrammed trace with context
+// switches.
+func mpTrace(t *testing.T, n, quantum int) *trace.Trace {
+	t.Helper()
+	tr, err := workload.Multiprogram([]string{"gcc", "ijpeg"}, 11, n, quantum)
+	if err != nil {
+		t.Fatalf("multiprogram: %v", err)
+	}
+	return tr
+}
+
+// requireNoDivergence runs the differential harness and fails with the
+// full divergence report if the engines disagree.
+func requireNoDivergence(t *testing.T, cfg sim.Config, tr *trace.Trace) {
+	t.Helper()
+	d, err := Diff(cfg, tr)
+	if err != nil {
+		t.Fatalf("Diff(%s): %v", cfg.Label(), err)
+	}
+	if d != nil {
+		t.Fatalf("Diff(%s):\n%s", cfg.Label(), d)
+	}
+}
+
+// TestPaperOrgsNoDivergence is the acceptance gate: three benchmarks ×
+// all six paper organizations through the differential harness, zero
+// divergences.
+func TestPaperOrgsNoDivergence(t *testing.T) {
+	const n = 24_000
+	for _, bench := range workload.PaperFocus() {
+		tr := genTrace(t, bench, n)
+		for _, vm := range sim.PaperVMs() {
+			vm, tr := vm, tr
+			t.Run(bench+"/"+vm, func(t *testing.T) {
+				t.Parallel()
+				requireNoDivergence(t, sim.Default(vm), tr)
+			})
+		}
+	}
+}
+
+// TestMultiprogrammedNoDivergence crosses context switches (tagged TLBs
+// for ultrix, the x86 flush-on-switch for intel) with every explicit
+// ASID policy.
+func TestMultiprogrammedNoDivergence(t *testing.T) {
+	tr := mpTrace(t, 24_000, 2_000)
+	for _, vm := range []string{sim.VMUltrix, sim.VMIntel, sim.VMNoTLB} {
+		for _, policy := range []sim.ASIDPolicy{sim.ASIDAuto, sim.ASIDTagged, sim.ASIDFlush} {
+			vm, policy := vm, policy
+			t.Run(vm+"/"+policy.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := sim.Default(vm)
+				cfg.ASIDs = policy
+				requireNoDivergence(t, cfg, tr)
+			})
+		}
+	}
+}
+
+// TestVariantConfigsNoDivergence exercises the corners the defaults
+// miss: LRU and FIFO replacement, a small TLB that forces capacity
+// evictions through the random stream, the second-level TLB, unified
+// caches, and set-associative caches.
+func TestVariantConfigsNoDivergence(t *testing.T) {
+	tr := genTrace(t, "gcc", 20_000)
+	cases := []struct {
+		name   string
+		mutate func(*sim.Config)
+	}{
+		{"ultrix-lru", func(c *sim.Config) { c.TLBPolicy = tlb.LRU }},
+		{"ultrix-fifo", func(c *sim.Config) { c.TLBPolicy = tlb.FIFO }},
+		{"ultrix-tiny-tlb", func(c *sim.Config) { c.TLBEntries = 32 }},
+		{"ultrix-tlb2", func(c *sim.Config) { c.TLB2Entries = 512 }},
+		{"ultrix-unified", func(c *sim.Config) { c.UnifiedCaches = true }},
+		{"ultrix-2way", func(c *sim.Config) { c.L1Assoc = 2; c.L2Assoc = 2 }},
+		{"mach-tiny-tlb", func(c *sim.Config) { c.VM = sim.VMMach; c.TLBEntries = 32 }},
+		{"parisc-tlb2", func(c *sim.Config) { c.VM = sim.VMPARISC; c.TLB2Entries = 256 }},
+		{"intel-small-l2", func(c *sim.Config) { c.VM = sim.VMIntel; c.L2SizeBytes = 256 << 10 }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.Default(sim.VMUltrix)
+			tc.mutate(&cfg)
+			requireNoDivergence(t, cfg, tr)
+		})
+	}
+}
+
+// TestInjectedCacheBugCaught is the harness's own negative test: an
+// off-by-one planted in a scratch copy of the cache model (one set
+// fewer in the reference D-side L1) must be reported as a divergence.
+// A harness that cannot see a planted bug proves nothing when it
+// reports zero divergences.
+func TestInjectedCacheBugCaught(t *testing.T) {
+	tr := genTrace(t, "gcc", 12_000)
+	cfg := sim.Default(sim.VMUltrix)
+	cfg.WarmupInstrs = 0
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewRefEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.dcache.l1.sets-- // the planted off-by-one
+	d, err := DiffEngines(eng, ref, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("planted off-by-one in the reference cache model was not detected")
+	}
+	if d.Field == "" || d.Got == d.Want {
+		t.Fatalf("divergence report malformed: %+v", d)
+	}
+	t.Logf("caught as expected: ref %d, %s = %d vs %d", d.Index, d.Field, d.Got, d.Want)
+}
+
+// TestInjectedTLBBugCaught plants a one-slot-short protected partition
+// in the reference TLB and expects the harness to object. The TLB is
+// kept small so the shifted partition boundary actually perturbs
+// replacement within the test trace.
+func TestInjectedTLBBugCaught(t *testing.T) {
+	tr := genTrace(t, "vortex", 12_000)
+	cfg := sim.Default(sim.VMUltrix)
+	cfg.WarmupInstrs = 0
+	cfg.TLBEntries = 16
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewRefEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.dtlb.protected--
+	d, err := DiffEngines(eng, ref, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("planted TLB partition bug was not detected")
+	}
+}
+
+// TestRefEngineRejectsHybrids pins the oracle's scope.
+func TestRefEngineRejectsHybrids(t *testing.T) {
+	for _, vm := range sim.HybridVMs() {
+		if _, err := NewRefEngine(sim.Default(vm)); err == nil {
+			t.Errorf("NewRefEngine(%q): expected an error, the oracle only covers the paper organizations", vm)
+		}
+	}
+}
+
+// TestDivergenceString smoke-tests the human-readable report.
+func TestDivergenceString(t *testing.T) {
+	d := &Divergence{
+		Index: 3, Ref: trace.Ref{PC: 0x1000, Data: 0x2000, Kind: trace.Load},
+		Field: "cycles[upte-L2]", Got: 40, Want: 20,
+		EngineState: "engine\n", RefState: "reference\n",
+	}
+	s := d.String()
+	for _, want := range []string{"ref 3", "cycles[upte-L2]", "40", "20", "engine", "reference"} {
+		if !contains(s, want) {
+			t.Errorf("Divergence.String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package golden
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden files from the current simulator")
+
+// TestGoldenResults regenerates every paper artifact at the pinned
+// reduced trace length and diffs it against the checked-in golden.
+// Run with -update to accept intentional changes.
+func TestGoldenResults(t *testing.T) {
+	for _, id := range PaperIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			got, err := Generate(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", id+".csv")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if err := Compare(got, string(want)); err != nil {
+				t.Fatalf("%s drifted from its golden: %v\n(if intentional, regenerate with -update)", id, err)
+			}
+		})
+	}
+}
+
+// TestCompare pins the comparator's behavior: exact strings, numbers
+// within and beyond tolerance, and shape mismatches.
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		name      string
+		got, want string
+		ok        bool
+	}{
+		{"identical", "a,1.5\nb,2", "a,1.5\nb,2", true},
+		{"crlf and trailing newline", "a,1\n", "a,1\r\n", true},
+		{"within tolerance", "x,1.0000001", "x,1.0000002", true},
+		{"beyond tolerance", "x,1.01", "x,1.02", false},
+		{"string mismatch", "x,foo", "x,bar", false},
+		{"row count", "a,1\nb,2", "a,1", false},
+		{"column count", "a,1,2", "a,1", false},
+		{"number vs string", "x,1.5", "x,n/a", false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := Compare(tc.got, tc.want)
+			if tc.ok && err != nil {
+				t.Errorf("Compare: unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("Compare: expected an error")
+			}
+		})
+	}
+}
+
+// TestPaperIDsResolve keeps the golden list in sync with the registry.
+func TestPaperIDsResolve(t *testing.T) {
+	for _, id := range PaperIDs() {
+		if _, err := experiments.ByID(id); err != nil {
+			t.Errorf("PaperIDs lists %q but the registry rejects it: %v", id, err)
+		}
+	}
+}

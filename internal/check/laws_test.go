@@ -1,0 +1,62 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBaseEquivalence proves, for every paper organization's machine
+// shape, that zero-cost refills are indistinguishable from BASE.
+func TestBaseEquivalence(t *testing.T) {
+	tr := genTrace(t, "gcc", 20_000)
+	for _, vm := range sim.PaperVMs() {
+		if vm == sim.VMBase {
+			continue
+		}
+		vm := vm
+		t.Run(vm, func(t *testing.T) {
+			t.Parallel()
+			if err := VerifyBaseEquivalence(sim.Default(vm), tr); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPrefixConsistency proves interrupt monotonicity and that
+// truncated traces replay exactly the prefix of the full run.
+func TestPrefixConsistency(t *testing.T) {
+	tr := genTrace(t, "ijpeg", 12_000)
+	cuts := []int{1, 500, 4_000, 12_000}
+	for _, vm := range []string{sim.VMUltrix, sim.VMMach, sim.VMIntel, sim.VMPARISC, sim.VMNoTLB} {
+		vm := vm
+		t.Run(vm, func(t *testing.T) {
+			t.Parallel()
+			if err := VerifyPrefixConsistency(sim.Default(vm), tr, cuts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPrefixConsistencyRejectsBadCut pins the cut validation.
+func TestPrefixConsistencyRejectsBadCut(t *testing.T) {
+	tr := genTrace(t, "gcc", 1_000)
+	if err := VerifyPrefixConsistency(sim.Default(sim.VMUltrix), tr, []int{2_000}); err == nil {
+		t.Fatal("expected an error for a cut beyond the trace")
+	}
+}
+
+// TestMultiprogrammedBaseEquivalence runs the BASE law over a trace
+// with context switches, covering the flush paths.
+func TestMultiprogrammedBaseEquivalence(t *testing.T) {
+	tr := mpTrace(t, 16_000, 1_500)
+	for _, policy := range []sim.ASIDPolicy{sim.ASIDTagged, sim.ASIDFlush} {
+		cfg := sim.Default(sim.VMIntel)
+		cfg.ASIDs = policy
+		if err := VerifyBaseEquivalence(cfg, tr); err != nil {
+			t.Fatalf("policy %s: %v", policy, err)
+		}
+	}
+}

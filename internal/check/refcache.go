@@ -1,0 +1,103 @@
+package check
+
+// Levels a reference can be satisfied at, mirroring the values of
+// cache.Level without importing it: the reference model re-derives even
+// trivia like this so nothing is accidentally shared with the code
+// under test.
+const (
+	refL1Hit  = 1
+	refL2Hit  = 2
+	refMemory = 3
+)
+
+// Miss penalties, re-stated from paper Table 2 (20 cycles to reach L2,
+// 500 to reach memory) rather than imported from internal/stats.
+const (
+	refL1MissCycles = 20
+	refL2MissCycles = 500
+)
+
+// refCache is a deliberately naive model of one cache array: per set, a
+// plain slice of resident line addresses kept in most-recently-used-
+// first order. Lookup is a linear scan; the set index is a modulo; LRU
+// falls out of the list order with no tick counters. Direct-mapped
+// (assoc 1) degenerates to one-element lists.
+//
+// The caches are write-allocate and write-through (paper Table 1), so a
+// store behaves exactly like a load and no dirty state exists to model.
+type refCache struct {
+	lineBytes uint64
+	sets      uint64
+	assoc     int
+	// ways[s] holds set s's resident line addresses, most recent first.
+	ways [][]uint64
+
+	accesses, misses uint64
+}
+
+// newRefCache builds the model. Geometry is assumed pre-validated by
+// sim.Config.Validate (sizes and line sizes are powers of two).
+func newRefCache(sizeBytes, lineBytes, assoc int) *refCache {
+	if assoc == 0 {
+		assoc = 1
+	}
+	nLines := sizeBytes / lineBytes
+	return &refCache{
+		lineBytes: uint64(lineBytes),
+		sets:      uint64(nLines / assoc),
+		assoc:     assoc,
+		ways:      make([][]uint64, nLines/assoc),
+	}
+}
+
+// access performs a load or store at address a, filling on a miss
+// (write-allocate), and reports whether it hit.
+func (c *refCache) access(a uint64) bool {
+	c.accesses++
+	line := a / c.lineBytes
+	set := line % c.sets
+	w := c.ways[set]
+	for i, l := range w {
+		if l == line {
+			// Hit: move to front (most recently used).
+			copy(w[1:i+1], w[:i])
+			w[0] = line
+			return true
+		}
+	}
+	c.misses++
+	if len(w) < c.assoc {
+		w = append(w, 0)
+		c.ways[set] = w
+	}
+	// Evict the least recently used (the back), insert at the front.
+	copy(w[1:], w[:len(w)-1])
+	w[0] = line
+	return false
+}
+
+// resident returns the number of valid lines.
+func (c *refCache) resident() int {
+	n := 0
+	for _, w := range c.ways {
+		n += len(w)
+	}
+	return n
+}
+
+// refHier is a two-level blocking stack of refCaches: an L1 miss
+// proceeds to L2, and a line is allocated at both levels on the way in.
+type refHier struct {
+	l1, l2 *refCache
+}
+
+// access returns the level that satisfied the reference.
+func (h *refHier) access(a uint64) int {
+	if h.l1.access(a) {
+		return refL1Hit
+	}
+	if h.l2.access(a) {
+		return refL2Hit
+	}
+	return refMemory
+}

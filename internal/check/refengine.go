@@ -1,0 +1,366 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// RefEngine is the naive reference implementation of the simulated
+// machine: the same §3.1 pseudocode as sim.Engine — translate the
+// fetch, access the I-cache, then translate and access the data side —
+// executed over the reference component models in this package. It
+// exposes the same Begin/Step/Snapshot/Digest stepping surface so the
+// differential harness can drive both engines in lockstep.
+type RefEngine struct {
+	cfg    sim.Config
+	walker refWalker
+
+	usesTLB  bool
+	tagged   bool
+	itlb     *refTLB
+	dtlb     *refTLB
+	tlb2     *refTLB
+	tlb2Cost uint64
+
+	icache *refHier
+	dcache *refHier
+
+	c       stats.Counters
+	live    bool
+	curASID uint8
+	warm    int
+	step    int
+}
+
+// NewRefEngine builds the reference machine for cfg. Only the six paper
+// organizations are modelled; hybrids are rejected.
+func NewRefEngine(cfg sim.Config) (*RefEngine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var walker refWalker
+	switch cfg.VM {
+	case sim.VMBase:
+		walker = nil
+	case sim.VMUltrix:
+		walker = refUltrix{}
+	case sim.VMMach:
+		walker = &refMach{}
+	case sim.VMIntel:
+		walker = newRefIntel(cfg.PhysMemBytes)
+	case sim.VMPARISC:
+		walker = newRefPARISC(cfg.PhysMemBytes)
+	case sim.VMNoTLB:
+		walker = refNoTLB{}
+	default:
+		return nil, fmt.Errorf("check: no reference model for organization %q (the oracle covers %v)",
+			cfg.VM, sim.PaperVMs())
+	}
+
+	e := &RefEngine{
+		cfg:    cfg,
+		walker: walker,
+		icache: &refHier{
+			l1: newRefCache(cfg.L1SizeBytes, cfg.L1LineBytes, cfg.L1Assoc),
+			l2: newRefCache(cfg.L2SizeBytes, cfg.L2LineBytes, cfg.L2Assoc),
+		},
+	}
+	if cfg.UnifiedCaches {
+		e.dcache = e.icache
+	} else {
+		e.dcache = &refHier{
+			l1: newRefCache(cfg.L1SizeBytes, cfg.L1LineBytes, cfg.L1Assoc),
+			l2: newRefCache(cfg.L2SizeBytes, cfg.L2LineBytes, cfg.L2Assoc),
+		}
+	}
+	if walker != nil && walker.usesTLB() {
+		e.usesTLB = true
+		switch cfg.ASIDs {
+		case sim.ASIDTagged:
+			e.tagged = true
+		case sim.ASIDFlush:
+			e.tagged = false
+		default:
+			e.tagged = walker.asidsInTLB()
+		}
+		prot := cfg.TLBProtectedSlots
+		if prot < 0 {
+			prot = walker.protectedSlots()
+		}
+		if max := cfg.TLBEntries / 2; prot > max {
+			prot = max
+		}
+		// The per-TLB seed derivation must match the engine's so the
+		// random-replacement victim streams coincide (see package doc).
+		e.itlb = newRefTLB(cfg.TLBEntries, prot, cfg.TLBPolicy, cfg.Seed^0x1711)
+		e.dtlb = newRefTLB(cfg.TLBEntries, prot, cfg.TLBPolicy, cfg.Seed^0x2722)
+		if cfg.TLB2Entries > 0 {
+			e.tlb2 = newRefTLB(cfg.TLB2Entries, 0, cfg.TLBPolicy, cfg.Seed^0x3733)
+			e.tlb2Cost = uint64(cfg.TLB2Latency)
+			if e.tlb2Cost == 0 {
+				e.tlb2Cost = 2
+			}
+		}
+	}
+	return e, nil
+}
+
+// Begin prepares the engine to replay tr via Step.
+func (e *RefEngine) Begin(tr *trace.Trace) {
+	e.warm = e.cfg.WarmupInstrs
+	if e.warm > len(tr.Refs)/2 {
+		e.warm = len(tr.Refs) / 2
+	}
+	e.live = e.warm == 0
+	e.step = 0
+}
+
+// key composes the TLB lookup key: ASID-tagged when entries carry
+// address-space ids, the bare VPN otherwise.
+func (e *RefEngine) key(asid uint8, vpn uint64) uint64 {
+	if e.tagged {
+		return uint64(asid)<<32 | vpn
+	}
+	return vpn
+}
+
+// userAddr tags a user virtual address with its address space for the
+// ASID-tagged virtual caches.
+func userAddr(asid uint8, a uint64) uint64 { return uint64(asid)<<36 | a }
+
+// itlbHit resolves an instruction translation through the TLB
+// hierarchy, reporting whether the walker must run.
+func (e *RefEngine) itlbHit(key uint64) bool {
+	if e.itlb.lookup(key) {
+		return true
+	}
+	if e.tlb2 != nil && e.tlb2.lookup(key) {
+		if e.live {
+			e.c.Charge(stats.TLB2Hit, e.tlb2Cost)
+		}
+		e.itlb.insert(key)
+		return true
+	}
+	return false
+}
+
+// dtlbHit is itlbHit for the data side.
+func (e *RefEngine) dtlbHit(key uint64) bool {
+	if e.dtlb.lookup(key) {
+		return true
+	}
+	if e.tlb2 != nil && e.tlb2.lookup(key) {
+		if e.live {
+			e.c.Charge(stats.TLB2Hit, e.tlb2Cost)
+		}
+		e.dtlb.insert(key)
+		return true
+	}
+	return false
+}
+
+// Step replays one reference.
+func (e *RefEngine) Step(r *trace.Ref) {
+	if e.step == e.warm && !e.live {
+		// Warmup over: contents carry over, statistics restart.
+		e.live = true
+		if e.usesTLB {
+			e.itlb.resetStats()
+			e.dtlb.resetStats()
+		}
+	}
+	e.step++
+	noTLBRefill := e.walker != nil && !e.usesTLB
+	if r.ASID != e.curASID {
+		e.curASID = r.ASID
+		if e.usesTLB && !e.tagged {
+			e.itlb.flush()
+			e.dtlb.flush()
+			if e.tlb2 != nil {
+				e.tlb2.flush()
+			}
+		}
+		if e.live {
+			e.c.ContextSwitches++
+		}
+	}
+	if e.live {
+		e.c.UserInstrs++
+	}
+
+	// Instruction side.
+	if e.usesTLB && !e.itlbHit(e.key(r.ASID, refVPN(r.PC))) {
+		e.walker.handleMiss(e, r.ASID, r.PC, true)
+	}
+	lvl := e.icache.access(userAddr(r.ASID, r.PC))
+	if lvl != refL1Hit && e.live {
+		e.c.Charge(stats.L1IMiss, refL1MissCycles)
+		if lvl == refMemory {
+			e.c.Charge(stats.L2IMiss, refL2MissCycles)
+		}
+	}
+	if lvl == refMemory && noTLBRefill {
+		e.walker.handleMiss(e, r.ASID, r.PC, true)
+	}
+
+	// Data side.
+	if r.Kind == trace.None {
+		return
+	}
+	if e.usesTLB && !e.dtlbHit(e.key(r.ASID, refVPN(r.Data))) {
+		e.walker.handleMiss(e, r.ASID, r.Data, false)
+	}
+	if r.Flags&trace.FlagUncached != 0 {
+		// Uncacheable: full miss latency, no allocation, no fill
+		// handler.
+		if e.live {
+			e.c.Charge(stats.L1DMiss, refL1MissCycles)
+			e.c.Charge(stats.L2DMiss, refL2MissCycles)
+		}
+		return
+	}
+	lvl = e.dcache.access(userAddr(r.ASID, r.Data))
+	if lvl != refL1Hit && e.live {
+		e.c.Charge(stats.L1DMiss, refL1MissCycles)
+		if lvl == refMemory {
+			e.c.Charge(stats.L2DMiss, refL2MissCycles)
+		}
+	}
+	if lvl == refMemory && noTLBRefill {
+		e.walker.handleMiss(e, r.ASID, r.Data, false)
+	}
+}
+
+// Snapshot returns the statistics so far, TLB counts folded in like the
+// engine's Snapshot.
+func (e *RefEngine) Snapshot() stats.Counters {
+	c := e.c
+	if e.usesTLB {
+		c.ITLBLookups, c.ITLBMisses = e.itlb.lookups, e.itlb.misses
+		c.DTLBLookups, c.DTLBMisses = e.dtlb.lookups, e.dtlb.misses
+	}
+	return c
+}
+
+// Digest summarizes the reference machine's state in the engine's
+// Digest terms.
+func (e *RefEngine) Digest() sim.Digest {
+	d := sim.Digest{
+		IL1: e.icache.l1.resident(), IL2: e.icache.l2.resident(),
+		DL1: e.dcache.l1.resident(), DL2: e.dcache.l2.resident(),
+	}
+	if e.usesTLB {
+		d.ITLB, d.ITLBProt = e.itlb.resident(), e.itlb.residentProtected()
+		d.DTLB, d.DTLBProt = e.dtlb.resident(), e.dtlb.residentProtected()
+		if e.tlb2 != nil {
+			d.TLB2 = e.tlb2.resident()
+		}
+	}
+	return d
+}
+
+// StateSummary describes the reference machine state for divergence
+// reports.
+func (e *RefEngine) StateSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reference %s after %d refs (live=%v)\n", e.cfg.Label(), e.step, e.live)
+	side := func(name string, h *refHier) {
+		fmt.Fprintf(&b, "  %s: L1 %d lines resident (%d acc, %d miss); L2 %d (%d acc, %d miss)\n",
+			name, h.l1.resident(), h.l1.accesses, h.l1.misses,
+			h.l2.resident(), h.l2.accesses, h.l2.misses)
+	}
+	side("icache", e.icache)
+	if e.dcache != e.icache {
+		side("dcache", e.dcache)
+	}
+	if e.usesTLB {
+		for _, t := range []struct {
+			name string
+			t    *refTLB
+		}{{"itlb", e.itlb}, {"dtlb", e.dtlb}} {
+			fmt.Fprintf(&b, "  %s: %d/%d resident (%d protected), %d lookups, %d misses\n",
+				t.name, t.t.resident(), t.t.entries, t.t.residentProtected(),
+				t.t.lookups, t.t.misses)
+		}
+		if e.tlb2 != nil {
+			fmt.Fprintf(&b, "  tlb2: %d/%d resident, %d lookups, %d misses\n",
+				e.tlb2.resident(), e.tlb2.entries, e.tlb2.lookups, e.tlb2.misses)
+		}
+	}
+	fmt.Fprintf(&b, "  interrupts=%d ctxswitches=%d userinstrs=%d\n",
+		e.c.Interrupts, e.c.ContextSwitches, e.c.UserInstrs)
+	return b.String()
+}
+
+// --- walker-facing operations ----------------------------------------
+
+func (e *RefEngine) interrupt() {
+	if e.live {
+		e.c.Interrupts++
+	}
+}
+
+func (e *RefEngine) execHandler(comp stats.Component, pc uint64, n int, fetchesCode bool) {
+	if e.live {
+		e.c.Charge(comp, uint64(n))
+	}
+	if !fetchesCode {
+		return
+	}
+	for i := 0; i < n; i++ {
+		lvl := e.icache.access(pc + uint64(i)*4)
+		if lvl != refL1Hit && e.live {
+			e.c.Charge(stats.HandlerL2, refL1MissCycles)
+			if lvl == refMemory {
+				e.c.Charge(stats.HandlerMem, refL2MissCycles)
+			}
+		}
+	}
+}
+
+func (e *RefEngine) pteLoad(a uint64, l2c, memc stats.Component) int {
+	lvl := e.dcache.access(a)
+	if lvl != refL1Hit && e.live {
+		e.c.Charge(l2c, refL1MissCycles)
+		if lvl == refMemory {
+			e.c.Charge(memc, refL2MissCycles)
+		}
+	}
+	return lvl
+}
+
+func (e *RefEngine) dtlbLookup(asid uint8, vpn uint64) bool {
+	return e.dtlbHit(e.key(asid, vpn))
+}
+
+func (e *RefEngine) dtlbInsert(asid uint8, vpn uint64) {
+	key := e.key(asid, vpn)
+	e.dtlb.insert(key)
+	if e.tlb2 != nil {
+		e.tlb2.insert(key)
+	}
+}
+
+func (e *RefEngine) dtlbInsertProtected(asid uint8, vpn uint64) {
+	e.dtlb.insertProtected(e.key(asid, vpn))
+}
+
+func (e *RefEngine) itlbInsert(asid uint8, vpn uint64) {
+	key := e.key(asid, vpn)
+	e.itlb.insert(key)
+	if e.tlb2 != nil {
+		e.tlb2.insert(key)
+	}
+}
+
+func (e *RefEngine) insertUser(asid uint8, va uint64, instr bool) {
+	if instr {
+		e.itlbInsert(asid, refVPN(va))
+	} else {
+		e.dtlbInsert(asid, refVPN(va))
+	}
+}

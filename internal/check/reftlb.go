@@ -1,0 +1,167 @@
+package check
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tlb"
+)
+
+// refTLBEntry is one slot of the naive TLB model.
+type refTLBEntry struct {
+	valid bool
+	key   uint64
+	// seen is the recency stamp consulted by LRU replacement.
+	seen uint64
+}
+
+// refTLB is a deliberately naive fully-associative TLB: a flat slice of
+// entries searched linearly, optionally partitioned into protected
+// slots [0, protected) and main slots [protected, entries). It supports
+// the same three replacement policies as the engine's TLB:
+//
+//   - Random fills the first invalid slot in scan order, else draws a
+//     victim from the partition's pseudo-random stream. The stream must
+//     be the engine's exact stream for lockstep comparison, so the model
+//     shares internal/rng and the engine's per-TLB seed derivation —
+//     the one piece of deliberate coupling in this package.
+//   - LRU evicts the smallest recency stamp (first such slot on ties),
+//     after filling invalid slots in scan order.
+//   - FIFO cycles a per-partition rotor regardless of invalid slots.
+//
+// Inserting a key that is already resident anywhere refreshes its
+// recency and consumes no randomness and no rotor movement. Flushing
+// invalidates everything and rewinds the rotors but preserves both the
+// statistics and the random stream, matching an address-space switch on
+// hardware without ASIDs.
+type refTLB struct {
+	entries   int
+	protected int
+	policy    tlb.Policy
+	slots     []refTLBEntry
+	clock     uint64
+	rotorMain int
+	rotorProt int
+	rand      *rng.Source
+
+	lookups, misses uint64
+}
+
+func newRefTLB(entries, protected int, policy tlb.Policy, seed uint64) *refTLB {
+	return &refTLB{
+		entries:   entries,
+		protected: protected,
+		policy:    policy,
+		slots:     make([]refTLBEntry, entries),
+		rand:      rng.New(seed),
+	}
+}
+
+// lookup probes for key with full statistics, refreshing recency on a
+// hit.
+func (t *refTLB) lookup(key uint64) bool {
+	t.lookups++
+	for i := range t.slots {
+		if t.slots[i].valid && t.slots[i].key == key {
+			if t.policy == tlb.LRU {
+				t.clock++
+				t.slots[i].seen = t.clock
+			}
+			return true
+		}
+	}
+	t.misses++
+	return false
+}
+
+// insert places key into the main partition; insertProtected into the
+// protected partition, or the main one when the TLB is unpartitioned.
+func (t *refTLB) insert(key uint64) { t.place(key, t.protected, t.entries, &t.rotorMain) }
+func (t *refTLB) insertProtected(key uint64) {
+	if t.protected == 0 {
+		t.place(key, 0, t.entries, &t.rotorMain)
+		return
+	}
+	t.place(key, 0, t.protected, &t.rotorProt)
+}
+
+// place installs key in a slot of [lo, hi), choosing a victim by
+// policy.
+func (t *refTLB) place(key uint64, lo, hi int, rotor *int) {
+	for i := range t.slots {
+		if t.slots[i].valid && t.slots[i].key == key {
+			// Already resident (in either partition): refresh in place.
+			if t.policy == tlb.LRU {
+				t.clock++
+				t.slots[i].seen = t.clock
+			}
+			return
+		}
+	}
+	victim := -1
+	switch t.policy {
+	case tlb.FIFO:
+		victim = lo + *rotor
+		*rotor = (*rotor + 1) % (hi - lo)
+	case tlb.LRU:
+		oldest := ^uint64(0)
+		for s := lo; s < hi; s++ {
+			if !t.slots[s].valid {
+				victim = s
+				break
+			}
+			if t.slots[s].seen < oldest {
+				oldest = t.slots[s].seen
+				victim = s
+			}
+		}
+	default: // Random: invalid slots first, like the hardware.
+		for s := lo; s < hi; s++ {
+			if !t.slots[s].valid {
+				victim = s
+				break
+			}
+		}
+		if victim < 0 {
+			victim = lo + t.rand.Intn(hi-lo)
+		}
+	}
+	t.slots[victim] = refTLBEntry{valid: true, key: key}
+	if t.policy == tlb.LRU {
+		t.clock++
+		t.slots[victim].seen = t.clock
+	}
+}
+
+// flush invalidates every entry, preserving statistics and the random
+// stream.
+func (t *refTLB) flush() {
+	for i := range t.slots {
+		t.slots[i] = refTLBEntry{}
+	}
+	t.rotorMain, t.rotorProt = 0, 0
+}
+
+// resetStats zeroes the counters without touching contents.
+func (t *refTLB) resetStats() { t.lookups, t.misses = 0, 0 }
+
+// resident returns the number of valid entries.
+func (t *refTLB) resident() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// residentProtected returns the number of valid entries in the
+// protected partition.
+func (t *refTLB) residentProtected() int {
+	n := 0
+	for s := 0; s < t.protected; s++ {
+		if t.slots[s].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,304 @@
+package check
+
+import "repro/internal/stats"
+
+// Address-space geometry, re-derived from the layout the simulator
+// documents (internal/addr) as raw constants: the reference models must
+// agree with the engine about where things live, but deriving the
+// numbers independently means an accidental edit to the addr constants
+// is caught as a divergence instead of silently propagating.
+const (
+	refPageShift = 12
+	refPageSize  = 1 << refPageShift
+
+	// The unmapped, cacheable window: physical address P appears at
+	// refUnmappedBase+P and never consults a TLB.
+	refUnmappedBase = 0xC0000000
+
+	// Handler code segments are page-aligned starting here; handler i's
+	// code sits one page further per index.
+	refHandlerBase = 0xFF0AB000
+
+	// Handler code segment indices, in the engine's registration order.
+	refHUltrixUser = 0
+	refHUltrixRoot = 1
+	refHMachUser   = 2
+	refHMachKernel = 3
+	refHMachRoot   = 4
+	refHPARISC     = 5
+	refHNoTLBUser  = 6
+	refHNoTLBRoot  = 7
+
+	// Handler lengths and hardware-walk cost (paper Table 4, §3.1).
+	refUserHandlerInstrs = 10
+	refKernHandlerInstrs = 20
+	refMachRootInstrs    = 500
+	refMachAdminLoads    = 10
+	refPARISCInstrs      = 20
+	refIntelWalkCycles   = 7
+
+	// Per-process structures support this many address spaces.
+	refMaxASIDs = 16
+)
+
+func refVPN(a uint64) uint64         { return a >> refPageShift }
+func refHandlerPC(i int) uint64      { return refHandlerBase + uint64(i)<<refPageShift }
+func refUnmapped(phys uint64) uint64 { return refUnmappedBase + phys }
+
+// refPages returns the physical page count for a memory size, applying
+// the allocator's rounding (sizes round up to whole pages; zero selects
+// the paper's 8MB).
+func refPages(physBytes uint64) uint64 {
+	if physBytes == 0 {
+		physBytes = 8 << 20
+	}
+	return (physBytes + refPageSize - 1) >> refPageShift
+}
+
+// refWalker is one organization's reference TLB-refill (or cache-fill)
+// model. Each implementation replays the paper's §3.1 walk against the
+// RefEngine's caches and TLBs, re-deriving all page-table addressing
+// from Figures 1–5.
+type refWalker interface {
+	usesTLB() bool
+	protectedSlots() int
+	asidsInTLB() bool
+	handleMiss(e *RefEngine, asid uint8, va uint64, instr bool)
+}
+
+// --- ULTRIX (Figure 1: two-tiered, walked bottom-up) -----------------
+
+// refUltrix models the Ultrix/MIPS organization: a per-process 2MB
+// linear user page table at kernel-virtual 0x80000000 + asid*2MB, whose
+// 512 pages are mapped by per-process 2KB root tables wired at physical
+// 0 (the organization's single reservation, so its base is the bottom
+// of physical memory).
+type refUltrix struct{}
+
+func (refUltrix) usesTLB() bool       { return true }
+func (refUltrix) protectedSlots() int { return 16 }
+func (refUltrix) asidsInTLB() bool    { return true }
+
+func (refUltrix) handleMiss(e *RefEngine, asid uint8, va uint64, instr bool) {
+	e.interrupt()
+	e.execHandler(stats.UHandler, refHandlerPC(refHUltrixUser), refUserHandlerInstrs, true)
+	uptBase := uint64(0x80000000) + uint64(asid)*(2<<20)
+	upte := uptBase + refVPN(va)*4
+	if !e.dtlbLookup(asid, refVPN(upte)) {
+		// Nested exception: the root handler reads the wired physical
+		// root table and installs the user-page-table mapping protected.
+		e.interrupt()
+		e.execHandler(stats.RHandler, refHandlerPC(refHUltrixRoot), refKernHandlerInstrs, true)
+		uptPage := (upte - uptBase) >> refPageShift
+		e.pteLoad(refUnmapped(uint64(asid)*(2<<10)+uptPage*4), stats.RPTEL2, stats.RPTEMem)
+		e.dtlbInsertProtected(asid, refVPN(upte))
+	}
+	e.pteLoad(upte, stats.UPTEL2, stats.UPTEMem)
+	e.insertUser(asid, va, instr)
+}
+
+// --- MACH (Figure 2: three-tiered, walked bottom-up) -----------------
+
+// refMach models the Mach/MIPS organization: per-process 2MB user
+// tables at 0x80000000 + asid*2MB, a global 4MB kernel table at
+// 0xBFC00000 mapping all of kernel space, and a 4KB root table at
+// physical 0, followed by 16KB of administrative data the 500-
+// instruction root handler streams through (ten loads, 64 bytes apart,
+// a cursor that never resets).
+type refMach struct {
+	adminCursor uint64
+}
+
+const (
+	refMachRootBase  = 0
+	refMachAdminBase = 4 << 10 // one page after the 4KB root table
+	refMachAdminSize = 16 << 10
+	refMachKPTBase   = 0xBFC00000
+)
+
+func (*refMach) usesTLB() bool       { return true }
+func (*refMach) protectedSlots() int { return 16 }
+func (*refMach) asidsInTLB() bool    { return true }
+
+func (w *refMach) handleMiss(e *RefEngine, asid uint8, va uint64, instr bool) {
+	e.interrupt()
+	e.execHandler(stats.UHandler, refHandlerPC(refHMachUser), refUserHandlerInstrs, true)
+	upte := uint64(0x80000000) + uint64(asid)*(2<<20) + refVPN(va)*4
+	// Kernel-space structures are shared: their TLB entries live in
+	// address space 0 regardless of the faulting process.
+	if !e.dtlbLookup(0, refVPN(upte)) {
+		e.interrupt()
+		e.execHandler(stats.KHandler, refHandlerPC(refHMachKernel), refKernHandlerInstrs, true)
+		kpte := uint64(refMachKPTBase) + (refVPN(upte)*4)%(4<<20)
+		if !e.dtlbLookup(0, refVPN(kpte)) {
+			e.interrupt()
+			e.execHandler(stats.RHandler, refHandlerPC(refHMachRoot), refMachRootInstrs, true)
+			for i := 0; i < refMachAdminLoads; i++ {
+				a := refMachAdminBase + w.adminCursor%refMachAdminSize
+				e.pteLoad(refUnmapped(a), stats.RPTEL2, stats.RPTEMem)
+				w.adminCursor += 64
+			}
+			// The root index follows the engine's documented convention
+			// (ptable.Mach.RPTEAddr): the faulting KPTE address is treated
+			// as a kernel virtual address and the root entry located for
+			// the kernel-table page holding *its* KPTE — one more round of
+			// KPT indexing, not kpte's own page index.
+			kptPage := (refVPN(kpte) * 4 % (4 << 20)) >> refPageShift
+			e.pteLoad(refUnmapped(refMachRootBase+kptPage*4), stats.RPTEL2, stats.RPTEMem)
+			e.dtlbInsertProtected(0, refVPN(kpte))
+		}
+		e.pteLoad(kpte, stats.KPTEL2, stats.KPTEMem)
+		e.dtlbInsertProtected(0, refVPN(upte))
+	}
+	e.pteLoad(upte, stats.UPTEL2, stats.UPTEMem)
+	e.insertUser(asid, va, instr)
+}
+
+// --- INTEL (Figure 3: two-tiered, walked top-down in physical space) --
+
+// refIntel models the x86 organization: per-process 4KB page
+// directories wired at physical 0 (16 processes × 4KB = frames 0–15),
+// PTE pages allocated first-touch from the sequential frame allocator
+// starting at frame 16, one per (process, 4MB segment). The seven-cycle
+// hardware walk takes no interrupt and fetches no handler code, and the
+// root entry is referenced on every miss.
+type refIntel struct {
+	ptePages  map[uint64]uint64 // asid<<32|segment -> physical page base
+	nextFrame uint64
+	physPages uint64
+}
+
+func newRefIntel(physBytes uint64) *refIntel {
+	return &refIntel{
+		ptePages:  make(map[uint64]uint64),
+		nextFrame: refMaxASIDs * (4 << 10) >> refPageShift,
+		physPages: refPages(physBytes),
+	}
+}
+
+func (*refIntel) usesTLB() bool       { return true }
+func (*refIntel) protectedSlots() int { return 0 }
+func (*refIntel) asidsInTLB() bool    { return false }
+
+func (w *refIntel) handleMiss(e *RefEngine, asid uint8, va uint64, instr bool) {
+	e.execHandler(stats.UHandler, 0, refIntelWalkCycles, false)
+	seg := va >> 22
+	e.pteLoad(refUnmapped(uint64(asid)*(4<<10)+seg*4), stats.RPTEL2, stats.RPTEMem)
+	key := uint64(asid)<<32 | seg
+	base, ok := w.ptePages[key]
+	if !ok {
+		if w.nextFrame >= w.physPages {
+			// Allocator wrap, mirroring the engine's never-fail frame
+			// allocator; unreachable for the paper's workloads.
+			w.nextFrame = refMaxASIDs * (4 << 10) >> refPageShift
+		}
+		base = w.nextFrame << refPageShift
+		w.nextFrame++
+		w.ptePages[key] = base
+	}
+	idx := (va >> refPageShift) % 1024
+	e.pteLoad(refUnmapped(base+idx*4), stats.UPTEL2, stats.UPTEMem)
+	e.insertUser(asid, va, instr)
+}
+
+// --- PA-RISC (Figure 4: hashed inverted table with collision chains) --
+
+// refPARISC models the Huck & Hays hashed page table: 16-byte PTEs,
+// 2 entries per physical frame, the table at physical 0 and the
+// collision-resolution table right after it (both page-rounded). A
+// lookup hashes the space-tagged VPN, loads the head bucket, then CRT
+// entries in chain order until the match; mappings install first-touch
+// at the chain tail, CRT slots handed out sequentially.
+type refPARISC struct {
+	entries uint64
+	crtBase uint64
+	crtSize uint64
+	// chains[b] lists the tagged VPNs hashing to bucket b, insertion
+	// order; crtSlot maps tagged VPNs in positions > 0 to CRT slots.
+	chains  map[uint64][]uint64
+	crtSlot map[uint64]uint64
+	nextCRT uint64
+}
+
+func newRefPARISC(physBytes uint64) *refPARISC {
+	entries := refPages(physBytes) * 2
+	tableBytes := (entries*16 + refPageSize - 1) &^ uint64(refPageSize-1)
+	return &refPARISC{
+		entries: entries,
+		crtBase: tableBytes,
+		crtSize: tableBytes,
+		chains:  make(map[uint64][]uint64),
+		crtSlot: make(map[uint64]uint64),
+	}
+}
+
+func (*refPARISC) usesTLB() bool       { return true }
+func (*refPARISC) protectedSlots() int { return 0 }
+func (*refPARISC) asidsInTLB() bool    { return true }
+
+// hash is the Huck & Hays single-XOR hash with the space id standing in
+// for the space-register bits, spread by an odd constant.
+func (w *refPARISC) hash(asid uint8, vpn uint64) uint64 {
+	shift := uint(0)
+	for v := w.entries; v > 1; v >>= 1 {
+		shift++
+	}
+	return (vpn ^ (vpn >> shift) ^ uint64(asid)*0x9E37) % w.entries
+}
+
+func (w *refPARISC) handleMiss(e *RefEngine, asid uint8, va uint64, instr bool) {
+	e.interrupt()
+	e.execHandler(stats.UHandler, refHandlerPC(refHPARISC), refPARISCInstrs, true)
+	tagged := uint64(asid)<<32 | refVPN(va)
+	bucket := w.hash(asid, refVPN(va))
+	chain := w.chains[bucket]
+	pos := -1
+	for i, v := range chain {
+		if v == tagged {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		chain = append(chain, tagged)
+		w.chains[bucket] = chain
+		pos = len(chain) - 1
+		if pos > 0 {
+			w.crtSlot[tagged] = w.nextCRT
+			w.nextCRT++
+		}
+	}
+	e.pteLoad(refUnmapped(bucket*16), stats.UPTEL2, stats.UPTEMem)
+	for i := 1; i <= pos; i++ {
+		slot := w.crtSlot[chain[i]]
+		e.pteLoad(refUnmapped(w.crtBase+(slot*16)%w.crtSize), stats.UPTEL2, stats.UPTEMem)
+	}
+	e.insertUser(asid, va, instr)
+}
+
+// --- NOTLB (Figure 5: disjunct table, software-managed cache) --------
+
+// refNoTLB models the softvm organization: no TLB; the handler runs on
+// user-level L2 cache misses. PTE page groups (one per 4MB segment) are
+// scattered in a 64MB window at 0x90000000 by a multiplicative
+// permutation; the per-process 2KB root tables are wired at physical 0.
+// A UPTE load that itself misses the L2 invokes a nested root handler.
+type refNoTLB struct{}
+
+func (refNoTLB) usesTLB() bool       { return false }
+func (refNoTLB) protectedSlots() int { return 0 }
+func (refNoTLB) asidsInTLB() bool    { return true }
+
+func (refNoTLB) handleMiss(e *RefEngine, asid uint8, va uint64, instr bool) {
+	e.interrupt()
+	e.execHandler(stats.UHandler, refHandlerPC(refHNoTLBUser), refUserHandlerInstrs, true)
+	seg := va >> 22
+	const windowPages = (64 << 20) >> refPageShift
+	scrambled := ((seg + uint64(asid)*977) * 2654435761) % windowPages
+	upte := uint64(0x90000000) + scrambled<<refPageShift + ((va>>refPageShift)%1024)*4
+	if e.pteLoad(upte, stats.UPTEL2, stats.UPTEMem) == refMemory {
+		e.interrupt()
+		e.execHandler(stats.RHandler, refHandlerPC(refHNoTLBRoot), refKernHandlerInstrs, true)
+		e.pteLoad(refUnmapped(uint64(asid)*(2<<10)+seg*4), stats.RPTEL2, stats.RPTEMem)
+	}
+}

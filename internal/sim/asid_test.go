@@ -1,0 +1,107 @@
+package sim
+
+import "testing"
+
+// policyRun simulates vm over the shared multiprogrammed trace under an
+// explicit ASID policy and returns the full counter set.
+func policyRun(t *testing.T, vm string, policy ASIDPolicy, quantum int) *Result {
+	t.Helper()
+	cfg := Default(vm)
+	cfg.ASIDs = policy
+	return mpRun(t, cfg, quantum)
+}
+
+// TestASIDPolicyTable drives every paper organization through a
+// multiprogrammed trace under all three ASID policies and pins the
+// semantics exactly:
+//
+//   - ASIDAuto must be bit-identical to the organization's convention —
+//     tagged TLBs everywhere except the classical x86, which flushes on
+//     every address-space switch.
+//   - Context switches are counted identically regardless of policy.
+//   - A flushing TLB can never miss less than a tagged one on the same
+//     trace, and on the TLB-based organizations it must miss strictly
+//     more at this switch rate.
+func TestASIDPolicyTable(t *testing.T) {
+	const quantum = 1_000
+	cases := []struct {
+		vm string
+		// autoMeans is the explicit policy ASIDAuto must replicate.
+		autoMeans ASIDPolicy
+		// hasTLB marks organizations where flushing is observable.
+		hasTLB bool
+	}{
+		{VMUltrix, ASIDTagged, true},
+		{VMMach, ASIDTagged, true},
+		{VMIntel, ASIDFlush, true},
+		{VMPARISC, ASIDTagged, true},
+		{VMNoTLB, ASIDTagged, false},
+		{VMBase, ASIDTagged, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.vm, func(t *testing.T) {
+			t.Parallel()
+			auto := policyRun(t, tc.vm, ASIDAuto, quantum)
+			tagged := policyRun(t, tc.vm, ASIDTagged, quantum)
+			flush := policyRun(t, tc.vm, ASIDFlush, quantum)
+
+			want := tagged
+			if tc.autoMeans == ASIDFlush {
+				want = flush
+			}
+			if auto.Counters != want.Counters {
+				t.Errorf("%s: ASIDAuto does not replicate %s:\nauto: %+v\nwant: %+v",
+					tc.vm, tc.autoMeans, auto.Counters, want.Counters)
+			}
+
+			if tagged.Counters.ContextSwitches != flush.Counters.ContextSwitches {
+				t.Errorf("%s: context-switch count depends on policy: tagged %d, flush %d",
+					tc.vm, tagged.Counters.ContextSwitches, flush.Counters.ContextSwitches)
+			}
+			if tagged.Counters.ContextSwitches == 0 {
+				t.Errorf("%s: multiprogrammed trace produced no context switches", tc.vm)
+			}
+
+			tm := tagged.Counters.ITLBMisses + tagged.Counters.DTLBMisses
+			fm := flush.Counters.ITLBMisses + flush.Counters.DTLBMisses
+			if fm < tm {
+				t.Errorf("%s: flushing TLB missed less than tagged: %d < %d", tc.vm, fm, tm)
+			}
+			if tc.hasTLB && fm <= tm {
+				t.Errorf("%s: flushing TLB should miss strictly more than tagged: %d vs %d",
+					tc.vm, fm, tm)
+			}
+			if !tc.hasTLB && tagged.Counters != flush.Counters {
+				t.Errorf("%s has no TLB, yet the ASID policy changed the counters", tc.vm)
+			}
+		})
+	}
+}
+
+// TestX86FlushConventionIsPerSwitch pins the x86 flush granularity:
+// under ASIDFlush every address-space switch empties the TLBs, so
+// doubling the switch rate must not decrease TLB misses, while the
+// tagged override on the identical trace is immune by comparison.
+func TestX86FlushConventionIsPerSwitch(t *testing.T) {
+	fine := policyRun(t, VMIntel, ASIDFlush, 500)
+	coarse := policyRun(t, VMIntel, ASIDFlush, 30_000)
+	fm := fine.Counters.ITLBMisses + fine.Counters.DTLBMisses
+	cm := coarse.Counters.ITLBMisses + coarse.Counters.DTLBMisses
+	if fm <= cm {
+		t.Fatalf("flush-on-switch misses did not grow with switch rate: %d vs %d", fm, cm)
+	}
+
+	tagFine := policyRun(t, VMIntel, ASIDTagged, 500)
+	tagCoarse := policyRun(t, VMIntel, ASIDTagged, 30_000)
+	tf := tagFine.Counters.ITLBMisses + tagFine.Counters.DTLBMisses
+	tc := tagCoarse.Counters.ITLBMisses + tagCoarse.Counters.DTLBMisses
+	flushSwing := fm - cm
+	var tagSwing uint64
+	if tf > tc {
+		tagSwing = tf - tc
+	}
+	if tagSwing >= flushSwing {
+		t.Fatalf("tagged TLB swing %d not below flushing swing %d", tagSwing, flushSwing)
+	}
+}

@@ -111,6 +111,15 @@ type Config struct {
 	// convention (tagged entries everywhere except the classical x86,
 	// which flushes); ASIDTagged and ASIDFlush override it.
 	ASIDs ASIDPolicy
+
+	// CheckInvariants asserts conservation laws inside the engine after
+	// every reference — hits+misses equal references at every cache and
+	// TLB level, fixed-cost components charge exactly events × cost,
+	// occupancies never exceed capacities, and the CPI decomposition sums
+	// to the reported MCPI/VMCPI. A violation aborts the run with a
+	// descriptive error pinned to the offending instruction. Opt-in: the
+	// checks cost a constant amount of work per reference.
+	CheckInvariants bool
 }
 
 // ASIDPolicy selects TLB behaviour across address-space switches.

@@ -36,6 +36,14 @@ type Engine struct {
 	// flushed on every context switch (the classical x86 behaviour).
 	taggedTLB bool
 	curASID   uint8
+
+	// Stepping state (Begin/Step/Finish). warm is the warmup boundary in
+	// instructions; stepIdx the number of Step calls so far.
+	warm    int
+	stepIdx int
+	// invErr latches the first invariant violation when
+	// cfg.CheckInvariants is set.
+	invErr error
 }
 
 // tlbKey composes the fully-associative TLB lookup key. With tagged TLBs
@@ -83,6 +91,23 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	return assemble(cfg, phys, refill), nil
+}
+
+// NewEngineWithRefill builds an engine whose miss handling is the given
+// walker instead of the one cfg.VM names (cfg.VM is still validated and
+// used for labels). It exists for the correctness oracles in
+// internal/check — e.g. proving that any organization run with zero-cost
+// handlers and an always-hitting TLB is indistinguishable from BASE.
+func NewEngineWithRefill(cfg Config, refill mmu.Refill) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return assemble(cfg, mem.New(cfg.PhysMemBytes), refill), nil
+}
+
+// assemble wires caches, TLBs, and the walker into an Engine.
+func assemble(cfg Config, phys *mem.Phys, refill mmu.Refill) *Engine {
 	l1cfg := cache.Config{SizeBytes: cfg.L1SizeBytes, LineBytes: cfg.L1LineBytes, Assoc: cfg.L1Assoc}
 	l2cfg := cache.Config{SizeBytes: cfg.L2SizeBytes, LineBytes: cfg.L2LineBytes, Assoc: cfg.L2Assoc}
 	e := &Engine{
@@ -129,7 +154,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			}
 		}
 	}
-	return e, nil
+	return e
 }
 
 // itlbHit resolves an instruction translation through the TLB hierarchy:
@@ -170,93 +195,157 @@ func (e *Engine) dtlbHit(key uint64) bool {
 // translate the data address and look up the D-cache. For organizations
 // without TLBs the walker runs on user-level L2 misses instead.
 func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
-	if err := tr.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+	if err := e.Begin(tr); err != nil {
+		return nil, err
 	}
-	noTLBRefill := e.refill != nil && !e.usesTLB
-	warm := e.cfg.WarmupInstrs
-	if warm > len(tr.Refs)/2 {
-		warm = len(tr.Refs) / 2
-	}
-	e.live = warm == 0
 	for i := range tr.Refs {
-		if i == warm && !e.live {
-			// Warmup over: start measuring. Cache/TLB contents carry
-			// over; statistics restart from zero.
-			e.live = true
-			if e.usesTLB {
-				e.itlb.ResetStats()
-				e.dtlb.ResetStats()
-			}
+		if err := e.Step(&tr.Refs[i]); err != nil {
+			return nil, err
 		}
-		r := &tr.Refs[i]
-		if r.ASID != e.curASID {
-			e.switchTo(r.ASID)
-			if e.live {
-				e.c.ContextSwitches++
-			}
+	}
+	return e.Finish(tr.Name), nil
+}
+
+// Begin prepares the engine to replay tr one reference at a time with
+// Step. Run is Begin + Step-per-reference + Finish; external checkers
+// (internal/check's differential harness) drive the same loop themselves
+// so they can compare machine state after every reference.
+func (e *Engine) Begin(tr *trace.Trace) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	e.warm = e.cfg.WarmupInstrs
+	if e.warm > len(tr.Refs)/2 {
+		e.warm = len(tr.Refs) / 2
+	}
+	e.live = e.warm == 0
+	e.stepIdx = 0
+	return nil
+}
+
+// Step replays one reference. It returns a non-nil error only when
+// cfg.CheckInvariants is set and a conservation law fails after the
+// reference completes.
+func (e *Engine) Step(r *trace.Ref) error {
+	if e.stepIdx == e.warm && !e.live {
+		// Warmup over: start measuring. Cache/TLB contents carry
+		// over; statistics restart from zero.
+		e.live = true
+		if e.usesTLB {
+			e.itlb.ResetStats()
+			e.dtlb.ResetStats()
 		}
+	}
+	e.stepIdx++
+	noTLBRefill := e.refill != nil && !e.usesTLB
+	if r.ASID != e.curASID {
+		e.switchTo(r.ASID)
 		if e.live {
-			e.c.UserInstrs++
+			e.c.ContextSwitches++
 		}
+	}
+	if e.live {
+		e.c.UserInstrs++
+	}
 
-		// Instruction side.
-		if e.usesTLB && !e.itlbHit(e.tlbKey(r.ASID, addr.VPN(r.PC))) {
-			e.refill.HandleMiss(e, r.ASID, r.PC, true)
+	// Instruction side.
+	if e.usesTLB && !e.itlbHit(e.tlbKey(r.ASID, addr.VPN(r.PC))) {
+		e.refill.HandleMiss(e, r.ASID, r.PC, true)
+	}
+	lvl := e.icache.Access(userCacheAddr(r.ASID, r.PC))
+	if lvl != cache.L1Hit && e.live {
+		e.c.Charge(stats.L1IMiss, stats.L1MissPenalty)
+		if lvl == cache.Memory {
+			e.c.Charge(stats.L2IMiss, stats.L2MissPenalty)
 		}
-		lvl := e.icache.Access(userCacheAddr(r.ASID, r.PC))
-		if lvl != cache.L1Hit && e.live {
-			e.c.Charge(stats.L1IMiss, stats.L1MissPenalty)
-			if lvl == cache.Memory {
-				e.c.Charge(stats.L2IMiss, stats.L2MissPenalty)
-			}
-		}
-		if lvl == cache.Memory && noTLBRefill {
-			e.refill.HandleMiss(e, r.ASID, r.PC, true)
-		}
+	}
+	if lvl == cache.Memory && noTLBRefill {
+		e.refill.HandleMiss(e, r.ASID, r.PC, true)
+	}
 
-		// Data side.
-		if r.Kind == trace.None {
-			continue
-		}
-		if e.usesTLB && !e.dtlbHit(e.tlbKey(r.ASID, addr.VPN(r.Data))) {
-			e.refill.HandleMiss(e, r.ASID, r.Data, false)
-		}
-		if r.Flags&trace.FlagUncached != 0 {
-			// Software-controlled cacheability (§5): the reference goes
-			// straight to memory — full miss latency, but no line is
-			// allocated, so it cannot displace cached data. It also
-			// cannot trigger the software cache-fill handler: the OS
-			// marked it uncacheable precisely to skip the fill.
-			if e.live {
-				e.c.Charge(stats.L1DMiss, stats.L1MissPenalty)
-				e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
-			}
-			continue
-		}
-		lvl = e.dcache.Access(userCacheAddr(r.ASID, r.Data))
-		if lvl != cache.L1Hit && e.live {
+	// Data side.
+	if r.Kind == trace.None {
+		return e.maybeCheckInvariants()
+	}
+	if e.usesTLB && !e.dtlbHit(e.tlbKey(r.ASID, addr.VPN(r.Data))) {
+		e.refill.HandleMiss(e, r.ASID, r.Data, false)
+	}
+	if r.Flags&trace.FlagUncached != 0 {
+		// Software-controlled cacheability (§5): the reference goes
+		// straight to memory — full miss latency, but no line is
+		// allocated, so it cannot displace cached data. It also
+		// cannot trigger the software cache-fill handler: the OS
+		// marked it uncacheable precisely to skip the fill.
+		if e.live {
 			e.c.Charge(stats.L1DMiss, stats.L1MissPenalty)
-			if lvl == cache.Memory {
-				e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
-			}
+			e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
 		}
-		if lvl == cache.Memory && noTLBRefill {
-			e.refill.HandleMiss(e, r.ASID, r.Data, false)
+		return e.maybeCheckInvariants()
+	}
+	lvl = e.dcache.Access(userCacheAddr(r.ASID, r.Data))
+	if lvl != cache.L1Hit && e.live {
+		e.c.Charge(stats.L1DMiss, stats.L1MissPenalty)
+		if lvl == cache.Memory {
+			e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
 		}
+	}
+	if lvl == cache.Memory && noTLBRefill {
+		e.refill.HandleMiss(e, r.ASID, r.Data, false)
+	}
+	return e.maybeCheckInvariants()
+}
+
+// Digest is a compact summary of the engine's mutable machine state —
+// cache and TLB occupancy — used by the differential oracle in
+// internal/check to compare engines mid-run. Computing it scans every
+// cache line, so checkers sample it at intervals rather than per step.
+type Digest struct {
+	// Resident line counts per cache level (instruction / data side).
+	IL1, IL2, DL1, DL2 int
+	// Resident TLB entries, total and in the protected partition.
+	ITLB, ITLBProt int
+	DTLB, DTLBProt int
+	TLB2           int
+}
+
+// Digest summarizes the current machine state.
+func (e *Engine) Digest() Digest {
+	d := Digest{
+		IL1: e.icache.L1().Resident(), IL2: e.icache.L2().Resident(),
+		DL1: e.dcache.L1().Resident(), DL2: e.dcache.L2().Resident(),
 	}
 	if e.usesTLB {
-		ist, dst := e.itlb.Stats(), e.dtlb.Stats()
-		e.c.ITLBLookups, e.c.ITLBMisses = ist.Lookups, ist.Misses
-		e.c.DTLBLookups, e.c.DTLBMisses = dst.Lookups, dst.Misses
+		d.ITLB, d.ITLBProt = e.itlb.Resident(), e.itlb.ResidentProtected()
+		d.DTLB, d.DTLBProt = e.dtlb.Resident(), e.dtlb.ResidentProtected()
+		if e.tlb2 != nil {
+			d.TLB2 = e.tlb2.Resident()
+		}
 	}
-	res := &Result{
+	return d
+}
+
+// Snapshot returns the statistics accumulated so far, with the live TLB
+// lookup/miss counts folded in the way Finish folds them — so a snapshot
+// taken after the final Step equals the finished Result's counters.
+func (e *Engine) Snapshot() stats.Counters {
+	c := e.c
+	if e.usesTLB {
+		ist, dst := e.itlb.Stats(), e.dtlb.Stats()
+		c.ITLBLookups, c.ITLBMisses = ist.Lookups, ist.Misses
+		c.DTLBLookups, c.DTLBMisses = dst.Lookups, dst.Misses
+	}
+	return c
+}
+
+// Finish assembles the Result after the last Step.
+func (e *Engine) Finish(workload string) *Result {
+	e.c = e.Snapshot()
+	return &Result{
 		Config:         e.cfg,
-		Workload:       tr.Name,
+		Workload:       workload,
 		Counters:       e.c,
 		AvgChainLength: chainStats(e.refill),
 	}
-	return res, nil
 }
 
 // chainStats extracts the average collision-chain length from hashed-

@@ -1,0 +1,150 @@
+//go:build go1.18
+
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// traceEqual compares traces by content; a nil and an empty Refs slice
+// are the same trace.
+func traceEqual(a, b *Trace) bool {
+	if a.Name != b.Name || len(a.Refs) != len(b.Refs) {
+		return false
+	}
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzReadFrom throws arbitrary bytes — corrupt magic, lying headers,
+// truncated records — at the binary trace reader. The reader may reject
+// the input, but it must never panic, never allocate absurdly, and any
+// trace it does accept must satisfy the package invariants and survive
+// a write/read round trip unchanged.
+func FuzzReadFrom(f *testing.F) {
+	// Seed with a well-formed trace, then hand-corrupted variants.
+	good := &Trace{Name: "seed", Refs: []Ref{
+		{PC: 0x1000, Kind: None},
+		{PC: 0x1004, Data: 0x2000, Kind: Load, ASID: 3, Flags: FlagUncached},
+		{PC: 0x1008, Data: 0x2008, Kind: Store},
+	}}
+	var buf bytes.Buffer
+	if _, err := good.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	whole := buf.Bytes()
+	f.Add(whole)
+	f.Add(whole[:len(whole)-7])       // truncated mid-record
+	f.Add(whole[:len(magic)+2])       // truncated header
+	f.Add([]byte("MMUTRC99nonsense")) // wrong version
+	f.Add([]byte{})
+
+	// A header whose record count promises far more than the body holds.
+	lying := append([]byte{}, whole[:len(magic)]...)
+	lying = append(lying, 0, 0, 0, 0) // empty name
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], 1<<40)
+	lying = append(lying, cnt[:]...)
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadFrom accepted a trace that fails Validate: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := tr.WriteTo(&out); err != nil {
+			t.Fatalf("re-serializing an accepted trace: %v", err)
+		}
+		back, err := ReadFrom(&out)
+		if err != nil {
+			t.Fatalf("re-reading a re-serialized trace: %v", err)
+		}
+		if !traceEqual(tr, back) {
+			t.Fatalf("round trip changed the trace:\n first: %+v\nsecond: %+v", tr, back)
+		}
+	})
+}
+
+// FuzzReadDinero feeds arbitrary text to the din parser. Accepted
+// traces must validate and never hold more records than input lines.
+func FuzzReadDinero(f *testing.F) {
+	f.Add("2 400000\n0 10000\n2 400004\n1 10008\n")
+	f.Add("# comment\n\n2 0x400000\n0 0xdeadbeef extra fields\n")
+	f.Add("0 10000\n0 10008\n") // data before any fetch
+	f.Add("2 zzz\n")
+	f.Add("3 400000\n")
+	f.Add("2\n")
+	f.Add(strings.Repeat("2 400000\n", 64))
+
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ReadDinero(strings.NewReader(s), "fuzz")
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadDinero accepted a trace that fails Validate: %v", err)
+		}
+		lines := strings.Count(s, "\n") + 1
+		if tr.Len() > lines {
+			t.Fatalf("ReadDinero produced %d records from %d lines", tr.Len(), lines)
+		}
+	})
+}
+
+// FuzzTraceRoundTrip builds a valid trace from raw fuzz bytes (masked
+// into the legal ranges) and asserts WriteTo/ReadFrom is the identity.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add("gcc", []byte{})
+	f.Add("", []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18})
+	f.Add("multi", bytes.Repeat([]byte{0xA5}, 90))
+
+	f.Fuzz(func(t *testing.T, name string, raw []byte) {
+		if len(name) > 4096 {
+			name = name[:4096]
+		}
+		tr := &Trace{Name: name}
+		for len(raw) >= recordBytes {
+			rec := raw[:recordBytes]
+			raw = raw[recordBytes:]
+			r := Ref{
+				PC:    binary.LittleEndian.Uint64(rec[0:]) & 0x7FFF_FFFF,
+				Kind:  Kind(rec[16] % 3),
+				ASID:  rec[17] >> 4,
+				Flags: rec[17] & 0xF,
+			}
+			if r.Kind != None {
+				r.Data = binary.LittleEndian.Uint64(rec[8:]) & 0x7FFF_FFFF
+			}
+			tr.Refs = append(tr.Refs, r)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("sanitized trace fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		n, err := tr.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+		}
+		back, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("reading back a freshly written trace: %v", err)
+		}
+		if !traceEqual(tr, back) {
+			t.Fatalf("round trip changed the trace:\nwrote: %+v\n read: %+v", tr, back)
+		}
+	})
+}

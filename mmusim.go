@@ -3,6 +3,7 @@ package mmusim
 import (
 	"io"
 
+	"repro/internal/check"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -131,6 +132,23 @@ func ReadDineroTrace(r io.Reader, name string) (*Trace, error) {
 
 // Simulate runs cfg over tr.
 func Simulate(cfg Config, tr *Trace) (*Result, error) { return sim.Simulate(cfg, tr) }
+
+// CheckDivergence replays tr through the production engine and the
+// independent naive reference models of internal/check in lockstep. It
+// returns a non-empty human-readable report describing the first
+// divergence (reference index, mismatched counter, both component state
+// dumps), or "" when the two implementations agree over the whole
+// trace. Only the six paper organizations are supported.
+func CheckDivergence(cfg Config, tr *Trace) (string, error) {
+	d, err := check.Diff(cfg, tr)
+	if err != nil {
+		return "", err
+	}
+	if d == nil {
+		return "", nil
+	}
+	return d.String(), nil
+}
 
 // RunBenchmark generates the named benchmark's trace and simulates cfg
 // over it — the one-call entry point.
