@@ -1,0 +1,206 @@
+// Command vmbench is the reproducible benchmark harness: it measures the
+// simulator's own performance — not the simulated machine's — and emits a
+// machine-readable BENCH_sim.json.
+//
+// For every requested organization it replays the same generated trace
+// several times and reports the median throughput (references/second and
+// ns/reference) plus the allocation rate (allocs/reference, which should
+// be ~0: the engine's steady state is allocation-free). It then times one
+// paper-style cache-size sweep to capture parallel sweep wall-clock.
+//
+// Usage:
+//
+//	vmbench                         # paper VMs, 200k-instruction gcc trace
+//	vmbench -vms ultrix,intel -runs 5 -o BENCH_sim.json
+//	vmbench -cpuprofile cpu.out     # profile the measured runs
+//
+// The defaults are sized so the whole harness finishes in well under a
+// minute; see PERFORMANCE.md for how to read and compare the output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	mmusim "repro"
+)
+
+// engineBench is one organization's measured hot-path performance.
+type engineBench struct {
+	VM           string  `json:"vm"`
+	Runs         int     `json:"runs"`
+	References   int     `json:"references"`
+	NsPerRef     float64 `json:"ns_per_ref"`
+	RefsPerSec   float64 `json:"refs_per_sec"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	AllocsPerRef float64 `json:"allocs_per_ref"`
+	MCPI         float64 `json:"mcpi"`
+	VMCPI        float64 `json:"vmcpi"`
+}
+
+// sweepBench is the timed parallel sweep.
+type sweepBench struct {
+	Configs      int     `json:"configs"`
+	Workers      int     `json:"workers"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	PointsPerSec float64 `json:"points_per_sec"`
+}
+
+// report is the BENCH_sim.json schema.
+type report struct {
+	Schema    string        `json:"schema"`
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Bench     string        `json:"bench"`
+	Instrs    int           `json:"instructions"`
+	Seed      uint64        `json:"seed"`
+	Engines   []engineBench `json:"engines"`
+	Sweep     *sweepBench   `json:"sweep,omitempty"`
+}
+
+func main() {
+	var (
+		vms     = flag.String("vms", "ultrix,mach,intel,pa-risc,notlb,base", "comma list of organizations, or 'all'")
+		bench   = flag.String("bench", "gcc", "benchmark trace to replay")
+		n       = flag.Int("n", 200_000, "trace length in instructions")
+		seed    = flag.Uint64("seed", 42, "deterministic seed")
+		runs    = flag.Int("runs", 3, "timed runs per organization (median reported)")
+		out     = flag.String("o", "BENCH_sim.json", "output path ('-' = stdout only)")
+		doSweep = flag.Bool("sweep", true, "also time one paper-style L1-size sweep")
+		workers = flag.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured runs to this file")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "vmbench:", err)
+		os.Exit(1)
+	}
+
+	vmList := strings.Split(*vms, ",")
+	if *vms == "all" {
+		vmList = mmusim.VMs()
+	}
+	tr, err := mmusim.GenerateTrace(*bench, *seed, *n)
+	if err != nil {
+		fail(err)
+	}
+	refs := tr.Len()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	rep := report{
+		Schema:    "mmusim-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Bench:     *bench,
+		Instrs:    *n,
+		Seed:      *seed,
+	}
+
+	for _, vm := range vmList {
+		cfg := mmusim.DefaultConfig(strings.TrimSpace(vm))
+		cfg.Seed = *seed
+		// Warm run: faults in the trace pages and verifies the config
+		// before anything is timed.
+		res, err := mmusim.Simulate(cfg, tr)
+		if err != nil {
+			fail(err)
+		}
+		times := make([]float64, *runs)
+		var allocs uint64
+		var ms runtime.MemStats
+		for i := range times {
+			runtime.ReadMemStats(&ms)
+			before := ms.Mallocs
+			start := time.Now()
+			if _, err := mmusim.Simulate(cfg, tr); err != nil {
+				fail(err)
+			}
+			times[i] = time.Since(start).Seconds()
+			runtime.ReadMemStats(&ms)
+			allocs = ms.Mallocs - before
+		}
+		sort.Float64s(times)
+		median := times[len(times)/2]
+		eb := engineBench{
+			VM:           cfg.VM,
+			Runs:         *runs,
+			References:   refs,
+			NsPerRef:     median * 1e9 / float64(refs),
+			RefsPerSec:   float64(refs) / median,
+			AllocsPerOp:  allocs,
+			AllocsPerRef: float64(allocs) / float64(refs),
+			MCPI:         res.MCPI(),
+			VMCPI:        res.VMCPI(),
+		}
+		rep.Engines = append(rep.Engines, eb)
+		fmt.Fprintf(os.Stderr, "vmbench: %-12s %7.2f ns/ref  %6.1f Mref/s  %d allocs/op\n",
+			eb.VM, eb.NsPerRef, eb.RefsPerSec/1e6, eb.AllocsPerOp)
+	}
+
+	if *doSweep {
+		space := mmusim.SweepSpace{Base: mmusim.DefaultConfig(vmList[0])}
+		space.Base.Seed = *seed
+		space.L1Sizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+		cfgs := space.Configs()
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		start := time.Now()
+		for _, p := range mmusim.Sweep(tr, cfgs, w) {
+			if p.Err != nil {
+				fail(p.Err)
+			}
+		}
+		wall := time.Since(start).Seconds()
+		rep.Sweep = &sweepBench{
+			Configs:      len(cfgs),
+			Workers:      w,
+			WallSeconds:  wall,
+			PointsPerSec: float64(len(cfgs)) / wall,
+		}
+		fmt.Fprintf(os.Stderr, "vmbench: sweep %d points × %d workers in %.2fs (%.1f points/s)\n",
+			len(cfgs), w, wall, rep.Sweep.PointsPerSec)
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "vmbench: wrote %s\n", *out)
+}

@@ -12,9 +12,45 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	mmusim "repro"
 )
+
+// startCPUProfile begins CPU profiling into path ("" = off) and returns
+// the stop function.
+func startCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile dumps an allocation profile to path ("" = off).
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize final heap statistics
+	return pprof.Lookup("allocs").WriteTo(f, 0)
+}
 
 func main() {
 	var (
@@ -35,8 +71,17 @@ func main() {
 		dinIn   = flag.String("din", "", "replay this Dinero-format text trace instead of generating -bench")
 		doCheck = flag.Bool("check", false, "replay the run through the differential oracle (internal/check) and fail on any divergence")
 		invar   = flag.Bool("invariants", false, "assert conservation-law invariants on every simulation step (slower)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := startCPUProfile(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := mmusim.DefaultConfig(*vm)
 	cfg.L1SizeBytes, cfg.L2SizeBytes = *l1, *l2
@@ -49,7 +94,6 @@ func main() {
 	cfg.CheckInvariants = *invar
 
 	var tr *mmusim.Trace
-	var err error
 	switch {
 	case *traceIn != "":
 		var f *os.File
@@ -102,9 +146,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "vmsim:", err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		fmt.Print(res.BreakdownString())
+		fmt.Printf("  total CPI (1-CPI core + overheads @%d-cycle interrupts) = %.5f\n",
+			cfg.InterruptCost, res.TotalCPI())
 	}
-	fmt.Print(res.BreakdownString())
-	fmt.Printf("  total CPI (1-CPI core + overheads @%d-cycle interrupts) = %.5f\n",
-		cfg.InterruptCost, res.TotalCPI())
+	if err := writeHeapProfile(*memProf); err != nil {
+		fmt.Fprintln(os.Stderr, "vmsim:", err)
+		os.Exit(1)
+	}
 }

@@ -6,12 +6,27 @@
 //
 //	vmsweep -bench gcc -vms ultrix,intel -l1 1024,8192,65536 > gcc.csv
 //	vmsweep -bench vortex -vms all -l1 paper -l2 paper -lines paper
+//	vmsweep -tracefile gcc.trace -vms ultrix -l1 paper
+//
+// Memory: the sweep's footprint is bounded by one shared read-only trace
+// (24 bytes per reference — 24MB for a million-instruction trace) plus
+// one live engine per worker (cache and TLB arrays, a few hundred KB to
+// a few MB each depending on cache sizes); it does not grow with the
+// number of configurations, so paper-scale cross-products (thousands of
+// points) run in a few hundred MB. To bound memory, bound -n (or the
+// replayed trace's length) and -workers. Ctrl-C cancels the sweep:
+// in-flight points finish, pending points are dropped, and the rows
+// completed so far remain valid CSV on stdout.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -54,12 +69,30 @@ func main() {
 		n       = flag.Int("n", 500_000, "trace length in instructions")
 		seed    = flag.Uint64("seed", 42, "deterministic seed")
 		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		traceIn = flag.String("tracefile", "", "replay this trace file instead of generating -bench")
+		dinIn   = flag.String("din", "", "replay this Dinero-format text trace instead of generating -bench")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProf = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "vmsweep:", err)
 		os.Exit(1)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	vmList := strings.Split(*vms, ",")
@@ -85,26 +118,73 @@ func main() {
 		fail(err)
 	}
 
-	tr, err := mmusim.GenerateTrace(*bench, *seed, *n)
-	if err != nil {
-		fail(err)
+	var tr *mmusim.Trace
+	label := *bench
+	switch {
+	case *traceIn != "":
+		f, ferr := os.Open(*traceIn)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if tr, err = mmusim.ReadTrace(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		label = tr.Name
+	case *dinIn != "":
+		f, ferr := os.Open(*dinIn)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if tr, err = mmusim.ReadDineroTrace(f, *dinIn); err != nil {
+			fail(err)
+		}
+		f.Close()
+		label = tr.Name
+	default:
+		if tr, err = mmusim.GenerateTrace(*bench, *seed, *n); err != nil {
+			fail(err)
+		}
 	}
 	cfgs := space.Configs()
 	fmt.Fprintf(os.Stderr, "vmsweep: %d configurations × %d instructions (%s)\n",
-		len(cfgs), *n, *bench)
+		len(cfgs), tr.Len(), label)
+
+	// Ctrl-C cancels the sweep cleanly: completed rows stay valid CSV.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	fmt.Println("benchmark,vm,l1_bytes,l2_bytes,l1_line,l2_line,tlb_entries," +
 		"mcpi,vmcpi,int_cpi_10,int_cpi_50,int_cpi_200,interrupts,itlb_missrate,dtlb_missrate")
-	for _, p := range mmusim.Sweep(tr, cfgs, *workers) {
+	cancelled := 0
+	for _, p := range mmusim.SweepContext(ctx, tr, cfgs, *workers) {
 		if p.Err != nil {
+			if ctx.Err() != nil {
+				cancelled++
+				continue
+			}
 			fail(p.Err)
 		}
 		r := p.Result
 		c := p.Config
 		fmt.Printf("%s,%s,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.6f,%.6f\n",
-			*bench, c.VM, c.L1SizeBytes, c.L2SizeBytes, c.L1LineBytes, c.L2LineBytes,
+			label, c.VM, c.L1SizeBytes, c.L2SizeBytes, c.L1LineBytes, c.L2LineBytes,
 			c.TLBEntries, r.MCPI(), r.VMCPI(),
 			r.Counters.InterruptCPI(10), r.Counters.InterruptCPI(50), r.Counters.InterruptCPI(200),
 			r.Counters.Interrupts, r.Counters.ITLBMissRate(), r.Counters.DTLBMissRate())
+	}
+	if cancelled > 0 {
+		fmt.Fprintf(os.Stderr, "vmsweep: interrupted — %d of %d points not run\n", cancelled, len(cfgs))
+	}
+	if *memProf != "" {
+		f, ferr := os.Create(*memProf)
+		if ferr != nil {
+			fail(ferr)
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fail(err)
+		}
+		f.Close()
 	}
 }

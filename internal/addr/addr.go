@@ -18,7 +18,10 @@
 // handler code "located in unmapped space".
 package addr
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Page geometry. The paper simulates 4KB pages exclusively (Table 1); the
 // page size is a constant rather than a parameter so that VPN arithmetic
@@ -138,10 +141,17 @@ func IsPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
 
 // Log2 returns floor(log2(v)) for v > 0, and 0 for v == 0.
 func Log2(v uint64) uint {
-	var n uint
-	for v > 1 {
-		v >>= 1
-		n++
+	if v == 0 {
+		return 0
 	}
-	return n
+	return uint(bits.Len64(v)) - 1
+}
+
+// IndexShiftMask precomputes the shift/mask pair that extracts a
+// power-of-two-granular index from an address: index = (a >> shift) & mask
+// for granule bytes per entry and n entries. Both cache sets and hashed
+// page-table buckets are indexed this way; precomputing the pair at
+// construction keeps the per-reference hot paths free of divisions.
+func IndexShiftMask(granule, n uint64) (shift uint, mask uint64) {
+	return Log2(granule), n - 1
 }

@@ -81,17 +81,36 @@ type Cache struct {
 	// lines holds, per way-slot, the line address + 1 (so that the zero
 	// value means "invalid"). Layout: set-major, way-minor.
 	lines []uint64
+	// fast is the inlined hit-probe array: for direct-mapped caches it
+	// aliases lines (probe = one load + compare), while for the
+	// set-associative ablation it is a single permanently-invalid slot
+	// with fastMask 0, so the inlined probe always falls through to the
+	// full way-scan in accessSlow. This keeps Access small enough for
+	// the compiler to inline the hit path into the hierarchy walk.
+	fast     []uint64
+	fastMask uint64
 	// age holds per-slot LRU counters (only consulted when assoc > 1).
 	age  []uint64
 	tick uint64
 
-	stats Stats
+	// Statistics are kept as separate hit/miss tallies — Stats() derives
+	// Accesses as their sum — so the inlined hit path pays one counter
+	// increment and stays inside the compiler's inlining budget.
+	hits   uint64
+	misses uint64
 }
 
 // New constructs a cache. It panics on an invalid configuration: cache
 // shapes come from experiment configs that are validated up front, so an
 // invalid shape reaching this point is a programming error.
 func New(cfg Config) *Cache {
+	c := &Cache{}
+	c.init(cfg)
+	return c
+}
+
+// init initializes c in place (New for an embedded Cache).
+func (c *Cache) init(cfg Config) {
 	if cfg.Assoc == 0 {
 		cfg.Assoc = 1
 	}
@@ -100,17 +119,22 @@ func New(cfg Config) *Cache {
 	}
 	nLines := cfg.SizeBytes / cfg.LineBytes
 	nSets := nLines / cfg.Assoc
-	c := &Cache{
+	lineShift, setMask := addr.IndexShiftMask(uint64(cfg.LineBytes), uint64(nSets))
+	*c = Cache{
 		cfg:       cfg,
-		lineShift: addr.Log2(uint64(cfg.LineBytes)),
-		setMask:   uint64(nSets - 1),
+		lineShift: lineShift,
+		setMask:   setMask,
 		assoc:     cfg.Assoc,
 		lines:     make([]uint64, nLines),
 	}
 	if cfg.Assoc > 1 {
 		c.age = make([]uint64, nLines)
+		c.fast = []uint64{0}
+		c.fastMask = 0
+	} else {
+		c.fast = c.lines
+		c.fastMask = c.setMask
 	}
-	return c
 }
 
 // Config returns the configuration the cache was built with.
@@ -124,17 +148,28 @@ func (c *Cache) LineAddr(a uint64) uint64 { return a >> c.lineShift }
 
 // Access performs a load or store at address a: it probes the cache and,
 // on a miss, allocates the line (write-allocate). It returns true on hit.
+// The body is only the direct-mapped hit probe — the common case in the
+// paper's configuration — sized to inline into the hierarchy walk;
+// everything else (direct-mapped fills, the set-associative ablation)
+// lives in accessSlow.
 func (c *Cache) Access(a uint64) bool {
-	c.stats.Accesses++
 	line := a >> c.lineShift
+	if c.fast[line&c.fastMask] == line+1 {
+		c.hits++
+		return true
+	}
+	return c.accessSlow(line)
+}
+
+// accessSlow completes an Access whose inlined fast probe did not hit: a
+// direct-mapped miss (fill the line), or any set-associative access (the
+// fast probe never hits when assoc > 1).
+func (c *Cache) accessSlow(line uint64) bool {
 	key := line + 1
 	set := int(line&c.setMask) * c.assoc
 	if c.assoc == 1 {
-		if c.lines[set] == key {
-			return true
-		}
 		c.lines[set] = key
-		c.stats.Misses++
+		c.misses++
 		return false
 	}
 	c.tick++
@@ -143,6 +178,7 @@ func (c *Cache) Access(a uint64) bool {
 	for w := set; w < set+c.assoc; w++ {
 		if c.lines[w] == key {
 			c.age[w] = c.tick
+			c.hits++
 			return true
 		}
 		if c.age[w] < oldest {
@@ -152,7 +188,7 @@ func (c *Cache) Access(a uint64) bool {
 	}
 	c.lines[victim] = key
 	c.age[victim] = c.tick
-	c.stats.Misses++
+	c.misses++
 	return false
 }
 
@@ -197,10 +233,12 @@ func (c *Cache) Flush() {
 }
 
 // Stats returns the accumulated statistics.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	return Stats{Accesses: c.hits + c.misses, Misses: c.misses}
+}
 
 // ResetStats clears the accumulated statistics without touching contents.
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
 
 // Resident returns the number of valid lines currently held.
 func (c *Cache) Resident() int {

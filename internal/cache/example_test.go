@@ -1,0 +1,36 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// A cold reference misses all the way to memory and allocates the line
+// at both levels; the re-reference hits L1.
+func ExampleHierarchy_Access() {
+	h := cache.NewHierarchy(
+		cache.Config{SizeBytes: 4 << 10, LineBytes: 32},
+		cache.Config{SizeBytes: 64 << 10, LineBytes: 64},
+	)
+	fmt.Println(h.Access(0x1000))
+	fmt.Println(h.Access(0x1004)) // same 32-byte line
+	fmt.Println(h.L1().Stats().Misses)
+	// Output:
+	// MEM
+	// L1
+	// 1
+}
+
+// Two addresses one cache-size apart conflict in a direct-mapped cache:
+// each access evicts the other's line.
+func ExampleCache_Access() {
+	c := cache.New(cache.Config{SizeBytes: 1 << 10, LineBytes: 32})
+	a, b := uint64(0x0), uint64(0x400) // 1KB apart -> same set
+	c.Access(a)
+	c.Access(b)
+	hit := c.Access(a)
+	fmt.Println(hit, c.Stats().Misses)
+	// Output:
+	// false 3
+}

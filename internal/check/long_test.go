@@ -1,0 +1,29 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestLongTraceNoDivergence runs the differential oracle over a trace an
+// order of magnitude longer than the quick tests — long enough for TLB
+// and L2 working sets to wrap and for every handler path to fire many
+// times. CI runs it on every push; locally, -short skips it.
+func TestLongTraceNoDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long differential-oracle run; skipped with -short")
+	}
+	const n = 120_000
+	tr := genTrace(t, "gcc", n)
+	if tr.Len() < 100_000 {
+		t.Fatalf("trace only %d references, want >= 100000", tr.Len())
+	}
+	for _, vm := range sim.PaperVMs() {
+		vm := vm
+		t.Run(vm, func(t *testing.T) {
+			t.Parallel()
+			requireNoDivergence(t, sim.Default(vm), tr)
+		})
+	}
+}

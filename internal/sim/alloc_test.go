@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestHitPathAllocationFree pins the engine's steady state to zero
+// allocations: once caches and TLBs are warm, replaying hitting
+// references must not allocate at all — the per-reference hot path is
+// compares and counter arithmetic only. Guards against regressions like
+// a map rehash, interface boxing, or a fmt call sneaking into Step.
+func TestHitPathAllocationFree(t *testing.T) {
+	for _, vm := range []string{VMUltrix, VMMach, VMIntel, VMPARISC, VMNoTLB, VMBase} {
+		t.Run(vm, func(t *testing.T) {
+			cfg := Default(vm)
+			cfg.WarmupInstrs = 0
+			e, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs := []trace.Ref{
+				{PC: 0x1000, Kind: trace.None},
+				{PC: 0x1004, Data: 0x20000, Kind: trace.Load},
+				{PC: 0x1008, Data: 0x20008, Kind: trace.Store},
+			}
+			tr := &trace.Trace{Name: "hitloop", Refs: refs}
+			if err := e.Begin(tr); err != nil {
+				t.Fatal(err)
+			}
+			// Prime: the first pass takes every miss (fills lines, walks
+			// page tables); later passes are pure hits.
+			for i := range refs {
+				if err := e.Step(&refs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(200, func() {
+				for i := range refs {
+					if err := e.Step(&refs[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+			if avg != 0 {
+				t.Errorf("%s: hit-path Step allocates %.2f objects per 3-ref pass, want 0", vm, avg)
+			}
+		})
+	}
+}
+
+// TestRunSteadyStateAllocationFree covers the same budget through Run's
+// specialized loop: with the engine, trace, and validation memo warm, a
+// whole-trace replay must not allocate.
+func TestRunSteadyStateAllocationFree(t *testing.T) {
+	cfg := Default(VMUltrix)
+	cfg.WarmupInstrs = 0
+	tr := tr(t, "gcc", 20_000)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		// Finish returns a fresh *Result (one allocation we tolerate);
+		// everything per-reference must be free.
+		if _, err := e.Run(tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("steady-state Run allocates %.2f objects per replay, want <= 1 (the Result)", avg)
+	}
+}

@@ -1,3 +1,18 @@
+// Package sim assembles the simulated machine — split two-level
+// virtually-addressed caches, split fully-associative TLBs, an optional
+// unified second-level TLB, and one of the paper's page-table walkers —
+// and replays reference traces through it, charging cycles in the
+// paper's MCPI/VMCPI taxonomy (Tables 2 and 3).
+//
+// Two replay loops exist. Engine.Run is the fast path: a specialized
+// per-phase loop whose per-reference work, once caches and TLBs are
+// warm, is a handful of compares with zero allocations (the allocation
+// budget is pinned by TestHitPathAllocationFree). Begin/Step/Finish is
+// the reference implementation: one reference at a time with invariant
+// hooks, used by external checkers such as the differential oracle in
+// internal/check; TestRunMatchesStep holds the two loops to identical
+// results. See PERFORMANCE.md at the repository root for how to measure
+// either.
 package sim
 
 import (
@@ -20,15 +35,25 @@ type Engine struct {
 	phys    *mem.Phys
 	refill  mmu.Refill
 	usesTLB bool
-	itlb    *tlb.TLB
-	dtlb    *tlb.TLB
+	// noTLBRefill marks the software-managed-cache organizations, whose
+	// walker runs on user L2 misses instead of TLB misses. Precomputed at
+	// assembly so Step's default path branches on one bool.
+	noTLBRefill bool
+	itlb        *tlb.TLB
+	dtlb        *tlb.TLB
 	// tlb2 is the optional unified second-level TLB; tlb2Cost is the
 	// cycles charged when it satisfies a first-level miss.
 	tlb2     *tlb.TLB
 	tlb2Cost uint64
 	icache   *cache.Hierarchy
 	dcache   *cache.Hierarchy
-	c        stats.Counters
+	// iprobe/dprobe are the hand-inlined L1 hit probes for the two cache
+	// sides: Step resolves the (overwhelmingly common) L1-hit case with
+	// an inline compare and only calls into the cache package on misses.
+	// With unified caches both alias the same hierarchy.
+	iprobe cache.L1Probe
+	dprobe cache.L1Probe
+	c      stats.Counters
 	// live is false during the warmup prefix: the machine state (caches,
 	// TLBs, page tables) evolves but nothing is charged.
 	live bool
@@ -123,6 +148,9 @@ func assemble(cfg Config, phys *mem.Phys, refill mmu.Refill) *Engine {
 	} else {
 		e.dcache = cache.NewHierarchy(l1cfg, l2cfg)
 	}
+	e.iprobe = e.icache.L1Probe()
+	e.dprobe = e.dcache.L1Probe()
+	e.noTLBRefill = refill != nil && !refill.UsesTLB()
 	if refill != nil && refill.UsesTLB() {
 		e.usesTLB = true
 		switch cfg.ASIDs {
@@ -157,24 +185,11 @@ func assemble(cfg Config, phys *mem.Phys, refill mmu.Refill) *Engine {
 	return e
 }
 
-// itlbHit resolves an instruction translation through the TLB hierarchy:
+// dtlbHit resolves a data translation through the TLB hierarchy:
 // first-level hit, then (if configured) the unified second-level TLB.
-// It reports whether the walker must run.
-func (e *Engine) itlbHit(key uint64) bool {
-	if e.itlb.Lookup(key) {
-		return true
-	}
-	if e.tlb2 != nil && e.tlb2.Lookup(key) {
-		if e.live {
-			e.c.Charge(stats.TLB2Hit, e.tlb2Cost)
-		}
-		e.itlb.Insert(key)
-		return true
-	}
-	return false
-}
-
-// dtlbHit is itlbHit for the data side.
+// It reports whether the walker must run. Step inlines the first-level
+// probe itself and goes straight to the miss path; this full form serves
+// the walker-facing DTLBLookup.
 func (e *Engine) dtlbHit(key uint64) bool {
 	if e.dtlb.Lookup(key) {
 		return true
@@ -189,21 +204,220 @@ func (e *Engine) dtlbHit(key uint64) bool {
 	return false
 }
 
+// itlbMiss services a first-level I-TLB miss: probe the optional unified
+// second-level TLB, and run the walker if that misses too. The first-level
+// probe (with its statistics) already happened in Step.
+func (e *Engine) itlbMiss(asid uint8, va uint64) {
+	if e.tlb2 != nil {
+		key := e.tlbKey(asid, addr.VPN(va))
+		if e.tlb2.Lookup(key) {
+			if e.live {
+				e.c.Charge(stats.TLB2Hit, e.tlb2Cost)
+			}
+			e.itlb.Insert(key)
+			return
+		}
+	}
+	e.refill.HandleMiss(e, asid, va, true)
+}
+
+// dtlbMiss is itlbMiss for the data side.
+func (e *Engine) dtlbMiss(asid uint8, va uint64) {
+	if e.tlb2 != nil {
+		key := e.tlbKey(asid, addr.VPN(va))
+		if e.tlb2.Lookup(key) {
+			if e.live {
+				e.c.Charge(stats.TLB2Hit, e.tlb2Cost)
+			}
+			e.dtlb.Insert(key)
+			return
+		}
+	}
+	e.refill.HandleMiss(e, asid, va, false)
+}
+
 // Run replays tr through the simulated machine, following the paper's
 // §3.1 pseudocode: translate the fetch (walking the page table on an
 // I-TLB miss), look up the I-cache, then — for loads and stores —
 // translate the data address and look up the D-cache. For organizations
 // without TLBs the walker runs on user-level L2 misses instead.
+//
+// Run replays through runPhase, a specialized loop without the per-step
+// bookkeeping Step carries (warmup-boundary test, invariant hook, error
+// plumbing); with invariant checking enabled it falls back to the
+// Step-per-reference loop so violations are pinned to an instruction.
+// Step remains the reference implementation — TestRunMatchesStep holds
+// the two paths to identical results.
 func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
 	if err := e.Begin(tr); err != nil {
 		return nil, err
 	}
-	for i := range tr.Refs {
-		if err := e.Step(&tr.Refs[i]); err != nil {
-			return nil, err
+	if e.cfg.CheckInvariants {
+		for i := range tr.Refs {
+			if err := e.Step(&tr.Refs[i]); err != nil {
+				return nil, err
+			}
+		}
+		return e.Finish(tr.Name), nil
+	}
+	refs := tr.Refs
+	e.runPhase(refs[:e.warm])
+	e.stepIdx = e.warm
+	if !e.live {
+		// Warmup over: start measuring, exactly as Step's boundary
+		// transition does.
+		e.live = true
+		if e.usesTLB {
+			e.itlb.ResetStats()
+			e.dtlb.ResetStats()
 		}
 	}
+	e.runPhase(refs[e.warm:])
+	e.stepIdx = len(refs)
 	return e.Finish(tr.Name), nil
+}
+
+// runPhase replays refs through the machine within one warmup/live phase
+// (e.live is constant across a phase, so it is hoisted into a local).
+// The body mirrors Step's reference semantics exactly, minus the
+// per-step bookkeeping Run handles at phase granularity. Per-reference
+// tallies whose per-step increments would dominate the loop — user
+// instructions and the one I-TLB + at-most-one D-TLB lookup every
+// reference performs — accumulate in locals and fold into the real
+// counters once per phase; misses and all charged events still count at
+// the reference where they happen.
+func (e *Engine) runPhase(refs []trace.Ref) {
+	live := e.live
+	usesTLB := e.usesTLB
+	noTLBRefill := e.noTLBRefill
+	tagged := e.taggedTLB
+	// The same-fetch-line short-circuit below relies on lookups not
+	// mutating TLB state, which does not hold under LRU (a hit must
+	// refresh recency) — same reasoning as the TLB's own last-hit filter.
+	lineSkip := !usesTLB || e.cfg.TLBPolicy != tlb.LRU
+	unified := e.dcache == e.icache
+	// Stack copies of the L1 probes: nothing the loop calls can alias
+	// them, so their fields stay in registers across iterations.
+	ip, dp := e.iprobe, e.dprobe
+	itlb, dtlb := e.itlb, e.dtlb
+	var dataRefs, ihits, dhits uint64
+	// lastILine is the previous fetch's cache-line key (line+1; 0 = none)
+	// while that line is provably still resident and its page still
+	// translated: both can only be disturbed by the handlers and fills the
+	// miss paths run, and every miss block clears it. While valid, the
+	// whole instruction side reduces to one compare — consecutive fetches
+	// share a line for ~8 instructions at a time.
+	var lastILine uint64
+	for i := range refs {
+		r := &refs[i]
+		if r.ASID != e.curASID {
+			e.switchTo(r.ASID)
+			if live {
+				e.c.ContextSwitches++
+			}
+			// Switch hazards (untagged flush, other-process evictions)
+			// invalidate the fetch-line memo.
+			lastILine = 0
+		}
+		// asidTag folds the address space into TLB keys and cache
+		// addresses; see tlbKey and userCacheAddr, which the loop inlines
+		// with the taggedTLB branch hoisted to the tagged local.
+		asidTag := uint64(r.ASID) << 32
+
+		// Instruction side.
+		iline := userCacheAddr(r.ASID, r.PC) >> ip.Shift()
+		if iline+1 == lastILine {
+			ihits++
+		} else {
+			lastILine = 0
+			if usesTLB {
+				key := addr.VPN(r.PC)
+				if tagged {
+					key |= asidTag
+				}
+				if !itlb.LookupUncounted(key) {
+					e.itlbMiss(r.ASID, r.PC)
+				}
+			}
+			if ip.HitQuiet(userCacheAddr(r.ASID, r.PC)) {
+				ihits++
+				// Memoize only the all-hit case: the line is resident and
+				// (when a TLB is in play) its VPN is both resident and
+				// already the TLB's own last-hit entry, so a skipped
+				// lookup is indistinguishable from a performed one.
+				if lineSkip {
+					lastILine = iline + 1
+				}
+			} else {
+				lvl := e.icache.AccessMissedL1(userCacheAddr(r.ASID, r.PC))
+				if lvl != cache.L1Hit && live {
+					e.c.Charge(stats.L1IMiss, stats.L1MissPenalty)
+					if lvl == cache.Memory {
+						e.c.Charge(stats.L2IMiss, stats.L2MissPenalty)
+					}
+				}
+				if lvl == cache.Memory && noTLBRefill {
+					e.refill.HandleMiss(e, r.ASID, r.PC, true)
+				}
+			}
+		}
+
+		// Data side.
+		if r.Kind == trace.None {
+			continue
+		}
+		dataRefs++
+		if usesTLB {
+			key := addr.VPN(r.Data)
+			if tagged {
+				key |= asidTag
+			}
+			if !dtlb.LookupUncounted(key) {
+				e.dtlbMiss(r.ASID, r.Data)
+				// The refill handler fetches its own code through the
+				// I-cache, which may evict the memoized fetch line.
+				lastILine = 0
+			}
+		}
+		if r.Flags&trace.FlagUncached != 0 {
+			if live {
+				e.c.Charge(stats.L1DMiss, stats.L1MissPenalty)
+				e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
+			}
+			continue
+		}
+		if dp.HitQuiet(userCacheAddr(r.ASID, r.Data)) {
+			dhits++
+		} else {
+			lvl := e.dcache.AccessMissedL1(userCacheAddr(r.ASID, r.Data))
+			if lvl != cache.L1Hit && live {
+				e.c.Charge(stats.L1DMiss, stats.L1MissPenalty)
+				if lvl == cache.Memory {
+					e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
+				}
+			}
+			if lvl == cache.Memory && noTLBRefill {
+				e.refill.HandleMiss(e, r.ASID, r.Data, false)
+			}
+			if unified || noTLBRefill {
+				// A unified-cache data fill can evict the memoized fetch
+				// line directly; a software cache-fill handler can evict
+				// it through its code fetches.
+				lastILine = 0
+			}
+		}
+	}
+	if live {
+		e.c.UserInstrs += uint64(len(refs))
+	}
+	if usesTLB {
+		// Warm-phase lookups are folded in too; the warm-boundary
+		// ResetStats clears them exactly as it clears per-step tallies.
+		itlb.AddLookups(uint64(len(refs)))
+		dtlb.AddLookups(dataRefs)
+	}
+	ip.AddHits(ihits)
+	dp.AddHits(dhits)
 }
 
 // Begin prepares the engine to replay tr one reference at a time with
@@ -237,7 +451,7 @@ func (e *Engine) Step(r *trace.Ref) error {
 		}
 	}
 	e.stepIdx++
-	noTLBRefill := e.refill != nil && !e.usesTLB
+	noTLBRefill := e.noTLBRefill
 	if r.ASID != e.curASID {
 		e.switchTo(r.ASID)
 		if e.live {
@@ -248,27 +462,31 @@ func (e *Engine) Step(r *trace.Ref) error {
 		e.c.UserInstrs++
 	}
 
-	// Instruction side.
-	if e.usesTLB && !e.itlbHit(e.tlbKey(r.ASID, addr.VPN(r.PC))) {
-		e.refill.HandleMiss(e, r.ASID, r.PC, true)
+	// Instruction side. The first-level TLB probe and the L1 hit probe
+	// are written so their hit paths inline here; only misses leave the
+	// loop body.
+	if e.usesTLB && !e.itlb.Lookup(e.tlbKey(r.ASID, addr.VPN(r.PC))) {
+		e.itlbMiss(r.ASID, r.PC)
 	}
-	lvl := e.icache.Access(userCacheAddr(r.ASID, r.PC))
-	if lvl != cache.L1Hit && e.live {
-		e.c.Charge(stats.L1IMiss, stats.L1MissPenalty)
-		if lvl == cache.Memory {
-			e.c.Charge(stats.L2IMiss, stats.L2MissPenalty)
+	if !e.iprobe.Hit(userCacheAddr(r.ASID, r.PC)) {
+		lvl := e.icache.AccessMissedL1(userCacheAddr(r.ASID, r.PC))
+		if lvl != cache.L1Hit && e.live {
+			e.c.Charge(stats.L1IMiss, stats.L1MissPenalty)
+			if lvl == cache.Memory {
+				e.c.Charge(stats.L2IMiss, stats.L2MissPenalty)
+			}
 		}
-	}
-	if lvl == cache.Memory && noTLBRefill {
-		e.refill.HandleMiss(e, r.ASID, r.PC, true)
+		if lvl == cache.Memory && noTLBRefill {
+			e.refill.HandleMiss(e, r.ASID, r.PC, true)
+		}
 	}
 
 	// Data side.
 	if r.Kind == trace.None {
 		return e.maybeCheckInvariants()
 	}
-	if e.usesTLB && !e.dtlbHit(e.tlbKey(r.ASID, addr.VPN(r.Data))) {
-		e.refill.HandleMiss(e, r.ASID, r.Data, false)
+	if e.usesTLB && !e.dtlb.Lookup(e.tlbKey(r.ASID, addr.VPN(r.Data))) {
+		e.dtlbMiss(r.ASID, r.Data)
 	}
 	if r.Flags&trace.FlagUncached != 0 {
 		// Software-controlled cacheability (§5): the reference goes
@@ -282,15 +500,17 @@ func (e *Engine) Step(r *trace.Ref) error {
 		}
 		return e.maybeCheckInvariants()
 	}
-	lvl = e.dcache.Access(userCacheAddr(r.ASID, r.Data))
-	if lvl != cache.L1Hit && e.live {
-		e.c.Charge(stats.L1DMiss, stats.L1MissPenalty)
-		if lvl == cache.Memory {
-			e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
+	if !e.dprobe.Hit(userCacheAddr(r.ASID, r.Data)) {
+		lvl := e.dcache.AccessMissedL1(userCacheAddr(r.ASID, r.Data))
+		if lvl != cache.L1Hit && e.live {
+			e.c.Charge(stats.L1DMiss, stats.L1MissPenalty)
+			if lvl == cache.Memory {
+				e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
+			}
 		}
-	}
-	if lvl == cache.Memory && noTLBRefill {
-		e.refill.HandleMiss(e, r.ASID, r.Data, false)
+		if lvl == cache.Memory && noTLBRefill {
+			e.refill.HandleMiss(e, r.ASID, r.Data, false)
+		}
 	}
 	return e.maybeCheckInvariants()
 }

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// stepRun replays tr through the Begin/Step/Finish reference loop.
+func stepRun(t *testing.T, cfg Config, tr *trace.Trace) *Result {
+	t.Helper()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Begin(tr); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Refs {
+		if err := e.Step(&tr.Refs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e.Finish(tr.Name)
+}
+
+// TestRunMatchesStep holds Run's specialized warmup/live loops to the
+// Step-per-reference loop, which remains the reference implementation.
+// The trace is multiprogrammed (context switches exercise TLB flushes)
+// and warmup is enabled (exercising the phase boundary), across every VM
+// organization so both the TLB-refill and no-TLB engine paths are
+// covered.
+func TestRunMatchesStep(t *testing.T) {
+	mp, err := workload.Multiprogram([]string{"gcc", "ijpeg"}, 11, 60_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range AllVMs() {
+		t.Run(vm, func(t *testing.T) {
+			cfg := Default(vm)
+			cfg.WarmupInstrs = 10_000
+			want := stepRun(t, cfg, mp)
+
+			e, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Run(mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Counters != want.Counters {
+				t.Errorf("Run counters diverge from Step loop:\nrun:  %+v\nstep: %+v",
+					got.Counters, want.Counters)
+			}
+			if got.AvgChainLength != want.AvgChainLength {
+				t.Errorf("chain length: run %v, step %v", got.AvgChainLength, want.AvgChainLength)
+			}
+		})
+	}
+}

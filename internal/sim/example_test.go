@@ -1,0 +1,55 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Simulate a three-instruction hand-written trace under the BASE
+// organization (no VM overheads): only the cache-miss components of
+// MCPI appear.
+func ExampleSimulate() {
+	cfg := sim.Default(sim.VMBase)
+	cfg.WarmupInstrs = 0
+	tr := &trace.Trace{Name: "tiny", Refs: []trace.Ref{
+		{PC: 0x1000, Kind: trace.None},
+		{PC: 0x1004, Data: 0x2000, Kind: trace.Load},
+		{PC: 0x1008, Data: 0x2000, Kind: trace.Store},
+	}}
+	res, err := sim.Simulate(cfg, tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Counters.UserInstrs, res.VMCPI())
+	// Output:
+	// 3 0
+}
+
+// Drive the engine one reference at a time — the loop external checkers
+// use when they need to inspect machine state between references.
+func ExampleEngine_Step() {
+	cfg := sim.Default(sim.VMUltrix)
+	cfg.WarmupInstrs = 0
+	e, err := sim.NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	tr := &trace.Trace{Name: "tiny", Refs: []trace.Ref{
+		{PC: 0x1000, Kind: trace.None},
+		{PC: 0x1000, Kind: trace.None}, // second fetch: everything hits
+	}}
+	if err := e.Begin(tr); err != nil {
+		panic(err)
+	}
+	for i := range tr.Refs {
+		if err := e.Step(&tr.Refs[i]); err != nil {
+			panic(err)
+		}
+	}
+	res := e.Finish(tr.Name)
+	fmt.Println(res.Counters.UserInstrs, res.Counters.ITLBMisses)
+	// Output:
+	// 2 1
+}

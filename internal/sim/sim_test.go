@@ -440,3 +440,28 @@ func BenchmarkSimulateUltrixGCC(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineStep measures the Begin/Step/Finish reference loop —
+// the per-reference cost external drivers (the differential oracle) pay,
+// as opposed to Run's specialized batch loop.
+func BenchmarkEngineStep(b *testing.B) {
+	t := tr(b, "gcc", 100000)
+	cfg := Default(VMUltrix)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Begin(t); err != nil {
+			b.Fatal(err)
+		}
+		for j := range t.Refs {
+			if err := e.Step(&t.Refs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		e.Finish(t.Name)
+	}
+}

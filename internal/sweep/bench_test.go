@@ -1,0 +1,50 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BenchmarkSweepL1Sizes times a paper-style 8-point L1 sweep — the unit
+// of work behind every figure — including worker-pool overhead.
+func BenchmarkSweepL1Sizes(b *testing.B) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := workload.Generate(p, 42, 50_000)
+	cfgs := Space{
+		Base:    sim.Default(sim.VMUltrix),
+		L1Sizes: PaperL1Sizes(),
+	}.Configs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pt := range Run(tr, cfgs, 0) {
+			if pt.Err != nil {
+				b.Fatal(pt.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkConfigsExpansion times cross-product enumeration alone (it
+// must stay negligible next to the simulations it feeds).
+func BenchmarkConfigsExpansion(b *testing.B) {
+	s := Space{
+		Base:    sim.Default(sim.VMUltrix),
+		VMs:     sim.PaperVMs(),
+		L1Sizes: PaperL1Sizes(),
+		L2Sizes: PaperL2Sizes(),
+		L1Lines: PaperLineSizes(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Configs(); len(got) == 0 {
+			b.Fatal("empty expansion")
+		}
+	}
+}

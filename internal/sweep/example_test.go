@@ -1,0 +1,37 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// Expand a two-dimensional cross-product and run it; points come back
+// index-aligned with the expanded configurations.
+func ExampleSpace() {
+	tr := &trace.Trace{Name: "tiny", Refs: []trace.Ref{
+		{PC: 0x1000, Kind: trace.None},
+		{PC: 0x1004, Data: 0x2000, Kind: trace.Load},
+	}}
+	base := sim.Default(sim.VMBase)
+	base.WarmupInstrs = 0
+	space := sweep.Space{
+		Base:    base,
+		L1Sizes: []int{1 << 10, 32 << 10},
+		L2Sizes: []int{1 << 20, 2 << 20},
+	}
+	cfgs := space.Configs()
+	pts := sweep.Run(tr, cfgs, 2)
+	fmt.Println(len(cfgs))
+	for _, p := range pts {
+		fmt.Println(p.Config.L1SizeBytes, p.Config.L2SizeBytes, p.Err == nil)
+	}
+	// Output:
+	// 4
+	// 1024 1048576 true
+	// 1024 2097152 true
+	// 32768 1048576 true
+	// 32768 2097152 true
+}

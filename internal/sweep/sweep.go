@@ -6,6 +6,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,7 +25,20 @@ type Point struct {
 // Run simulates every configuration over tr, using the given number of
 // workers (0 selects GOMAXPROCS). The returned slice is index-aligned
 // with cfgs. The trace is shared read-only across workers.
+//
+// Memory: a sweep holds one copy of the trace (shared by every worker)
+// plus one live engine per worker — cache and TLB arrays, typically a
+// few hundred KB per point — so peak memory is O(trace + workers), not
+// O(configurations). Results are two small structs per point.
 func Run(tr *trace.Trace, cfgs []sim.Config, workers int) []Point {
+	return RunContext(context.Background(), tr, cfgs, workers)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, workers
+// finish the point they are on, undispatched points get ctx.Err() as
+// their Err, and RunContext returns early. Points are still
+// index-aligned with cfgs.
+func RunContext(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, workers int) []Point {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -33,6 +47,14 @@ func Run(tr *trace.Trace, cfgs []sim.Config, workers int) []Point {
 	}
 	points := make([]Point, len(cfgs))
 	if len(cfgs) == 0 {
+		return points
+	}
+	// Validate (and memoize validity of) the trace once up front rather
+	// than racing the first validation across workers.
+	if err := tr.Validate(); err != nil {
+		for i := range points {
+			points[i] = Point{Config: cfgs[i], Err: err}
+		}
 		return points
 	}
 	var wg sync.WaitGroup
@@ -57,8 +79,19 @@ func Run(tr *trace.Trace, cfgs []sim.Config, workers int) []Point {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := range cfgs {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			// Mark everything not yet handed to a worker; workers drain
+			// the point they already hold.
+			for j := i; j < len(cfgs); j++ {
+				points[j] = Point{Config: cfgs[j], Err: ctx.Err()}
+			}
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -107,7 +140,8 @@ func (s Space) Configs() []sim.Config {
 	if len(seeds) == 0 {
 		seeds = []uint64{s.Base.Seed}
 	}
-	var out []sim.Config
+	out := make([]sim.Config, 0,
+		len(vms)*len(l1s)*len(l2s)*len(l1l)*len(l2l)*len(tlbs)*len(seeds))
 	for _, vm := range vms {
 		for _, l1 := range l1s {
 			for _, l2 := range l2s {

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/sim"
@@ -111,5 +113,53 @@ func TestRunEmpty(t *testing.T) {
 	tr := workload.Generate(p, 5, 10)
 	if got := Run(tr, nil, 4); len(got) != 0 {
 		t.Fatalf("empty sweep returned %d points", len(got))
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	p, _ := workload.ByName("ijpeg")
+	tr := workload.Generate(p, 5, 20000)
+	cfgs := make([]sim.Config, 64)
+	for i := range cfgs {
+		cfgs[i] = sim.Default(sim.VMUltrix)
+		cfgs[i].Seed = uint64(i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: only the points a worker grabs race the Done branch
+	pts := RunContext(ctx, tr, cfgs, 1)
+	if len(pts) != len(cfgs) {
+		t.Fatalf("got %d points, want %d", len(pts), len(cfgs))
+	}
+	cancelled := 0
+	for i, pt := range pts {
+		if pt.Config != cfgs[i] {
+			t.Fatalf("point %d config misaligned", i)
+		}
+		switch {
+		case pt.Err == nil && pt.Result != nil: // completed before cancellation won the race
+		case errors.Is(pt.Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("point %d: unexpected state err=%v result=%v", i, pt.Err, pt.Result)
+		}
+	}
+	if cancelled < len(cfgs)/2 {
+		t.Fatalf("only %d of %d points cancelled on a pre-cancelled context", cancelled, len(cfgs))
+	}
+}
+
+func TestRunContextUncancelledMatchesRun(t *testing.T) {
+	p, _ := workload.ByName("ijpeg")
+	tr := workload.Generate(p, 5, 10000)
+	cfgs := Space{Base: sim.Default(sim.VMIntel), L1Sizes: []int{4 << 10, 16 << 10}}.Configs()
+	plain := Run(tr, cfgs, 2)
+	viaCtx := RunContext(context.Background(), tr, cfgs, 2)
+	for i := range cfgs {
+		if plain[i].Err != nil || viaCtx[i].Err != nil {
+			t.Fatalf("point %d errored: %v / %v", i, plain[i].Err, viaCtx[i].Err)
+		}
+		if plain[i].Result.Counters != viaCtx[i].Result.Counters {
+			t.Fatalf("point %d diverged between Run and RunContext", i)
+		}
 	}
 }

@@ -1,0 +1,36 @@
+package tlb_test
+
+import (
+	"fmt"
+
+	"repro/internal/tlb"
+)
+
+// A miss, an insert, then a hit — with the miss visible in the
+// statistics.
+func ExampleTLB() {
+	t := tlb.New(tlb.Config{Entries: 8, Seed: 1})
+	fmt.Println(t.Lookup(7))
+	t.Insert(7)
+	fmt.Println(t.Lookup(7))
+	s := t.Stats()
+	fmt.Println(s.Lookups, s.Misses)
+	// Output:
+	// false
+	// true
+	// 2 1
+}
+
+// The protected partition (the MIPS-style reserved lower slots) shields
+// root-level PTEs from user-entry pressure: churning user insertions
+// never evict the protected entry.
+func ExampleTLB_InsertProtected() {
+	t := tlb.New(tlb.Config{Entries: 8, ProtectedSlots: 2, Seed: 1})
+	t.InsertProtected(100)
+	for vpn := uint64(0); vpn < 64; vpn++ {
+		t.Insert(vpn)
+	}
+	fmt.Println(t.Probe(100))
+	// Output:
+	// true
+}

@@ -98,9 +98,25 @@ type TLB struct {
 	cfg Config
 	// slot i holds VPN+1; zero means invalid.
 	slots []uint64
-	// index maps resident VPN -> slot, giving O(1) fully-associative
-	// lookup regardless of TLB size.
-	index map[uint64]int
+	// The resident-VPN index is an open-addressed hash table (linear
+	// probing, backward-shift deletion) rather than a Go map: a TLB
+	// lookup happens once or twice per simulated instruction, and the
+	// probe table is both allocation-free and several times faster than
+	// map access on this hottest of hot paths. idxKeys[i] holds VPN+1
+	// (zero means empty), idxSlots[i] the slot that VPN occupies. The
+	// table is sized at 4× Entries (min 64) so the load factor stays
+	// ≤ 25% and probe chains stay short.
+	idxKeys  []uint64
+	idxSlots []int32
+	idxMask  uint64
+	resident int
+	// lastHit holds VPN+1 of the most recent Lookup hit (0 = none): a
+	// one-entry filter in front of the probe table. Instruction fetches
+	// stay on one page for hundreds of consecutive lookups, so most
+	// lookups resolve on this single compare. Any mutation that could
+	// remove an entry clears it. Under LRU it stays permanently 0 —
+	// an LRU hit must refresh recency, so it cannot be short-circuited.
+	lastHit uint64
 
 	// Per-partition replacement state.
 	age      []uint64 // LRU timestamps
@@ -112,6 +128,71 @@ type TLB struct {
 	stats Stats
 }
 
+// idxHash spreads a VPN key over the probe table. Fibonacci hashing: the
+// multiplier is 2^64/φ, whose high bits mix all input bits well enough
+// for the near-sequential VPNs traces produce.
+func (t *TLB) idxHash(vpn uint64) uint64 {
+	return (vpn * 0x9E3779B97F4A7C15) >> 32 & t.idxMask
+}
+
+// idxFind returns the slot holding vpn, or -1.
+func (t *TLB) idxFind(vpn uint64) int {
+	key := vpn + 1
+	for i := t.idxHash(vpn); ; i = (i + 1) & t.idxMask {
+		switch t.idxKeys[i] {
+		case key:
+			return int(t.idxSlots[i])
+		case 0:
+			return -1
+		}
+	}
+}
+
+// idxInsert records that vpn now occupies slot. vpn must not be indexed.
+func (t *TLB) idxInsert(vpn uint64, slot int) {
+	i := t.idxHash(vpn)
+	for t.idxKeys[i] != 0 {
+		i = (i + 1) & t.idxMask
+	}
+	t.idxKeys[i] = vpn + 1
+	t.idxSlots[i] = int32(slot)
+	t.resident++
+}
+
+// idxDelete removes vpn from the index using backward-shift deletion,
+// which keeps probe chains contiguous without tombstones.
+func (t *TLB) idxDelete(vpn uint64) {
+	key := vpn + 1
+	i := t.idxHash(vpn)
+	for t.idxKeys[i] != key {
+		if t.idxKeys[i] == 0 {
+			return
+		}
+		i = (i + 1) & t.idxMask
+	}
+	t.resident--
+	for {
+		t.idxKeys[i] = 0
+		j := i
+		for {
+			j = (j + 1) & t.idxMask
+			k := t.idxKeys[j]
+			if k == 0 {
+				return
+			}
+			// The entry at j may fill the hole at i only if doing so
+			// does not move it before its home position.
+			home := t.idxHash(k - 1)
+			if (j-home)&t.idxMask >= (j-i)&t.idxMask {
+				t.idxKeys[i] = k
+				t.idxSlots[i] = t.idxSlots[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
 // New constructs a TLB. It panics on an invalid configuration (configs are
 // validated at experiment-construction time; an invalid one here is a
 // programming error).
@@ -119,11 +200,17 @@ func New(cfg Config) *TLB {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	idxCap := 64
+	for idxCap < cfg.Entries*4 {
+		idxCap <<= 1
+	}
 	t := &TLB{
-		cfg:   cfg,
-		slots: make([]uint64, cfg.Entries),
-		index: make(map[uint64]int, cfg.Entries*2),
-		rand:  rng.New(cfg.Seed),
+		cfg:      cfg,
+		slots:    make([]uint64, cfg.Entries),
+		idxKeys:  make([]uint64, idxCap),
+		idxSlots: make([]int32, idxCap),
+		idxMask:  uint64(idxCap - 1),
+		rand:     rng.New(cfg.Seed),
 	}
 	if cfg.Policy == LRU {
 		t.age = make([]uint64, cfg.Entries)
@@ -135,26 +222,53 @@ func New(cfg Config) *TLB {
 func (t *TLB) Config() Config { return t.cfg }
 
 // Lookup probes the TLB for vpn, updating statistics and (for LRU)
-// recency. It returns true on hit.
+// recency. It returns true on hit. The body is only the last-hit filter
+// check, small enough to inline into the engine's per-reference path; the
+// probe-table walk lives in lookupFull.
 func (t *TLB) Lookup(vpn uint64) bool {
 	t.stats.Lookups++
-	slot, ok := t.index[vpn]
-	if !ok {
+	if t.lastHit == vpn+1 {
+		return true
+	}
+	return t.lookupFull(vpn)
+}
+
+// LookupUncounted probes like Lookup but does not tally the lookup
+// itself; misses are still counted. It exists for callers whose loop
+// performs a fixed number of lookups per iteration — they account the
+// lookups in one AddLookups call per batch instead of one counter
+// increment per probe.
+func (t *TLB) LookupUncounted(vpn uint64) bool {
+	if t.lastHit == vpn+1 {
+		return true
+	}
+	return t.lookupFull(vpn)
+}
+
+// AddLookups folds a batch of externally-tallied lookups into the
+// statistics; see LookupUncounted.
+func (t *TLB) AddLookups(n uint64) { t.stats.Lookups += n }
+
+// lookupFull completes a Lookup that missed the last-hit filter.
+func (t *TLB) lookupFull(vpn uint64) bool {
+	slot := t.idxFind(vpn)
+	if slot < 0 {
 		t.stats.Misses++
 		return false
 	}
 	if t.age != nil {
 		t.tick++
 		t.age[slot] = t.tick
+		return true
 	}
+	t.lastHit = vpn + 1
 	return true
 }
 
 // Probe reports whether vpn is resident without perturbing statistics or
 // replacement state.
 func (t *TLB) Probe(vpn uint64) bool {
-	_, ok := t.index[vpn]
-	return ok
+	return t.idxFind(vpn) >= 0
 }
 
 // Insert places vpn into the main (user) partition, evicting per the
@@ -181,7 +295,7 @@ func (t *TLB) InsertProtected(vpn uint64) {
 // insert places vpn into a slot within [lo, hi), choosing a victim by the
 // configured policy.
 func (t *TLB) insert(vpn uint64, lo, hi int, rotor *int) {
-	if slot, ok := t.index[vpn]; ok {
+	if slot := t.idxFind(vpn); slot >= 0 {
 		// Already resident: refresh recency and keep the slot.
 		if t.age != nil {
 			t.tick++
@@ -221,10 +335,13 @@ func (t *TLB) insert(vpn uint64, lo, hi int, rotor *int) {
 		}
 	}
 	if old := t.slots[victim]; old != 0 {
-		delete(t.index, old-1)
+		t.idxDelete(old - 1)
+		if old == t.lastHit {
+			t.lastHit = 0
+		}
 	}
 	t.slots[victim] = vpn + 1
-	t.index[vpn] = victim
+	t.idxInsert(vpn, victim)
 	if t.age != nil {
 		t.tick++
 		t.age[victim] = t.tick
@@ -234,17 +351,22 @@ func (t *TLB) insert(vpn uint64, lo, hi int, rotor *int) {
 // Evict removes vpn if resident, returning whether it was. It models an
 // explicit TLB shootdown.
 func (t *TLB) Evict(vpn uint64) bool {
-	slot, ok := t.index[vpn]
-	if !ok {
+	slot := t.idxFind(vpn)
+	if slot < 0 {
 		return false
 	}
 	t.slots[slot] = 0
-	delete(t.index, vpn)
+	t.idxDelete(vpn)
+	if t.lastHit == vpn+1 {
+		t.lastHit = 0
+	}
 	return true
 }
 
 // Flush invalidates every entry (e.g. on an address-space switch in a TLB
-// without ASIDs). Statistics are preserved.
+// without ASIDs). Statistics are preserved. Flushing is allocation-free:
+// organizations without ASIDs flush on every context switch, so this runs
+// inside measured multiprogrammed sweeps.
 func (t *TLB) Flush() {
 	for i := range t.slots {
 		t.slots[i] = 0
@@ -252,7 +374,11 @@ func (t *TLB) Flush() {
 	for i := range t.age {
 		t.age[i] = 0
 	}
-	t.index = make(map[uint64]int, t.cfg.Entries*2)
+	for i := range t.idxKeys {
+		t.idxKeys[i] = 0
+	}
+	t.resident = 0
+	t.lastHit = 0
 	t.fifoMain, t.fifoProt = 0, 0
 }
 
@@ -263,7 +389,7 @@ func (t *TLB) Stats() Stats { return t.stats }
 func (t *TLB) ResetStats() { t.stats = Stats{} }
 
 // Resident returns the number of valid entries.
-func (t *TLB) Resident() int { return len(t.index) }
+func (t *TLB) Resident() int { return t.resident }
 
 // ResidentProtected returns the number of valid entries in the protected
 // partition.

@@ -294,9 +294,21 @@ func TestIndexConsistencyProperty(t *testing.T) {
 				tb.Evict(v)
 			}
 		}
-		// Verify bidirectional consistency.
-		for vpn, slot := range tb.index {
-			if tb.slots[slot] != vpn+1 {
+		// Verify bidirectional consistency across the open-addressed
+		// index: every indexed VPN occupies the slot the index claims,
+		// is findable through its probe chain, and the resident count
+		// matches the number of valid slots.
+		indexed := 0
+		for i, key := range tb.idxKeys {
+			if key == 0 {
+				continue
+			}
+			indexed++
+			vpn := key - 1
+			if tb.slots[tb.idxSlots[i]] != key {
+				return false
+			}
+			if tb.idxFind(vpn) != int(tb.idxSlots[i]) {
 				return false
 			}
 		}
@@ -306,7 +318,7 @@ func TestIndexConsistencyProperty(t *testing.T) {
 				valid++
 			}
 		}
-		return valid == len(tb.index)
+		return valid == indexed && valid == tb.Resident()
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

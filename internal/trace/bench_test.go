@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// benchIOTrace builds a synthetic trace for the I/O benchmarks (the
+// workload package cannot be imported here without a cycle).
+func benchIOTrace(n int) *Trace {
+	refs := make([]Ref, n)
+	for i := range refs {
+		refs[i] = Ref{PC: 0x1000 + uint64(i)*4, Data: 0x2000 + uint64(i)*8, Kind: Load}
+	}
+	return &Trace{Name: "bench", Refs: refs}
+}
+
+func BenchmarkWriteTo(b *testing.B) {
+	tr := benchIOTrace(100_000)
+	var buf bytes.Buffer
+	tr.WriteTo(&buf) // size the buffer once
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := tr.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadAll(b *testing.B) {
+	tr := benchIOTrace(100_000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadFrom(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReaderStream measures the allocation-free streaming path: a
+// caller-supplied record buffer, no whole-trace materialization.
+func BenchmarkReaderStream(b *testing.B) {
+	tr := benchIOTrace(100_000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	batch := make([]Ref, 4096)
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := rd.Next(batch); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkValidateMemoized measures repeat validation of an
+// already-validated trace — the per-Run cost paid by every sweep point.
+func BenchmarkValidateMemoized(b *testing.B) {
+	tr := benchIOTrace(100_000)
+	if err := tr.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Round-trip a trace through the binary format with the streaming
+// Reader, which decodes into a caller-supplied batch without
+// materializing the whole trace.
+func ExampleReader() {
+	tr := &trace.Trace{Name: "demo", Refs: []trace.Ref{
+		{PC: 0x1000, Kind: trace.None},
+		{PC: 0x1004, Data: 0x2000, Kind: trace.Load},
+		{PC: 0x1008, Data: 0x2008, Kind: trace.Store},
+	}}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	rd, err := trace.NewReader(&buf)
+	if err != nil {
+		panic(err)
+	}
+	batch := make([]trace.Ref, 2)
+	for {
+		n, err := rd.Next(batch)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			panic(err)
+		}
+		for _, r := range batch[:n] {
+			fmt.Printf("%#x %s\n", r.PC, r.Kind)
+		}
+	}
+	fmt.Println(rd.Name(), rd.Len())
+	// Output:
+	// 0x1000 none
+	// 0x1004 load
+	// 0x1008 store
+	// demo 3
+}

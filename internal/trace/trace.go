@@ -11,6 +11,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/addr"
 )
@@ -68,9 +69,19 @@ type Ref struct {
 }
 
 // Trace is a named, replayable reference stream.
+//
+// A Trace is logically immutable once built: the simulator, the sweep
+// worker pool, and the differential oracle all share one Trace read-only.
+// Mutating Refs after the first Validate call is not supported.
 type Trace struct {
 	Name string
 	Refs []Ref
+
+	// validated memoizes a successful Validate (1 = known valid), so a
+	// sweep replaying one trace through hundreds of configurations pays
+	// the O(n) validation scan once instead of once per run. Maintained
+	// with atomics because sweep workers share the Trace.
+	validated uint32
 }
 
 // Len returns the number of instructions.
@@ -157,22 +168,35 @@ type PageCount struct {
 
 // Validate checks the invariants every trace consumed by the simulator
 // must satisfy: all PCs and data addresses in user space, and Kind
-// consistent with Data.
+// consistent with Data. A successful validation is memoized, so repeated
+// runs over a shared trace (a sweep's cross-product) validate it once.
 func (t *Trace) Validate() error {
-	for i, r := range t.Refs {
-		if !addr.IsUser(r.PC) {
-			return fmt.Errorf("trace %q ref %d: PC %#x outside user space", t.Name, i, r.PC)
+	if atomic.LoadUint32(&t.validated) == 1 {
+		return nil
+	}
+	for i := range t.Refs {
+		if err := validateRef(t.Name, i, &t.Refs[i]); err != nil {
+			return err
 		}
-		if r.Kind != None && !addr.IsUser(r.Data) {
-			return fmt.Errorf("trace %q ref %d: data %#x outside user space", t.Name, i, r.Data)
-		}
-		if r.Kind > Store {
-			return fmt.Errorf("trace %q ref %d: invalid kind %d", t.Name, i, r.Kind)
-		}
-		if r.ASID >= MaxASIDs {
-			return fmt.Errorf("trace %q ref %d: ASID %d exceeds the %d supported address spaces",
-				t.Name, i, r.ASID, MaxASIDs)
-		}
+	}
+	atomic.StoreUint32(&t.validated, 1)
+	return nil
+}
+
+// validateRef checks one reference's invariants; i and name label errors.
+func validateRef(name string, i int, r *Ref) error {
+	if !addr.IsUser(r.PC) {
+		return fmt.Errorf("trace %q ref %d: PC %#x outside user space", name, i, r.PC)
+	}
+	if r.Kind != None && !addr.IsUser(r.Data) {
+		return fmt.Errorf("trace %q ref %d: data %#x outside user space", name, i, r.Data)
+	}
+	if r.Kind > Store {
+		return fmt.Errorf("trace %q ref %d: invalid kind %d", name, i, r.Kind)
+	}
+	if r.ASID >= MaxASIDs {
+		return fmt.Errorf("trace %q ref %d: ASID %d exceeds the %d supported address spaces",
+			name, i, r.ASID, MaxASIDs)
 	}
 	return nil
 }

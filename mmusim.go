@@ -1,6 +1,7 @@
 package mmusim
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/check"
@@ -164,6 +165,13 @@ func RunBenchmark(cfg Config, bench string, seed uint64, n int) (*Result, error)
 // selects GOMAXPROCS). The result slice is index-aligned with cfgs.
 func Sweep(tr *Trace, cfgs []Config, workers int) []SweepPoint {
 	return sweep.Run(tr, cfgs, workers)
+}
+
+// SweepContext is Sweep with cancellation: on ctx cancellation the
+// in-flight points finish, every undispatched point carries ctx.Err(),
+// and the call returns early.
+func SweepContext(ctx context.Context, tr *Trace, cfgs []Config, workers int) []SweepPoint {
+	return sweep.RunContext(ctx, tr, cfgs, workers)
 }
 
 // Replication summarizes a metric over repeated independently-seeded
