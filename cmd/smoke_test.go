@@ -167,6 +167,57 @@ func TestVMSweepCSV(t *testing.T) {
 	}
 }
 
+func TestVMSweepJournalResumeByteIdentical(t *testing.T) {
+	jdir := filepath.Join(t.TempDir(), "journal")
+	args := []string{"-bench", "gcc", "-n", "4000", "-vms", "ultrix,intel,mach", "-l1", "16384,65536"}
+	clean, errOut, code := run(t, "vmsweep", args...)
+	if code != 0 {
+		t.Fatalf("clean run: exit %d, stderr: %s", code, errOut)
+	}
+	journalled, errOut, code := run(t, "vmsweep", append(args, "-journal", jdir)...)
+	if code != 0 {
+		t.Fatalf("journalled run: exit %d, stderr: %s", code, errOut)
+	}
+	if journalled != clean {
+		t.Fatalf("journalling changed the CSV output:\n%s\nvs\n%s", journalled, clean)
+	}
+	resumed, errOut, code := run(t, "vmsweep", append(args, "-journal", jdir, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, errOut)
+	}
+	if resumed != clean {
+		t.Fatalf("resumed CSV is not byte-identical to the uninterrupted run:\n%s\nvs\n%s", resumed, clean)
+	}
+	if !strings.Contains(errOut, "replayed from journal") {
+		t.Errorf("resume did not report journal replays: %s", errOut)
+	}
+}
+
+func TestVMSweepTimeoutFailuresExitThree(t *testing.T) {
+	out, errOut, code := run(t, "vmsweep",
+		"-bench", "gcc", "-n", "50000", "-vms", "ultrix", "-timeout", "1ns")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3 (quarantined point failures), stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "timeout=1") {
+		t.Errorf("stderr missing per-category summary: %s", errOut)
+	}
+	// The CSV header (and nothing corrupt) is still emitted.
+	if !strings.HasPrefix(out, "benchmark,vm,") {
+		t.Errorf("stdout lost its CSV header:\n%s", out)
+	}
+}
+
+func TestVMSweepResumeRequiresJournal(t *testing.T) {
+	_, errOut, code := run(t, "vmsweep", "-resume")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "-journal") {
+		t.Errorf("stderr does not explain the missing flag: %s", errOut)
+	}
+}
+
 func TestVMExperimentQuick(t *testing.T) {
 	dir := t.TempDir()
 	out, errOut, code := run(t, "vmexperiment",

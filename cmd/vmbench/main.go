@@ -30,6 +30,7 @@ import (
 	"time"
 
 	mmusim "repro"
+	"repro/internal/atomicio"
 )
 
 // engineBench is one organization's measured hot-path performance.
@@ -199,7 +200,7 @@ func main() {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := atomicio.WriteFile(*out, enc, 0o644); err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "vmbench: wrote %s\n", *out)

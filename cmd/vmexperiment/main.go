@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 
 	mmusim "repro"
+	"repro/internal/atomicio"
 )
 
 func main() {
@@ -66,7 +67,7 @@ func main() {
 				os.Exit(1)
 			}
 			path := filepath.Join(*csvDir, rep.ID+".csv")
-			if err := os.WriteFile(path, []byte(rep.CSV), 0o644); err != nil {
+			if err := atomicio.WriteFile(path, []byte(rep.CSV), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "vmexperiment:", err)
 				os.Exit(1)
 			}

@@ -16,6 +16,7 @@ import (
 	"runtime/pprof"
 
 	mmusim "repro"
+	"repro/internal/atomicio"
 )
 
 // startCPUProfile begins CPU profiling into path ("" = off) and returns
@@ -24,7 +25,7 @@ func startCPUProfile(path string) (stop func(), err error) {
 	if path == "" {
 		return func() {}, nil
 	}
-	f, err := os.Create(path)
+	f, err := atomicio.Create(path)
 	if err != nil {
 		return nil, err
 	}
@@ -34,7 +35,11 @@ func startCPUProfile(path string) (stop func(), err error) {
 	}
 	return func() {
 		pprof.StopCPUProfile()
-		f.Close()
+		// Commit publishes the profile atomically; a run killed
+		// mid-profile leaves no torn file behind.
+		if err := f.Commit(); err != nil {
+			fmt.Fprintln(os.Stderr, "vmsim:", err)
+		}
 	}, nil
 }
 
@@ -43,13 +48,16 @@ func writeHeapProfile(path string) error {
 	if path == "" {
 		return nil
 	}
-	f, err := os.Create(path)
+	f, err := atomicio.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	runtime.GC() // materialize final heap statistics
-	return pprof.Lookup("allocs").WriteTo(f, 0)
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return err
+	}
+	return f.Commit()
 }
 
 func main() {

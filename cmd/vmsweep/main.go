@@ -7,6 +7,8 @@
 //	vmsweep -bench gcc -vms ultrix,intel -l1 1024,8192,65536 > gcc.csv
 //	vmsweep -bench vortex -vms all -l1 paper -l2 paper -lines paper
 //	vmsweep -tracefile gcc.trace -vms ultrix -l1 paper
+//	vmsweep -bench gcc -vms all -l1 paper -journal gcc.journal > gcc.csv
+//	vmsweep -bench gcc -vms all -l1 paper -journal gcc.journal -resume > gcc.csv  # after a crash
 //
 // Memory: the sweep's footprint is bounded by one shared read-only trace
 // (24 bytes per reference — 24MB for a million-instruction trace) plus
@@ -17,6 +19,13 @@
 // replayed trace's length) and -workers. Ctrl-C cancels the sweep:
 // in-flight points finish, pending points are dropped, and the rows
 // completed so far remain valid CSV on stdout.
+//
+// Fault tolerance: -journal DIR records every completed point durably;
+// -resume replays the journal and re-runs only the remainder, producing
+// output identical to an uninterrupted run. -timeout bounds each point,
+// -retries/-backoff absorb transient failures (timeouts, panics); a
+// point that keeps failing is reported per-category on stderr and the
+// tool exits 3 while the healthy rows stay valid.
 package main
 
 import (
@@ -29,8 +38,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	mmusim "repro"
+	"repro/internal/atomicio"
 )
 
 func parseInts(s string, paper []int) ([]int, error) {
@@ -73,6 +84,11 @@ func main() {
 		dinIn   = flag.String("din", "", "replay this Dinero-format text trace instead of generating -bench")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memProf = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
+		jdir    = flag.String("journal", "", "journal completed points to this directory (crash-safe, resumable)")
+		resume  = flag.Bool("resume", false, "replay -journal before sweeping and skip already-completed points")
+		timeout = flag.Duration("timeout", 0, "per-point deadline (0 = none), e.g. 30s")
+		retries = flag.Int("retries", 0, "extra attempts for transiently-failing points (timeouts, panics)")
+		backoff = flag.Duration("backoff", 100*time.Millisecond, "first retry delay; doubles per attempt")
 	)
 	flag.Parse()
 
@@ -154,16 +170,38 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *resume && *jdir == "" {
+		fail(fmt.Errorf("-resume requires -journal"))
+	}
+	exitCode := 0
+	points, err := mmusim.SweepWithOptions(ctx, tr, cfgs, mmusim.SweepOptions{
+		Workers:      *workers,
+		JournalDir:   *jdir,
+		Resume:       *resume,
+		PointTimeout: *timeout,
+		Retries:      *retries,
+		Backoff:      *backoff,
+	})
+	if err != nil {
+		fail(err)
+	}
+
 	fmt.Println("benchmark,vm,l1_bytes,l2_bytes,l1_line,l2_line,tlb_entries," +
 		"mcpi,vmcpi,int_cpi_10,int_cpi_50,int_cpi_200,interrupts,itlb_missrate,dtlb_missrate")
-	cancelled := 0
-	for _, p := range mmusim.SweepContext(ctx, tr, cfgs, *workers) {
+	byCategory := map[string]int{}
+	resumed, failed := 0, 0
+	for _, p := range points {
 		if p.Err != nil {
-			if ctx.Err() != nil {
-				cancelled++
-				continue
+			cat := mmusim.ErrorCategory(p.Err)
+			byCategory[cat]++
+			if cat != "cancelled" {
+				failed++
+				fmt.Fprintf(os.Stderr, "vmsweep: point %s failed (%s): %v\n", p.Config.Label(), cat, p.Err)
 			}
-			fail(p.Err)
+			continue
+		}
+		if p.Resumed {
+			resumed++
 		}
 		r := p.Result
 		c := p.Config
@@ -173,11 +211,29 @@ func main() {
 			r.Counters.InterruptCPI(10), r.Counters.InterruptCPI(50), r.Counters.InterruptCPI(200),
 			r.Counters.Interrupts, r.Counters.ITLBMissRate(), r.Counters.DTLBMissRate())
 	}
-	if cancelled > 0 {
+	if resumed > 0 {
+		fmt.Fprintf(os.Stderr, "vmsweep: %d of %d points replayed from journal %s\n", resumed, len(cfgs), *jdir)
+	}
+	if cancelled := byCategory["cancelled"]; cancelled > 0 {
 		fmt.Fprintf(os.Stderr, "vmsweep: interrupted — %d of %d points not run\n", cancelled, len(cfgs))
 	}
+	if failed > 0 {
+		// Per-category failure summary, categories in taxonomy order.
+		var parts []string
+		for _, cat := range mmusim.ErrorCategories() {
+			if cat == "cancelled" {
+				continue
+			}
+			if n := byCategory[cat]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", cat, n))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "vmsweep: %d of %d points failed (%s); completed rows above are valid\n",
+			failed, len(cfgs), strings.Join(parts, " "))
+		exitCode = 3
+	}
 	if *memProf != "" {
-		f, ferr := os.Create(*memProf)
+		f, ferr := atomicio.Create(*memProf)
 		if ferr != nil {
 			fail(ferr)
 		}
@@ -185,6 +241,14 @@ func main() {
 		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
 			fail(err)
 		}
-		f.Close()
+		if err := f.Commit(); err != nil {
+			fail(err)
+		}
+	}
+	if exitCode != 0 {
+		// Flush the CPU profile before the deliberate non-zero exit
+		// (os.Exit skips the deferred stop).
+		pprof.StopCPUProfile()
+		os.Exit(exitCode)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	mmusim "repro"
+	"repro/internal/atomicio"
 )
 
 func main() {
@@ -63,14 +64,16 @@ func main() {
 		}
 	}
 	if *out != "" {
-		f, err := os.Create(*out)
+		// Atomic write: a killed vmtrace never leaves a torn trace file.
+		f, err := atomicio.Create(*out)
 		if err != nil {
 			fail(err)
 		}
 		if err := mmusim.WriteTrace(f, tr); err != nil {
+			f.Close()
 			fail(err)
 		}
-		if err := f.Close(); err != nil {
+		if err := f.Commit(); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote %d-instruction trace to %s\n", tr.Len(), *out)

@@ -1,0 +1,101 @@
+// Package atomicio writes files all-or-nothing: content lands in a
+// temporary file in the destination directory, is fsynced, and is
+// renamed into place only once complete. A process killed mid-write —
+// the fault model of a multi-hour sweep campaign — leaves either the
+// old file or the new one, never a torn BENCH_sim.json, results CSV, or
+// trace file. (Rename atomicity is per-filesystem; the temp file is
+// created next to the destination so the rename never crosses one.)
+package atomicio
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile is the atomic os.WriteFile: data becomes visible at path
+// only in full. On any error the temporary file is removed and the
+// previous content of path, if any, is untouched.
+func WriteFile(path string, data []byte, perm fs.FileMode) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Chmod(perm); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Commit()
+}
+
+// File is an io.WriteCloser whose content becomes visible at the
+// destination path only on Commit. Close before Commit aborts: the
+// temporary file is removed and the destination is untouched, so
+// `defer f.Close()` makes any early-return path crash-safe.
+type File struct {
+	f         *os.File
+	path      string
+	committed bool
+}
+
+// Create opens an atomic writer targeting path. The temporary file is
+// created in path's directory (same filesystem, so the final rename is
+// atomic) with a name os.CreateTemp guarantees unique.
+func Create(path string) (*File, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: %w", err)
+	}
+	return &File{f: f, path: path}, nil
+}
+
+// Write appends to the pending content.
+func (a *File) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// Chmod sets the mode the destination file will carry.
+func (a *File) Chmod(perm fs.FileMode) error { return a.f.Chmod(perm) }
+
+// Commit flushes the pending content to stable storage and renames it
+// into place. After a successful Commit, Close is a no-op.
+func (a *File) Commit() error {
+	if a.committed {
+		return fmt.Errorf("atomicio: %s already committed", a.path)
+	}
+	tmp := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: sync %s: %w", a.path, err)
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: close %s: %w", a.path, err)
+	}
+	if err := os.Rename(tmp, a.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	a.committed = true
+	return nil
+}
+
+// Close aborts an uncommitted write, removing the temporary file; after
+// Commit it does nothing. It never disturbs the destination.
+func (a *File) Close() error {
+	if a.committed {
+		return nil
+	}
+	tmp := a.f.Name()
+	err := a.f.Close()
+	os.Remove(tmp)
+	return err
+}

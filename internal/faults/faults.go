@@ -1,0 +1,174 @@
+// Package faults is a deterministic fault injector for the robustness
+// test suites. It wraps io.Readers with crash-shaped failure modes
+// (hard errors, short reads, bit corruption at a chosen offset) and
+// manufactures sweep-pool point hooks (panic on the nth point, stall
+// until cancelled, fail n times then recover, seedably-flaky). Every
+// injector is reproducible: the same construction parameters produce
+// the same faults, so a failing recovery test replays exactly.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrInjected is the error injected readers and hooks fail with (when
+// no explicit error is supplied), so tests can assert provenance.
+var ErrInjected = errors.New("injected fault")
+
+// --- io.Reader wrappers ----------------------------------------------
+
+// FailingReader delivers the underlying stream faithfully for the first
+// N bytes, then fails every Read with Err — a disk dying or a network
+// filesystem dropping out mid-trace.
+type FailingReader struct {
+	R   io.Reader
+	N   int64 // bytes delivered before failure
+	Err error // defaults to ErrInjected
+
+	read int64
+}
+
+// Read implements io.Reader.
+func (f *FailingReader) Read(p []byte) (int, error) {
+	if f.read >= f.N {
+		return 0, f.failErr()
+	}
+	if max := f.N - f.read; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := f.R.Read(p)
+	f.read += int64(n)
+	if err == nil && f.read >= f.N {
+		// The next call fails; this one returns the final bytes.
+		return n, nil
+	}
+	return n, err
+}
+
+func (f *FailingReader) failErr() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// ShortReader delivers at most one byte per Read call. It never
+// corrupts anything — it exercises every resumption path in buffered
+// consumers (io.ReadFull loops, chunked decoders) that full-size reads
+// would leave cold.
+type ShortReader struct {
+	R io.Reader
+}
+
+// Read implements io.Reader.
+func (s *ShortReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return s.R.Read(p)
+}
+
+// CorruptingReader XORs Mask into the byte at stream offset Offset —
+// one flipped bit (or several) at a reproducible position, the storage
+// bit-rot model the trace reader and journal replay must catch.
+type CorruptingReader struct {
+	R      io.Reader
+	Offset int64
+	Mask   byte
+
+	pos int64
+}
+
+// Read implements io.Reader.
+func (c *CorruptingReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	if n > 0 && c.Offset >= c.pos && c.Offset < c.pos+int64(n) {
+		p[c.Offset-c.pos] ^= c.Mask
+	}
+	c.pos += int64(n)
+	return n, err
+}
+
+// --- sweep-pool point hooks ------------------------------------------
+//
+// The hooks match sweep.Options.PointHook's signature without importing
+// the sweep package: func(ctx, pointIndex, attempt) error, called at
+// the start of every attempt of every point.
+
+// PanicOn panics on every attempt of point n — the deterministic
+// modelling-bug that must be quarantined into the point's error rather
+// than kill the campaign.
+func PanicOn(n int) func(context.Context, int, int) error {
+	return func(_ context.Context, idx, _ int) error {
+		if idx == n {
+			panic(fmt.Sprintf("faults: injected panic on point %d", n))
+		}
+		return nil
+	}
+}
+
+// PanicOnFirst panics on point n's first `times` attempts, then lets it
+// through — a transient crash that bounded retry should absorb.
+func PanicOnFirst(n, times int) func(context.Context, int, int) error {
+	return func(_ context.Context, idx, attempt int) error {
+		if idx == n && attempt < times {
+			panic(fmt.Sprintf("faults: injected panic on point %d attempt %d", n, attempt))
+		}
+		return nil
+	}
+}
+
+// StallOn blocks point n until its context is cancelled — the straggler
+// that per-point deadlines exist for. It returns the context's error,
+// so without a deadline the stall surfaces as a cancellation.
+func StallOn(n int) func(context.Context, int, int) error {
+	return func(ctx context.Context, idx, _ int) error {
+		if idx != n {
+			return nil
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	}
+}
+
+// FailFirst fails point n's first `times` attempts with err (default
+// ErrInjected), then lets it through.
+func FailFirst(n, times int, err error) func(context.Context, int, int) error {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(_ context.Context, idx, attempt int) error {
+		if idx == n && attempt < times {
+			return fmt.Errorf("faults: point %d attempt %d: %w", idx, attempt, err)
+		}
+		return nil
+	}
+}
+
+// Flaky fails each (point, attempt) pair independently with probability
+// p, deterministically derived from seed — large-campaign chaos testing
+// that reproduces run-to-run.
+func Flaky(seed uint64, p float64, err error) func(context.Context, int, int) error {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(_ context.Context, idx, attempt int) error {
+		if uniform(seed, uint64(idx), uint64(attempt)) < p {
+			return fmt.Errorf("faults: flaky point %d attempt %d: %w", idx, attempt, err)
+		}
+		return nil
+	}
+}
+
+// uniform hashes (seed, a, b) to [0, 1) via splitmix64.
+func uniform(seed, a, b uint64) float64 {
+	x := seed ^ a*0x9E3779B97F4A7C15 ^ b*0xBF58476D1CE4E5B9
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}

@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFailingReaderFaultsAfterN(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAB}, 100)
+	fr := &FailingReader{R: bytes.NewReader(src), N: 37}
+	got, err := io.ReadAll(fr)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if len(got) != 37 {
+		t.Fatalf("delivered %d bytes before failing, want 37", len(got))
+	}
+	if !bytes.Equal(got, src[:37]) {
+		t.Fatal("delivered bytes corrupted")
+	}
+}
+
+func TestFailingReaderCustomError(t *testing.T) {
+	custom := errors.New("disk on fire")
+	fr := &FailingReader{R: bytes.NewReader([]byte("xy")), N: 0, Err: custom}
+	if _, err := io.ReadAll(fr); !errors.Is(err, custom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestShortReaderDeliversEverythingEventually(t *testing.T) {
+	src := []byte("the quick brown fox")
+	got, err := io.ReadAll(&ShortReader{R: bytes.NewReader(src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCorruptingReaderFlipsExactlyOneByte(t *testing.T) {
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	// Read through tiny reads so the corruption offset crosses a read
+	// boundary path too.
+	cr := &CorruptingReader{R: &ShortReader{R: bytes.NewReader(src)}, Offset: 123, Mask: 0x55}
+	got, err := io.ReadAll(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		want := src[i]
+		if i == 123 {
+			want ^= 0x55
+		}
+		if got[i] != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], want)
+		}
+	}
+}
+
+func TestPanicOnTargetsOnlyItsPoint(t *testing.T) {
+	hook := PanicOn(3)
+	if err := hook(context.Background(), 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("point 3 did not panic")
+		}
+	}()
+	hook(context.Background(), 3, 0)
+}
+
+func TestFailFirstRecoversAfterRetries(t *testing.T) {
+	hook := FailFirst(5, 2, nil)
+	if err := hook(context.Background(), 5, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("attempt 0: %v", err)
+	}
+	if err := hook(context.Background(), 5, 1); !errors.Is(err, ErrInjected) {
+		t.Fatalf("attempt 1: %v", err)
+	}
+	if err := hook(context.Background(), 5, 2); err != nil {
+		t.Fatalf("attempt 2 should succeed: %v", err)
+	}
+	if err := hook(context.Background(), 4, 0); err != nil {
+		t.Fatalf("other point: %v", err)
+	}
+}
+
+func TestStallOnReturnsOnCancel(t *testing.T) {
+	hook := StallOn(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- hook(ctx, 1, 0) }()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("stall returned %v", err)
+	}
+	// Non-target points pass straight through even on a live context.
+	if err := hook(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlakyIsDeterministic(t *testing.T) {
+	a := Flaky(42, 0.5, nil)
+	b := Flaky(42, 0.5, nil)
+	failures := 0
+	for i := 0; i < 200; i++ {
+		ea := a(context.Background(), i, 0)
+		eb := b(context.Background(), i, 0)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("point %d: same seed diverged", i)
+		}
+		if ea != nil {
+			failures++
+		}
+	}
+	if failures < 50 || failures > 150 {
+		t.Fatalf("p=0.5 produced %d/200 failures", failures)
+	}
+	// A different seed produces a different fault pattern.
+	c := Flaky(43, 0.5, nil)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if (a(context.Background(), i, 0) == nil) == (c(context.Background(), i, 0) == nil) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+}

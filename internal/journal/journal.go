@@ -1,0 +1,231 @@
+// Package journal persists sweep progress across crashes. A journal is
+// a directory of append-only segments, one JSONL record per completed
+// sweep point, each line protected by a CRC-32C checksum and each
+// segment published with an atomic write-temp-then-rename — so a
+// process killed at any instant leaves a journal whose intact prefix is
+// exactly the set of points that finished. Replay tolerates torn tails
+// and flipped bits: a record that fails its checksum (or does not
+// parse) is dropped, never misreported as complete, and damage in one
+// segment does not hide later segments.
+//
+// Line format, one record per line:
+//
+//	<8 hex digits of CRC-32C over the JSON bytes> <space> <JSON record>
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/atomicio"
+)
+
+// segPrefix/segSuffix frame segment filenames: seg-00000042.jsonl.
+const (
+	segPrefix = "seg-"
+	segSuffix = ".jsonl"
+)
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum is the line checksum over a record's JSON bytes.
+func checksum(body []byte) uint32 { return crc32.Checksum(body, castagnoli) }
+
+// maxLineBytes bounds one journal line during replay, so a corrupt
+// segment cannot force an unbounded allocation.
+const maxLineBytes = 1 << 20
+
+// Record is one journalled completion. Key identifies the sweep point
+// (the sweep layer derives it from the trace identity and the full
+// configuration); Payload is the point's serialized result, opaque to
+// this package.
+type Record struct {
+	Key     string          `json:"key"`
+	Index   int             `json:"index"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Writer appends records to a journal directory. Safe for concurrent
+// use by the sweep pool's workers.
+type Writer struct {
+	dir string
+	mu  sync.Mutex
+	seq int
+}
+
+// OpenWriter creates (or reopens) the journal directory and positions
+// the writer after the highest existing segment, so a resumed campaign
+// appends instead of overwriting.
+func OpenWriter(dir string) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	seq := 0
+	if len(segs) > 0 {
+		seq = segs[len(segs)-1].seq
+	}
+	return &Writer{dir: dir, seq: seq}, nil
+}
+
+// Dir returns the journal directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// Append durably records rec as a new segment: the line is written to a
+// temporary file, fsynced, and renamed into place, so the record is
+// either fully present or fully absent after a crash.
+func (w *Writer) Append(rec Record) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", checksum(body), body)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq++
+	path := filepath.Join(w.dir, fmt.Sprintf("%s%08d%s", segPrefix, w.seq, segSuffix))
+	f, err := atomicio.Create(path)
+	if err != nil {
+		w.seq--
+		return err
+	}
+	if _, err := f.Write([]byte(line)); err != nil {
+		f.Close()
+		w.seq--
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Commit(); err != nil {
+		w.seq--
+		return err
+	}
+	return nil
+}
+
+// segment pairs a segment path with its sequence number.
+type segment struct {
+	path string
+	seq  int
+}
+
+// segments lists the directory's segment files in sequence order,
+// ignoring temp files and foreign names.
+func segments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// Replay reads every intact record from the journal in append order and
+// reports how many damaged lines it skipped. A missing directory is an
+// empty journal, not an error: resuming a campaign that never started
+// is the same as starting it. Damaged lines — checksum mismatch,
+// unparseable JSON, a torn tail — are dropped; replay never invents a
+// completion.
+func Replay(dir string) (recs []Record, damaged int, err error) {
+	segs, err := segments(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	for _, seg := range segs {
+		r, d, err := replaySegment(seg.path)
+		damaged += d
+		if err != nil {
+			// An unreadable segment conceals an unknown number of
+			// records; surface it rather than silently under-resuming.
+			return nil, damaged, err
+		}
+		recs = append(recs, r...)
+	}
+	return recs, damaged, nil
+}
+
+// replaySegment parses one segment, dropping damaged lines.
+func replaySegment(path string) (recs []Record, damaged int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	for sc.Scan() {
+		rec, ok := parseLine(sc.Bytes())
+		if !ok {
+			damaged++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if sc.Err() != nil {
+		// An over-long or unreadable tail: keep what parsed, count the
+		// rest as damage.
+		damaged++
+	}
+	return recs, damaged, nil
+}
+
+// parseLine checks one "<crc> <json>" line and decodes its record.
+func parseLine(line []byte) (Record, bool) {
+	sp := bytes.IndexByte(line, ' ')
+	if sp != 8 {
+		return Record{}, false
+	}
+	want, err := strconv.ParseUint(string(line[:sp]), 16, 32)
+	if err != nil {
+		return Record{}, false
+	}
+	body := line[sp+1:]
+	if checksum(body) != uint32(want) {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(body, &rec); err != nil || rec.Key == "" {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Latest folds replayed records into a key → record map, later records
+// winning — the shape resume logic wants (duplicate completions of the
+// same point are idempotent).
+func Latest(recs []Record) map[string]Record {
+	m := make(map[string]Record, len(recs))
+	for _, r := range recs {
+		m[r.Key] = r
+	}
+	return m
+}

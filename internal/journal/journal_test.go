@@ -1,0 +1,185 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkRec(i int) Record {
+	return Record{
+		Key:     fmt.Sprintf("point-%03d", i),
+		Index:   i,
+		Payload: json.RawMessage(fmt.Sprintf(`{"mcpi":%d.5,"events":[%d,%d]}`, i, i, i*2)),
+	}
+}
+
+func writeAll(t *testing.T, dir string, n int) {
+	t.Helper()
+	w, err := OpenWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(mkRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	writeAll(t, dir, 10)
+	recs, damaged, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged != 0 {
+		t.Fatalf("%d damaged records in a clean journal", damaged)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		want := mkRec(i)
+		if r.Key != want.Key || r.Index != want.Index || string(r.Payload) != string(want.Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want)
+		}
+	}
+}
+
+func TestJournalReplayMissingDirIsEmpty(t *testing.T) {
+	recs, damaged, err := Replay(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil || len(recs) != 0 || damaged != 0 {
+		t.Fatalf("missing dir: recs=%v damaged=%d err=%v", recs, damaged, err)
+	}
+}
+
+// TestJournalResumeAppends: reopening a journal continues the segment
+// sequence; earlier records survive and order is preserved.
+func TestJournalResumeAppends(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	writeAll(t, dir, 3)
+	w, err := OpenWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 6; i++ {
+		if err := w.Append(mkRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, damaged, err := Replay(dir)
+	if err != nil || damaged != 0 {
+		t.Fatalf("damaged=%d err=%v", damaged, err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(recs))
+	}
+	for i, r := range recs {
+		if r.Index != i {
+			t.Fatalf("record %d has index %d — resume broke ordering", i, r.Index)
+		}
+	}
+}
+
+// TestJournalTornTailTolerated: a partial line at the end of a segment
+// (the classic kill-mid-write artifact for non-atomic appenders) is
+// dropped without hiding intact records.
+func TestJournalTornTailTolerated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	writeAll(t, dir, 4)
+	// Tear the last segment: keep its first half.
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := segs[len(segs)-1].path
+	raw, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, damaged, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged != 1 {
+		t.Fatalf("damaged = %d, want 1", damaged)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records, want the 3 intact ones", len(recs))
+	}
+}
+
+// TestJournalBitFlipDropsOnlyThatRecord: CRC catches mid-file damage;
+// the other records still replay.
+func TestJournalBitFlipDropsOnlyThatRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	writeAll(t, dir, 5)
+	segs, _ := segments(dir)
+	victim := segs[2].path
+	raw, _ := os.ReadFile(victim)
+	pos := len(raw) / 2
+	raw[pos] ^= 0x40
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, damaged, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged != 1 {
+		t.Fatalf("damaged = %d, want 1", damaged)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(recs))
+	}
+	for _, r := range recs {
+		if r.Key == "point-002" {
+			t.Fatal("damaged record replayed as complete")
+		}
+	}
+}
+
+func TestJournalIgnoresForeignAndTempFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	writeAll(t, dir, 2)
+	for _, name := range []string{".seg-00000099.jsonl.tmp-123", "README", "seg-abc.jsonl"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, _, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+}
+
+func TestJournalLatestKeepsLastDuplicate(t *testing.T) {
+	a := Record{Key: "k", Index: 1, Payload: json.RawMessage(`"old"`)}
+	b := Record{Key: "k", Index: 1, Payload: json.RawMessage(`"new"`)}
+	m := Latest([]Record{a, b})
+	if len(m) != 1 || string(m["k"].Payload) != `"new"` {
+		t.Fatalf("Latest = %v", m)
+	}
+}
+
+func TestJournalNoTempFilesLeftBehind(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "j")
+	writeAll(t, dir, 3)
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/mmu"
+	"repro/internal/simerr"
 	"repro/internal/tlb"
 )
 
@@ -189,8 +191,21 @@ func resolveProtectedSlots(r mmu.Refill, c Config) int {
 	return prot
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. A failure wraps
+// simerr.ErrConfigInvalid, so sweep drivers can classify it as a
+// deterministic (never-retried) point error.
 func (c Config) Validate() error {
+	if err := c.validate(); err != nil {
+		if errors.Is(err, simerr.ErrConfigInvalid) {
+			return err
+		}
+		return fmt.Errorf("%w: %w", simerr.ErrConfigInvalid, err)
+	}
+	return nil
+}
+
+// validate holds the actual checks, unwrapped.
+func (c Config) validate() error {
 	refill, err := buildRefill(c.VM, mem.New(c.PhysMemBytes))
 	if err != nil {
 		return err

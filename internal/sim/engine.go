@@ -16,12 +16,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/mmu"
+	"repro/internal/simerr"
 	"repro/internal/stats"
 	"repro/internal/tlb"
 	"repro/internal/trace"
@@ -249,11 +251,34 @@ func (e *Engine) dtlbMiss(asid uint8, va uint64) {
 // Step remains the reference implementation — TestRunMatchesStep holds
 // the two paths to identical results.
 func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
+	return e.RunContext(context.Background(), tr)
+}
+
+// cancelCheckRefs is how many references RunContext replays between
+// cooperative cancellation checks. The check is one channel poll per
+// chunk — invisible against the chunk's simulation cost — yet bounds
+// how long a pathological configuration can outlive its context, which
+// is what lets the sweep pool impose per-point deadlines without
+// abandoning goroutines.
+const cancelCheckRefs = 1 << 16
+
+// RunContext is Run with cooperative cancellation: between chunks of
+// cancelCheckRefs references it polls ctx and, once the context is
+// done, abandons the run with an error wrapping both
+// simerr.ErrCancelled and the context's own cause (so errors.Is matches
+// either vocabulary). An un-cancelled RunContext is bit-identical to
+// Run: the phase loop folds its tallies additively, so chunking does
+// not change any counter.
+func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, error) {
 	if err := e.Begin(tr); err != nil {
 		return nil, err
 	}
+	done := ctx.Done()
 	if e.cfg.CheckInvariants {
 		for i := range tr.Refs {
+			if done != nil && i%cancelCheckRefs == 0 && ctx.Err() != nil {
+				return nil, e.cancelErr(ctx)
+			}
 			if err := e.Step(&tr.Refs[i]); err != nil {
 				return nil, err
 			}
@@ -261,7 +286,9 @@ func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
 		return e.Finish(tr.Name), nil
 	}
 	refs := tr.Refs
-	e.runPhase(refs[:e.warm])
+	if err := e.runPhaseChunked(ctx, done, refs[:e.warm]); err != nil {
+		return nil, err
+	}
 	e.stepIdx = e.warm
 	if !e.live {
 		// Warmup over: start measuring, exactly as Step's boundary
@@ -272,9 +299,43 @@ func (e *Engine) Run(tr *trace.Trace) (*Result, error) {
 			e.dtlb.ResetStats()
 		}
 	}
-	e.runPhase(refs[e.warm:])
+	if err := e.runPhaseChunked(ctx, done, refs[e.warm:]); err != nil {
+		return nil, err
+	}
 	e.stepIdx = len(refs)
 	return e.Finish(tr.Name), nil
+}
+
+// cancelErr wraps the context's cause in the failure taxonomy.
+func (e *Engine) cancelErr(ctx context.Context) error {
+	return fmt.Errorf("sim: run cancelled at instruction %d: %w: %w",
+		e.stepIdx, simerr.ErrCancelled, context.Cause(ctx))
+}
+
+// runPhaseChunked replays one warmup/live phase through runPhase,
+// checking for cancellation every cancelCheckRefs references. With no
+// cancellable context (done == nil — Run's path) it degenerates to one
+// direct runPhase call with zero added work.
+func (e *Engine) runPhaseChunked(ctx context.Context, done <-chan struct{}, refs []trace.Ref) error {
+	if done == nil {
+		e.runPhase(refs)
+		return nil
+	}
+	for len(refs) > 0 {
+		select {
+		case <-done:
+			return e.cancelErr(ctx)
+		default:
+		}
+		n := len(refs)
+		if n > cancelCheckRefs {
+			n = cancelCheckRefs
+		}
+		e.runPhase(refs[:n])
+		e.stepIdx += n
+		refs = refs[n:]
+	}
+	return nil
 }
 
 // runPhase replays refs through the machine within one warmup/live phase
@@ -661,4 +722,15 @@ func Simulate(cfg Config, tr *trace.Trace) (*Result, error) {
 		return nil, err
 	}
 	return e.Run(tr)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the run
+// aborts with an error wrapping simerr.ErrCancelled shortly after ctx
+// is done. The sweep pool uses this to impose per-point deadlines.
+func SimulateContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunContext(ctx, tr)
 }

@@ -1,0 +1,79 @@
+// Package simerr defines the failure taxonomy shared by the simulator,
+// the trace readers, and the sweep worker pool. Every error surfaced by
+// a long-running campaign wraps exactly one of the sentinel classes
+// below, so callers can route failures with errors.Is instead of string
+// matching: a corrupt trace is recoverable by fixing the input, a
+// timeout by retrying, an internal panic by filing a bug — and a batch
+// driver like vmsweep can summarize hundreds of point failures per
+// class and pick its exit code accordingly.
+package simerr
+
+import "errors"
+
+// Sentinel failure classes. Errors produced by sim, trace, and sweep
+// wrap these; compose with errors.Is.
+var (
+	// ErrConfigInvalid: the simulation configuration failed validation
+	// (unknown organization, bad cache geometry, ...). Deterministic —
+	// never retried.
+	ErrConfigInvalid = errors.New("invalid configuration")
+
+	// ErrTraceCorrupt: a trace failed structural validation — bad
+	// magic, truncated records, out-of-range fields. File errors carry
+	// the record index and byte offset (see trace.CorruptError).
+	// Deterministic — never retried.
+	ErrTraceCorrupt = errors.New("corrupt trace")
+
+	// ErrPointTimeout: one sweep point exceeded its per-point deadline.
+	// Treated as transient (a straggler) and retried.
+	ErrPointTimeout = errors.New("point deadline exceeded")
+
+	// ErrInternalPanic: a panic escaped the engine and was converted to
+	// an error by the sweep pool. Retried in case the panic was load-
+	// dependent; repeat offenders are quarantined into the point.
+	ErrInternalPanic = errors.New("internal panic")
+
+	// ErrCancelled: the run was cancelled by its context (Ctrl-C, a
+	// parent deadline). Not a point failure; never retried.
+	ErrCancelled = errors.New("cancelled")
+)
+
+// Category names one error's failure class for summaries and metrics.
+// The names are stable CLI/API surface: "config", "trace", "timeout",
+// "panic", "cancelled", or "other" (non-nil error outside the
+// taxonomy). A nil error returns "".
+func Category(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, ErrConfigInvalid):
+		return "config"
+	case errors.Is(err, ErrTraceCorrupt):
+		return "trace"
+	case errors.Is(err, ErrPointTimeout):
+		return "timeout"
+	case errors.Is(err, ErrInternalPanic):
+		return "panic"
+	default:
+		return "other"
+	}
+}
+
+// Categories lists every Category value in stable presentation order,
+// for deterministic per-class summaries.
+func Categories() []string {
+	return []string{"config", "trace", "timeout", "panic", "cancelled", "other"}
+}
+
+// Transient reports whether the error class is worth retrying: only
+// timeouts and internal panics qualify. Cancellation is checked first
+// so a cancelled retry loop stops immediately even if the underlying
+// failure was transient.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, ErrCancelled) {
+		return false
+	}
+	return errors.Is(err, ErrPointTimeout) || errors.Is(err, ErrInternalPanic)
+}

@@ -1,0 +1,81 @@
+package simerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCategoryMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{ErrConfigInvalid, "config"},
+		{ErrTraceCorrupt, "trace"},
+		{ErrPointTimeout, "timeout"},
+		{ErrInternalPanic, "panic"},
+		{ErrCancelled, "cancelled"},
+		{errors.New("mystery"), "other"},
+		// Wrapped sentinels keep their class.
+		{fmt.Errorf("sweep: point 7: %w", ErrPointTimeout), "timeout"},
+		{fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrTraceCorrupt)), "trace"},
+	}
+	for _, c := range cases {
+		if got := Category(c.err); got != c.want {
+			t.Errorf("Category(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestCategoriesCoverEveryClass(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Categories() {
+		seen[c] = true
+	}
+	for _, err := range []error{ErrConfigInvalid, ErrTraceCorrupt, ErrPointTimeout, ErrInternalPanic, ErrCancelled} {
+		if !seen[Category(err)] {
+			t.Errorf("Categories() missing %q", Category(err))
+		}
+	}
+	if !seen["other"] {
+		t.Error("Categories() missing \"other\"")
+	}
+}
+
+func TestMultiWrapComposesWithContextErrors(t *testing.T) {
+	// The engine wraps cancellation as both ErrCancelled and the
+	// context's own error, so callers can match either vocabulary.
+	err := fmt.Errorf("sim: run cancelled: %w: %w", ErrCancelled, context.Canceled)
+	if !errors.Is(err, ErrCancelled) {
+		t.Error("not ErrCancelled")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("not context.Canceled")
+	}
+	if Category(err) != "cancelled" {
+		t.Errorf("category = %q", Category(err))
+	}
+}
+
+func TestTransient(t *testing.T) {
+	if Transient(nil) {
+		t.Error("nil transient")
+	}
+	if !Transient(fmt.Errorf("x: %w", ErrPointTimeout)) {
+		t.Error("timeout not transient")
+	}
+	if !Transient(fmt.Errorf("x: %w", ErrInternalPanic)) {
+		t.Error("panic not transient")
+	}
+	if Transient(ErrConfigInvalid) || Transient(ErrTraceCorrupt) || Transient(ErrCancelled) {
+		t.Error("deterministic class reported transient")
+	}
+	// A timeout observed after cancellation must not be retried.
+	both := fmt.Errorf("%w: %w", ErrCancelled, ErrPointTimeout)
+	if Transient(both) {
+		t.Error("cancelled+timeout reported transient")
+	}
+}

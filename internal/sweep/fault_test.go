@@ -1,0 +1,411 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/simerr"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// faultTrace builds a deterministic trace for the fault suites.
+func faultTrace(t testing.TB, n int) *trace.Trace {
+	t.Helper()
+	p, err := workload.ByName("ijpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Generate(p, 7, n)
+}
+
+// faultConfigs builds n distinct valid configurations.
+func faultConfigs(n int) []sim.Config {
+	vms := []string{sim.VMUltrix, sim.VMIntel, sim.VMBase}
+	cfgs := make([]sim.Config, n)
+	for i := range cfgs {
+		cfgs[i] = sim.Default(vms[i%len(vms)])
+		cfgs[i].L1SizeBytes = 4 << 10 << (i % 2)
+		// Distinct seeds make every configuration — and so every journal
+		// point key — unique.
+		cfgs[i].Seed = uint64(100 + i)
+	}
+	return cfgs
+}
+
+// csvRow formats a point with cmd/vmsweep's exact row format, so
+// byte-identity here is byte-identity of the tool's CSV output.
+func csvRow(bench string, p Point) string {
+	r, c := p.Result, p.Config
+	return fmt.Sprintf("%s,%s,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.6f,%.6f",
+		bench, c.VM, c.L1SizeBytes, c.L2SizeBytes, c.L1LineBytes, c.L2LineBytes,
+		c.TLBEntries, r.MCPI(), r.VMCPI(),
+		r.Counters.InterruptCPI(10), r.Counters.InterruptCPI(50), r.Counters.InterruptCPI(200),
+		r.Counters.Interrupts, r.Counters.ITLBMissRate(), r.Counters.DTLBMissRate())
+}
+
+// killedSweep runs a journaled sweep that cancels itself the moment
+// point killAt is dispatched, returning the journal directory. With one
+// worker and in-order dispatch, exactly points [0, killAt) complete.
+func killedSweep(t *testing.T, tr *trace.Trace, cfgs []sim.Config, killAt int) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "journal")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pts, err := RunWithOptions(ctx, tr, cfgs, Options{
+		Workers:    1,
+		JournalDir: dir,
+		PointHook: func(hctx context.Context, idx, attempt int) error {
+			if idx == killAt {
+				cancel()
+				return hctx.Err()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("killed sweep campaign error: %v", err)
+	}
+	for i := 0; i < killAt; i++ {
+		if pts[i].Err != nil {
+			t.Fatalf("pre-kill point %d errored: %v", i, pts[i].Err)
+		}
+	}
+	for i := killAt; i < len(cfgs); i++ {
+		if pts[i].Err == nil {
+			t.Fatalf("post-kill point %d unexpectedly completed", i)
+		}
+	}
+	return dir
+}
+
+// TestResumeAfterKillIsByteIdentical is the tentpole acceptance test: a
+// sweep killed mid-campaign and resumed from its journal must produce
+// byte-identical CSV rows to an uninterrupted run.
+func TestResumeAfterKillIsByteIdentical(t *testing.T) {
+	tr := faultTrace(t, 20000)
+	cfgs := faultConfigs(9)
+	const killAt = 4
+
+	clean, err := RunWithOptions(context.Background(), tr, cfgs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := killedSweep(t, tr, cfgs, killAt)
+
+	resumed, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 3, JournalDir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if resumed[i].Err != nil {
+			t.Fatalf("resumed point %d errored: %v", i, resumed[i].Err)
+		}
+		wantResumed := i < killAt
+		if resumed[i].Resumed != wantResumed {
+			t.Fatalf("point %d Resumed = %v, want %v", i, resumed[i].Resumed, wantResumed)
+		}
+		if wantResumed && resumed[i].Attempts != 0 {
+			t.Fatalf("journal-replayed point %d reports %d attempts", i, resumed[i].Attempts)
+		}
+		if got, want := csvRow("ijpeg", resumed[i]), csvRow("ijpeg", clean[i]); got != want {
+			t.Fatalf("point %d CSV diverged after resume:\n  resumed: %s\n  clean:   %s", i, got, want)
+		}
+		if resumed[i].Result.Counters != clean[i].Result.Counters {
+			t.Fatalf("point %d counters diverged after resume", i)
+		}
+	}
+
+	// A second resume finds every point journalled: nothing re-runs.
+	again, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 2, JournalDir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if !again[i].Resumed || again[i].Err != nil {
+			t.Fatalf("point %d not replayed on second resume (resumed=%v err=%v)",
+				i, again[i].Resumed, again[i].Err)
+		}
+		if again[i].Result.Counters != clean[i].Result.Counters {
+			t.Fatalf("point %d counters diverged on second resume", i)
+		}
+	}
+}
+
+// TestResumeToleratesCorruptJournalTail tears the newest journal
+// segment mid-record (the shape a crash during a non-atomic write would
+// leave) and flips nothing else; resume must silently re-run the
+// damaged point and still match the uninterrupted run byte for byte.
+func TestResumeToleratesCorruptJournalTail(t *testing.T) {
+	tr := faultTrace(t, 15000)
+	cfgs := faultConfigs(7)
+	const killAt = 5
+
+	clean, err := RunWithOptions(context.Background(), tr, cfgs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := killedSweep(t, tr, cfgs, killAt)
+
+	// Tear the highest-numbered segment in half.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			last = filepath.Join(dir, e.Name())
+		}
+	}
+	if last == "" {
+		t.Fatal("killed sweep wrote no segments")
+	}
+	whole, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, whole[:len(whole)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 2, JournalDir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for i := range cfgs {
+		if resumed[i].Err != nil {
+			t.Fatalf("point %d errored after torn-tail resume: %v", i, resumed[i].Err)
+		}
+		if resumed[i].Resumed {
+			replayed++
+		}
+		if got, want := csvRow("ijpeg", resumed[i]), csvRow("ijpeg", clean[i]); got != want {
+			t.Fatalf("point %d CSV diverged after torn-tail resume:\n  resumed: %s\n  clean:   %s", i, got, want)
+		}
+	}
+	if replayed != killAt-1 {
+		t.Fatalf("replayed %d points, want %d (torn record must not count as complete)", replayed, killAt-1)
+	}
+}
+
+// TestFaultPanicIsQuarantinedTyped: a deterministic panic on one point
+// becomes that point's ErrInternalPanic; the rest of the campaign
+// completes.
+func TestFaultPanicIsQuarantinedTyped(t *testing.T) {
+	tr := faultTrace(t, 5000)
+	cfgs := faultConfigs(5)
+	pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 2, PointHook: faults.PanicOn(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		if i == 2 {
+			if !errors.Is(pt.Err, simerr.ErrInternalPanic) {
+				t.Fatalf("panicked point err = %v, want ErrInternalPanic", pt.Err)
+			}
+			if got := simerr.Category(pt.Err); got != "panic" {
+				t.Fatalf("category = %q, want panic", got)
+			}
+			continue
+		}
+		if pt.Err != nil {
+			t.Fatalf("healthy point %d errored: %v", i, pt.Err)
+		}
+	}
+}
+
+// TestFaultTransientPanicRecoversViaRetry: a panic on the first two
+// attempts is absorbed by bounded retry and the point still completes
+// with the correct counters.
+func TestFaultTransientPanicRecoversViaRetry(t *testing.T) {
+	tr := faultTrace(t, 8000)
+	cfgs := faultConfigs(3)
+	clean := Run(tr, cfgs, 2)
+	pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 1, Retries: 3, Backoff: time.Microsecond,
+		PointHook: faults.PanicOnFirst(1, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].Err != nil {
+		t.Fatalf("retried point errored: %v", pts[1].Err)
+	}
+	if pts[1].Attempts != 3 {
+		t.Fatalf("retried point took %d attempts, want 3", pts[1].Attempts)
+	}
+	for i := range pts {
+		if pts[i].Result.Counters != clean[i].Result.Counters {
+			t.Fatalf("point %d counters diverged under retry", i)
+		}
+	}
+}
+
+// TestFaultInjectedTimeoutRetried: an error already classified as a
+// timeout is transient and retried.
+func TestFaultInjectedTimeoutRetried(t *testing.T) {
+	tr := faultTrace(t, 3000)
+	cfgs := faultConfigs(2)
+	pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 1, Retries: 2,
+		PointHook: faults.FailFirst(0, 1, simerr.ErrPointTimeout),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Err != nil || pts[0].Attempts != 2 {
+		t.Fatalf("point 0: err=%v attempts=%d, want recovery on attempt 2", pts[0].Err, pts[0].Attempts)
+	}
+}
+
+// TestFaultDeterministicErrorNotRetried: a non-transient injected error
+// is quarantined on the first attempt even with retries configured —
+// retry is class-based, not unconditional.
+func TestFaultDeterministicErrorNotRetried(t *testing.T) {
+	tr := faultTrace(t, 3000)
+	cfgs := faultConfigs(3)
+	pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 1, Retries: 5,
+		PointHook: faults.FailFirst(1, 99, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(pts[1].Err, faults.ErrInjected) {
+		t.Fatalf("point 1 err = %v, want ErrInjected", pts[1].Err)
+	}
+	if pts[1].Attempts != 1 {
+		t.Fatalf("deterministic failure took %d attempts, want 1", pts[1].Attempts)
+	}
+	if pts[0].Err != nil || pts[2].Err != nil {
+		t.Fatalf("healthy points errored: %v / %v", pts[0].Err, pts[2].Err)
+	}
+}
+
+// TestFaultStallQuarantinedByDeadline: a stalling point is cut off by
+// the per-point deadline and typed as a timeout — not a cancellation —
+// while the rest of the campaign completes.
+func TestFaultStallQuarantinedByDeadline(t *testing.T) {
+	tr := faultTrace(t, 5000)
+	cfgs := faultConfigs(4)
+	pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 2, PointTimeout: 30 * time.Millisecond,
+		PointHook: faults.StallOn(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(pts[1].Err, simerr.ErrPointTimeout) {
+		t.Fatalf("stalled point err = %v, want ErrPointTimeout", pts[1].Err)
+	}
+	if got := simerr.Category(pts[1].Err); got != "timeout" {
+		t.Fatalf("category = %q, want timeout", got)
+	}
+	for i := 0; i < len(pts); i++ {
+		if i != 1 && pts[i].Err != nil {
+			t.Fatalf("healthy point %d errored: %v", i, pts[i].Err)
+		}
+	}
+}
+
+// TestFaultPointDeadlineOnRealEngine: the engine's cooperative
+// cancellation turns an impossible deadline into a typed timeout, and
+// the retry loop records every attempt.
+func TestFaultPointDeadlineOnRealEngine(t *testing.T) {
+	tr := faultTrace(t, 100000)
+	cfgs := []sim.Config{sim.Default(sim.VMUltrix)}
+	pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		PointTimeout: time.Nanosecond, Retries: 1, Backoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(pts[0].Err, simerr.ErrPointTimeout) {
+		t.Fatalf("err = %v, want ErrPointTimeout", pts[0].Err)
+	}
+	if errors.Is(pts[0].Err, simerr.ErrCancelled) {
+		t.Fatal("point timeout must not classify as a campaign cancellation")
+	}
+	if pts[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (original + one retry)", pts[0].Attempts)
+	}
+}
+
+// TestFaultCorruptTraceFailsEveryPointTyped: a structurally corrupt
+// trace fails the whole campaign up front with the trace taxonomy
+// class, one typed error per point.
+func TestFaultCorruptTraceFailsEveryPointTyped(t *testing.T) {
+	tr := faultTrace(t, 200)
+	tr.Refs[57].Kind = trace.Kind(0xC7)
+	pts, err := RunWithOptions(context.Background(), tr, faultConfigs(3), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		if !errors.Is(pt.Err, simerr.ErrTraceCorrupt) {
+			t.Fatalf("point %d err = %v, want ErrTraceCorrupt", i, pt.Err)
+		}
+		var ce *trace.CorruptError
+		if !errors.As(pt.Err, &ce) || ce.Index != 57 {
+			t.Fatalf("point %d: corrupt record not pinpointed: %v", i, pt.Err)
+		}
+	}
+}
+
+// TestResumeRejectsForeignJournal: a journal written for a different
+// trace must not satisfy any of this campaign's points.
+func TestResumeRejectsForeignJournal(t *testing.T) {
+	cfgs := faultConfigs(3)
+	other := faultTrace(t, 4000)
+	dir := filepath.Join(t.TempDir(), "journal")
+	if _, err := RunWithOptions(context.Background(), other, cfgs, Options{JournalDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	tr := faultTrace(t, 4001) // different length => different point keys
+	pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		JournalDir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range pts {
+		if pt.Resumed {
+			t.Fatalf("point %d resumed from a foreign trace's journal", i)
+		}
+		if pt.Err != nil {
+			t.Fatalf("point %d errored: %v", i, pt.Err)
+		}
+	}
+}
+
+// TestResumeUnusableJournalDirIsCampaignError: a journal path that is a
+// regular file is infrastructure trouble, reported at the campaign
+// level rather than per point.
+func TestResumeUnusableJournalDirIsCampaignError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notadir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr := faultTrace(t, 500)
+	if _, err := RunWithOptions(context.Background(), tr, faultConfigs(2), Options{JournalDir: path}); err == nil {
+		t.Fatal("file-as-journal-dir did not error")
+	}
+}

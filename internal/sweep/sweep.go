@@ -7,11 +7,19 @@ package sweep
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"repro/internal/journal"
 	"repro/internal/sim"
+	"repro/internal/simerr"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -20,6 +28,49 @@ type Point struct {
 	Config sim.Config
 	Result *sim.Result
 	Err    error
+	// Attempts is how many times this process simulated the point
+	// (>1 after transient-failure retries; 0 for journal replays and
+	// never-dispatched points).
+	Attempts int
+	// Resumed marks a point replayed from the journal instead of
+	// simulated.
+	Resumed bool
+}
+
+// Options configures a fault-tolerant sweep. The zero value reproduces
+// the classic behaviour: GOMAXPROCS workers, no journal, no deadline,
+// no retries.
+type Options struct {
+	// Workers is the parallel simulation count (<= 0 selects
+	// GOMAXPROCS).
+	Workers int
+
+	// JournalDir, when non-empty, appends every completed point to the
+	// crash-safe journal in that directory (see internal/journal).
+	JournalDir string
+	// Resume replays JournalDir before dispatching: points whose key
+	// (trace identity + full configuration) already has an intact
+	// journal record are restored bit-identically and not re-simulated.
+	Resume bool
+
+	// PointTimeout bounds each simulation attempt (0 = none). An
+	// attempt that overruns is cancelled cooperatively and classified
+	// as simerr.ErrPointTimeout.
+	PointTimeout time.Duration
+	// Retries is how many extra attempts a transiently-failing point
+	// (timeout or internal panic — see simerr.Transient) gets before
+	// being quarantined into its Err. Deterministic failures are never
+	// retried.
+	Retries int
+	// Backoff is the first retry's delay; it doubles per attempt and is
+	// capped at 30s. Zero retries immediately.
+	Backoff time.Duration
+
+	// PointHook, when non-nil, runs at the start of every attempt with
+	// (attempt context, point index, attempt number); a non-nil return
+	// fails the attempt. It exists for fault injection in tests (see
+	// internal/faults) and for progress callbacks.
+	PointHook func(ctx context.Context, index, attempt int) error
 }
 
 // Run simulates every configuration over tr, using the given number of
@@ -35,10 +86,25 @@ func Run(tr *trace.Trace, cfgs []sim.Config, workers int) []Point {
 }
 
 // RunContext is Run with cancellation: when ctx is cancelled, workers
-// finish the point they are on, undispatched points get ctx.Err() as
-// their Err, and RunContext returns early. Points are still
-// index-aligned with cfgs.
+// finish (or cooperatively abandon) the point they are on, undispatched
+// points get an error wrapping simerr.ErrCancelled as their Err, and
+// RunContext returns early. Points are still index-aligned with cfgs.
 func RunContext(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, workers int) []Point {
+	points, _ := RunWithOptions(ctx, tr, cfgs, Options{Workers: workers})
+	return points
+}
+
+// maxBackoff caps the exponential retry delay.
+const maxBackoff = 30 * time.Second
+
+// RunWithOptions is the fault-tolerant sweep driver. Points are
+// index-aligned with cfgs; every failure in a Point.Err wraps one of
+// the simerr sentinel classes. The returned error reports campaign-
+// level infrastructure trouble only — an unreadable or unwritable
+// journal — never a point failure: a failing point is quarantined into
+// its slot and the rest of the campaign completes.
+func RunWithOptions(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, opts Options) ([]Point, error) {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -47,7 +113,7 @@ func RunContext(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, workers
 	}
 	points := make([]Point, len(cfgs))
 	if len(cfgs) == 0 {
-		return points
+		return points, nil
 	}
 	// Validate (and memoize validity of) the trace once up front rather
 	// than racing the first validation across workers.
@@ -55,47 +121,222 @@ func RunContext(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, workers
 		for i := range points {
 			points[i] = Point{Config: cfgs[i], Err: err}
 		}
-		return points
+		return points, nil
 	}
+
+	// Journal: replay completed points, then open for appending.
+	skip := make([]bool, len(cfgs))
+	var jw *journal.Writer
+	if opts.JournalDir != "" {
+		if opts.Resume {
+			recs, _, err := journal.Replay(opts.JournalDir)
+			if err != nil {
+				return nil, err
+			}
+			byKey := journal.Latest(recs)
+			for i := range cfgs {
+				rec, ok := byKey[pointKey(tr, cfgs[i])]
+				if !ok {
+					continue
+				}
+				res, err := decodeResult(cfgs[i], tr.Name, rec.Payload)
+				if err != nil {
+					// An undecodable payload is treated as incomplete,
+					// never trusted: the point re-runs.
+					continue
+				}
+				points[i] = Point{Config: cfgs[i], Result: res, Resumed: true}
+				skip[i] = true
+			}
+		}
+		var err error
+		jw, err = journal.OpenWriter(opts.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The first journal-append failure is latched and reported once the
+	// sweep drains; the points themselves are unaffected.
+	var jerrOnce sync.Once
+	var jerr error
+
+	// attemptOnce runs one attempt of point i under its own deadline.
+	attemptOnce := func(i, attempt int) (p Point) {
+		cfg := cfgs[i]
+		pctx := ctx
+		cancel := func() {}
+		if opts.PointTimeout > 0 {
+			pctx, cancel = context.WithTimeout(ctx, opts.PointTimeout)
+		}
+		defer cancel()
+		func() {
+			// A panic in one configuration (a modelling bug) must not
+			// take down a thousand-point sweep: convert it to a typed
+			// point error.
+			defer func() {
+				if r := recover(); r != nil {
+					p = Point{Config: cfg, Err: fmt.Errorf(
+						"sweep: config %s panicked: %v: %w", cfg.Label(), r, simerr.ErrInternalPanic)}
+				}
+			}()
+			if opts.PointHook != nil {
+				if err := opts.PointHook(pctx, i, attempt); err != nil {
+					p = Point{Config: cfg, Err: fmt.Errorf("sweep: config %s: %w", cfg.Label(), err)}
+					return
+				}
+			}
+			res, err := sim.SimulateContext(pctx, cfg, tr)
+			p = Point{Config: cfg, Result: res, Err: err}
+		}()
+		// An attempt that died because its own deadline fired (and not
+		// because the whole campaign was cancelled) is a point timeout.
+		// The underlying error is flattened to text deliberately: it
+		// wraps ErrCancelled, which must not leak into the timeout's
+		// classification.
+		if p.Err != nil && errors.Is(pctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+			p = Point{Config: cfg, Err: fmt.Errorf(
+				"sweep: config %s exceeded the %v per-point deadline (attempt %d: %v): %w",
+				cfg.Label(), opts.PointTimeout, attempt, p.Err, simerr.ErrPointTimeout)}
+		}
+		return p
+	}
+	// runPoint is attemptOnce plus bounded retry with exponential
+	// backoff; only transient classes (timeout, panic) retry.
+	runPoint := func(i int) Point {
+		var p Point
+		for attempt := 0; ; attempt++ {
+			p = attemptOnce(i, attempt)
+			p.Attempts = attempt + 1
+			if p.Err == nil || !simerr.Transient(p.Err) || attempt >= opts.Retries || ctx.Err() != nil {
+				return p
+			}
+			if !sleepBackoff(ctx, opts.Backoff, attempt) {
+				return p
+			}
+		}
+	}
+	record := func(i int, p Point) {
+		if jw == nil || p.Err != nil {
+			return
+		}
+		payload, err := encodeResult(p.Result)
+		if err == nil {
+			err = jw.Append(journal.Record{Key: pointKey(tr, cfgs[i]), Index: i, Payload: payload})
+		}
+		if err != nil {
+			jerrOnce.Do(func() { jerr = err })
+		}
+	}
+
 	var wg sync.WaitGroup
 	next := make(chan int)
-	simulate := func(i int) (p Point) {
-		// A panic in one configuration (a modelling bug) must not take
-		// down a thousand-point sweep: convert it to a point error.
-		defer func() {
-			if r := recover(); r != nil {
-				p = Point{Config: cfgs[i], Err: fmt.Errorf("sweep: config %s panicked: %v", cfgs[i].Label(), r)}
-			}
-		}()
-		res, err := sim.Simulate(cfgs[i], tr)
-		return Point{Config: cfgs[i], Result: res, Err: err}
-	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				points[i] = simulate(i)
+				p := runPoint(i)
+				record(i, p)
+				points[i] = p
 			}
 		}()
 	}
 	done := ctx.Done()
 dispatch:
 	for i := range cfgs {
+		if skip[i] {
+			continue
+		}
 		select {
 		case next <- i:
 		case <-done:
 			// Mark everything not yet handed to a worker; workers drain
 			// the point they already hold.
 			for j := i; j < len(cfgs); j++ {
-				points[j] = Point{Config: cfgs[j], Err: ctx.Err()}
+				if skip[j] {
+					continue
+				}
+				points[j] = Point{Config: cfgs[j], Err: fmt.Errorf(
+					"sweep: point not dispatched: %w: %w", simerr.ErrCancelled, context.Cause(ctx))}
 			}
 			break dispatch
 		}
 	}
 	close(next)
 	wg.Wait()
-	return points
+	return points, jerr
+}
+
+// sleepBackoff waits base<<attempt (capped at maxBackoff), abandoning
+// the wait — and reporting false — if ctx is cancelled first.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
+	if base <= 0 {
+		return true
+	}
+	d := base
+	for i := 0; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// pointKey identifies one sweep point for the journal: the trace
+// identity plus every field of the configuration, hashed. Any change to
+// either produces a different key, so a stale journal can never claim a
+// different campaign's points.
+func pointKey(tr *trace.Trace, cfg sim.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|%#v", tr.Name, tr.Len(), cfg)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// journalResult is the lossless wire form of a completed point's
+// result. (sim.Result's own MarshalJSON is a flattened presentation
+// format that cannot round-trip; the journal needs the raw counters.)
+type journalResult struct {
+	Workload       string         `json:"workload"`
+	Counters       stats.Counters `json:"counters"`
+	AvgChainLength float64        `json:"avg_chain_length,omitempty"`
+}
+
+// encodeResult serializes a result for the journal.
+func encodeResult(res *sim.Result) (json.RawMessage, error) {
+	return json.Marshal(journalResult{
+		Workload:       res.Workload,
+		Counters:       res.Counters,
+		AvgChainLength: res.AvgChainLength,
+	})
+}
+
+// decodeResult reconstructs a journalled result. The workload name must
+// match the trace being swept — a guard against a journal written by a
+// different campaign colliding on key (impossible by construction, but
+// cheap to enforce).
+func decodeResult(cfg sim.Config, workload string, payload json.RawMessage) (*sim.Result, error) {
+	var jr journalResult
+	if err := json.Unmarshal(payload, &jr); err != nil {
+		return nil, err
+	}
+	if jr.Workload != workload {
+		return nil, fmt.Errorf("sweep: journal record for workload %q, want %q", jr.Workload, workload)
+	}
+	return &sim.Result{
+		Config:         cfg,
+		Workload:       jr.Workload,
+		Counters:       jr.Counters,
+		AvgChainLength: jr.AvgChainLength,
+	}, nil
 }
 
 // Space enumerates a configuration cross-product. Nil/empty dimensions

@@ -121,7 +121,7 @@ func FuzzTraceRoundTrip(f *testing.F) {
 				PC:    binary.LittleEndian.Uint64(rec[0:]) & 0x7FFF_FFFF,
 				Kind:  Kind(rec[16] % 3),
 				ASID:  rec[17] >> 4,
-				Flags: rec[17] & 0xF,
+				Flags: rec[17] & FlagUncached,
 			}
 			if r.Kind != None {
 				r.Data = binary.LittleEndian.Uint64(rec[8:]) & 0x7FFF_FFFF

@@ -109,47 +109,59 @@ type Reader struct {
 	name  string
 	total uint64
 	read  uint64
+	// headerLen is the serialized header size, so record errors can
+	// report the absolute byte offset of the damaged record.
+	headerLen int64
 	// buf holds the raw bytes of the next records; off is the decode
 	// cursor within it.
 	buf []byte
 	off int
 }
 
+// corruptHeader labels damage detected while parsing the header.
+func corruptHeader(name string, offset int64, err error) error {
+	return &CorruptError{Name: name, Index: -1, Offset: offset, Err: err}
+}
+
 // NewReader parses the header of a serialized trace and returns a Reader
-// positioned at the first record.
+// positioned at the first record. Structural damage — bad magic, a
+// lying header, truncation — surfaces as a *CorruptError wrapping
+// simerr.ErrTraceCorrupt.
 func NewReader(r io.Reader) (*Reader, error) {
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, corruptHeader("", 0, fmt.Errorf("reading magic: %w", err))
 	}
 	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q (not a trace file, or wrong version)", head)
+		return nil, corruptHeader("", 0, fmt.Errorf("bad magic %q (not a trace file, or wrong version)", head))
 	}
 	var u32 [4]byte
 	if _, err := io.ReadFull(r, u32[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
+		return nil, corruptHeader("", int64(len(magic)), fmt.Errorf("reading name length: %w", err))
 	}
 	nameLen := binary.LittleEndian.Uint32(u32[:])
 	if nameLen > 4096 {
-		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+		return nil, corruptHeader("", int64(len(magic)), fmt.Errorf("implausible name length %d", nameLen))
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(r, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
+		return nil, corruptHeader("", int64(len(magic)+4), fmt.Errorf("reading name: %w", err))
 	}
+	countOff := int64(len(magic) + 4 + int(nameLen))
 	var u64 [8]byte
 	if _, err := io.ReadFull(r, u64[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading record count: %w", err)
+		return nil, corruptHeader(string(name), countOff, fmt.Errorf("reading record count: %w", err))
 	}
 	count := binary.LittleEndian.Uint64(u64[:])
 	if count > maxSerializedRefs {
-		return nil, fmt.Errorf("trace: implausible record count %d", count)
+		return nil, corruptHeader(string(name), countOff, fmt.Errorf("implausible record count %d", count))
 	}
 	return &Reader{
-		r:     r,
-		name:  string(name),
-		total: count,
-		buf:   make([]byte, 0, ioChunkRecords*recordBytes),
+		r:         r,
+		name:      string(name),
+		total:     count,
+		headerLen: countOff + 8,
+		buf:       make([]byte, 0, ioChunkRecords*recordBytes),
 	}, nil
 }
 
@@ -159,11 +171,17 @@ func (rd *Reader) Name() string { return rd.name }
 // Len returns the total record count from the header.
 func (rd *Reader) Len() int { return int(rd.total) }
 
+// recordOffset is the absolute byte offset of record i in the stream.
+func (rd *Reader) recordOffset(i uint64) int64 {
+	return rd.headerLen + int64(i)*recordBytes
+}
+
 // Next decodes up to len(dst) records into dst and returns how many were
 // produced. It returns 0, io.EOF once the trace is exhausted, and a
-// non-EOF error for truncated or invalid input. Records are validated as
-// they are decoded, so a consumer never sees a reference the simulator
-// would reject.
+// *CorruptError (wrapping simerr.ErrTraceCorrupt, carrying the record
+// index and byte offset) for truncated or invalid input. Records are
+// validated as they are decoded, so a consumer never sees a reference
+// the simulator would reject.
 func (rd *Reader) Next(dst []Ref) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil
@@ -178,6 +196,7 @@ func (rd *Reader) Next(dst []Ref) (int, error) {
 		r := &dst[produced]
 		decodeRef(rd.buf[rd.off:rd.off+recordBytes], r)
 		if err := validateRef(rd.name, int(rd.read), r); err != nil {
+			err.Offset = rd.recordOffset(rd.read)
 			return produced, err
 		}
 		rd.off += recordBytes
@@ -200,7 +219,12 @@ func (rd *Reader) fill() error {
 	rd.buf = rd.buf[:n*recordBytes]
 	rd.off = 0
 	if _, err := io.ReadFull(rd.r, rd.buf); err != nil {
-		return fmt.Errorf("trace: reading record %d: %w", rd.read, err)
+		return &CorruptError{
+			Name:   rd.name,
+			Index:  int(rd.read),
+			Offset: rd.recordOffset(rd.read),
+			Err:    fmt.Errorf("reading record %d: %w", rd.read, err),
+		}
 	}
 	return nil
 }

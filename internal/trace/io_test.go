@@ -2,8 +2,11 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/simerr"
 )
 
 func roundTrip(t *testing.T, in *Trace) *Trace {
@@ -94,6 +97,80 @@ func TestTraceIOValidatesContent(t *testing.T) {
 	}
 	if _, err := ReadFrom(&buf); err == nil {
 		t.Fatal("invalid trace content accepted on read")
+	}
+}
+
+// TestTraceIOCorruptRecordMidFile damages one record in the middle of a
+// serialized trace and asserts the reader rejects it with a typed
+// *CorruptError naming the exact record index and byte offset.
+func TestTraceIOCorruptRecordMidFile(t *testing.T) {
+	in := &Trace{Name: "corrupt-mid"}
+	for i := 0; i < 10; i++ {
+		in.Refs = append(in.Refs, Ref{PC: 0x1000 + uint64(i)*4, Data: 0x20000, Kind: Load})
+	}
+	var buf bytes.Buffer
+	if _, err := in.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	headerLen := len(magic) + 4 + len(in.Name) + 8
+	const victim = 6
+	cases := []struct {
+		name  string
+		patch func(rec []byte)
+	}{
+		{"bad kind", func(rec []byte) { rec[16] = 0xC7 }},
+		{"unknown flags", func(rec []byte) { rec[17] |= 0x0E }},
+		{"kernel PC", func(rec []byte) { rec[7] = 0xFF }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			damaged := append([]byte(nil), raw...)
+			off := headerLen + victim*recordBytes
+			c.patch(damaged[off : off+recordBytes])
+			_, err := ReadFrom(bytes.NewReader(damaged))
+			if err == nil {
+				t.Fatal("corrupt record accepted")
+			}
+			if !errors.Is(err, simerr.ErrTraceCorrupt) {
+				t.Fatalf("error %v is not ErrTraceCorrupt", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a *CorruptError", err)
+			}
+			if ce.Index != victim {
+				t.Errorf("index = %d, want %d", ce.Index, victim)
+			}
+			if ce.Offset != int64(off) {
+				t.Errorf("offset = %d, want %d", ce.Offset, off)
+			}
+			if ce.Name != in.Name {
+				t.Errorf("name = %q, want %q", ce.Name, in.Name)
+			}
+		})
+	}
+}
+
+// TestTraceIOTruncationIsTyped: records promised by the header but
+// missing from the body classify as trace corruption too.
+func TestTraceIOTruncationIsTyped(t *testing.T) {
+	in := &Trace{Name: "trunc", Refs: []Ref{{PC: 0x1000}, {PC: 0x1004}, {PC: 0x1008}}}
+	var buf bytes.Buffer
+	if _, err := in.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	_, err := ReadFrom(bytes.NewReader(full[:len(full)-recordBytes-3]))
+	if !errors.Is(err, simerr.ErrTraceCorrupt) {
+		t.Fatalf("truncation error %v is not ErrTraceCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("truncation error %v is not a *CorruptError", err)
+	}
+	if ce.Offset < 0 {
+		t.Errorf("truncation error carries no byte offset: %+v", ce)
 	}
 }
 

@@ -14,7 +14,44 @@ import (
 	"sync/atomic"
 
 	"repro/internal/addr"
+	"repro/internal/simerr"
 )
+
+// CorruptError describes a structurally invalid trace: an out-of-range
+// field, a truncated or malformed serialized stream. It pinpoints the
+// damage — record index and, for serialized traces, the byte offset of
+// the offending record — and wraps simerr.ErrTraceCorrupt so batch
+// drivers can classify the failure with errors.Is.
+type CorruptError struct {
+	// Name is the trace name ("" when corruption precedes the header's
+	// name field).
+	Name string
+	// Index is the record index, or -1 when the damage is not scoped to
+	// one record (header corruption, truncation inside the header).
+	Index int
+	// Offset is the byte offset into the serialized stream where the
+	// damaged data starts, or -1 for in-memory traces.
+	Offset int64
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats the name/index/offset context around the cause.
+func (e *CorruptError) Error() string {
+	where := ""
+	if e.Index >= 0 {
+		where = fmt.Sprintf(" ref %d", e.Index)
+	}
+	if e.Offset >= 0 {
+		where += fmt.Sprintf(" (byte offset %d)", e.Offset)
+	}
+	return fmt.Sprintf("trace %q%s: %v", e.Name, where, e.Err)
+}
+
+// Unwrap exposes both the taxonomy class and the underlying cause.
+func (e *CorruptError) Unwrap() []error {
+	return []error{simerr.ErrTraceCorrupt, e.Err}
+}
 
 // Kind classifies an instruction's data access.
 type Kind uint8
@@ -183,20 +220,26 @@ func (t *Trace) Validate() error {
 	return nil
 }
 
-// validateRef checks one reference's invariants; i and name label errors.
-func validateRef(name string, i int, r *Ref) error {
+// validateRef checks one reference's invariants; i and name label the
+// resulting *CorruptError (Offset -1; the serialized reader fills it).
+func validateRef(name string, i int, r *Ref) *CorruptError {
+	corrupt := func(format string, args ...any) *CorruptError {
+		return &CorruptError{Name: name, Index: i, Offset: -1, Err: fmt.Errorf(format, args...)}
+	}
 	if !addr.IsUser(r.PC) {
-		return fmt.Errorf("trace %q ref %d: PC %#x outside user space", name, i, r.PC)
+		return corrupt("PC %#x outside user space", r.PC)
 	}
 	if r.Kind != None && !addr.IsUser(r.Data) {
-		return fmt.Errorf("trace %q ref %d: data %#x outside user space", name, i, r.Data)
+		return corrupt("data %#x outside user space", r.Data)
 	}
 	if r.Kind > Store {
-		return fmt.Errorf("trace %q ref %d: invalid kind %d", name, i, r.Kind)
+		return corrupt("invalid kind %d", r.Kind)
 	}
 	if r.ASID >= MaxASIDs {
-		return fmt.Errorf("trace %q ref %d: ASID %d exceeds the %d supported address spaces",
-			name, i, r.ASID, MaxASIDs)
+		return corrupt("ASID %d exceeds the %d supported address spaces", r.ASID, MaxASIDs)
+	}
+	if r.Flags&^FlagUncached != 0 {
+		return corrupt("unknown flag bits %#x", r.Flags&^FlagUncached)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/simerr"
 	"repro/internal/sweep"
 	"repro/internal/tlb"
 	"repro/internal/trace"
@@ -168,11 +169,59 @@ func Sweep(tr *Trace, cfgs []Config, workers int) []SweepPoint {
 }
 
 // SweepContext is Sweep with cancellation: on ctx cancellation the
-// in-flight points finish, every undispatched point carries ctx.Err(),
-// and the call returns early.
+// in-flight points finish, every undispatched point carries an error
+// wrapping ErrCancelled, and the call returns early.
 func SweepContext(ctx context.Context, tr *Trace, cfgs []Config, workers int) []SweepPoint {
 	return sweep.RunContext(ctx, tr, cfgs, workers)
 }
+
+// SweepOptions configures a fault-tolerant sweep: journalling with
+// crash-safe resume, per-point deadlines, bounded retry with backoff,
+// and a per-attempt hook (used for fault injection in tests).
+type SweepOptions = sweep.Options
+
+// SweepWithOptions is the fault-tolerant sweep driver. Point failures
+// are quarantined into their slots (every Err wraps one of the
+// taxonomy's sentinel classes); the returned error reports journal
+// infrastructure trouble only.
+func SweepWithOptions(ctx context.Context, tr *Trace, cfgs []Config, opts SweepOptions) ([]SweepPoint, error) {
+	return sweep.RunWithOptions(ctx, tr, cfgs, opts)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the engine
+// checks ctx periodically and abandons the run with an error wrapping
+// ErrCancelled.
+func SimulateContext(ctx context.Context, cfg Config, tr *Trace) (*Result, error) {
+	return sim.SimulateContext(ctx, cfg, tr)
+}
+
+// Error taxonomy. Every failure the simulator, trace readers, and sweep
+// driver produce wraps one of these sentinels (see internal/simerr), so
+// callers can classify with errors.Is and ErrorCategory.
+var (
+	// ErrConfigInvalid: a configuration failed validation.
+	ErrConfigInvalid = simerr.ErrConfigInvalid
+	// ErrTraceCorrupt: a trace failed structural validation; errors.As
+	// against *TraceCorruptError recovers the record index/byte offset.
+	ErrTraceCorrupt = simerr.ErrTraceCorrupt
+	// ErrPointTimeout: a sweep point overran its per-point deadline.
+	ErrPointTimeout = simerr.ErrPointTimeout
+	// ErrInternalPanic: a panic (modelling bug) converted to an error.
+	ErrInternalPanic = simerr.ErrInternalPanic
+	// ErrCancelled: the caller's context cancelled the work.
+	ErrCancelled = simerr.ErrCancelled
+)
+
+// TraceCorruptError pinpoints trace damage: record index and (for
+// serialized traces) the byte offset of the offending record.
+type TraceCorruptError = trace.CorruptError
+
+// ErrorCategory classifies err by taxonomy class: "config", "trace",
+// "timeout", "panic", "cancelled", "other" — or "" for nil.
+func ErrorCategory(err error) string { return simerr.Category(err) }
+
+// ErrorCategories lists every non-empty ErrorCategory value.
+func ErrorCategories() []string { return simerr.Categories() }
 
 // Replication summarizes a metric over repeated independently-seeded
 // runs (mean, standard deviation, extremes).
