@@ -218,6 +218,188 @@ func TestVMSweepResumeRequiresJournal(t *testing.T) {
 	}
 }
 
+func TestVMSimTimelineDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv")
+	args := []string{"-vm", "mach", "-bench", "gcc", "-n", "20000", "-warmup", "4000", "-sample", "3000"}
+	for _, path := range []string{a, b} {
+		_, errOut, code := run(t, "vmsim", append(args, "-timeline", path)...)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errOut)
+		}
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatalf("same seed produced different timeline CSVs:\n%s\nvs\n%s", da, db)
+	}
+	lines := strings.Split(strings.TrimRight(string(da), "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "instr,") {
+		t.Fatalf("timeline header = %q", lines[0])
+	}
+	// 16000 live references at 3000/sample = 5 full + 1 partial interval.
+	if len(lines) != 1+6 {
+		t.Fatalf("got %d timeline rows, want 6:\n%s", len(lines)-1, da)
+	}
+}
+
+// assertNoStrayFiles fails if dir holds anything — the temp-file-leak
+// regression tests point the tools' output files into an empty
+// directory, force an error exit, and demand the directory stays empty
+// (no committed file, no stranded *.tmp*).
+func assertNoStrayFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("stray file left behind: %s", e.Name())
+	}
+}
+
+func TestVMSimFailureLeavesNoTempFiles(t *testing.T) {
+	// -cpuprofile opens an atomic writer before the bad -vm is detected;
+	// the error exit must abort it, not strand the pending temp file.
+	dir := t.TempDir()
+	_, errOut, code := run(t, "vmsim",
+		"-cpuprofile", filepath.Join(dir, "cpu.out"), "-vm", "vax", "-n", "2000")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1, stderr: %s", code, errOut)
+	}
+	assertNoStrayFiles(t, dir)
+}
+
+func TestVMSimTimelineCommitFailureLeavesNoTempFiles(t *testing.T) {
+	// Committing onto an existing directory fails after the temp file
+	// was written; the abort must remove it.
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "out.csv")
+	if err := os.Mkdir(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := run(t, "vmsim",
+		"-vm", "ultrix", "-bench", "gcc", "-n", "4000", "-timeline", blocked)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1, stderr: %s", code, errOut)
+	}
+	if err := os.Remove(blocked); err != nil {
+		t.Fatal(err)
+	}
+	assertNoStrayFiles(t, dir)
+}
+
+func TestVMSweepFailureLeavesNoTempFiles(t *testing.T) {
+	// The bad -l1 list is rejected after the CPU profile's atomic
+	// writer is open; the error exit must abort it.
+	dir := t.TempDir()
+	_, errOut, code := run(t, "vmsweep",
+		"-cpuprofile", filepath.Join(dir, "cpu.out"), "-l1", "bogus")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1, stderr: %s", code, errOut)
+	}
+	assertNoStrayFiles(t, dir)
+}
+
+func TestVMTraceWriteFailureLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	blocked := filepath.Join(dir, "t.trc")
+	if err := os.Mkdir(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := run(t, "vmtrace", "-bench", "gcc", "-n", "2000", "-o", blocked)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1, stderr: %s", code, errOut)
+	}
+	if err := os.Remove(blocked); err != nil {
+		t.Fatal(err)
+	}
+	assertNoStrayFiles(t, dir)
+}
+
+// manifest mirrors vmsweep's campaignManifest wire format.
+type manifest struct {
+	Schema      int            `json:"schema"`
+	Benchmark   string         `json:"benchmark"`
+	TraceSHA256 string         `json:"trace_sha256"`
+	TraceRefs   int            `json:"trace_refs"`
+	Configs     int            `json:"configs"`
+	Workers     int            `json:"workers"`
+	WallSeconds float64        `json:"wall_seconds"`
+	SimSeconds  float64        `json:"sim_seconds"`
+	Completed   int            `json:"completed"`
+	Resumed     int            `json:"resumed"`
+	Retried     int            `json:"retried"`
+	Failed      int            `json:"failed"`
+	Cancelled   int            `json:"cancelled"`
+	Errors      map[string]int `json:"errors_by_category"`
+	ExitStatus  int            `json:"exit_status"`
+}
+
+func readManifest(t *testing.T, path string) manifest {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("manifest not written: %v", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v\n%s", err, data)
+	}
+	return m
+}
+
+func TestVMSweepProgressAndManifest(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "m.json")
+	// 2 VMs × 8 L1 sizes × 4 L1 linesizes × 2 L2 linesizes = 128 points.
+	out, errOut, code := run(t, "vmsweep",
+		"-bench", "gcc", "-n", "2000", "-vms", "ultrix,intel",
+		"-l1", "paper", "-l1lines", "paper", "-l2lines", "64,128",
+		"-progress", "-manifest", mpath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"vmsweep: progress 0/128", "eta", "retried=", "resumed=", "failed=0", "(done in"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("-progress stderr missing %q:\n%s", want, errOut)
+		}
+	}
+	if rows, err := csv.NewReader(strings.NewReader(out)).ReadAll(); err != nil || len(rows) != 129 {
+		t.Fatalf("expected 129 CSV rows (err=%v), got %d", err, len(rows))
+	}
+	m := readManifest(t, mpath)
+	if m.Schema != 1 || m.Benchmark != "gcc" || m.Configs != 128 ||
+		m.Completed != 128 || m.Failed != 0 || m.ExitStatus != 0 {
+		t.Errorf("manifest fields implausible: %+v", m)
+	}
+	if len(m.TraceSHA256) != 64 {
+		t.Errorf("trace_sha256 = %q, want 64 hex chars", m.TraceSHA256)
+	}
+	if m.TraceRefs != 2000 || m.Workers <= 0 || m.WallSeconds <= 0 || m.SimSeconds <= 0 {
+		t.Errorf("manifest accounting implausible: %+v", m)
+	}
+}
+
+func TestVMSweepManifestRecordsFailures(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "m.json")
+	_, errOut, code := run(t, "vmsweep",
+		"-bench", "gcc", "-n", "50000", "-vms", "ultrix", "-timeout", "1ns",
+		"-manifest", mpath)
+	if code != 3 {
+		t.Fatalf("exit %d, want 3, stderr: %s", code, errOut)
+	}
+	m := readManifest(t, mpath)
+	if m.ExitStatus != 3 || m.Failed != 1 || m.Errors["timeout"] != 1 {
+		t.Errorf("failure manifest implausible: %+v", m)
+	}
+}
+
 func TestVMExperimentQuick(t *testing.T) {
 	dir := t.TempDir()
 	out, errOut, code := run(t, "vmexperiment",

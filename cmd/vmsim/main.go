@@ -5,6 +5,8 @@
 //
 //	vmsim -vm ultrix -bench gcc -n 1000000
 //	vmsim -vm pa-risc -bench vortex -l1 8192 -l2 1048576 -l1line 32 -l2line 64
+//	vmsim -vm mach -bench gcc -timeline gcc.timeline.csv -sample 10000
+//	vmsim -vm intel -bench vortex -n 10000000 -debug-addr localhost:6060
 package main
 
 import (
@@ -17,10 +19,30 @@ import (
 
 	mmusim "repro"
 	"repro/internal/atomicio"
+	"repro/internal/obs"
 )
 
+// cleanups holds abort handlers for resources a fail() exit would
+// otherwise strand: os.Exit skips deferred calls, and an uncommitted
+// atomicio.File leaves its temporary file behind unless Closed. Close
+// after a successful Commit is a no-op, so handlers are always safe to
+// run.
+var cleanups []func()
+
+// fail reports err, aborts registered in-flight writes (newest first),
+// and exits 1.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "vmsim:", err)
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
+	os.Exit(1)
+}
+
 // startCPUProfile begins CPU profiling into path ("" = off) and returns
-// the stop function.
+// the stop function. The abort path is registered in cleanups, so an
+// error exit removes the pending temporary file instead of stranding
+// it with the profile uncommitted.
 func startCPUProfile(path string) (stop func(), err error) {
 	if path == "" {
 		return func() {}, nil
@@ -33,6 +55,10 @@ func startCPUProfile(path string) (stop func(), err error) {
 		f.Close()
 		return nil, err
 	}
+	cleanups = append(cleanups, func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	})
 	return func() {
 		pprof.StopCPUProfile()
 		// Commit publishes the profile atomically; a run killed
@@ -62,32 +88,34 @@ func writeHeapProfile(path string) error {
 
 func main() {
 	var (
-		vm      = flag.String("vm", mmusim.VMUltrix, "organization: one of "+fmt.Sprint(mmusim.VMs()))
-		bench   = flag.String("bench", "gcc", "benchmark: one of "+fmt.Sprint(mmusim.Benchmarks()))
-		n       = flag.Int("n", 1_000_000, "trace length in instructions")
-		seed    = flag.Uint64("seed", 42, "deterministic seed")
-		l1      = flag.Int("l1", 32<<10, "L1 cache size per side (bytes)")
-		l2      = flag.Int("l2", 2<<20, "L2 cache size per side (bytes)")
-		l1line  = flag.Int("l1line", 64, "L1 linesize (bytes)")
-		l2line  = flag.Int("l2line", 128, "L2 linesize (bytes)")
-		tlbN    = flag.Int("tlb", 128, "TLB entries per side")
-		tlb2N   = flag.Int("tlb2", 0, "unified second-level TLB entries (0 = none)")
-		intCost = flag.Uint64("intcost", 50, "cycles per precise interrupt (paper: 10/50/200)")
-		warmup  = flag.Int("warmup", 200_000, "uncharged warmup instructions (capped at half the trace)")
-		asJSON  = flag.Bool("json", false, "emit the result as JSON instead of the text break-down")
-		traceIn = flag.String("tracefile", "", "replay this trace file instead of generating -bench")
-		dinIn   = flag.String("din", "", "replay this Dinero-format text trace instead of generating -bench")
-		doCheck = flag.Bool("check", false, "replay the run through the differential oracle (internal/check) and fail on any divergence")
-		invar   = flag.Bool("invariants", false, "assert conservation-law invariants on every simulation step (slower)")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
+		vm        = flag.String("vm", mmusim.VMUltrix, "organization: one of "+fmt.Sprint(mmusim.VMs()))
+		bench     = flag.String("bench", "gcc", "benchmark: one of "+fmt.Sprint(mmusim.Benchmarks()))
+		n         = flag.Int("n", 1_000_000, "trace length in instructions")
+		seed      = flag.Uint64("seed", 42, "deterministic seed")
+		l1        = flag.Int("l1", 32<<10, "L1 cache size per side (bytes)")
+		l2        = flag.Int("l2", 2<<20, "L2 cache size per side (bytes)")
+		l1line    = flag.Int("l1line", 64, "L1 linesize (bytes)")
+		l2line    = flag.Int("l2line", 128, "L2 linesize (bytes)")
+		tlbN      = flag.Int("tlb", 128, "TLB entries per side")
+		tlb2N     = flag.Int("tlb2", 0, "unified second-level TLB entries (0 = none)")
+		intCost   = flag.Uint64("intcost", 50, "cycles per precise interrupt (paper: 10/50/200)")
+		warmup    = flag.Int("warmup", 200_000, "uncharged warmup instructions (capped at half the trace)")
+		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of the text break-down")
+		traceIn   = flag.String("tracefile", "", "replay this trace file instead of generating -bench")
+		dinIn     = flag.String("din", "", "replay this Dinero-format text trace instead of generating -bench")
+		doCheck   = flag.Bool("check", false, "replay the run through the differential oracle (internal/check) and fail on any divergence")
+		invar     = flag.Bool("invariants", false, "assert conservation-law invariants on every simulation step (slower)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
+		timeline  = flag.String("timeline", "", "write a per-interval MCPI/VMCPI timeline CSV to this file")
+		sample    = flag.Int("sample", 10_000, "references per timeline interval (with -timeline)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	stopProf, err := startCPUProfile(*cpuProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vmsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	defer stopProf()
 
@@ -100,6 +128,21 @@ func main() {
 	cfg.WarmupInstrs = *warmup
 	cfg.Seed = *seed
 	cfg.CheckInvariants = *invar
+	if *timeline != "" {
+		if *sample <= 0 {
+			fail(fmt.Errorf("-sample must be positive with -timeline, got %d", *sample))
+		}
+		cfg.SampleEvery = *sample
+	}
+
+	if *debugAddr != "" {
+		addr, derr := obs.ServeDebug(*debugAddr)
+		if derr != nil {
+			fail(derr)
+		}
+		obs.Publish("vmsim.config", func() any { return cfg })
+		fmt.Fprintf(os.Stderr, "vmsim: debug server at http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
 
 	var tr *mmusim.Trace
 	switch {
@@ -119,20 +162,18 @@ func main() {
 		tr, err = mmusim.GenerateTrace(*bench, *seed, *n)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vmsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	if *doCheck {
 		report, cerr := mmusim.CheckDivergence(cfg, tr)
 		if cerr != nil {
-			fmt.Fprintln(os.Stderr, "vmsim: check:", cerr)
-			os.Exit(1)
+			fail(cerr)
 		}
 		if report != "" {
 			fmt.Fprintln(os.Stderr, "vmsim: check: engine diverges from the reference models:")
 			fmt.Fprintln(os.Stderr, report)
-			os.Exit(1)
+			fail(fmt.Errorf("check: divergence"))
 		}
 		// In JSON mode stdout must stay pure JSON for piping.
 		dst := os.Stdout
@@ -144,23 +185,34 @@ func main() {
 
 	res, err := mmusim.Simulate(cfg, tr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vmsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fmt.Fprintln(os.Stderr, "vmsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	} else {
 		fmt.Print(res.BreakdownString())
 		fmt.Printf("  total CPI (1-CPI core + overheads @%d-cycle interrupts) = %.5f\n",
 			cfg.InterruptCost, res.TotalCPI())
 	}
+	if *timeline != "" {
+		f, terr := atomicio.Create(*timeline)
+		if terr != nil {
+			fail(terr)
+		}
+		cleanups = append(cleanups, func() { f.Close() })
+		if err := mmusim.WriteTimelineCSV(f, res.Timeline); err != nil {
+			fail(err)
+		}
+		if err := f.Commit(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "vmsim: wrote %d timeline samples to %s\n", len(res.Timeline), *timeline)
+	}
 	if err := writeHeapProfile(*memProf); err != nil {
-		fmt.Fprintln(os.Stderr, "vmsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
 }

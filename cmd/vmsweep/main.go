@@ -9,6 +9,7 @@
 //	vmsweep -tracefile gcc.trace -vms ultrix -l1 paper
 //	vmsweep -bench gcc -vms all -l1 paper -journal gcc.journal > gcc.csv
 //	vmsweep -bench gcc -vms all -l1 paper -journal gcc.journal -resume > gcc.csv  # after a crash
+//	vmsweep -bench gcc -vms all -l1 paper -progress -manifest gcc.manifest.json > gcc.csv
 //
 // Memory: the sweep's footprint is bounded by one shared read-only trace
 // (24 bytes per reference — 24MB for a million-instruction trace) plus
@@ -26,10 +27,21 @@
 // -retries/-backoff absorb transient failures (timeouts, panics); a
 // point that keeps failing is reported per-category on stderr and the
 // tool exits 3 while the healthy rows stay valid.
+//
+// Observability: -progress reports completed/total, rate, ETA, and
+// retried/resumed/failed counts on stderr while the campaign runs;
+// -manifest FILE writes an end-of-run JSON manifest (trace sha256,
+// configuration count, wall and summed per-point seconds, per-category
+// failure counts, exit status) atomically even when the tool exits 3;
+// -debug-addr serves net/http/pprof and expvar (including the live
+// vmsweep.progress snapshot) over HTTP.
 package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,10 +50,12 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	mmusim "repro"
 	"repro/internal/atomicio"
+	"repro/internal/obs"
 )
 
 func parseInts(s string, paper []int) ([]int, error) {
@@ -68,47 +82,114 @@ var (
 	paperLines = []int{16, 32, 64, 128}
 )
 
+// campaignManifest is the machine-readable end-of-run record written by
+// -manifest: enough to tell what ran, on what input, how long it took,
+// and how it ended, without re-parsing stderr.
+type campaignManifest struct {
+	Schema      int    `json:"schema"`
+	Benchmark   string `json:"benchmark"`
+	TraceSHA256 string `json:"trace_sha256"`
+	TraceRefs   int    `json:"trace_refs"`
+	Configs     int    `json:"configs"`
+	Workers     int    `json:"workers"`
+	// WallSeconds is the campaign's elapsed time; SimSeconds sums the
+	// per-point wall-clock durations across all workers (attempts and
+	// backoff included), so SimSeconds/WallSeconds approximates the
+	// achieved parallelism.
+	WallSeconds float64 `json:"wall_seconds"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	Completed   int     `json:"completed"`
+	Resumed     int     `json:"resumed"`
+	Retried     int     `json:"retried"`
+	Failed      int     `json:"failed"`
+	Cancelled   int     `json:"cancelled"`
+	// Errors counts quarantined points per taxonomy category
+	// (config/trace/timeout/panic/other); cancelled points are tallied
+	// separately above.
+	Errors     map[string]int `json:"errors_by_category,omitempty"`
+	ExitStatus int            `json:"exit_status"`
+}
+
+// traceSHA fingerprints the trace by hashing its serialized form, so a
+// manifest pins the exact input stream independent of how it was
+// produced (generated, -tracefile, or -din).
+func traceSHA(tr *mmusim.Trace) string {
+	h := sha256.New()
+	if err := mmusim.WriteTrace(h, tr); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 func main() {
+	start := time.Now()
 	var (
-		bench   = flag.String("bench", "gcc", "benchmark")
-		vms     = flag.String("vms", "ultrix,mach,intel,pa-risc,notlb", "comma list of organizations, or 'all'")
-		l1s     = flag.String("l1", "", "comma list of L1 sizes in bytes, or 'paper'")
-		l2s     = flag.String("l2", "", "comma list of L2 sizes in bytes, or 'paper'")
-		l1lines = flag.String("l1lines", "", "comma list of L1 linesizes, or 'paper'")
-		l2lines = flag.String("l2lines", "", "comma list of L2 linesizes, or 'paper'")
-		tlbs    = flag.String("tlb", "", "comma list of TLB sizes")
-		n       = flag.Int("n", 500_000, "trace length in instructions")
-		seed    = flag.Uint64("seed", 42, "deterministic seed")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		traceIn = flag.String("tracefile", "", "replay this trace file instead of generating -bench")
-		dinIn   = flag.String("din", "", "replay this Dinero-format text trace instead of generating -bench")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
-		memProf = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
-		jdir    = flag.String("journal", "", "journal completed points to this directory (crash-safe, resumable)")
-		resume  = flag.Bool("resume", false, "replay -journal before sweeping and skip already-completed points")
-		timeout = flag.Duration("timeout", 0, "per-point deadline (0 = none), e.g. 30s")
-		retries = flag.Int("retries", 0, "extra attempts for transiently-failing points (timeouts, panics)")
-		backoff = flag.Duration("backoff", 100*time.Millisecond, "first retry delay; doubles per attempt")
+		bench     = flag.String("bench", "gcc", "benchmark")
+		vms       = flag.String("vms", "ultrix,mach,intel,pa-risc,notlb", "comma list of organizations, or 'all'")
+		l1s       = flag.String("l1", "", "comma list of L1 sizes in bytes, or 'paper'")
+		l2s       = flag.String("l2", "", "comma list of L2 sizes in bytes, or 'paper'")
+		l1lines   = flag.String("l1lines", "", "comma list of L1 linesizes, or 'paper'")
+		l2lines   = flag.String("l2lines", "", "comma list of L2 linesizes, or 'paper'")
+		tlbs      = flag.String("tlb", "", "comma list of TLB sizes")
+		n         = flag.Int("n", 500_000, "trace length in instructions")
+		seed      = flag.Uint64("seed", 42, "deterministic seed")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		traceIn   = flag.String("tracefile", "", "replay this trace file instead of generating -bench")
+		dinIn     = flag.String("din", "", "replay this Dinero-format text trace instead of generating -bench")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
+		jdir      = flag.String("journal", "", "journal completed points to this directory (crash-safe, resumable)")
+		resumeFl  = flag.Bool("resume", false, "replay -journal before sweeping and skip already-completed points")
+		timeout   = flag.Duration("timeout", 0, "per-point deadline (0 = none), e.g. 30s")
+		retries   = flag.Int("retries", 0, "extra attempts for transiently-failing points (timeouts, panics)")
+		backoff   = flag.Duration("backoff", 100*time.Millisecond, "first retry delay; doubles per attempt")
+		progress  = flag.Bool("progress", false, "report live completion/rate/ETA on stderr")
+		manifest  = flag.String("manifest", "", "write an end-of-run campaign manifest (JSON) to this file")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	// cleanups holds abort handlers for in-flight atomic writes: fail()
+	// exits with os.Exit, which skips defers, and an uncommitted
+	// atomicio.File strands its temporary file unless Closed. Close
+	// after Commit is a no-op, so handlers are always safe to run.
+	var cleanups []func()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "vmsweep:", err)
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
 		os.Exit(1)
 	}
 
+	stopCPUProfile := func() {}
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
+		f, err := atomicio.Create(*cpuProf)
 		if err != nil {
 			fail(err)
 		}
+		cleanups = append(cleanups, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fail(err)
 		}
-		defer func() {
+		stopCPUProfile = func() {
 			pprof.StopCPUProfile()
-			f.Close()
-		}()
+			if err := f.Commit(); err != nil {
+				fmt.Fprintln(os.Stderr, "vmsweep:", err)
+			}
+		}
+	}
+	defer stopCPUProfile()
+
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "vmsweep: debug server at http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 
 	vmList := strings.Split(*vms, ",")
@@ -170,20 +251,59 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *resume && *jdir == "" {
+	if *resumeFl && *jdir == "" {
 		fail(fmt.Errorf("-resume requires -journal"))
 	}
+
+	// The progress tracker runs unconditionally (its per-point cost is
+	// a few atomic adds); -progress decides whether it is printed, and
+	// the expvar export makes it visible under -debug-addr regardless.
+	prog := obs.NewProgress(len(cfgs))
+	obs.Publish("vmsweep.progress", func() any { return prog.Snapshot() })
+	var progressStop chan struct{}
+	var progressWG sync.WaitGroup
+	if *progress {
+		fmt.Fprintf(os.Stderr, "vmsweep: progress %s\n", prog.Snapshot())
+		progressStop = make(chan struct{})
+		progressWG.Add(1)
+		go func() {
+			defer progressWG.Done()
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-progressStop:
+					return
+				case <-t.C:
+					fmt.Fprintf(os.Stderr, "vmsweep: progress %s\n", prog.Snapshot())
+				}
+			}
+		}()
+	}
+
 	exitCode := 0
 	points, err := mmusim.SweepWithOptions(ctx, tr, cfgs, mmusim.SweepOptions{
 		Workers:      *workers,
 		JournalDir:   *jdir,
-		Resume:       *resume,
+		Resume:       *resumeFl,
 		PointTimeout: *timeout,
 		Retries:      *retries,
 		Backoff:      *backoff,
+		PointDone: func(i int, p mmusim.SweepPoint) {
+			prog.Done(p.Attempts, p.Resumed,
+				p.Err != nil && mmusim.ErrorCategory(p.Err) != "cancelled")
+		},
 	})
+	if *progress {
+		close(progressStop)
+		progressWG.Wait()
+	}
 	if err != nil {
 		fail(err)
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "vmsweep: progress %s (done in %s)\n",
+			prog.Snapshot(), time.Since(start).Round(time.Millisecond))
 	}
 
 	fmt.Println("benchmark,vm,l1_bytes,l2_bytes,l1_line,l2_line,tlb_entries," +
@@ -232,11 +352,63 @@ func main() {
 			failed, len(cfgs), strings.Join(parts, " "))
 		exitCode = 3
 	}
+	if *manifest != "" {
+		completed, retriedN := 0, 0
+		var simTime time.Duration
+		for _, p := range points {
+			if p.Err == nil {
+				completed++
+			}
+			if p.Attempts > 1 {
+				retriedN++
+			}
+			simTime += p.Duration
+		}
+		var errCounts map[string]int
+		for cat, count := range byCategory {
+			if cat == "cancelled" {
+				continue
+			}
+			if errCounts == nil {
+				errCounts = map[string]int{}
+			}
+			errCounts[cat] = count
+		}
+		effWorkers := *workers
+		if effWorkers <= 0 {
+			effWorkers = runtime.GOMAXPROCS(0)
+		}
+		m := campaignManifest{
+			Schema:      1,
+			Benchmark:   label,
+			TraceSHA256: traceSHA(tr),
+			TraceRefs:   tr.Len(),
+			Configs:     len(cfgs),
+			Workers:     effWorkers,
+			WallSeconds: time.Since(start).Seconds(),
+			SimSeconds:  simTime.Seconds(),
+			Completed:   completed,
+			Resumed:     resumed,
+			Retried:     retriedN,
+			Failed:      failed,
+			Cancelled:   byCategory["cancelled"],
+			Errors:      errCounts,
+			ExitStatus:  exitCode,
+		}
+		data, merr := json.MarshalIndent(m, "", "  ")
+		if merr != nil {
+			fail(merr)
+		}
+		if werr := atomicio.WriteFile(*manifest, append(data, '\n'), 0o644); werr != nil {
+			fail(werr)
+		}
+	}
 	if *memProf != "" {
 		f, ferr := atomicio.Create(*memProf)
 		if ferr != nil {
 			fail(ferr)
 		}
+		cleanups = append(cleanups, func() { f.Close() })
 		runtime.GC()
 		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
 			fail(err)
@@ -248,7 +420,7 @@ func main() {
 	if exitCode != 0 {
 		// Flush the CPU profile before the deliberate non-zero exit
 		// (os.Exit skips the deferred stop).
-		pprof.StopCPUProfile()
+		stopCPUProfile()
 		os.Exit(exitCode)
 	}
 }

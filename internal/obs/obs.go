@@ -1,0 +1,86 @@
+// Package obs is the observability core: allocation-free atomic
+// counters and gauges, snapshot/diff arithmetic over stats.Counters,
+// and publication of either through expvar so that long-running
+// campaigns can be inspected live over HTTP (see ServeDebug).
+//
+// The design constraint is the same one the engine's hot path obeys:
+// recording a metric must never allocate, and disabling observability
+// must cost nothing. Counter and Gauge are plain atomics; Publish and
+// ServeDebug are called once at process start-up.
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotonically-increasing metric safe for concurrent use.
+// The zero value is ready; no method allocates.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a set-to-current-value metric safe for concurrent use. The
+// zero value is ready; no method allocates.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Diff returns the counters accumulated between two snapshots of one
+// run: cur minus prev, field by field. prev must be an earlier snapshot
+// of the same run (the engine's counters are monotone, so every field
+// of prev is <= cur's).
+func Diff(cur, prev stats.Counters) stats.Counters {
+	cur.Sub(&prev)
+	return cur
+}
+
+// published tracks names already handed to expvar, which panics on a
+// duplicate Publish — an unacceptable failure mode for tests and for
+// tools that construct their metrics more than once per process.
+var published sync.Map
+
+// Publish exposes f's value under name in the process's expvar set
+// (visible at /debug/vars once ServeDebug is running). Re-publishing a
+// name is a no-op rather than the panic expvar itself raises, so
+// callers need not coordinate.
+func Publish(name string, f func() any) {
+	if _, loaded := published.LoadOrStore(name, struct{}{}); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(f))
+}
+
+// ServeDebug starts an HTTP server on addr exposing the process's
+// net/http/pprof profiles (/debug/pprof/) and expvar variables
+// (/debug/vars), and returns the address actually listening — useful
+// with ":0". The server runs until the process exits; campaigns hand
+// it a -debug-addr flag and forget about it.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // serves for process lifetime
+	return ln.Addr().String(), nil
+}

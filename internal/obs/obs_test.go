@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1000+8*10 {
+		t.Fatalf("Counter = %d, want %d", got, 8*1000+8*10)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	if g.Load() != 3 {
+		t.Fatalf("Gauge = %d, want 3", g.Load())
+	}
+}
+
+func TestMetricsAllocationFree(t *testing.T) {
+	var c Counter
+	var g Gauge
+	if avg := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		_ = c.Load()
+		g.Set(int64(c.Load()))
+		g.Add(-1)
+	}); avg != 0 {
+		t.Fatalf("metric ops allocate %.2f objects, want 0", avg)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	var prev, cur stats.Counters
+	prev.UserInstrs = 100
+	prev.Charge(stats.L1IMiss, 20)
+	cur = prev
+	cur.UserInstrs = 250
+	cur.Charge(stats.L1IMiss, 20)
+	cur.Charge(stats.UHandler, 30)
+	cur.Interrupts = 2
+
+	d := Diff(cur, prev)
+	if d.UserInstrs != 150 || d.Events[stats.L1IMiss] != 1 || d.Cycles[stats.L1IMiss] != 20 {
+		t.Fatalf("Diff = %+v", d)
+	}
+	if d.Events[stats.UHandler] != 1 || d.Interrupts != 2 {
+		t.Fatalf("Diff missed fields: %+v", d)
+	}
+	// Diff takes values, so neither input is disturbed.
+	if prev.UserInstrs != 100 || cur.UserInstrs != 250 {
+		t.Fatal("Diff mutated its inputs")
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	n := 0
+	Publish("obs_test_var", func() any { n++; return n })
+	// A second Publish under the same name must not panic (expvar's own
+	// Publish would) and must keep the first function.
+	Publish("obs_test_var", func() any { return "usurper" })
+}
+
+func TestServeDebugServesPprofAndVars(t *testing.T) {
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Publish("obs_serve_test", func() any { return 42 })
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if string(vars["obs_serve_test"]) != "42" {
+		t.Fatalf("published var = %s, want 42", vars["obs_serve_test"])
+	}
+
+	resp2, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", resp2.StatusCode)
+	}
+}
+
+func TestProgressSnapshotMath(t *testing.T) {
+	p := NewProgress(100)
+	clock := p.start
+	p.now = func() time.Time { return clock }
+
+	s := p.Snapshot()
+	if s.Completed != 0 || s.Total != 100 || s.ETA >= 0 {
+		t.Fatalf("fresh snapshot = %+v (want unknown ETA)", s)
+	}
+	if !strings.Contains(s.String(), "eta ?") {
+		t.Fatalf("unknown ETA not rendered as ?: %s", s)
+	}
+
+	for i := 0; i < 25; i++ {
+		p.Done(1, false, false)
+	}
+	p.Done(3, false, false) // a retried point
+	p.Done(0, true, false)  // a journal replay
+	p.Done(2, false, true)  // a retried, then quarantined point
+	clock = clock.Add(7 * time.Second)
+
+	s = p.Snapshot()
+	if s.Completed != 28 || s.Retried != 2 || s.Resumed != 1 || s.Failed != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Rate != 4 { // 28 points / 7s
+		t.Fatalf("rate = %v, want 4", s.Rate)
+	}
+	if s.ETA != 18*time.Second { // 72 remaining / 4 per second
+		t.Fatalf("ETA = %v, want 18s", s.ETA)
+	}
+	line := s.String()
+	for _, want := range []string{"28/100", "28.0%", "eta 18s", "retried=2", "resumed=1", "failed=1"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line missing %q: %s", want, line)
+		}
+	}
+
+	for i := 28; i < 100; i++ {
+		p.Done(1, false, false)
+	}
+	s = p.Snapshot()
+	if s.ETA != 0 {
+		t.Fatalf("finished ETA = %v, want 0", s.ETA)
+	}
+	if !strings.HasPrefix(s.String(), "100/100 (100.0%)") {
+		t.Fatalf("final line = %s", s)
+	}
+}
+
+func TestProgressConcurrent(t *testing.T) {
+	p := NewProgress(800)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Done(1, false, false)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := p.Snapshot(); s.Completed != 800 {
+		t.Fatalf("completed = %d, want 800", s.Completed)
+	}
+}
+
+func ExampleSnapshot_String() {
+	s := Snapshot{Completed: 10, Total: 40, Rate: 5, ETA: 6 * time.Second, Resumed: 2}
+	fmt.Println(s)
+	// Output: 10/40 (25.0%) 5.0 points/s eta 6s retried=0 resumed=2 failed=0
+}

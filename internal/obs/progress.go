@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Progress tracks a sweep campaign live: completions, failures,
+// retries, journal resumes, and the rate/ETA arithmetic over them. It
+// is driven from the sweep's per-point callbacks, so every method is
+// safe for concurrent use and none allocates; Snapshot assembles a
+// consistent-enough view for display (counters are read individually,
+// which is fine for a progress meter).
+type Progress struct {
+	total int
+	start time.Time
+	// now is stubbed by tests; time.Now otherwise.
+	now func() time.Time
+
+	completed Counter
+	failed    Counter
+	retried   Counter // points that needed more than one attempt
+	resumed   Counter // points replayed from the journal
+}
+
+// NewProgress starts tracking a campaign of total points.
+func NewProgress(total int) *Progress {
+	p := &Progress{total: total, now: time.Now}
+	p.start = p.now()
+	return p
+}
+
+// Done records one finished point: attempts is how many times it was
+// simulated (0 for journal replays), resumed whether it came from the
+// journal, failed whether it was quarantined with an error.
+func (p *Progress) Done(attempts int, resumed, failed bool) {
+	p.completed.Inc()
+	if attempts > 1 {
+		p.retried.Inc()
+	}
+	if resumed {
+		p.resumed.Inc()
+	}
+	if failed {
+		p.failed.Inc()
+	}
+}
+
+// Snapshot captures the current state for display or expvar export.
+func (p *Progress) Snapshot() Snapshot {
+	s := Snapshot{
+		Completed: int(p.completed.Load()),
+		Total:     p.total,
+		Failed:    int(p.failed.Load()),
+		Retried:   int(p.retried.Load()),
+		Resumed:   int(p.resumed.Load()),
+		Elapsed:   p.now().Sub(p.start),
+	}
+	if s.Elapsed > 0 && s.Completed > 0 {
+		s.Rate = float64(s.Completed) / s.Elapsed.Seconds()
+	}
+	switch remaining := s.Total - s.Completed; {
+	case remaining <= 0:
+		s.ETA = 0
+	case s.Rate > 0:
+		s.ETA = time.Duration(float64(remaining) / s.Rate * float64(time.Second))
+	default:
+		s.ETA = -1 // unknown: nothing has completed yet
+	}
+	return s
+}
+
+// Snapshot is one observation of a campaign's progress.
+type Snapshot struct {
+	Completed, Total         int
+	Failed, Retried, Resumed int
+	Elapsed                  time.Duration
+	// Rate is completed points per second (0 until the first completion).
+	Rate float64
+	// ETA is the projected time to finish at the current rate; 0 when
+	// done, negative while still unknown.
+	ETA time.Duration
+}
+
+// String renders the one-line progress report the sweep tools print:
+//
+//	128/384 (33.3%) 41.2 points/s eta 6s retried=1 resumed=64 failed=0
+func (s Snapshot) String() string {
+	pct := 0.0
+	if s.Total > 0 {
+		pct = float64(s.Completed) / float64(s.Total) * 100
+	}
+	eta := "?"
+	if s.ETA >= 0 {
+		eta = s.ETA.Round(time.Second).String()
+	}
+	return fmt.Sprintf("%d/%d (%.1f%%) %.1f points/s eta %s retried=%d resumed=%d failed=%d",
+		s.Completed, s.Total, pct, s.Rate, eta, s.Retried, s.Resumed, s.Failed)
+}

@@ -140,14 +140,22 @@ func (c *Chart) String() string {
 		height = 16
 	}
 	markers := []byte("ox+*#@%&$~")
-	// Collect the x positions (union, sorted) and y range.
+	// Collect the x positions (union, sorted) and y range. The y-axis
+	// always includes zero, extends up to the largest positive value,
+	// and — unlike the original figures, which never go below the axis —
+	// extends *down* to the smallest negative value, so series like
+	// "VMCPI delta versus BASE" plot faithfully instead of silently
+	// clamping to the bottom row.
 	xsSet := map[float64]struct{}{}
-	ymax := 0.0
+	ymin, ymax := 0.0, 0.0
 	for _, s := range c.Series {
 		for _, p := range s.Points {
 			xsSet[p.X] = struct{}{}
 			if p.Y > ymax {
 				ymax = p.Y
+			}
+			if p.Y < ymin {
+				ymin = p.Y
 			}
 		}
 	}
@@ -159,8 +167,9 @@ func (c *Chart) String() string {
 		xs = append(xs, x)
 	}
 	sort.Float64s(xs)
-	if ymax == 0 {
-		ymax = 1
+	span := ymax - ymin
+	if span == 0 {
+		span = 1
 	}
 	cols := len(xs)
 	colW := 6
@@ -168,25 +177,24 @@ func (c *Chart) String() string {
 	for r := range grid {
 		grid[r] = []byte(strings.Repeat(" ", cols*colW))
 	}
-	xcol := func(x float64) int {
-		for i, v := range xs {
-			if v == x {
-				return i*colW + colW/2
-			}
-		}
-		return 0
+	// Column lookup is a map, not a linear scan: charts over large
+	// sweeps have hundreds of x positions, and the old
+	// O(series × points × columns) scan dominated rendering.
+	colOf := make(map[float64]int, len(xs))
+	for i, v := range xs {
+		colOf[v] = i*colW + colW/2
 	}
 	for si, s := range c.Series {
 		m := markers[si%len(markers)]
 		for _, p := range s.Points {
-			row := height - 1 - int(math.Round(p.Y/ymax*float64(height-1)))
+			row := height - 1 - int(math.Round((p.Y-ymin)/span*float64(height-1)))
 			if row < 0 {
 				row = 0
 			}
 			if row >= height {
 				row = height - 1
 			}
-			grid[row][xcol(p.X)] = m
+			grid[row][colOf[p.X]] = m
 		}
 	}
 	var b strings.Builder
@@ -194,7 +202,7 @@ func (c *Chart) String() string {
 		fmt.Fprintf(&b, "%s\n", c.Title)
 	}
 	for r, line := range grid {
-		y := ymax * float64(height-1-r) / float64(height-1)
+		y := ymin + span*float64(height-1-r)/float64(height-1)
 		fmt.Fprintf(&b, "%9.4f |%s\n", y, string(line))
 	}
 	b.WriteString(strings.Repeat(" ", 10) + "+" + strings.Repeat("-", cols*colW) + "\n")

@@ -98,6 +98,57 @@ func TestChartAllZeroYs(t *testing.T) {
 	}
 }
 
+func TestChartNegativeYsGolden(t *testing.T) {
+	// Negative values used to clamp silently onto the bottom row while
+	// the axis still claimed a 0 minimum. The y-range now extends below
+	// zero; pin the exact rendering.
+	c := &Chart{Title: "neg", Height: 5}
+	c.AddSeries("delta", []Point{{1, -1}, {2, 0}, {3, 1}})
+	want := strings.Join([]string{
+		"neg",
+		"   1.0000 |               o  ",
+		"   0.5000 |                  ",
+		"   0.0000 |         o        ",
+		"  -0.5000 |                  ",
+		"  -1.0000 |   o              ",
+		"          +------------------",
+		"           1     2     3     ",
+		"          o delta",
+		"",
+	}, "\n")
+	if got := c.String(); got != want {
+		t.Fatalf("negative chart rendering changed:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestChartAllNegativeIncludesZero(t *testing.T) {
+	// An all-negative series still anchors the axis at zero on top, so
+	// the sign of the data is visible at a glance.
+	c := &Chart{Height: 3}
+	c.AddSeries("down", []Point{{1, -2}, {2, -4}})
+	s := c.String()
+	if !strings.Contains(s, "   0.0000 |") {
+		t.Fatalf("zero line missing from all-negative chart:\n%s", s)
+	}
+	if !strings.Contains(s, "  -4.0000 |") {
+		t.Fatalf("minimum label missing:\n%s", s)
+	}
+}
+
+func TestChartNonNegativeAxisUnchanged(t *testing.T) {
+	// Charts without negative values keep their historical 0-based axis:
+	// the bottom row label is 0 and the top row is the max.
+	c := &Chart{Height: 4}
+	c.AddSeries("up", []Point{{1, 0.5}, {2, 1.5}})
+	lines := strings.Split(c.String(), "\n")
+	if !strings.HasPrefix(lines[0], "   1.5000 |") {
+		t.Fatalf("top label = %q, want max", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "   0.0000 |") {
+		t.Fatalf("bottom label = %q, want 0", lines[3])
+	}
+}
+
 func TestCompactNum(t *testing.T) {
 	cases := map[float64]string{
 		1024:    "1K",

@@ -114,6 +114,17 @@ type Config struct {
 	// which flushes); ASIDTagged and ASIDFlush override it.
 	ASIDs ASIDPolicy
 
+	// SampleEvery, when positive, records a timeline sample every
+	// SampleEvery references of the measured (post-warmup) window: at
+	// each interval boundary the engine snapshots its counters and the
+	// finished Result carries the series as Result.Timeline — MCPI and
+	// VMCPI versus trace position, the data behind `vmsim -timeline`.
+	// Sampling never changes simulation results (the replay loop folds
+	// its tallies additively, so interval boundaries are invisible to
+	// every counter); zero, the default, disables it entirely and keeps
+	// the replay loop allocation-free.
+	SampleEvery int
+
 	// CheckInvariants asserts conservation laws inside the engine after
 	// every reference — hits+misses equal references at every cache and
 	// TLB level, fixed-cost components charge exactly events × cost,
@@ -236,6 +247,9 @@ func (c Config) validate() error {
 	}
 	if c.TLB2Entries < 0 || c.TLB2Latency < 0 {
 		return fmt.Errorf("sim: second-level TLB parameters must be non-negative")
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("sim: SampleEvery must be non-negative, got %d", c.SampleEvery)
 	}
 	return nil
 }

@@ -71,6 +71,13 @@ type Engine struct {
 	// invErr latches the first invariant violation when
 	// cfg.CheckInvariants is set.
 	invErr error
+
+	// Timeline sampling state (cfg.SampleEvery > 0; see timeline.go).
+	// sampleBase is the snapshot at the start of the measured window,
+	// samplePrev the snapshot at the previous interval boundary.
+	samples    []TimelineSample
+	sampleBase stats.Counters
+	samplePrev stats.Counters
 }
 
 // tlbKey composes the fully-associative TLB lookup key. With tagged TLBs
@@ -274,6 +281,7 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 		return nil, err
 	}
 	done := ctx.Done()
+	every := e.cfg.SampleEvery
 	if e.cfg.CheckInvariants {
 		for i := range tr.Refs {
 			if done != nil && i%cancelCheckRefs == 0 && ctx.Err() != nil {
@@ -282,8 +290,16 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 			if err := e.Step(&tr.Refs[i]); err != nil {
 				return nil, err
 			}
+			if every > 0 && e.live && (i+1-e.warm)%every == 0 {
+				e.recordSample(i + 1)
+			}
 		}
-		return e.Finish(tr.Name), nil
+		if every > 0 && (len(tr.Refs)-e.warm)%every != 0 {
+			// The trailing partial interval, so the series always covers
+			// the whole measured window.
+			e.recordSample(len(tr.Refs))
+		}
+		return e.finishWithTimeline(tr.Name), nil
 	}
 	refs := tr.Refs
 	if err := e.runPhaseChunked(ctx, done, refs[:e.warm]); err != nil {
@@ -298,12 +314,39 @@ func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (*Result, erro
 			e.itlb.ResetStats()
 			e.dtlb.ResetStats()
 		}
+		e.beginSampling()
 	}
-	if err := e.runPhaseChunked(ctx, done, refs[e.warm:]); err != nil {
+	if every > 0 {
+		// Sampled replay: the measured window proceeds one interval at a
+		// time, snapshotting at each boundary. The phase loop folds its
+		// tallies additively, so the extra boundaries change no counter —
+		// a sampled run is bit-identical to an unsampled one.
+		live := refs[e.warm:]
+		pos := e.warm
+		for len(live) > 0 {
+			n := every
+			if n > len(live) {
+				n = len(live)
+			}
+			if err := e.runPhaseChunked(ctx, done, live[:n]); err != nil {
+				return nil, err
+			}
+			pos += n
+			e.recordSample(pos)
+			live = live[n:]
+		}
+	} else if err := e.runPhaseChunked(ctx, done, refs[e.warm:]); err != nil {
 		return nil, err
 	}
 	e.stepIdx = len(refs)
-	return e.Finish(tr.Name), nil
+	return e.finishWithTimeline(tr.Name), nil
+}
+
+// finishWithTimeline is Finish plus the run's timeline samples.
+func (e *Engine) finishWithTimeline(workload string) *Result {
+	res := e.Finish(workload)
+	res.Timeline = e.samples
+	return res
 }
 
 // cancelErr wraps the context's cause in the failure taxonomy.
@@ -495,6 +538,11 @@ func (e *Engine) Begin(tr *trace.Trace) error {
 	}
 	e.live = e.warm == 0
 	e.stepIdx = 0
+	e.samples = nil
+	if e.live {
+		// No warmup: the measured window starts immediately.
+		e.beginSampling()
+	}
 	return nil
 }
 
@@ -510,6 +558,7 @@ func (e *Engine) Step(r *trace.Ref) error {
 			e.itlb.ResetStats()
 			e.dtlb.ResetStats()
 		}
+		e.beginSampling()
 	}
 	e.stepIdx++
 	noTLBRefill := e.noTLBRefill

@@ -18,6 +18,11 @@ type Result struct {
 	// AvgChainLength is the hashed-table average collision-chain length
 	// (hashed organizations only; 0 otherwise).
 	AvgChainLength float64
+	// Timeline holds the per-interval samples of a run with
+	// Config.SampleEvery set (nil otherwise) — MCPI/VMCPI versus trace
+	// position. Excluded from the JSON wire format and the sweep
+	// journal, which pin only end-of-run numbers.
+	Timeline []TimelineSample
 }
 
 // MCPI returns the memory-system overhead per user instruction.
@@ -65,7 +70,7 @@ func (r *Result) BreakdownString() string {
 		fmt.Fprintf(&b, "    %-12s %.5f  (%d events)\n", c, r.Counters.CPI(c), r.Counters.Events[c])
 	}
 	fmt.Fprintf(&b, "  interrupts = %d:", r.Counters.Interrupts)
-	for _, cost := range stats.InterruptCosts {
+	for _, cost := range stats.InterruptCosts() {
 		fmt.Fprintf(&b, "  @%d=%.5f", cost, r.Counters.InterruptCPI(cost))
 	}
 	b.WriteByte('\n')

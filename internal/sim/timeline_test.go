@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// runSampled simulates cfg over a gcc trace and returns the result.
+func runSampled(t *testing.T, cfg Config, n int) *Result {
+	t.Helper()
+	res, err := Simulate(cfg, tr(t, "gcc", n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTimelineCoversMeasuredWindow(t *testing.T) {
+	const n, every, warm = 30_000, 4_000, 6_000
+	cfg := Default(VMUltrix)
+	cfg.WarmupInstrs = warm
+	cfg.SampleEvery = every
+	res := runSampled(t, cfg, n)
+
+	live := n - warm
+	wantSamples := (live + every - 1) / every
+	if len(res.Timeline) != wantSamples {
+		t.Fatalf("got %d samples, want %d", len(res.Timeline), wantSamples)
+	}
+	// Positions are warm + k*every, with the final (possibly partial)
+	// interval ending exactly at the trace's end.
+	for i, s := range res.Timeline {
+		wantPos := uint64(warm + (i+1)*every)
+		if i == len(res.Timeline)-1 {
+			wantPos = uint64(n)
+		}
+		if s.Instr != wantPos {
+			t.Errorf("sample %d at instr %d, want %d", i, s.Instr, wantPos)
+		}
+		if i > 0 && s.Instr <= res.Timeline[i-1].Instr {
+			t.Errorf("sample positions not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestTimelineDeltasSumToFinalCounters(t *testing.T) {
+	for _, vm := range []string{VMUltrix, VMMach, VMIntel, VMPARISC, VMNoTLB, VMBase} {
+		t.Run(vm, func(t *testing.T) {
+			cfg := Default(vm)
+			cfg.WarmupInstrs = 5_000
+			cfg.SampleEvery = 3_000
+			res := runSampled(t, cfg, 25_000)
+			if len(res.Timeline) == 0 {
+				t.Fatal("no samples recorded")
+			}
+			// Conservation: the interval deltas partition the run.
+			var sum stats.Counters
+			for i := range res.Timeline {
+				sum.Add(&res.Timeline[i].Delta)
+			}
+			if sum != res.Counters {
+				t.Errorf("sum of deltas != final counters:\n sum  %+v\n want %+v", sum, res.Counters)
+			}
+			// The last cumulative sample is the finished result.
+			if last := res.Timeline[len(res.Timeline)-1].Total; last != res.Counters {
+				t.Errorf("last Total != final counters:\n got  %+v\n want %+v", last, res.Counters)
+			}
+		})
+	}
+}
+
+func TestTimelineDoesNotPerturbResults(t *testing.T) {
+	// A sampled run must be bit-identical to an unsampled one — the
+	// interval boundaries are invisible to every counter.
+	for _, vm := range []string{VMUltrix, VMMach, VMIntel, VMPARISC, VMNoTLB} {
+		cfg := Default(vm)
+		cfg.WarmupInstrs = 4_000
+		plain := runSampled(t, cfg, 20_000)
+		cfg.SampleEvery = 1_700 // deliberately not a divisor of anything
+		sampled := runSampled(t, cfg, 20_000)
+		if plain.Counters != sampled.Counters {
+			t.Errorf("%s: SampleEvery changed the results:\n plain   %+v\n sampled %+v",
+				vm, plain.Counters, sampled.Counters)
+		}
+	}
+}
+
+func TestTimelineStepPathMatchesRunPath(t *testing.T) {
+	// The invariant-checking Step loop and the specialized phase loop
+	// must record the identical sample series.
+	cfg := Default(VMMach)
+	cfg.WarmupInstrs = 3_000
+	cfg.SampleEvery = 2_500
+	fast := runSampled(t, cfg, 18_000)
+	cfg.CheckInvariants = true
+	stepped := runSampled(t, cfg, 18_000)
+	if !reflect.DeepEqual(fast.Timeline, stepped.Timeline) {
+		t.Fatalf("timelines diverge between Run and Step paths:\n fast    %+v\n stepped %+v",
+			fast.Timeline, stepped.Timeline)
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	cfg := Default(VMUltrix)
+	cfg.SampleEvery = 2_000
+	a := runSampled(t, cfg, 16_000)
+	b := runSampled(t, cfg, 16_000)
+	if !reflect.DeepEqual(a.Timeline, b.Timeline) {
+		t.Fatal("same seed produced different timelines")
+	}
+	var wa, wb strings.Builder
+	if err := WriteTimelineCSV(&wa, a.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimelineCSV(&wb, b.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	if wa.String() != wb.String() {
+		t.Fatal("timeline CSV is not byte-identical across identical runs")
+	}
+}
+
+func TestTimelineCSVShape(t *testing.T) {
+	cfg := Default(VMUltrix)
+	cfg.WarmupInstrs = 0
+	cfg.SampleEvery = 5_000
+	res := runSampled(t, cfg, 20_000)
+	var b strings.Builder
+	if err := WriteTimelineCSV(&b, res.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if lines[0] != timelineHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+len(res.Timeline) {
+		t.Fatalf("got %d lines, want %d", len(lines), 1+len(res.Timeline))
+	}
+	wantCols := len(strings.Split(timelineHeader, ","))
+	for _, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != wantCols {
+			t.Fatalf("row has %d columns, want %d: %q", got, wantCols, l)
+		}
+	}
+}
+
+func TestTimelineEngineReuse(t *testing.T) {
+	// A reused engine restarts its timeline per run: samples from the
+	// first replay must not leak into the second, and the second run's
+	// deltas must cover only the second run's charges.
+	cfg := Default(VMUltrix)
+	cfg.WarmupInstrs = 0
+	cfg.SampleEvery = 4_000
+	trc := tr(t, "gcc", 12_000)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.Run(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Run(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Timeline) != len(first.Timeline) {
+		t.Fatalf("second run recorded %d samples, want %d", len(second.Timeline), len(first.Timeline))
+	}
+	var sum stats.Counters
+	for i := range second.Timeline {
+		sum.Add(&second.Timeline[i].Delta)
+	}
+	// The engine accumulates across runs; the second run's deltas are
+	// the difference between the two cumulative results.
+	diff := second.Counters
+	diff.Sub(&first.Counters)
+	if sum != diff {
+		t.Fatalf("second-run deltas != second-run charges:\n got  %+v\n want %+v", sum, diff)
+	}
+}
+
+func TestSamplingDisabledStaysAllocationFree(t *testing.T) {
+	// The observability acceptance bar: with SampleEvery=0 the steady-
+	// state replay allocates nothing per reference (Finish's one Result
+	// is tolerated) — sampling must cost zero when off.
+	cfg := Default(VMUltrix)
+	cfg.WarmupInstrs = 0
+	cfg.SampleEvery = 0
+	trc := tr(t, "gcc", 20_000)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(trc); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := e.Run(trc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("SampleEvery=0 replay allocates %.2f objects, want <= 1 (the Result)", avg)
+	}
+}
+
+func TestSampleEveryValidation(t *testing.T) {
+	cfg := Default(VMUltrix)
+	cfg.SampleEvery = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative SampleEvery accepted")
+	}
+}

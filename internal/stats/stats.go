@@ -23,9 +23,20 @@ const (
 	L2MissPenalty = 500
 )
 
-// InterruptCosts are the three costs of taking a precise interrupt that
-// the paper sweeps (Table 1).
-var InterruptCosts = []uint64{10, 50, 200}
+// interruptCosts are the three costs of taking a precise interrupt that
+// the paper sweeps (Table 1). Kept unexported — the exported accessor
+// hands out copies, so no caller can corrupt the paper's constants for
+// everyone else.
+var interruptCosts = [...]uint64{10, 50, 200}
+
+// InterruptCosts returns the paper's three per-interrupt cycle costs
+// (Table 1). The returned slice is a fresh copy: callers may sort,
+// filter, or append to it freely.
+func InterruptCosts() []uint64 {
+	out := make([]uint64, len(interruptCosts))
+	copy(out, interruptCosts[:])
+	return out
+}
 
 // Component identifies one row of the paper's Table 2 (MCPI) or Table 3
 // (VMCPI) cost break-down.
@@ -189,6 +200,25 @@ func rate(num, den uint64) float64 {
 		return 0
 	}
 	return float64(num) / float64(den)
+}
+
+// Sub removes other from s, field by field — the inverse of Add. It is
+// the primitive behind interval snapshots: the counters accumulated
+// between two points in a run are the later snapshot Sub the earlier
+// one. other must be a prefix snapshot of s (every field <= s's); the
+// engine's monotone counters guarantee that for snapshots of one run.
+func (s *Counters) Sub(other *Counters) {
+	s.UserInstrs -= other.UserInstrs
+	for c := Component(0); c < NumComponents; c++ {
+		s.Events[c] -= other.Events[c]
+		s.Cycles[c] -= other.Cycles[c]
+	}
+	s.Interrupts -= other.Interrupts
+	s.ContextSwitches -= other.ContextSwitches
+	s.ITLBLookups -= other.ITLBLookups
+	s.ITLBMisses -= other.ITLBMisses
+	s.DTLBLookups -= other.DTLBLookups
+	s.DTLBMisses -= other.DTLBMisses
 }
 
 // Add accumulates other into s (used when aggregating sweep shards).

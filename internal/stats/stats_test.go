@@ -14,10 +14,41 @@ func TestPenaltiesMatchPaper(t *testing.T) {
 		t.Fatalf("penalties %d/%d, want 20/500 (paper Table 2)", L1MissPenalty, L2MissPenalty)
 	}
 	want := []uint64{10, 50, 200}
-	for i, c := range InterruptCosts {
+	for i, c := range InterruptCosts() {
 		if c != want[i] {
-			t.Fatalf("InterruptCosts = %v, want %v (paper Table 1)", InterruptCosts, want)
+			t.Fatalf("InterruptCosts = %v, want %v (paper Table 1)", InterruptCosts(), want)
 		}
+	}
+}
+
+func TestInterruptCostsReturnsDefensiveCopy(t *testing.T) {
+	got := InterruptCosts()
+	got[0], got[1], got[2] = 1, 2, 3 // a hostile caller scribbles on it
+	if fresh := InterruptCosts(); fresh[0] != 10 || fresh[1] != 50 || fresh[2] != 200 {
+		t.Fatalf("mutating a returned slice corrupted the costs: %v", fresh)
+	}
+}
+
+func TestSubInvertsAdd(t *testing.T) {
+	var a, b Counters
+	a.UserInstrs, b.UserInstrs = 10, 20
+	a.Charge(UHandler, 10)
+	b.Charge(UHandler, 30)
+	b.Charge(L1IMiss, 20)
+	b.Interrupts = 3
+	b.ContextSwitches = 2
+	b.ITLBLookups, b.ITLBMisses = 7, 2
+	b.DTLBLookups, b.DTLBMisses = 9, 4
+	sum := a
+	sum.Add(&b)
+	sum.Sub(&b)
+	if sum != a {
+		t.Fatalf("Add then Sub is not the identity:\n got %+v\nwant %+v", sum, a)
+	}
+	sum.Add(&b)
+	sum.Sub(&a)
+	if sum != b {
+		t.Fatalf("(a+b)-a != b:\n got %+v\nwant %+v", sum, b)
 	}
 }
 

@@ -35,6 +35,11 @@ type Point struct {
 	// Resumed marks a point replayed from the journal instead of
 	// simulated.
 	Resumed bool
+	// Duration is the wall-clock time this process spent on the point,
+	// all attempts and backoff included (0 for journal replays and
+	// never-dispatched points). Progress meters and end-of-run
+	// manifests aggregate it per outcome category.
+	Duration time.Duration
 }
 
 // Options configures a fault-tolerant sweep. The zero value reproduces
@@ -71,6 +76,17 @@ type Options struct {
 	// fails the attempt. It exists for fault injection in tests (see
 	// internal/faults) and for progress callbacks.
 	PointHook func(ctx context.Context, index, attempt int) error
+
+	// PointDone, when non-nil, runs once per finished point — simulated,
+	// replayed from the journal, or quarantined with an error — with the
+	// point exactly as it will appear in the returned slice. Points
+	// never dispatched because the campaign was cancelled do not count
+	// as finished. Called concurrently from worker goroutines; it must
+	// be safe for concurrent use and should return quickly (it sits on
+	// the sweep's critical path). This is the hook live progress
+	// tracking hangs off (see internal/obs.Progress and
+	// `vmsweep -progress`).
+	PointDone func(index int, p Point)
 }
 
 // Run simulates every configuration over tr, using the given number of
@@ -147,6 +163,9 @@ func RunWithOptions(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, opt
 				}
 				points[i] = Point{Config: cfgs[i], Result: res, Resumed: true}
 				skip[i] = true
+				if opts.PointDone != nil {
+					opts.PointDone(i, points[i])
+				}
 			}
 		}
 		var err error
@@ -201,19 +220,23 @@ func RunWithOptions(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, opt
 		return p
 	}
 	// runPoint is attemptOnce plus bounded retry with exponential
-	// backoff; only transient classes (timeout, panic) retry.
+	// backoff; only transient classes (timeout, panic) retry. The
+	// point's Duration covers every attempt and backoff sleep.
 	runPoint := func(i int) Point {
+		start := time.Now()
 		var p Point
 		for attempt := 0; ; attempt++ {
 			p = attemptOnce(i, attempt)
 			p.Attempts = attempt + 1
 			if p.Err == nil || !simerr.Transient(p.Err) || attempt >= opts.Retries || ctx.Err() != nil {
-				return p
+				break
 			}
 			if !sleepBackoff(ctx, opts.Backoff, attempt) {
-				return p
+				break
 			}
 		}
+		p.Duration = time.Since(start)
+		return p
 	}
 	record := func(i int, p Point) {
 		if jw == nil || p.Err != nil {
@@ -238,6 +261,9 @@ func RunWithOptions(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, opt
 				p := runPoint(i)
 				record(i, p)
 				points[i] = p
+				if opts.PointDone != nil {
+					opts.PointDone(i, p)
+				}
 			}
 		}()
 	}

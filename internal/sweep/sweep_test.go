@@ -3,6 +3,8 @@ package sweep
 import (
 	"context"
 	"errors"
+	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/sim"
@@ -160,6 +162,84 @@ func TestRunContextUncancelledMatchesRun(t *testing.T) {
 		}
 		if plain[i].Result.Counters != viaCtx[i].Result.Counters {
 			t.Fatalf("point %d diverged between Run and RunContext", i)
+		}
+	}
+}
+
+func TestPointDoneAndDurations(t *testing.T) {
+	p, _ := workload.ByName("ijpeg")
+	tr := workload.Generate(p, 5, 8000)
+	cfgs := Space{Base: sim.Default(sim.VMUltrix), L1Sizes: []int{4 << 10, 8 << 10, 16 << 10}}.Configs()
+
+	var mu sync.Mutex
+	done := map[int]Point{}
+	pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 2,
+		PointDone: func(i int, pt Point) {
+			mu.Lock()
+			done[i] = pt
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != len(cfgs) {
+		t.Fatalf("PointDone ran for %d points, want %d", len(done), len(cfgs))
+	}
+	for i, pt := range pts {
+		if pt.Err != nil {
+			t.Fatalf("point %d errored: %v", i, pt.Err)
+		}
+		if pt.Duration <= 0 {
+			t.Errorf("point %d has no wall-clock duration", i)
+		}
+		got, ok := done[i]
+		if !ok {
+			t.Fatalf("PointDone never ran for point %d", i)
+		}
+		if got.Duration != pt.Duration || got.Attempts != pt.Attempts ||
+			got.Result.Counters != pt.Result.Counters {
+			t.Errorf("PointDone saw a different point %d than the returned slice", i)
+		}
+	}
+}
+
+func TestPointDoneCoversJournalReplays(t *testing.T) {
+	p, _ := workload.ByName("ijpeg")
+	tr := workload.Generate(p, 5, 8000)
+	cfgs := faultConfigs(4)
+	dir := filepath.Join(t.TempDir(), "journal")
+	if _, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 1, JournalDir: dir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	resumedSeen := 0
+	pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 1, JournalDir: dir, Resume: true,
+		PointDone: func(i int, pt Point) {
+			mu.Lock()
+			if pt.Resumed {
+				resumedSeen++
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumedSeen != len(cfgs) {
+		t.Fatalf("PointDone saw %d resumed points, want %d", resumedSeen, len(cfgs))
+	}
+	for i, pt := range pts {
+		if !pt.Resumed {
+			t.Fatalf("point %d was re-simulated despite an intact journal", i)
+		}
+		if pt.Duration != 0 {
+			t.Errorf("journal replay %d carries a duration (%v), want 0", i, pt.Duration)
 		}
 	}
 }

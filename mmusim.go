@@ -37,6 +37,10 @@ type (
 	SweepSpace = sweep.Space
 	// SweepPoint is one sweep outcome.
 	SweepPoint = sweep.Point
+	// TimelineSample is one per-interval observation of a sampled run
+	// (Config.SampleEvery > 0): trace position plus the interval's and
+	// the cumulative counters.
+	TimelineSample = sim.TimelineSample
 	// TLBPolicy selects the TLB replacement policy.
 	TLBPolicy = tlb.Policy
 )
@@ -134,6 +138,14 @@ func ReadDineroTrace(r io.Reader, name string) (*Trace, error) {
 
 // Simulate runs cfg over tr.
 func Simulate(cfg Config, tr *Trace) (*Result, error) { return sim.Simulate(cfg, tr) }
+
+// WriteTimelineCSV renders a sampled run's Result.Timeline as
+// deterministic CSV — MCPI/VMCPI, interrupts, and TLB miss rates per
+// interval and cumulatively, one row per sample (the data behind
+// `vmsim -timeline`).
+func WriteTimelineCSV(w io.Writer, samples []TimelineSample) error {
+	return sim.WriteTimelineCSV(w, samples)
+}
 
 // CheckDivergence replays tr through the production engine and the
 // independent naive reference models of internal/check in lockstep. It
