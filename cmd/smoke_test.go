@@ -27,7 +27,7 @@ func TestMain(m *testing.M) {
 	}
 	defer os.RemoveAll(dir)
 	binDir = dir
-	for _, tool := range []string{"vmsim", "vmtrace", "vmsweep", "vmexperiment"} {
+	for _, tool := range []string{"vmsim", "vmtrace", "vmsweep", "vmexperiment", "vmserved"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
 		cmd.Dir = "." // the cmd/ directory
 		if out, err := cmd.CombinedOutput(); err != nil {

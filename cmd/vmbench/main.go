@@ -31,6 +31,7 @@ import (
 
 	mmusim "repro"
 	"repro/internal/atomicio"
+	"repro/internal/version"
 )
 
 // engineBench is one organization's measured hot-path performance.
@@ -80,8 +81,13 @@ func main() {
 		doSweep = flag.Bool("sweep", true, "also time one paper-style L1-size sweep")
 		workers = flag.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured runs to this file")
+		ver     = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(version.String())
+		return
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "vmbench:", err)

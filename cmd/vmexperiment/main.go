@@ -21,6 +21,7 @@ import (
 
 	mmusim "repro"
 	"repro/internal/atomicio"
+	"repro/internal/version"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced-resolution fast pass")
 		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files into")
+		ver     = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vmexperiment [flags] <id>... | all\nids: %v\nflags:\n",
@@ -38,6 +40,10 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *ver {
+		fmt.Println(version.String())
+		return
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {

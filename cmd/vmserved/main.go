@@ -1,0 +1,106 @@
+// Command vmserved serves the MMU simulator over HTTP: clients upload a
+// trace once (content-addressed by sha256), submit point or sweep jobs
+// against it, and poll for results. Identical submissions are
+// deduplicated in flight and memoized in a content-addressed result
+// cache, so a sweep re-run against a warm daemon costs no simulation at
+// all — and `vmsweep -remote` emits CSV byte-identical to a local run.
+//
+// Usage:
+//
+//	vmserved -addr localhost:8080
+//	vmserved -addr localhost:8080 -cache-dir /var/cache/vmserved -workers 8 -queue 4096
+//	vmsweep -remote http://localhost:8080 -bench gcc -vms all -l1 paper > gcc.csv
+//
+// Protocol: POST /v1/traces (binary trace body), POST /v1/jobs
+// ({api_version, trace_sha256, configs[]}), GET /v1/jobs/{id}, GET
+// /v1/healthz. A full queue answers 429 with Retry-After; a draining
+// daemon answers 503. /debug/vars exposes queue depth, in-flight
+// points, and cache hit rates; /debug/pprof/ serves live profiles.
+//
+// Lifecycle: SIGINT/SIGTERM starts a graceful drain — the listener
+// stops accepting work, queued and in-flight points run to completion
+// (bounded by -drain-timeout, then cancelled cooperatively), and the
+// daemon exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rescache"
+	"repro/internal/server"
+	"repro/internal/version"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "HTTP listen address")
+		workers      = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 1024, "queued-point bound; beyond it submissions get 429 + Retry-After")
+		cacheDir     = flag.String("cache-dir", "", "persist results content-addressed under this directory ('' = memory only)")
+		cacheEntries = flag.Int("cache-entries", rescache.DefaultMaxEntries, "in-memory result cache bound")
+		timeout      = flag.Duration("timeout", 0, "per-point deadline (0 = none)")
+		retries      = flag.Int("retries", 0, "extra attempts for transiently-failing points")
+		backoff      = flag.Duration("backoff", 100*time.Millisecond, "first retry delay; doubles per attempt")
+		drain        = flag.Duration("drain-timeout", time.Minute, "on SIGTERM, bound the graceful drain; then in-flight points are cancelled")
+		showVersion  = flag.Bool("version", false, "print the engine version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "vmserved:", err)
+		os.Exit(1)
+	}
+
+	cache, err := rescache.New(*cacheDir, *cacheEntries)
+	if err != nil {
+		fail(err)
+	}
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueBound:   *queue,
+		Cache:        cache,
+		PointTimeout: *timeout,
+		Retries:      *retries,
+		Backoff:      *backoff,
+	})
+	// Install the signal handler before the socket binds: once the
+	// "listening on" line is out, a supervisor may SIGTERM at any time
+	// and must get a drain, never the default kill disposition.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs, err := obs.StartHTTP(*addr, srv.Handler())
+	if err != nil {
+		fail(err)
+	}
+	// The parseable "listening on" line goes out after the socket is
+	// bound, so supervisors (and the smoke tests) can wait for it.
+	fmt.Fprintf(os.Stderr, "vmserved: listening on %s (engine %s)\n", hs.Addr, version.Engine())
+
+	<-ctx.Done()
+	fmt.Fprintf(os.Stderr, "vmserved: draining (up to %s)\n", *drain)
+
+	// Stop accepting connections first, then drain the simulation queue.
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := hs.Shutdown(hctx); err != nil {
+		hs.Close() //nolint:errcheck
+	}
+	hcancel()
+	dctx, dcancel := context.WithTimeout(context.Background(), *drain)
+	defer dcancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "vmserved: drain deadline hit; in-flight points cancelled")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "vmserved: drained cleanly")
+}

@@ -20,6 +20,7 @@ import (
 	mmusim "repro"
 	"repro/internal/atomicio"
 	"repro/internal/obs"
+	"repro/internal/version"
 )
 
 // cleanups holds abort handlers for resources a fail() exit would
@@ -110,8 +111,13 @@ func main() {
 		timeline  = flag.String("timeline", "", "write a per-interval MCPI/VMCPI timeline CSV to this file")
 		sample    = flag.Int("sample", 10_000, "references per timeline interval (with -timeline)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		showVer   = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	stopProf, err := startCPUProfile(*cpuProf)
 	if err != nil {
@@ -136,12 +142,17 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		addr, derr := obs.ServeDebug(*debugAddr)
+		dbg, derr := obs.ServeDebug(*debugAddr)
 		if derr != nil {
 			fail(derr)
 		}
+		// Tear the debug listener down on every exit path (fail() runs
+		// the cleanups; normal return runs the defer) instead of
+		// abandoning the socket to process teardown.
+		cleanups = append(cleanups, func() { dbg.Close() }) //nolint:errcheck
+		defer dbg.Close()                                   //nolint:errcheck
 		obs.Publish("vmsim.config", func() any { return cfg })
-		fmt.Fprintf(os.Stderr, "vmsim: debug server at http://%s/debug/pprof/ and /debug/vars\n", addr)
+		fmt.Fprintf(os.Stderr, "vmsim: debug server at http://%s/debug/pprof/ and /debug/vars\n", dbg.Addr)
 	}
 
 	var tr *mmusim.Trace

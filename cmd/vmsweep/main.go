@@ -10,6 +10,7 @@
 //	vmsweep -bench gcc -vms all -l1 paper -journal gcc.journal > gcc.csv
 //	vmsweep -bench gcc -vms all -l1 paper -journal gcc.journal -resume > gcc.csv  # after a crash
 //	vmsweep -bench gcc -vms all -l1 paper -progress -manifest gcc.manifest.json > gcc.csv
+//	vmsweep -remote http://localhost:8080 -bench gcc -vms all -l1 paper > gcc.csv
 //
 // Memory: the sweep's footprint is bounded by one shared read-only trace
 // (24 bytes per reference — 24MB for a million-instruction trace) plus
@@ -35,12 +36,19 @@
 // failure counts, exit status) atomically even when the tool exits 3;
 // -debug-addr serves net/http/pprof and expvar (including the live
 // vmsweep.progress snapshot) over HTTP.
+//
+// Serving: -remote ADDR runs the identical campaign on a vmserved
+// instance instead of simulating locally — the trace is uploaded once
+// (content-addressed), every point the server has seen before replays
+// from its result cache, and the CSV on stdout is byte-identical to a
+// local run. A killed -remote campaign simply re-runs: finished points
+// are cache hits. -remote is incompatible with -journal/-resume (the
+// server's cache is the checkpoint); -timeout/-retries/-backoff are
+// applied by the server's own configuration, not these flags.
 package main
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -54,8 +62,11 @@ import (
 	"time"
 
 	mmusim "repro"
+	"repro/internal/api"
 	"repro/internal/atomicio"
+	"repro/internal/client"
 	"repro/internal/obs"
+	"repro/internal/version"
 )
 
 func parseInts(s string, paper []int) ([]int, error) {
@@ -110,15 +121,46 @@ type campaignManifest struct {
 	ExitStatus int            `json:"exit_status"`
 }
 
-// traceSHA fingerprints the trace by hashing its serialized form, so a
-// manifest pins the exact input stream independent of how it was
-// produced (generated, -tracefile, or -din).
-func traceSHA(tr *mmusim.Trace) string {
-	h := sha256.New()
-	if err := mmusim.WriteTrace(h, tr); err != nil {
-		return ""
+// runRemote executes the campaign on a vmserved instance instead of
+// simulating locally: the trace is made resident (uploaded only when
+// the server does not already hold its digest), the whole
+// configuration list is submitted as one job, and polling drives the
+// same progress tracker a local sweep feeds. The returned points are
+// rebuilt losslessly from the wire results, so the CSV emitted
+// downstream is byte-identical to a local run's.
+func runRemote(ctx context.Context, addr string, tr *mmusim.Trace, cfgs []mmusim.Config, prog *obs.Progress) ([]mmusim.SweepPoint, error) {
+	c := client.New(addr)
+	sha, err := c.EnsureTrace(ctx, tr)
+	if err != nil {
+		return nil, err
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	sr, err := c.Submit(ctx, sha, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "vmsweep: job %s (%d points) on %s (engine %s)\n",
+		sr.JobID, sr.Points, addr, sr.Engine)
+	seen := 0
+	st, err := c.Wait(ctx, sr.JobID, 200*time.Millisecond, func(st api.JobStatus) {
+		for ; seen < st.Done; seen++ {
+			prog.Done(1, false, false)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]mmusim.SweepPoint, len(cfgs))
+	cached := 0
+	for i, r := range st.Results {
+		points[i] = client.ToSweepPoint(cfgs[i], r)
+		if r.Cached {
+			cached++
+		}
+	}
+	if cached > 0 {
+		fmt.Fprintf(os.Stderr, "vmsweep: %d of %d points replayed from vmserved cache\n", cached, len(cfgs))
+	}
+	return points, nil
 }
 
 func main() {
@@ -146,8 +188,14 @@ func main() {
 		progress  = flag.Bool("progress", false, "report live completion/rate/ETA on stderr")
 		manifest  = flag.String("manifest", "", "write an end-of-run campaign manifest (JSON) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		remote    = flag.String("remote", "", "run the campaign on this vmserved instance (e.g. http://localhost:8080) instead of simulating locally")
+		showVer   = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String())
+		return
+	}
 
 	// cleanups holds abort handlers for in-flight atomic writes: fail()
 	// exits with os.Exit, which skips defers, and an uncommitted
@@ -185,11 +233,16 @@ func main() {
 	defer stopCPUProfile()
 
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr)
+		dbg, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "vmsweep: debug server at http://%s/debug/pprof/ and /debug/vars\n", addr)
+		// Shut the debug listener down on every exit path (fail() and the
+		// deliberate non-zero exit below included), instead of abandoning
+		// the socket to the process teardown.
+		cleanups = append(cleanups, func() { dbg.Close() }) //nolint:errcheck
+		defer dbg.Close()                                   //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "vmsweep: debug server at http://%s/debug/pprof/ and /debug/vars\n", dbg.Addr)
 	}
 
 	vmList := strings.Split(*vms, ",")
@@ -254,6 +307,12 @@ func main() {
 	if *resumeFl && *jdir == "" {
 		fail(fmt.Errorf("-resume requires -journal"))
 	}
+	if *remote != "" && (*jdir != "" || *resumeFl) {
+		// Remote campaigns are checkpointed by the server's result cache
+		// (kill vmsweep and re-run: finished points replay from the
+		// cache); the local journal has no role.
+		fail(fmt.Errorf("-remote is incompatible with -journal/-resume"))
+	}
 
 	// The progress tracker runs unconditionally (its per-point cost is
 	// a few atomic adds); -progress decides whether it is printed, and
@@ -282,18 +341,23 @@ func main() {
 	}
 
 	exitCode := 0
-	points, err := mmusim.SweepWithOptions(ctx, tr, cfgs, mmusim.SweepOptions{
-		Workers:      *workers,
-		JournalDir:   *jdir,
-		Resume:       *resumeFl,
-		PointTimeout: *timeout,
-		Retries:      *retries,
-		Backoff:      *backoff,
-		PointDone: func(i int, p mmusim.SweepPoint) {
-			prog.Done(p.Attempts, p.Resumed,
-				p.Err != nil && mmusim.ErrorCategory(p.Err) != "cancelled")
-		},
-	})
+	var points []mmusim.SweepPoint
+	if *remote != "" {
+		points, err = runRemote(ctx, *remote, tr, cfgs, prog)
+	} else {
+		points, err = mmusim.SweepWithOptions(ctx, tr, cfgs, mmusim.SweepOptions{
+			Workers:      *workers,
+			JournalDir:   *jdir,
+			Resume:       *resumeFl,
+			PointTimeout: *timeout,
+			Retries:      *retries,
+			Backoff:      *backoff,
+			PointDone: func(i int, p mmusim.SweepPoint) {
+				prog.Done(p.Attempts, p.Resumed,
+					p.Err != nil && mmusim.ErrorCategory(p.Err) != "cancelled")
+			},
+		})
+	}
 	if *progress {
 		close(progressStop)
 		progressWG.Wait()
@@ -331,7 +395,7 @@ func main() {
 			r.Counters.InterruptCPI(10), r.Counters.InterruptCPI(50), r.Counters.InterruptCPI(200),
 			r.Counters.Interrupts, r.Counters.ITLBMissRate(), r.Counters.DTLBMissRate())
 	}
-	if resumed > 0 {
+	if resumed > 0 && *jdir != "" {
 		fmt.Fprintf(os.Stderr, "vmsweep: %d of %d points replayed from journal %s\n", resumed, len(cfgs), *jdir)
 	}
 	if cancelled := byCategory["cancelled"]; cancelled > 0 {
@@ -381,7 +445,7 @@ func main() {
 		m := campaignManifest{
 			Schema:      1,
 			Benchmark:   label,
-			TraceSHA256: traceSHA(tr),
+			TraceSHA256: mmusim.TraceSHA256(tr),
 			TraceRefs:   tr.Len(),
 			Configs:     len(cfgs),
 			Workers:     effWorkers,
@@ -418,9 +482,13 @@ func main() {
 		}
 	}
 	if exitCode != 0 {
-		// Flush the CPU profile before the deliberate non-zero exit
-		// (os.Exit skips the deferred stop).
+		// Flush the CPU profile and run the cleanups (debug-server
+		// shutdown included) before the deliberate non-zero exit:
+		// os.Exit skips every defer.
 		stopCPUProfile()
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
 		os.Exit(exitCode)
 	}
 }

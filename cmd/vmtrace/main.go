@@ -16,6 +16,7 @@ import (
 
 	mmusim "repro"
 	"repro/internal/atomicio"
+	"repro/internal/version"
 )
 
 func main() {
@@ -27,8 +28,13 @@ func main() {
 		list  = flag.Bool("list", false, "list available benchmarks and exit")
 		out   = flag.String("o", "", "write the generated trace to this file (binary format)")
 		in    = flag.String("i", "", "inspect an existing trace file instead of generating")
+		ver   = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Parse()
+	if *ver {
+		fmt.Println(version.String())
+		return
+	}
 
 	if *list {
 		for _, name := range mmusim.Benchmarks() {

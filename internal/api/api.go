@@ -1,0 +1,193 @@
+// Package api defines the simulation service's wire surface: the
+// versioned JSON request/response types shared by the vmserved daemon
+// and its clients, the canonical configuration serialization, and the
+// content-addressed result key every caching layer agrees on.
+//
+// The key design rule: a result is addressed by everything that could
+// change it — the exact trace (its serialized-form sha256), the full
+// configuration (canonically serialized, no field omitted), the engine
+// identity (schema + build revision, see internal/version), and the
+// wire-format version of the payload itself. Any change to any of
+// those produces a different key, so a cache can never serve a stale
+// or mismatched result; it simply goes cold.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/version"
+)
+
+// Version is the wire-protocol version. Submissions carrying a
+// different api_version are rejected, so an old client never has its
+// request misread by a new server (or vice versa).
+const Version = 1
+
+// canonicalConfig mirrors every sim.Config field with explicit tags and
+// no omitempty: the serialized bytes are the configuration part of the
+// cache key, so every field must appear, in a fixed order, regardless
+// of value. TestCanonicalCoversEveryConfigField pins the mirror to
+// sim.Config by field count, so adding a Config field without extending
+// this struct fails the build's tests rather than silently aliasing
+// keys.
+type canonicalConfig struct {
+	VM                string         `json:"vm"`
+	L1SizeBytes       int            `json:"l1_size"`
+	L2SizeBytes       int            `json:"l2_size"`
+	L1LineBytes       int            `json:"l1_line"`
+	L2LineBytes       int            `json:"l2_line"`
+	L1Assoc           int            `json:"l1_assoc"`
+	L2Assoc           int            `json:"l2_assoc"`
+	UnifiedCaches     bool           `json:"unified"`
+	TLBEntries        int            `json:"tlb"`
+	TLB2Entries       int            `json:"tlb2"`
+	TLB2Latency       int            `json:"tlb2_latency"`
+	TLBPolicy         tlb.Policy     `json:"tlb_policy"`
+	TLBProtectedSlots int            `json:"tlb_protected"`
+	InterruptCost     uint64         `json:"int_cost"`
+	PhysMemBytes      uint64         `json:"phys_mem"`
+	Seed              uint64         `json:"seed"`
+	WarmupInstrs      int            `json:"warmup"`
+	ASIDs             sim.ASIDPolicy `json:"asids"`
+	SampleEvery       int            `json:"sample_every"`
+	CheckInvariants   bool           `json:"check_invariants"`
+}
+
+// CanonicalConfig returns the canonical serialized form of c: every
+// field, fixed order, fixed encoding. Two configs serialize identically
+// iff they are equal.
+func CanonicalConfig(c sim.Config) []byte {
+	b, err := json.Marshal(canonicalConfig{
+		VM:                c.VM,
+		L1SizeBytes:       c.L1SizeBytes,
+		L2SizeBytes:       c.L2SizeBytes,
+		L1LineBytes:       c.L1LineBytes,
+		L2LineBytes:       c.L2LineBytes,
+		L1Assoc:           c.L1Assoc,
+		L2Assoc:           c.L2Assoc,
+		UnifiedCaches:     c.UnifiedCaches,
+		TLBEntries:        c.TLBEntries,
+		TLB2Entries:       c.TLB2Entries,
+		TLB2Latency:       c.TLB2Latency,
+		TLBPolicy:         c.TLBPolicy,
+		TLBProtectedSlots: c.TLBProtectedSlots,
+		InterruptCost:     c.InterruptCost,
+		PhysMemBytes:      c.PhysMemBytes,
+		Seed:              c.Seed,
+		WarmupInstrs:      c.WarmupInstrs,
+		ASIDs:             c.ASIDs,
+		SampleEvery:       c.SampleEvery,
+		CheckInvariants:   c.CheckInvariants,
+	})
+	if err != nil {
+		// A struct of scalars cannot fail to marshal.
+		panic("api: canonical config marshal: " + err.Error())
+	}
+	return b
+}
+
+// Key is the content address of one simulation result: sha256 over the
+// engine identity, wire version, trace digest, and canonical
+// configuration. Stable across processes and restarts for the same
+// build; different for any change in engine, protocol, trace, or
+// configuration.
+func Key(traceSHA256 string, c sim.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\napi/%d\n%s\n%s\n", version.Engine(), Version, traceSHA256, CanonicalConfig(c))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TraceUploaded is the response to POST /v1/traces and GET
+// /v1/traces/{sha}.
+type TraceUploaded struct {
+	SHA256 string `json:"sha256"`
+	Refs   int    `json:"refs"`
+}
+
+// SubmitRequest asks the server to simulate each configuration over the
+// identified trace (uploaded beforehand via POST /v1/traces). One
+// request is one job, whether a single point or a whole sweep.
+type SubmitRequest struct {
+	APIVersion  int          `json:"api_version"`
+	TraceSHA256 string       `json:"trace_sha256"`
+	Configs     []sim.Config `json:"configs"`
+}
+
+// SubmitResponse acknowledges an accepted job.
+type SubmitResponse struct {
+	JobID  string `json:"job_id"`
+	Points int    `json:"points"`
+	Engine string `json:"engine"`
+}
+
+// Job states reported by JobStatus.State.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+)
+
+// PointResult is one finished point on the wire — the same lossless
+// counter payload the sweep journal records, so a client can rebuild a
+// *sim.Result (and any CSV row derived from it) bit-identically to a
+// local run.
+type PointResult struct {
+	Workload       string          `json:"workload,omitempty"`
+	Counters       *stats.Counters `json:"counters,omitempty"`
+	AvgChainLength float64         `json:"avg_chain_length,omitempty"`
+	// Error and Category report a quarantined point (simerr taxonomy
+	// name); both are empty on success.
+	Error    string `json:"error,omitempty"`
+	Category string `json:"category,omitempty"`
+	// Attempts is how many times the server simulated the point (from
+	// the sweep driver's retry accounting; 0 for cache hits).
+	Attempts int `json:"attempts,omitempty"`
+	// Cached marks a point served from the content-addressed result
+	// cache (or deduplicated onto another in-flight identical request)
+	// instead of freshly simulated.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// JobStatus is the polling surface of one job.
+type JobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	Cached int    `json:"cached"`
+	// Results is index-aligned with the submitted configs; present only
+	// once State == JobDone.
+	Results []PointResult `json:"results,omitempty"`
+}
+
+// Health is the /v1/healthz response.
+type Health struct {
+	Status string `json:"status"`
+	Engine string `json:"engine"`
+}
+
+// Error is the JSON envelope every non-2xx response carries.
+type Error struct {
+	Message string `json:"error"`
+}
+
+// EncodePointResult serializes a result for the cache and the wire.
+func EncodePointResult(r PointResult) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+// DecodePointResult parses a serialized PointResult.
+func DecodePointResult(b []byte) (PointResult, error) {
+	var r PointResult
+	if err := json.Unmarshal(b, &r); err != nil {
+		return PointResult{}, fmt.Errorf("api: decoding point result: %w", err)
+	}
+	return r, nil
+}

@@ -1,0 +1,296 @@
+// Package client is the Go client for the vmserved simulation service:
+// trace upload with digest negotiation, job submission, and status
+// polling, with retry/backoff built on the internal/simerr taxonomy so
+// a transiently overloaded server (429 + Retry-After, 503 while
+// draining, a dropped connection) is retried and a real error (bad
+// config, unknown trace, protocol mismatch) is surfaced immediately.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/sim"
+	"repro/internal/simerr"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// Client talks to one vmserved instance. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base string
+	http *http.Client
+
+	// Retries bounds how many times a transient failure (connection
+	// error, 429, 503, 5xx) is retried per call; Backoff is the base of
+	// the exponential delay between attempts, overridden by the
+	// server's Retry-After when present.
+	Retries int
+	Backoff time.Duration
+}
+
+// New builds a client for the server at base (e.g.
+// "http://127.0.0.1:8080"), with 4 retries at 250ms exponential
+// backoff.
+func New(base string) *Client {
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		http:    &http.Client{},
+		Retries: 4,
+		Backoff: 250 * time.Millisecond,
+	}
+}
+
+// maxRetryBackoff caps the exponential inter-attempt delay.
+const maxRetryBackoff = 15 * time.Second
+
+// Health checks liveness and returns the server's engine identity.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.call(ctx, http.MethodGet, "/v1/healthz", nil, "", &h)
+	return h, err
+}
+
+// EnsureTrace makes tr resident on the server, uploading only when the
+// server does not already hold a trace with the same digest. It returns
+// the digest that submissions should reference.
+func (c *Client) EnsureTrace(ctx context.Context, tr *trace.Trace) (string, error) {
+	sha := trace.SHA256(tr)
+	var have api.TraceUploaded
+	err := c.call(ctx, http.MethodGet, "/v1/traces/"+sha, nil, "", &have)
+	if err == nil {
+		return sha, nil
+	}
+	if !isNotFound(err) {
+		return "", err
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		return "", fmt.Errorf("client: serializing trace: %w", err)
+	}
+	var up api.TraceUploaded
+	if err := c.call(ctx, http.MethodPost, "/v1/traces", buf.Bytes(), "application/octet-stream", &up); err != nil {
+		return "", err
+	}
+	if up.SHA256 != sha {
+		return "", fmt.Errorf("client: server hashed the trace to %s, locally %s: %w", up.SHA256, sha, simerr.ErrTraceCorrupt)
+	}
+	return sha, nil
+}
+
+// Submit sends one job — every configuration simulated over the
+// identified trace — and returns the acknowledgement.
+func (c *Client) Submit(ctx context.Context, traceSHA string, cfgs []sim.Config) (api.SubmitResponse, error) {
+	body, err := json.Marshal(api.SubmitRequest{APIVersion: api.Version, TraceSHA256: traceSHA, Configs: cfgs})
+	if err != nil {
+		return api.SubmitResponse{}, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var sr api.SubmitResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/jobs", body, "application/json", &sr); err != nil {
+		return api.SubmitResponse{}, err
+	}
+	return sr, nil
+}
+
+// Job fetches the current status of one job.
+func (c *Client) Job(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.call(ctx, http.MethodGet, "/v1/jobs/"+id, nil, "", &st)
+	return st, err
+}
+
+// Wait polls the job until it is done (or ctx is cancelled), invoking
+// onStatus — when non-nil — after every poll so callers can surface
+// progress.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, onStatus func(api.JobStatus)) (api.JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return api.JobStatus{}, err
+		}
+		if onStatus != nil {
+			onStatus(st)
+		}
+		if st.State == api.JobDone {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return api.JobStatus{}, fmt.Errorf("client: waiting for job %s: %w: %w", id, simerr.ErrCancelled, context.Cause(ctx))
+		case <-tick.C:
+		}
+	}
+}
+
+// ToSweepPoint rebuilds the sweep.Point a local campaign would have
+// produced for cfg from its wire result, so downstream consumers (CSV
+// emission, plotting) are byte-compatible with a local run. A failed
+// point carries a typed error rebuilt from the server's simerr
+// category.
+func ToSweepPoint(cfg sim.Config, r api.PointResult) sweep.Point {
+	p := sweep.Point{Config: cfg, Attempts: r.Attempts, Resumed: r.Cached}
+	if r.Error != "" {
+		p.Err = fmt.Errorf("server: %s: %w", r.Error, simerr.ForCategory(r.Category))
+		return p
+	}
+	p.Result = &sim.Result{Workload: r.Workload, AvgChainLength: r.AvgChainLength}
+	if r.Counters != nil {
+		p.Result.Counters = *r.Counters
+	}
+	return p
+}
+
+// --- transport --------------------------------------------------------
+
+// httpError is a non-2xx response, carrying enough to classify and to
+// honor Retry-After.
+type httpError struct {
+	status     int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("server answered %d: %s", e.status, e.msg)
+}
+
+// Unwrap maps the status onto the simerr taxonomy: backpressure and
+// server-side trouble are transient (retryable), everything else is
+// the caller's error.
+func (e *httpError) Unwrap() error {
+	if e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable || e.status >= 500 {
+		return simerr.ErrUnavailable
+	}
+	return nil
+}
+
+func isNotFound(err error) bool {
+	var he *httpError
+	return AsHTTPError(err, &he) && he.status == http.StatusNotFound
+}
+
+// AsHTTPError reports whether err (or anything it wraps) is an HTTP
+// status error from the server, and if so stores it in *target.
+func AsHTTPError(err error, target **httpError) bool {
+	for err != nil {
+		if he, ok := err.(*httpError); ok {
+			*target = he
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// call performs one API call with bounded retry of transient failures.
+// body, when non-nil, is replayed on every attempt; out, when non-nil,
+// receives the decoded 2xx JSON response.
+func (c *Client) call(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
+	var last error
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, body, contentType, out)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if attempt >= c.Retries || !simerr.Transient(err) || ctx.Err() != nil {
+			return err
+		}
+		if !c.sleep(ctx, attempt, err) {
+			return last
+		}
+	}
+}
+
+// sleep waits out the backoff before the next attempt, preferring the
+// server's Retry-After hint; false means ctx fired first.
+func (c *Client) sleep(ctx context.Context, attempt int, err error) bool {
+	d := c.Backoff
+	if d <= 0 {
+		d = 250 * time.Millisecond
+	}
+	for i := 0; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	var he *httpError
+	if AsHTTPError(err, &he) && he.retryAfter > 0 {
+		d = he.retryAfter
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// once is a single request/response cycle.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		// The caller's cancellation is not the server's fault.
+		if ctx.Err() != nil {
+			return fmt.Errorf("client: %s %s: %v: %w", method, path, err, simerr.ErrCancelled)
+		}
+		// Any other transport-level failure (refused, reset, timed out
+		// dial) is transient by classification; the retry loop decides
+		// whether to spend an attempt on it.
+		return fmt.Errorf("client: %s %s: %v: %w", method, path, err, simerr.ErrUnavailable)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		he := &httpError{status: resp.StatusCode}
+		var e api.Error
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e); err == nil {
+			he.msg = e.Message
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				he.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return he
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/simerr"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testTrace(t *testing.T, refs int) *trace.Trace {
+	t.Helper()
+	p, err := workload.ByName("ijpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Generate(p, 5, refs)
+}
+
+func startService(t *testing.T, cfg server.Config) *Client {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	})
+	c := New(ts.URL)
+	c.Backoff = 5 * time.Millisecond
+	return c
+}
+
+func TestEndToEndMatchesLocalRun(t *testing.T) {
+	c := startService(t, server.Config{Workers: 2, QueueBound: 16})
+	ctx := context.Background()
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+
+	tr := testTrace(t, 5000)
+	sha, err := c.EnsureTrace(ctx, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha != trace.SHA256(tr) {
+		t.Fatalf("EnsureTrace digest %s", sha)
+	}
+	// Idempotent: a second EnsureTrace finds the trace resident.
+	if again, err := c.EnsureTrace(ctx, tr); err != nil || again != sha {
+		t.Fatalf("re-ensure = %s, %v", again, err)
+	}
+
+	cfgs := []sim.Config{sim.Default(sim.VMUltrix), sim.Default(sim.VMIntel)}
+	sr, err := c.Submit(ctx, sha, cfgs)
+	if err != nil || sr.Points != 2 {
+		t.Fatalf("submit = %+v, %v", sr, err)
+	}
+	var polls atomic.Int64
+	st, err := c.Wait(ctx, sr.JobID, time.Millisecond, func(api.JobStatus) { polls.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polls.Load() == 0 {
+		t.Error("progress callback never invoked")
+	}
+	if st.Failed != 0 || len(st.Results) != 2 {
+		t.Fatalf("job = %+v", st)
+	}
+
+	local := sweep.Run(tr, cfgs, 1)
+	for i := range cfgs {
+		p := ToSweepPoint(cfgs[i], st.Results[i])
+		if p.Err != nil {
+			t.Fatalf("point %d: %v", i, p.Err)
+		}
+		if p.Result.Counters != local[i].Result.Counters ||
+			p.Result.AvgChainLength != local[i].Result.AvgChainLength ||
+			p.Result.Workload != local[i].Result.Workload {
+			t.Errorf("point %d: remote result diverges from local", i)
+		}
+		if p.Config != cfgs[i] {
+			t.Errorf("point %d: config not threaded through", i)
+		}
+	}
+}
+
+func TestRetriesTransientFailuresAndHonorsRetryAfter(t *testing.T) {
+	// Two 429s with Retry-After, then success: the client must retry
+	// through them and deliver the final answer.
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.Error{Message: "queue full"}) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(api.Health{Status: "ok", Engine: "engine/test"}) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Backoff = time.Millisecond
+
+	start := time.Now()
+	h, err := c.Health(context.Background())
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health through 429s = %+v, %v", h, err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits.Load())
+	}
+	// Retry-After (1s, twice) overrides the millisecond backoff.
+	if d := time.Since(start); d < 2*time.Second {
+		t.Fatalf("client ignored Retry-After: finished in %v", d)
+	}
+}
+
+func TestGivesUpAfterRetriesWithTypedError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.Error{Message: "draining"}) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Retries = 2
+	c.Backoff = time.Millisecond
+	_, err := c.Health(context.Background())
+	if !errors.Is(err, simerr.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if simerr.Category(err) != "unavailable" {
+		t.Fatalf("category = %q", simerr.Category(err))
+	}
+}
+
+func TestClientErrorsAreNotRetried(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.Error{Message: "bad api_version"}) //nolint:errcheck
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Backoff = time.Millisecond
+	_, err := c.Submit(context.Background(), "abcd", []sim.Config{sim.Default(sim.VMBase)})
+	if err == nil || simerr.Transient(err) {
+		t.Fatalf("400 classified transient: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("client retried a 400 (%d requests)", hits.Load())
+	}
+}
+
+func TestConnectionRefusedIsTransient(t *testing.T) {
+	// A server that is not there: every attempt fails at the transport,
+	// classified unavailable so a supervisor loop can back off sanely.
+	c := New("http://127.0.0.1:1")
+	c.Retries = 1
+	c.Backoff = time.Millisecond
+	_, err := c.Health(context.Background())
+	if !errors.Is(err, simerr.ErrUnavailable) {
+		t.Fatalf("refused connection = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	c := startService(t, server.Config{Workers: 1, QueueBound: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Job polling against a cancelled context must not spin; the job ID
+	// does not even need to exist for the cancellation path.
+	sha, err := c.EnsureTrace(context.Background(), testTrace(t, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := c.Submit(context.Background(), sha, []sim.Config{sim.Default(sim.VMBase)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, sr.JobID, time.Hour, nil); !errors.Is(err, context.Canceled) && !errors.Is(err, simerr.ErrCancelled) {
+		t.Fatalf("Wait under cancelled ctx = %v", err)
+	}
+}
+
+func TestToSweepPointRebuildsTypedErrors(t *testing.T) {
+	cfg := sim.Default(sim.VMUltrix)
+	p := ToSweepPoint(cfg, api.PointResult{Error: "deadline blown", Category: "timeout", Attempts: 3})
+	if !errors.Is(p.Err, simerr.ErrPointTimeout) {
+		t.Fatalf("err = %v, want ErrPointTimeout", p.Err)
+	}
+	if p.Attempts != 3 {
+		t.Fatalf("attempts = %d", p.Attempts)
+	}
+	ok := ToSweepPoint(cfg, api.PointResult{Workload: "gcc", Cached: true})
+	if ok.Err != nil || !ok.Resumed || ok.Result.Workload != "gcc" {
+		t.Fatalf("success point = %+v", ok)
+	}
+}

@@ -6,10 +6,12 @@
 // The design constraint is the same one the engine's hot path obeys:
 // recording a metric must never allocate, and disabling observability
 // must cost nothing. Counter and Gauge are plain atomics; Publish and
-// ServeDebug are called once at process start-up.
+// ServeDebug are called once at process start-up, and the returned
+// HTTPServer is shut down at exit.
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -71,16 +73,47 @@ func Publish(name string, f func() any) {
 	expvar.Publish(name, expvar.Func(f))
 }
 
-// ServeDebug starts an HTTP server on addr exposing the process's
-// net/http/pprof profiles (/debug/pprof/) and expvar variables
-// (/debug/vars), and returns the address actually listening — useful
-// with ":0". The server runs until the process exits; campaigns hand
-// it a -debug-addr flag and forget about it.
-func ServeDebug(addr string) (string, error) {
+// HTTPServer is a started HTTP server plus its bound listener — the
+// shared lifecycle helper behind the tools' -debug-addr endpoints and
+// the vmserved daemon. Addr is the address actually listening (useful
+// with ":0"); the owner shuts the server down at exit with Shutdown
+// (graceful) or Close (immediate) instead of abandoning the listener.
+type HTTPServer struct {
+	// Addr is the resolved listen address, e.g. "127.0.0.1:6060".
+	Addr string
+
+	srv *http.Server
+}
+
+// StartHTTP listens on addr and serves handler (nil selects
+// http.DefaultServeMux, which carries /debug/pprof/* and /debug/vars
+// once this package is imported) until Shutdown or Close.
+func StartHTTP(addr string, handler http.Handler) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	go http.Serve(ln, nil) //nolint:errcheck // serves for process lifetime
-	return ln.Addr().String(), nil
+	s := &HTTPServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: handler}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown/Close
+	return s, nil
+}
+
+// Shutdown stops the server gracefully: the listener closes
+// immediately (the port is released), and in-flight requests get until
+// ctx expires to finish before being cut off.
+func (s *HTTPServer) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// Close stops the server immediately, abandoning in-flight requests.
+func (s *HTTPServer) Close() error { return s.srv.Close() }
+
+// ServeDebug starts an HTTP server on addr exposing the process's
+// net/http/pprof profiles (/debug/pprof/) and expvar variables
+// (/debug/vars). The returned HTTPServer carries the address actually
+// listening (useful with ":0") and the Shutdown/Close lifecycle, so
+// tools release the port cleanly at exit rather than abandoning the
+// server.
+func ServeDebug(addr string) (*HTTPServer, error) {
+	return StartHTTP(addr, nil)
 }

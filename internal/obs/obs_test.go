@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -86,10 +87,12 @@ func TestPublishIdempotent(t *testing.T) {
 }
 
 func TestServeDebugServesPprofAndVars(t *testing.T) {
-	addr, err := ServeDebug("127.0.0.1:0")
+	srv, err := ServeDebug("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr
 	Publish("obs_serve_test", func() any { return 42 })
 
 	resp, err := http.Get("http://" + addr + "/debug/vars")
@@ -187,4 +190,31 @@ func ExampleSnapshot_String() {
 	s := Snapshot{Completed: 10, Total: 40, Rate: 5, ETA: 6 * time.Second, Resumed: 2}
 	fmt.Println(s)
 	// Output: 10/40 (25.0%) 5.0 points/s eta 6s retried=0 resumed=2 failed=0
+}
+
+func TestHTTPServerShutdownReleasesPort(t *testing.T) {
+	srv, err := StartHTTP("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The address must be connectable by a fresh listener: the port was
+	// released, not abandoned to a forgotten server.
+	srv2, err := StartHTTP(srv.Addr, nil)
+	if err != nil {
+		t.Fatalf("port not released after Shutdown: %v", err)
+	}
+	srv2.Close()
 }

@@ -1,0 +1,289 @@
+// Package rescache is the content-addressed result cache behind the
+// simulation service: an in-memory LRU front over an optional on-disk
+// store (written all-or-nothing via internal/atomicio), with
+// singleflight deduplication so N concurrent identical requests cost
+// one simulation.
+//
+// Values are opaque bytes addressed by the caller's key — in practice
+// internal/api.Key, which folds the trace digest, canonical
+// configuration, engine identity, and wire version into one sha256, so
+// entries written by an older engine are never addressed, merely
+// orphaned. A disk entry that fails verification — torn write, bit
+// rot, truncation, a key collision from a renamed file — is treated as
+// a miss and removed, never served.
+package rescache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/atomicio"
+	"repro/internal/obs"
+)
+
+// DefaultMaxEntries bounds the in-memory LRU when the caller does not.
+const DefaultMaxEntries = 4096
+
+// Cache is a content-addressed byte store safe for concurrent use.
+type Cache struct {
+	dir        string // "" = memory-only
+	maxEntries int
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used; elements hold *entry
+	byKey   map[string]*list.Element
+	flights map[string]*flight
+
+	hits, misses, shared, corrupt obs.Counter
+}
+
+// entry is one cached value in the LRU.
+type entry struct {
+	key string
+	val []byte
+}
+
+// flight is one in-progress fill that concurrent identical requests
+// attach to instead of duplicating the work.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// New opens a cache. dir, when non-empty, is the persistent store: it
+// is created if missing, survives restarts, and is shared with any
+// future process keyed the same way. maxEntries bounds the in-memory
+// LRU only (<= 0 selects DefaultMaxEntries); disk entries are
+// content-addressed files and persist past eviction.
+func New(dir string, maxEntries int) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("rescache: %w", err)
+		}
+	}
+	return &Cache{
+		dir:        dir,
+		maxEntries: maxEntries,
+		lru:        list.New(),
+		byKey:      map[string]*list.Element{},
+		flights:    map[string]*flight{},
+	}, nil
+}
+
+// Get returns the cached value for key, consulting the memory LRU and
+// then the disk store.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if v, ok := c.lookup(key); ok {
+		c.hits.Inc()
+		return v, true
+	}
+	c.misses.Inc()
+	return nil, false
+}
+
+// Put stores val under key in memory (evicting LRU entries beyond the
+// bound) and, when the cache is disk-backed, durably on disk.
+func (c *Cache) Put(key string, val []byte) {
+	c.putMem(key, val)
+	c.writeDisk(key, val)
+}
+
+// Do returns the cached value for key, or computes it exactly once: if
+// another Do for the same key is already running, this call waits for
+// it and shares its outcome instead of invoking fn. cached reports
+// whether the value came from the cache or another caller's in-flight
+// computation rather than this caller's fn. Errors are never cached —
+// a later Do retries.
+func (c *Cache) Do(key string, fn func() ([]byte, error)) (val []byte, cached bool, err error) {
+	if v, ok := c.lookup(key); ok {
+		c.hits.Inc()
+		return v, true, nil
+	}
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.shared.Inc()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.val, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	c.misses.Inc()
+	f.val, f.err = fn()
+	if f.err == nil {
+		c.Put(key, f.val)
+	}
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// Stats is a point-in-time view of the cache's counters, shaped for
+// expvar publication.
+type Stats struct {
+	// Entries is the current in-memory LRU population.
+	Entries int `json:"entries"`
+	// Hits and Misses count Get/Do lookups (shared flights count as
+	// neither; they are tallied separately).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Shared counts requests served by attaching to another caller's
+	// in-flight identical computation.
+	Shared uint64 `json:"shared"`
+	// Corrupt counts disk entries rejected (and removed) by
+	// verification.
+	Corrupt uint64 `json:"corrupt"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.mu.Unlock()
+	return Stats{
+		Entries: n,
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Shared:  c.shared.Load(),
+		Corrupt: c.corrupt.Load(),
+	}
+}
+
+// lookup checks memory then disk without touching the hit/miss
+// counters.
+func (c *Cache) lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	if v, ok := c.loadDisk(key); ok {
+		// Promote to memory so the next lookup skips the disk.
+		c.putMem(key, v)
+		return v, true
+	}
+	return nil, false
+}
+
+// putMem inserts into the LRU, evicting from the back past maxEntries.
+func (c *Cache) putMem(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*entry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&entry{key: key, val: val})
+	for c.lru.Len() > c.maxEntries {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.byKey, back.Value.(*entry).key)
+	}
+}
+
+// diskEntry is the on-disk envelope: the payload plus enough redundancy
+// to reject torn or rotted files — its own key (against renamed or
+// misplaced files) and a payload digest (against partial writes and
+// bit flips).
+type diskEntry struct {
+	Schema  int             `json:"schema"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// diskSchema versions the envelope itself.
+const diskSchema = 1
+
+// path maps a key to its file. Keys are hex digests, so they are safe
+// path components.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// writeDisk persists an entry atomically; failures are deliberately
+// dropped (the cache is an accelerator — an unwritable entry costs a
+// future re-simulation, not correctness).
+func (c *Cache) writeDisk(key string, val []byte) {
+	if c.dir == "" {
+		return
+	}
+	sum := sha256.Sum256(val)
+	data, err := json.Marshal(diskEntry{
+		Schema:  diskSchema,
+		Key:     key,
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: json.RawMessage(val),
+	})
+	if err != nil {
+		return
+	}
+	atomicio.WriteFile(c.path(key), append(data, '\n'), 0o644) //nolint:errcheck
+}
+
+// loadDisk reads and verifies one entry; anything that fails
+// verification is removed and reported as a miss.
+func (c *Cache) loadDisk(key string) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	val, err := readEntry(key, f)
+	f.Close()
+	if err != nil {
+		// Corrupt, torn, or mismatched: discard so the store heals
+		// instead of re-verifying the same damage forever.
+		c.corrupt.Inc()
+		os.Remove(c.path(key))
+		return nil, false
+	}
+	return val, true
+}
+
+// readEntry decodes and verifies a disk entry from r. It is the whole
+// trust boundary for on-disk state: schema, key, and payload digest
+// must all check out, so a torn write, a flipped bit, or a file
+// shuffled under a different name all surface as errors (and hence
+// cache misses), never as wrong results.
+func readEntry(key string, r io.Reader) ([]byte, error) {
+	var e diskEntry
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("rescache: entry %s: %w", key, err)
+	}
+	if e.Schema != diskSchema {
+		return nil, fmt.Errorf("rescache: entry %s: schema %d, want %d", key, e.Schema, diskSchema)
+	}
+	if e.Key != key {
+		return nil, fmt.Errorf("rescache: entry %s: claims key %s", key, e.Key)
+	}
+	sum := sha256.Sum256(e.Payload)
+	if hex.EncodeToString(sum[:]) != e.Sum {
+		return nil, fmt.Errorf("rescache: entry %s: payload digest mismatch", key)
+	}
+	return e.Payload, nil
+}

@@ -1,0 +1,267 @@
+package rescache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func TestMemoryPutGet(t *testing.T) {
+	c, err := New("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("k", []byte("v"))
+	v, ok := c.Get("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionBounds(t *testing.T) {
+	c, err := New("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+		if n := c.Stats().Entries; n > 3 {
+			t.Fatalf("after %d puts the LRU holds %d entries, bound is 3", i+1, n)
+		}
+	}
+	// The three most recent survive; the rest were evicted.
+	for i := 7; i < 10; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("recent key k%d evicted", i)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("old key k%d not evicted", i)
+		}
+	}
+	// Access order, not insert order, decides the victim.
+	c2, _ := New("", 2)
+	c2.Put("a", []byte("a"))
+	c2.Put("b", []byte("b"))
+	c2.Get("a")              // a is now most recent
+	c2.Put("c", []byte("c")) // evicts b
+	if _, ok := c2.Get("a"); !ok {
+		t.Error("recently-used key evicted")
+	}
+	if _, ok := c2.Get("b"); ok {
+		t.Error("least-recently-used key survived")
+	}
+}
+
+func TestDiskPersistsAcrossRestartAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("key-a", []byte(`{"x":1}`))
+	c.Put("key-b", []byte(`{"x":2}`)) // evicts key-a from memory
+	if v, ok := c.Get("key-a"); !ok || string(v) != `{"x":1}` {
+		t.Fatalf("evicted entry not reloaded from disk: %q, %v", v, ok)
+	}
+	// A fresh cache over the same directory sees everything.
+	c2, err := New(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string]string{"key-a": `{"x":1}`, "key-b": `{"x":2}`} {
+		if v, ok := c2.Get(key); !ok || string(v) != want {
+			t.Errorf("after restart Get(%s) = %q, %v; want %q", key, v, ok, want)
+		}
+	}
+}
+
+// encodeDiskEntry produces the valid on-disk form of (key, val) by
+// round-tripping through a throwaway disk cache.
+func encodeDiskEntry(t *testing.T, key string, val []byte) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := New(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key, val)
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestReadEntryUnderInjectedFaults(t *testing.T) {
+	const key = "abc123"
+	payload := []byte(`{"workload":"gcc","attempts":1}`)
+	good := encodeDiskEntry(t, key, payload)
+
+	// Undamaged entry decodes, even through one-byte-at-a-time reads.
+	if v, err := readEntry(key, &faults.ShortReader{R: bytes.NewReader(good)}); err != nil || !bytes.Equal(v, payload) {
+		t.Fatalf("short reads broke a valid entry: %q, %v", v, err)
+	}
+	// A read failure partway through is an error, not a wrong value.
+	if _, err := readEntry(key, &faults.FailingReader{R: bytes.NewReader(good), N: int64(len(good) / 2)}); err == nil {
+		t.Fatal("failing reader produced a value")
+	}
+	// A flipped bit anywhere in the payload breaks the digest. Find a
+	// payload byte offset inside the envelope.
+	off := bytes.Index(good, []byte("workload"))
+	if off < 0 {
+		t.Fatal("payload not found in envelope")
+	}
+	if _, err := readEntry(key, &faults.CorruptingReader{R: bytes.NewReader(good), Offset: int64(off), Mask: 0x40}); err == nil {
+		t.Fatal("bit-flipped payload verified")
+	}
+	// Truncation (a torn write) is an error.
+	if _, err := readEntry(key, bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("torn entry decoded")
+	}
+	// An entry filed under the wrong key is rejected.
+	if _, err := readEntry("different-key", bytes.NewReader(good)); err == nil {
+		t.Fatal("entry accepted under a foreign key")
+	}
+}
+
+func TestCorruptDiskEntriesAreMissesAndRemoved(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("victim", []byte(`{"ok":true}`))
+	path := filepath.Join(dir, "victim.json")
+
+	// Flip one bit on disk, then force the next lookup through the disk
+	// path by using a fresh cache (empty memory LRU).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := New(dir, 0)
+	if _, ok := c2.Get("victim"); ok {
+		t.Fatal("corrupt disk entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not removed: %v", err)
+	}
+	if st := c2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+
+	// A torn (truncated) entry behaves the same way.
+	c.Put("torn", []byte(`{"ok":true}`))
+	tornPath := filepath.Join(dir, "torn.json")
+	full, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, full[:len(full)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3, _ := New(dir, 0)
+	if _, ok := c3.Get("torn"); ok {
+		t.Fatal("torn disk entry served as a hit")
+	}
+}
+
+func TestSingleflightCollapsesConcurrentIdenticalRequests(t *testing.T) {
+	c, err := New("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	var calls atomic.Int64
+	fn := func() ([]byte, error) {
+		calls.Add(1)
+		// Hold the flight open until every other goroutine has attached
+		// to it (observable via the shared counter), so the collapse is
+		// exercised deterministically rather than by racing.
+		deadline := time.Now().Add(5 * time.Second)
+		for c.Stats().Shared < waiters-1 {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("waiters never attached (shared=%d)", c.Stats().Shared)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return []byte("computed"), nil
+	}
+	var wg sync.WaitGroup
+	vals := make([][]byte, waiters)
+	cachedFlags := make([]bool, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], cachedFlags[i], errs[i] = c.Do("the-key", fn)
+		}(i)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent identical requests, want 1", n, waiters)
+	}
+	fresh := 0
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d failed: %v", i, errs[i])
+		}
+		if string(vals[i]) != "computed" {
+			t.Fatalf("request %d got %q", i, vals[i])
+		}
+		if !cachedFlags[i] {
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Fatalf("%d requests report a fresh computation, want exactly 1", fresh)
+	}
+	// The value is now cached: one more Do must not call fn.
+	v, cached, err := c.Do("the-key", func() ([]byte, error) {
+		t.Error("fn called for a cached key")
+		return nil, nil
+	})
+	if err != nil || !cached || string(v) != "computed" {
+		t.Fatalf("post-flight Do = %q, cached=%v, err=%v", v, cached, err)
+	}
+}
+
+func TestDoErrorsAreNotCached(t *testing.T) {
+	c, err := New("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	boom := fmt.Errorf("injected")
+	if _, _, err := c.Do("k", func() ([]byte, error) { calls++; return nil, boom }); err != boom {
+		t.Fatalf("Do err = %v, want the injected error", err)
+	}
+	v, cached, err := c.Do("k", func() ([]byte, error) { calls++; return []byte("ok"), nil })
+	if err != nil || cached || string(v) != "ok" {
+		t.Fatalf("retry Do = %q, cached=%v, err=%v", v, cached, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2 (errors must not be memoized)", calls)
+	}
+}

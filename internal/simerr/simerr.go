@@ -33,6 +33,12 @@ var (
 	// dependent; repeat offenders are quarantined into the point.
 	ErrInternalPanic = errors.New("internal panic")
 
+	// ErrUnavailable: the serving layer — a vmserved daemon, or the
+	// network path to it — temporarily refused or failed the request:
+	// connection errors, 5xx responses, 429 backpressure beyond the
+	// client's patience. Transient — retried with backoff.
+	ErrUnavailable = errors.New("service unavailable")
+
 	// ErrCancelled: the run was cancelled by its context (Ctrl-C, a
 	// parent deadline). Not a point failure; never retried.
 	ErrCancelled = errors.New("cancelled")
@@ -40,8 +46,8 @@ var (
 
 // Category names one error's failure class for summaries and metrics.
 // The names are stable CLI/API surface: "config", "trace", "timeout",
-// "panic", "cancelled", or "other" (non-nil error outside the
-// taxonomy). A nil error returns "".
+// "panic", "unavailable", "cancelled", or "other" (non-nil error
+// outside the taxonomy). A nil error returns "".
 func Category(err error) string {
 	switch {
 	case err == nil:
@@ -56,6 +62,8 @@ func Category(err error) string {
 		return "timeout"
 	case errors.Is(err, ErrInternalPanic):
 		return "panic"
+	case errors.Is(err, ErrUnavailable):
+		return "unavailable"
 	default:
 		return "other"
 	}
@@ -64,16 +72,41 @@ func Category(err error) string {
 // Categories lists every Category value in stable presentation order,
 // for deterministic per-class summaries.
 func Categories() []string {
-	return []string{"config", "trace", "timeout", "panic", "cancelled", "other"}
+	return []string{"config", "trace", "timeout", "panic", "unavailable", "cancelled", "other"}
+}
+
+// ForCategory returns the sentinel class for a taxonomy category name —
+// the inverse of Category, used by clients that must rebuild a typed
+// error from a category that crossed the wire (a vmserved point
+// failure, a journalled error record). "other", "", and unknown names
+// return nil: there is no sentinel to restore.
+func ForCategory(cat string) error {
+	switch cat {
+	case "config":
+		return ErrConfigInvalid
+	case "trace":
+		return ErrTraceCorrupt
+	case "timeout":
+		return ErrPointTimeout
+	case "panic":
+		return ErrInternalPanic
+	case "unavailable":
+		return ErrUnavailable
+	case "cancelled":
+		return ErrCancelled
+	default:
+		return nil
+	}
 }
 
 // Transient reports whether the error class is worth retrying: only
-// timeouts and internal panics qualify. Cancellation is checked first
-// so a cancelled retry loop stops immediately even if the underlying
-// failure was transient.
+// timeouts, internal panics, and service unavailability qualify.
+// Cancellation is checked first so a cancelled retry loop stops
+// immediately even if the underlying failure was transient.
 func Transient(err error) bool {
 	if err == nil || errors.Is(err, ErrCancelled) {
 		return false
 	}
-	return errors.Is(err, ErrPointTimeout) || errors.Is(err, ErrInternalPanic)
+	return errors.Is(err, ErrPointTimeout) || errors.Is(err, ErrInternalPanic) ||
+		errors.Is(err, ErrUnavailable)
 }

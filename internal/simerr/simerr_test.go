@@ -79,3 +79,34 @@ func TestTransient(t *testing.T) {
 		t.Error("cancelled+timeout reported transient")
 	}
 }
+
+func TestUnavailableClass(t *testing.T) {
+	err := fmt.Errorf("client: POST /v1/jobs: connection refused: %w", ErrUnavailable)
+	if Category(err) != "unavailable" {
+		t.Errorf("category = %q, want unavailable", Category(err))
+	}
+	if !Transient(err) {
+		t.Error("unavailable not transient")
+	}
+	// Cancellation still dominates.
+	if Transient(fmt.Errorf("%w: %w", ErrCancelled, ErrUnavailable)) {
+		t.Error("cancelled+unavailable reported transient")
+	}
+}
+
+func TestForCategoryInvertsCategory(t *testing.T) {
+	for _, sent := range []error{
+		ErrConfigInvalid, ErrTraceCorrupt, ErrPointTimeout,
+		ErrInternalPanic, ErrUnavailable, ErrCancelled,
+	} {
+		got := ForCategory(Category(sent))
+		if !errors.Is(got, sent) {
+			t.Errorf("ForCategory(Category(%v)) = %v, want the sentinel back", sent, got)
+		}
+	}
+	for _, cat := range []string{"", "other", "bogus"} {
+		if got := ForCategory(cat); got != nil {
+			t.Errorf("ForCategory(%q) = %v, want nil", cat, got)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// SHA256 fingerprints the trace: the hex digest of its serialized form
+// (WriteTo), so the same reference stream hashes identically no matter
+// how it was produced — generated from a workload model, replayed from
+// a file, or uploaded to a server. This digest is the trace identity
+// that campaign manifests pin and the serving layer's result cache
+// keys on.
+func SHA256(t *Trace) string {
+	h := sha256.New()
+	// Writing into a hash.Hash cannot fail; WriteTo has no other error
+	// source.
+	t.WriteTo(h) //nolint:errcheck
+	return hex.EncodeToString(h.Sum(nil))
+}

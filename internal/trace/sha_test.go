@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+func TestSHA256MatchesSerializedForm(t *testing.T) {
+	tr := &Trace{Name: "sha-test", Refs: []Ref{
+		{PC: 0x1000, Kind: None},
+		{PC: 0x1004, Data: 0x8000, Kind: Load},
+		{PC: 0x1008, Data: 0x8010, Kind: Store},
+	}}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got, want := SHA256(tr), hex.EncodeToString(sum[:]); got != want {
+		t.Fatalf("SHA256 = %s, want the digest of the serialized form %s", got, want)
+	}
+}
+
+func TestSHA256DistinguishesTraces(t *testing.T) {
+	a := &Trace{Name: "a", Refs: []Ref{{PC: 0x1000}}}
+	b := &Trace{Name: "a", Refs: []Ref{{PC: 0x1004}}}
+	c := &Trace{Name: "c", Refs: []Ref{{PC: 0x1000}}}
+	if SHA256(a) == SHA256(b) {
+		t.Error("different reference streams hash identically")
+	}
+	if SHA256(a) == SHA256(c) {
+		t.Error("different trace names hash identically")
+	}
+	if SHA256(a) != SHA256(&Trace{Name: "a", Refs: []Ref{{PC: 0x1000}}}) {
+		t.Error("identical traces hash differently")
+	}
+}

@@ -1,0 +1,74 @@
+// Package version stamps builds and the simulation engine. Two notions
+// are deliberately separate: the build stamp (VCS revision and
+// toolchain, whatever debug.ReadBuildInfo carries) identifies the
+// binary, while EngineSchema identifies the simulation semantics. The
+// serving layer's result cache keys on Engine(), which folds in both,
+// so a cache written by an older engine can never satisfy a newer
+// engine's request — stale entries are simply never addressed.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// EngineSchema is the simulation-semantics version: bump it whenever a
+// change alters any simulated number (counter accounting, cycle costs,
+// replacement policies, trace generation), so every content-addressed
+// result key changes and caches from the older engine go cold instead
+// of silently serving stale numbers.
+const EngineSchema = 1
+
+// Engine returns the engine identity used in cache keys: the schema
+// plus the build's VCS revision when the binary carries one —
+// "engine/1+ab12cd34ef56" for stamped builds, "engine/1" for builds
+// without VCS metadata (e.g. go test binaries).
+func Engine() string {
+	id := fmt.Sprintf("engine/%d", EngineSchema)
+	if rev := vcsRevision(); rev != "" {
+		id += "+" + rev
+	}
+	return id
+}
+
+// vcsRevision extracts the (shortened) VCS revision from the build
+// info, with a "-dirty" suffix for builds from a modified worktree.
+func vcsRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+// String is the human-facing -version line: the engine identity plus
+// the module path and the toolchain that built the binary.
+func String() string {
+	out := Engine()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out += " " + bi.Main.Path
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		out += "@" + bi.Main.Version
+	}
+	return out + " (" + bi.GoVersion + ")"
+}

@@ -1,0 +1,28 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEngineCarriesSchema(t *testing.T) {
+	e := Engine()
+	if !strings.HasPrefix(e, "engine/1") {
+		t.Fatalf("Engine() = %q, want engine/%d prefix", e, EngineSchema)
+	}
+	// The identity must be stable within a process: cache keys depend
+	// on it.
+	if Engine() != e {
+		t.Fatal("Engine() is not stable across calls")
+	}
+}
+
+func TestStringMentionsEngineAndToolchain(t *testing.T) {
+	s := String()
+	if !strings.Contains(s, "engine/") {
+		t.Fatalf("String() = %q, missing engine identity", s)
+	}
+	if !strings.Contains(s, "go1") {
+		t.Fatalf("String() = %q, missing toolchain version", s)
+	}
+}

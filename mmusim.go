@@ -11,6 +11,7 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/tlb"
 	"repro/internal/trace"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -128,6 +129,16 @@ func WriteTrace(w io.Writer, tr *Trace) error {
 // ReadTrace deserializes a trace written by WriteTrace and validates it.
 func ReadTrace(r io.Reader) (*Trace, error) { return trace.ReadFrom(r) }
 
+// TraceSHA256 fingerprints tr by hashing its serialized form: the same
+// digest the campaign manifest records, the simulation service
+// addresses traces by, and the result cache keys on.
+func TraceSHA256(tr *Trace) string { return trace.SHA256(tr) }
+
+// EngineVersion identifies this build of the simulation engine (schema
+// plus VCS revision when built from a repository); results cached by
+// the simulation service are keyed on it.
+func EngineVersion() string { return version.Engine() }
+
 // ReadDineroTrace parses the classic Dinero "din" text format
 // (`<label> <hexaddr>` lines; 0=read, 1=write, 2=ifetch), allowing real
 // captured traces to drive the simulator in place of the synthetic
@@ -222,6 +233,10 @@ var (
 	ErrInternalPanic = simerr.ErrInternalPanic
 	// ErrCancelled: the caller's context cancelled the work.
 	ErrCancelled = simerr.ErrCancelled
+	// ErrUnavailable: the simulation service refused or could not take
+	// the work right now (backpressure, draining, unreachable);
+	// transient, retry with backoff.
+	ErrUnavailable = simerr.ErrUnavailable
 )
 
 // TraceCorruptError pinpoints trace damage: record index and (for
