@@ -187,3 +187,25 @@ func TestVMServedDrainsOnSIGTERM(t *testing.T) {
 		t.Fatal("drained daemon still answering")
 	}
 }
+
+// TestVMSweepRemoteMultiWorkerDaemonByteIdentical pins the remote half
+// of the parallel determinism oracle: a campaign served by a 4-worker
+// daemon must be byte-identical to a strictly serial local run, with
+// points reassembled by index no matter which daemon worker finished
+// first.
+func TestVMSweepRemoteMultiWorkerDaemonByteIdentical(t *testing.T) {
+	srv := startVMServed(t, "-workers", "4")
+
+	local, errLocal, code := run(t, "vmsweep", append([]string{"-workers", "1"}, sweepArgs...)...)
+	if code != 0 {
+		t.Fatalf("local serial sweep exit %d, stderr: %s", code, errLocal)
+	}
+	remote, errRemote, code := run(t, "vmsweep", append([]string{"-remote", srv.base}, sweepArgs...)...)
+	if code != 0 {
+		t.Fatalf("remote sweep exit %d, stderr: %s", code, errRemote)
+	}
+	if remote != local {
+		t.Fatalf("multi-worker daemon CSV differs from serial local run:\n--- local ---\n%s--- remote ---\n%s",
+			local, remote)
+	}
+}

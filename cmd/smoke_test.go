@@ -425,3 +425,108 @@ func TestVMExperimentUsageOnNoArgs(t *testing.T) {
 		t.Fatalf("no-args exit = %d, want 2 (usage)", code)
 	}
 }
+
+// TestVMTraceConvertRoundTrip: generate → convert to .vmtrc → convert
+// back to binary. The stats report must be identical through every hop,
+// and -format must override the extension heuristic.
+func TestVMTraceConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "gcc.trc")
+	vmtrc := filepath.Join(dir, "gcc.vmtrc")
+	back := filepath.Join(dir, "gcc-back.trc")
+
+	if _, errOut, code := run(t, "vmtrace", "-bench", "gcc", "-n", "6000", "-o", bin); code != 0 {
+		t.Fatalf("generate exit %d, stderr: %s", code, errOut)
+	}
+	out, errOut, code := run(t, "vmtrace", "-convert", "-i", bin, "-o", vmtrc)
+	if code != 0 {
+		t.Fatalf("convert to vmtrc exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "vmtrc format") {
+		t.Fatalf("convert did not pick the vmtrc format from the extension:\n%s", out)
+	}
+	if _, errOut, code = run(t, "vmtrace", "-convert", "-i", vmtrc, "-o", back, "-format", "binary"); code != 0 {
+		t.Fatalf("convert back exit %d, stderr: %s", code, errOut)
+	}
+
+	// The .vmtrc hop must not perturb a single reference: inspect all
+	// three files and compare the full stats reports.
+	var reports []string
+	for _, f := range []string{bin, vmtrc, back} {
+		out, errOut, code := run(t, "vmtrace", "-i", f)
+		if code != 0 {
+			t.Fatalf("inspect %s exit %d, stderr: %s", f, code, errOut)
+		}
+		reports = append(reports, out)
+	}
+	if reports[1] != reports[0] || reports[2] != reports[0] {
+		t.Fatalf("stats diverge across formats:\n--- binary ---\n%s--- vmtrc ---\n%s--- back ---\n%s",
+			reports[0], reports[1], reports[2])
+	}
+
+	// Delta-encoded SoA blocks should be materially smaller than the
+	// packed 18-byte records for a real reference stream.
+	bi, err := os.Stat(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi, err := os.Stat(vmtrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.Size() >= bi.Size() {
+		t.Errorf(".vmtrc (%d bytes) not smaller than binary (%d bytes)", vi.Size(), bi.Size())
+	}
+
+	if _, errOut, code := run(t, "vmtrace", "-convert", "-i", bin); code == 0 {
+		t.Fatal("-convert without -o succeeded")
+	} else if !strings.Contains(errOut, "-o") {
+		t.Fatalf("unhelpful -convert error: %s", errOut)
+	}
+}
+
+// TestVMSweepVMTRCInputMatchesBinary: a sweep replayed from a .vmtrc
+// file must emit CSV byte-identical to the same sweep replayed from the
+// classic binary file — format detection happens at the edge, the
+// engine never knows.
+func TestVMSweepVMTRCInputMatchesBinary(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ijpeg.trc")
+	vmtrc := filepath.Join(dir, "ijpeg.vmtrc")
+	if _, errOut, code := run(t, "vmtrace", "-bench", "ijpeg", "-n", "6000", "-o", bin); code != 0 {
+		t.Fatalf("generate exit %d, stderr: %s", code, errOut)
+	}
+	if _, errOut, code := run(t, "vmtrace", "-convert", "-i", bin, "-o", vmtrc); code != 0 {
+		t.Fatalf("convert exit %d, stderr: %s", code, errOut)
+	}
+	args := []string{"-vms", "ultrix,intel", "-l1", "1024,4096"}
+	fromBin, errOut, code := run(t, "vmsweep", append([]string{"-tracefile", bin}, args...)...)
+	if code != 0 {
+		t.Fatalf("binary-input sweep exit %d, stderr: %s", code, errOut)
+	}
+	fromVMTRC, errOut, code := run(t, "vmsweep", append([]string{"-tracefile", vmtrc}, args...)...)
+	if code != 0 {
+		t.Fatalf("vmtrc-input sweep exit %d, stderr: %s", code, errOut)
+	}
+	if fromVMTRC != fromBin {
+		t.Fatalf("CSV diverges by input format:\n--- binary ---\n%s--- vmtrc ---\n%s", fromBin, fromVMTRC)
+	}
+}
+
+// TestVMSweepWorkersByteIdentical: the end-to-end version of the
+// parallel determinism oracle — -workers 1 and -workers 4 through the
+// real binary, byte-identical stdout.
+func TestVMSweepWorkersByteIdentical(t *testing.T) {
+	args := []string{"-bench", "gcc", "-n", "6000", "-vms", "ultrix,intel", "-l1", "1024,4096,16384"}
+	serial, errOut, code := run(t, "vmsweep", append([]string{"-workers", "1"}, args...)...)
+	if code != 0 {
+		t.Fatalf("serial exit %d, stderr: %s", code, errOut)
+	}
+	parallel, errOut, code := run(t, "vmsweep", append([]string{"-workers", "4"}, args...)...)
+	if code != 0 {
+		t.Fatalf("parallel exit %d, stderr: %s", code, errOut)
+	}
+	if parallel != serial {
+		t.Fatalf("-workers 4 CSV differs from -workers 1:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+}

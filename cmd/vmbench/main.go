@@ -19,10 +19,12 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -31,6 +33,7 @@ import (
 
 	mmusim "repro"
 	"repro/internal/atomicio"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -47,27 +50,39 @@ type engineBench struct {
 	VMCPI        float64 `json:"vmcpi"`
 }
 
-// sweepBench is the timed parallel sweep.
+// sweepBench is one timed sweep at a fixed worker count; the scaling
+// series runs the identical campaign at 1/2/4/GOMAXPROCS workers.
 type sweepBench struct {
 	Configs      int     `json:"configs"`
 	Workers      int     `json:"workers"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	PointsPerSec float64 `json:"points_per_sec"`
+	Speedup      float64 `json:"speedup_vs_serial"`
+}
+
+// traceLoadBench times loading the same reference stream from one
+// on-disk format through the auto-detecting OpenTraceFile path.
+type traceLoadBench struct {
+	Format      string  `json:"format"`
+	Bytes       int64   `json:"bytes"`
+	LoadSeconds float64 `json:"load_seconds"`
+	NsPerRef    float64 `json:"ns_per_ref"`
 }
 
 // report is the BENCH_sim.json schema.
 type report struct {
-	Schema    string        `json:"schema"`
-	Generated string        `json:"generated"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	CPUs      int           `json:"cpus"`
-	Bench     string        `json:"bench"`
-	Instrs    int           `json:"instructions"`
-	Seed      uint64        `json:"seed"`
-	Engines   []engineBench `json:"engines"`
-	Sweep     *sweepBench   `json:"sweep,omitempty"`
+	Schema    string           `json:"schema"`
+	Generated string           `json:"generated"`
+	GoVersion string           `json:"go_version"`
+	GOOS      string           `json:"goos"`
+	GOARCH    string           `json:"goarch"`
+	CPUs      int              `json:"cpus"`
+	Bench     string           `json:"bench"`
+	Instrs    int              `json:"instructions"`
+	Seed      uint64           `json:"seed"`
+	Engines   []engineBench    `json:"engines"`
+	Sweep     []sweepBench     `json:"sweep,omitempty"`
+	TraceLoad []traceLoadBench `json:"trace_load,omitempty"`
 }
 
 func main() {
@@ -119,7 +134,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:    "mmusim-bench/v1",
+		Schema:    "mmusim-bench/v2",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -172,29 +187,63 @@ func main() {
 	}
 
 	if *doSweep {
+		// The scaling campaign replays a .vmtrc round trip of the
+		// generated trace — written to disk and memory-map-loaded back —
+		// so the timed path is exactly what a file-driven sweep sees.
+		tmp, err := os.MkdirTemp("", "vmbench")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(tmp)
+		vmtrcPath := filepath.Join(tmp, *bench+".vmtrc")
+		if err := writeFile(vmtrcPath, func(f *os.File) error {
+			return mmusim.WriteVMTRCTrace(f, tr)
+		}); err != nil {
+			fail(err)
+		}
+		sweepTr, err := mmusim.OpenTraceFile(vmtrcPath)
+		if err != nil {
+			fail(err)
+		}
+
 		space := mmusim.SweepSpace{Base: mmusim.DefaultConfig(vmList[0])}
 		space.Base.Seed = *seed
 		space.L1Sizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
 		cfgs := space.Configs()
-		w := *workers
-		if w <= 0 {
-			w = runtime.GOMAXPROCS(0)
+
+		series := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+		if *workers > 0 {
+			series = append(series, *workers)
 		}
-		start := time.Now()
-		for _, p := range mmusim.Sweep(tr, cfgs, w) {
-			if p.Err != nil {
-				fail(p.Err)
+		series = dedupSorted(series)
+
+		var serialWall float64
+		for _, w := range series {
+			start := time.Now()
+			for _, p := range mmusim.Sweep(sweepTr, cfgs, w) {
+				if p.Err != nil {
+					fail(p.Err)
+				}
 			}
+			wall := time.Since(start).Seconds()
+			if w == 1 {
+				serialWall = wall
+			}
+			sb := sweepBench{
+				Configs:      len(cfgs),
+				Workers:      w,
+				WallSeconds:  wall,
+				PointsPerSec: float64(len(cfgs)) / wall,
+			}
+			if serialWall > 0 {
+				sb.Speedup = serialWall / wall
+			}
+			rep.Sweep = append(rep.Sweep, sb)
+			fmt.Fprintf(os.Stderr, "vmbench: sweep %d points × %d workers in %.2fs (%.1f points/s, %.2fx)\n",
+				len(cfgs), w, wall, sb.PointsPerSec, sb.Speedup)
 		}
-		wall := time.Since(start).Seconds()
-		rep.Sweep = &sweepBench{
-			Configs:      len(cfgs),
-			Workers:      w,
-			WallSeconds:  wall,
-			PointsPerSec: float64(len(cfgs)) / wall,
-		}
-		fmt.Fprintf(os.Stderr, "vmbench: sweep %d points × %d workers in %.2fs (%.1f points/s)\n",
-			len(cfgs), w, wall, rep.Sweep.PointsPerSec)
+
+		rep.TraceLoad = timeTraceLoads(tmp, *bench, tr, fail)
 	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")
@@ -210,4 +259,90 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "vmbench: wrote %s\n", *out)
+}
+
+// writeFile creates path and streams through fn, closing on the way out.
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// dedupSorted sorts and uniques a small worker-count series.
+func dedupSorted(xs []int) []int {
+	sort.Ints(xs)
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// writeDin emits tr as Dinero text: an instruction-fetch line per
+// record, followed by a data line when the instruction touches memory.
+func writeDin(w *os.File, tr *mmusim.Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, r := range tr.Refs {
+		fmt.Fprintf(bw, "2 %x\n", r.PC)
+		switch r.Kind {
+		case trace.Load:
+			fmt.Fprintf(bw, "0 %x\n", r.Data)
+		case trace.Store:
+			fmt.Fprintf(bw, "1 %x\n", r.Data)
+		}
+	}
+	return bw.Flush()
+}
+
+// timeTraceLoads writes the same stream in every supported on-disk
+// format and times the auto-detecting load path on each (median of 3).
+func timeTraceLoads(tmp, bench string, tr *mmusim.Trace, fail func(error)) []traceLoadBench {
+	type format struct {
+		name  string
+		path  string
+		write func(*os.File) error
+	}
+	formats := []format{
+		{"dinero", filepath.Join(tmp, bench+".din"), func(f *os.File) error { return writeDin(f, tr) }},
+		{"binary", filepath.Join(tmp, bench+".trc"), func(f *os.File) error { return mmusim.WriteTrace(f, tr) }},
+		{"vmtrc", filepath.Join(tmp, bench+".load.vmtrc"), func(f *os.File) error { return mmusim.WriteVMTRCTrace(f, tr) }},
+	}
+	var out []traceLoadBench
+	for _, ft := range formats {
+		if err := writeFile(ft.path, ft.write); err != nil {
+			fail(err)
+		}
+		fi, err := os.Stat(ft.path)
+		if err != nil {
+			fail(err)
+		}
+		times := make([]float64, 3)
+		var loaded *mmusim.Trace
+		for i := range times {
+			start := time.Now()
+			if loaded, err = mmusim.OpenTraceFile(ft.path); err != nil {
+				fail(err)
+			}
+			times[i] = time.Since(start).Seconds()
+		}
+		sort.Float64s(times)
+		median := times[len(times)/2]
+		lb := traceLoadBench{
+			Format:      ft.name,
+			Bytes:       fi.Size(),
+			LoadSeconds: median,
+			NsPerRef:    median * 1e9 / float64(loaded.Len()),
+		}
+		out = append(out, lb)
+		fmt.Fprintf(os.Stderr, "vmbench: load %-7s %9d bytes  %7.2f ns/ref\n", lb.Format, lb.Bytes, lb.NsPerRef)
+	}
+	return out
 }

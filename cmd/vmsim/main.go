@@ -158,11 +158,8 @@ func main() {
 	var tr *mmusim.Trace
 	switch {
 	case *traceIn != "":
-		var f *os.File
-		if f, err = os.Open(*traceIn); err == nil {
-			tr, err = mmusim.ReadTrace(f)
-			f.Close()
-		}
+		// Classic binary, .vmtrc, or Dinero text — auto-detected.
+		tr, err = mmusim.OpenTraceFile(*traceIn)
 	case *dinIn != "":
 		var f *os.File
 		if f, err = os.Open(*dinIn); err == nil {

@@ -272,14 +272,11 @@ func main() {
 	label := *bench
 	switch {
 	case *traceIn != "":
-		f, ferr := os.Open(*traceIn)
-		if ferr != nil {
-			fail(ferr)
-		}
-		if tr, err = mmusim.ReadTrace(f); err != nil {
+		// Format auto-detection: classic binary, .vmtrc (decoded through
+		// the memory-mapped block reader), or Dinero text.
+		if tr, err = mmusim.OpenTraceFile(*traceIn); err != nil {
 			fail(err)
 		}
-		f.Close()
 		label = tr.Name
 	case *dinIn != "":
 		f, ferr := os.Open(*dinIn)
@@ -370,8 +367,13 @@ func main() {
 			prog.Snapshot(), time.Since(start).Round(time.Millisecond))
 	}
 
-	fmt.Println("benchmark,vm,l1_bytes,l2_bytes,l1_line,l2_line,tlb_entries," +
-		"mcpi,vmcpi,int_cpi_10,int_cpi_50,int_cpi_200,interrupts,itlb_missrate,dtlb_missrate")
+	// The canonical CSV writer emits rows in point order regardless of
+	// which worker finished when — this is the function the determinism
+	// suites pin byte-identical across -workers 1/N, -remote, and
+	// -resume.
+	if _, err := mmusim.WriteSweepCSV(os.Stdout, label, points); err != nil {
+		fail(err)
+	}
 	byCategory := map[string]int{}
 	resumed, failed := 0, 0
 	for _, p := range points {
@@ -387,13 +389,6 @@ func main() {
 		if p.Resumed {
 			resumed++
 		}
-		r := p.Result
-		c := p.Config
-		fmt.Printf("%s,%s,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.6f,%.6f\n",
-			label, c.VM, c.L1SizeBytes, c.L2SizeBytes, c.L1LineBytes, c.L2LineBytes,
-			c.TLBEntries, r.MCPI(), r.VMCPI(),
-			r.Counters.InterruptCPI(10), r.Counters.InterruptCPI(50), r.Counters.InterruptCPI(200),
-			r.Counters.Interrupts, r.Counters.ITLBMissRate(), r.Counters.DTLBMissRate())
 	}
 	if resumed > 0 && *jdir != "" {
 		fmt.Fprintf(os.Stderr, "vmsweep: %d of %d points replayed from journal %s\n", resumed, len(cfgs), *jdir)

@@ -3,16 +3,22 @@
 // pages — for validating workload models against the qualitative
 // properties the paper describes.
 //
+// It also converts between trace formats: -i accepts classic binary,
+// .vmtrc, or Dinero text (auto-detected), and -o writes either binary
+// or the delta-encoded .vmtrc block format.
+//
 // Usage:
 //
 //	vmtrace -bench vortex -n 500000
 //	vmtrace -list
+//	vmtrace -convert -i gcc.din -o gcc.vmtrc
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	mmusim "repro"
 	"repro/internal/atomicio"
@@ -21,14 +27,16 @@ import (
 
 func main() {
 	var (
-		bench = flag.String("bench", "gcc", "benchmark")
-		n     = flag.Int("n", 500_000, "trace length in instructions")
-		seed  = flag.Uint64("seed", 42, "deterministic seed")
-		top   = flag.Int("top", 10, "hottest data pages to list")
-		list  = flag.Bool("list", false, "list available benchmarks and exit")
-		out   = flag.String("o", "", "write the generated trace to this file (binary format)")
-		in    = flag.String("i", "", "inspect an existing trace file instead of generating")
-		ver   = flag.Bool("version", false, "print the engine version and exit")
+		bench   = flag.String("bench", "gcc", "benchmark")
+		n       = flag.Int("n", 500_000, "trace length in instructions")
+		seed    = flag.Uint64("seed", 42, "deterministic seed")
+		top     = flag.Int("top", 10, "hottest data pages to list")
+		list    = flag.Bool("list", false, "list available benchmarks and exit")
+		out     = flag.String("o", "", "write the trace to this file")
+		in      = flag.String("i", "", "inspect an existing trace file instead of generating (format auto-detected)")
+		convert = flag.Bool("convert", false, "convert -i (or a generated trace) to -o and skip the stats report")
+		format  = flag.String("format", "", "output format for -o: binary or vmtrc (default: by -o extension)")
+		ver     = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Parse()
 	if *ver {
@@ -54,12 +62,8 @@ func main() {
 	}
 	var tr *mmusim.Trace
 	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		if tr, err = mmusim.ReadTrace(f); err != nil {
+		var err error
+		if tr, err = mmusim.OpenTraceFile(*in); err != nil {
 			fail(err)
 		}
 		*bench = tr.Name
@@ -69,20 +73,42 @@ func main() {
 			fail(err)
 		}
 	}
+	if *convert && *out == "" {
+		fail(fmt.Errorf("-convert requires -o"))
+	}
 	if *out != "" {
+		outFormat := *format
+		if outFormat == "" {
+			if strings.HasSuffix(*out, ".vmtrc") {
+				outFormat = "vmtrc"
+			} else {
+				outFormat = "binary"
+			}
+		}
 		// Atomic write: a killed vmtrace never leaves a torn trace file.
 		f, err := atomicio.Create(*out)
 		if err != nil {
 			fail(err)
 		}
-		if err := mmusim.WriteTrace(f, tr); err != nil {
+		switch outFormat {
+		case "binary":
+			err = mmusim.WriteTrace(f, tr)
+		case "vmtrc":
+			err = mmusim.WriteVMTRCTrace(f, tr)
+		default:
+			err = fmt.Errorf("unknown -format %q (want binary or vmtrc)", outFormat)
+		}
+		if err != nil {
 			f.Close()
 			fail(err)
 		}
 		if err := f.Commit(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote %d-instruction trace to %s\n", tr.Len(), *out)
+		fmt.Printf("wrote %d-instruction trace to %s (%s format)\n", tr.Len(), *out, outFormat)
+	}
+	if *convert {
+		return
 	}
 	st := tr.ComputeStats()
 	fmt.Printf("%s: %s\n", *bench, st)

@@ -219,7 +219,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
-	tr, err := trace.ReadFrom(http.MaxBytesReader(w, r.Body, maxTraceUploadBytes))
+	// Clients may POST any trace format the CLIs read — classic binary,
+	// .vmtrc blocks, or Dinero text; the magic bytes decide.
+	tr, err := trace.ReadAny(http.MaxBytesReader(w, r.Body, maxTraceUploadBytes), "upload")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading trace: %v", err)
 		return

@@ -488,3 +488,106 @@ func TestTraceStoreEvictsLRUWithoutBreakingJobs(t *testing.T) {
 		t.Fatalf("job broken by trace eviction: %+v", st)
 	}
 }
+
+// TestTraceUploadAllFormats: the upload endpoint auto-detects every
+// format the CLIs read. The same reference stream posted as classic
+// binary and as .vmtrc blocks must land under the same digest (the
+// digest is over canonical serialized form, not the wire bytes), and
+// Dinero text must be accepted too.
+func TestTraceUploadAllFormats(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueBound: 16})
+	tr := testTrace(t, 4000)
+	wantSHA := trace.SHA256(tr)
+
+	post := func(body *bytes.Buffer) api.TraceUploaded {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("upload status %d", resp.StatusCode)
+		}
+		var up api.TraceUploaded
+		if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+			t.Fatal(err)
+		}
+		return up
+	}
+
+	var bin bytes.Buffer
+	if _, err := tr.WriteTo(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if up := post(&bin); up.SHA256 != wantSHA || up.Refs != tr.Len() {
+		t.Fatalf("binary upload %+v, want sha %s refs %d", up, wantSHA, tr.Len())
+	}
+
+	var vmtrc bytes.Buffer
+	if _, err := tr.WriteVMTRC(&vmtrc); err != nil {
+		t.Fatal(err)
+	}
+	if up := post(&vmtrc); up.SHA256 != wantSHA || up.Refs != tr.Len() {
+		t.Fatalf(".vmtrc upload %+v, want sha %s refs %d — vmtrc decode is not ref-identical", up, wantSHA, tr.Len())
+	}
+
+	din := bytes.NewBufferString("0 4000\n2 1000\n0 4008\n1 2000\n")
+	if up := post(din); up.Refs == 0 {
+		t.Fatalf("dinero upload rejected: %+v", up)
+	}
+}
+
+// TestTraceUploadRejectsGarbage: undetectable bytes must come back as
+// a 400, not a panic or a silently-empty trace.
+func TestTraceUploadRejectsGarbage(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, QueueBound: 16})
+	resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream",
+		bytes.NewBufferString("MMUTRC99 this is no trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMultiWorkerServerMatchesSerial: the same campaign submitted to a
+// 1-worker daemon and a 4-worker daemon must produce identical results
+// point for point — the job queue reassembles by index, never by
+// completion order.
+func TestMultiWorkerServerMatchesSerial(t *testing.T) {
+	tr := testTrace(t, 8000)
+	cfgs := make([]sim.Config, 0, 8)
+	for _, vm := range []string{sim.VMUltrix, sim.VMIntel} {
+		for _, l1 := range []int{1 << 10, 4 << 10, 16 << 10, 64 << 10} {
+			c := sim.Default(vm)
+			c.L1SizeBytes = l1
+			cfgs = append(cfgs, c)
+		}
+	}
+
+	results := make([][]api.PointResult, 2)
+	for i, workers := range []int{1, 4} {
+		_, ts := startServer(t, Config{Workers: workers, QueueBound: 64})
+		sha := uploadTrace(t, ts.URL, tr)
+		st := waitJob(t, ts.URL, submitOK(t, ts.URL, sha, cfgs))
+		if st.Failed != 0 || st.Done != len(cfgs) {
+			t.Fatalf("workers=%d status %+v", workers, st)
+		}
+		results[i] = st.Results
+	}
+	for i := range cfgs {
+		serial, parallel := results[0][i], results[1][i]
+		if serial.Error != "" || parallel.Error != "" {
+			t.Fatalf("point %d errored: %q / %q", i, serial.Error, parallel.Error)
+		}
+		if *serial.Counters != *parallel.Counters {
+			t.Errorf("point %d: 4-worker counters diverge from 1-worker", i)
+		}
+		if serial.AvgChainLength != parallel.AvgChainLength || serial.Workload != parallel.Workload {
+			t.Errorf("point %d: summary fields diverge across worker counts", i)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+)
+
+// CSV rendering for sweep campaigns. The row format is the contract
+// behind every determinism guarantee this package makes: parallel and
+// serial campaigns, local and remote ones, interrupted-then-resumed and
+// uninterrupted ones must all emit byte-identical CSV. Centralizing the
+// formatting here (vmsweep, the tests, and the goldens all call it)
+// makes "byte-identical" a property of one function instead of a
+// convention spread across tools.
+
+// CSVHeader is the campaign CSV's header row (no trailing newline).
+const CSVHeader = "benchmark,vm,l1_bytes,l2_bytes,l1_line,l2_line,tlb_entries," +
+	"mcpi,vmcpi,int_cpi_10,int_cpi_50,int_cpi_200,interrupts,itlb_missrate,dtlb_missrate"
+
+// CSVRow renders one completed point as a CSV row (no trailing
+// newline). label is the benchmark column — the workload name the whole
+// campaign shares. Errored points have no row; callers report them out
+// of band.
+func CSVRow(label string, p Point) string {
+	r := p.Result
+	c := p.Config
+	return fmt.Sprintf("%s,%s,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.6f,%.6f",
+		label, c.VM, c.L1SizeBytes, c.L2SizeBytes, c.L1LineBytes, c.L2LineBytes,
+		c.TLBEntries, r.MCPI(), r.VMCPI(),
+		r.Counters.InterruptCPI(10), r.Counters.InterruptCPI(50), r.Counters.InterruptCPI(200),
+		r.Counters.Interrupts, r.Counters.ITLBMissRate(), r.Counters.DTLBMissRate())
+}
+
+// WriteCSV emits the header and one row per completed point, in point
+// order (the order cfgs were given, never completion order — this is
+// what pins parallel output byte-identical to serial). Errored points
+// are skipped. It returns the number of rows written.
+func WriteCSV(w io.Writer, label string, points []Point) (int, error) {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return 0, err
+	}
+	rows := 0
+	for _, p := range points {
+		if p.Err != nil || p.Result == nil {
+			continue
+		}
+		if _, err := fmt.Fprintln(w, CSVRow(label, p)); err != nil {
+			return rows, err
+		}
+		rows++
+	}
+	return rows, nil
+}

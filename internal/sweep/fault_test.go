@@ -3,7 +3,6 @@ package sweep
 import (
 	"context"
 	"errors"
-	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,16 +40,9 @@ func faultConfigs(n int) []sim.Config {
 	return cfgs
 }
 
-// csvRow formats a point with cmd/vmsweep's exact row format, so
-// byte-identity here is byte-identity of the tool's CSV output.
-func csvRow(bench string, p Point) string {
-	r, c := p.Result, p.Config
-	return fmt.Sprintf("%s,%s,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f,%.6f,%d,%.6f,%.6f",
-		bench, c.VM, c.L1SizeBytes, c.L2SizeBytes, c.L1LineBytes, c.L2LineBytes,
-		c.TLBEntries, r.MCPI(), r.VMCPI(),
-		r.Counters.InterruptCPI(10), r.Counters.InterruptCPI(50), r.Counters.InterruptCPI(200),
-		r.Counters.Interrupts, r.Counters.ITLBMissRate(), r.Counters.DTLBMissRate())
-}
+// csvRow is the canonical row renderer; byte-identity here is
+// byte-identity of cmd/vmsweep's CSV output (both call sweep.CSVRow).
+func csvRow(bench string, p Point) string { return CSVRow(bench, p) }
 
 // killedSweep runs a journaled sweep that cancels itself the moment
 // point killAt is dispatched, returning the journal directory. With one

@@ -1,0 +1,258 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/sim"
+	"repro/internal/simerr"
+	"repro/internal/workload"
+)
+
+// fig6Space is a paper-shaped cross-product (Fig. 6's L1-size axis over
+// two organizations), small enough for the race detector and large
+// enough that a worker pool genuinely interleaves completions.
+func fig6Space() []sim.Config {
+	s := Space{
+		Base:    sim.Default(sim.VMUltrix),
+		VMs:     []string{sim.VMUltrix, sim.VMIntel},
+		L1Sizes: []int{1 << 10, 4 << 10, 16 << 10, 64 << 10},
+		L2Lines: []int{64, 128},
+	}
+	return s.Configs()
+}
+
+// renderCSV runs points through the canonical CSV writer.
+func renderCSV(t *testing.T, label string, points []Point) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteCSV(&buf, label, points); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSweepMatchesSerial is the concurrency half of the
+// differential-oracle pattern: the same fig6-style campaign at
+// -workers 1 and -workers N must emit byte-identical CSV — results
+// reassembled by point index, not completion order, with no dependence
+// on scheduling.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	p, err := workload.ByName("ijpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Generate(p, 7, 20000)
+	cfgs := fig6Space()
+
+	serialPts, err := RunWithOptions(context.Background(), tr, cfgs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := renderCSV(t, "ijpeg", serialPts)
+	if bytes.Count(serial, []byte("\n")) != len(cfgs)+1 {
+		t.Fatalf("serial CSV has %d lines, want %d points + header", bytes.Count(serial, []byte("\n")), len(cfgs))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderCSV(t, "ijpeg", pts); !bytes.Equal(got, serial) {
+			t.Fatalf("-workers %d CSV is not byte-identical to serial:\nserial:\n%s\nparallel:\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
+// TestParallelKilledSweepResumeByteIdentical pins the journal's
+// concurrent-worker story: a -workers N sweep killed mid-campaign (with
+// workers holding points in unpredictable states) must resume to CSV
+// byte-identical to an uninterrupted serial run. This is the regression
+// test for checkpoint writes being serialized through the single writer
+// goroutine — with racing appends, a torn journal would force re-runs
+// at best and divergent resumed output at worst.
+func TestParallelKilledSweepResumeByteIdentical(t *testing.T) {
+	tr := faultTrace(t, 20000)
+	cfgs := faultConfigs(12)
+	const workers = 4
+
+	cleanPts, err := RunWithOptions(context.Background(), tr, cfgs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := renderCSV(t, "ijpeg", cleanPts)
+
+	// Kill the campaign once half the points have finished. Which half
+	// is scheduler-dependent — that is the point.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int32
+	killed, err := RunWithOptions(ctx, tr, cfgs, Options{
+		Workers:    workers,
+		JournalDir: dir,
+		PointDone: func(int, Point) {
+			if done.Add(1) == int32(len(cfgs)/2) {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("killed campaign error: %v", err)
+	}
+	interrupted := 0
+	for _, p := range killed {
+		if p.Err != nil {
+			interrupted++
+		}
+	}
+	if interrupted == 0 {
+		t.Skip("cancellation landed after every point finished; nothing to resume")
+	}
+
+	// Every record the killed run journalled must be intact — concurrent
+	// workers must not have interleaved appends into damage.
+	recs, damaged, err := journal.Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged != 0 {
+		t.Fatalf("journal from a %d-worker sweep has %d damaged records", workers, damaged)
+	}
+	if len(recs) == 0 {
+		t.Fatal("killed sweep journalled nothing despite completed points")
+	}
+
+	resumed, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: workers, JournalDir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderCSV(t, "ijpeg", resumed); !bytes.Equal(got, clean) {
+		t.Fatalf("resumed %d-worker CSV is not byte-identical to the uninterrupted run:\nclean:\n%s\nresumed:\n%s",
+			workers, clean, got)
+	}
+}
+
+// TestParallelJournalRecordsEveryPoint floods a multi-worker journaled
+// sweep and asserts the single-writer goroutine persisted every
+// completed point exactly intact (one record per point, zero damage).
+func TestParallelJournalRecordsEveryPoint(t *testing.T) {
+	tr := faultTrace(t, 5000)
+	cfgs := faultConfigs(24)
+	dir := t.TempDir()
+	pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 8, JournalDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if p.Err != nil {
+			t.Fatalf("point %d: %v", i, p.Err)
+		}
+	}
+	recs, damaged, err := journal.Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damaged != 0 {
+		t.Fatalf("%d damaged journal records", damaged)
+	}
+	if len(recs) != len(cfgs) {
+		t.Fatalf("journal holds %d records, want %d", len(recs), len(cfgs))
+	}
+	keys := map[string]bool{}
+	for i := range cfgs {
+		keys[pointKey(tr, cfgs[i])] = true
+	}
+	for _, r := range recs {
+		if !keys[r.Key] {
+			t.Fatalf("journal record with foreign key %s", r.Key)
+		}
+	}
+}
+
+// TestParallelSweepUnderFaultInjection: transient failures injected into
+// a multi-worker pool (panics absorbed by retry) must not perturb the
+// deterministic output — the CSV still matches a fault-free serial run.
+func TestParallelSweepUnderFaultInjection(t *testing.T) {
+	tr := faultTrace(t, 10000)
+	cfgs := faultConfigs(10)
+
+	cleanPts, err := RunWithOptions(context.Background(), tr, cfgs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := renderCSV(t, "ijpeg", cleanPts)
+
+	faulty, err := RunWithOptions(context.Background(), tr, cfgs, Options{
+		Workers: 4,
+		Retries: 5,
+		// Transient-classed injected failures, so bounded retry absorbs
+		// them exactly as it would a real timeout.
+		PointHook: faults.Flaky(99, 0.3, simerr.ErrPointTimeout),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried := 0
+	for i, p := range faulty {
+		if p.Err != nil {
+			t.Fatalf("point %d not absorbed by retry: %v", i, p.Err)
+		}
+		if p.Attempts > 1 {
+			retried++
+		}
+	}
+	if got := renderCSV(t, "ijpeg", faulty); !bytes.Equal(got, clean) {
+		t.Fatalf("fault-injected parallel CSV diverged (retried=%d):\nclean:\n%s\nfaulty:\n%s",
+			retried, clean, got)
+	}
+}
+
+// TestParallelMidSweepCancellation: cancelling a multi-worker campaign
+// must quarantine undispatched points as cancelled, keep index
+// alignment, and leave every completed row identical to the serial
+// run's corresponding row.
+func TestParallelMidSweepCancellation(t *testing.T) {
+	tr := faultTrace(t, 20000)
+	cfgs := faultConfigs(16)
+
+	cleanPts, err := RunWithOptions(context.Background(), tr, cfgs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int32
+	pts, err := RunWithOptions(ctx, tr, cfgs, Options{
+		Workers: 4,
+		PointDone: func(int, Point) {
+			if done.Add(1) == 5 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if p.Config.Label() != cfgs[i].Label() {
+			t.Fatalf("point %d config misaligned after cancellation", i)
+		}
+		if p.Err != nil {
+			continue
+		}
+		if got, want := CSVRow("ijpeg", p), CSVRow("ijpeg", cleanPts[i]); got != want {
+			t.Fatalf("completed point %d diverged under cancellation:\n%s\n%s", i, got, want)
+		}
+	}
+}

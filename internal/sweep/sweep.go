@@ -179,6 +179,30 @@ func RunWithOptions(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, opt
 	var jerrOnce sync.Once
 	var jerr error
 
+	// Checkpoint writes from concurrent workers are serialized through a
+	// single writer goroutine: workers hand a finished point's encoded
+	// record to the channel and move on to the next point instead of
+	// contending on the journal's fsync-per-record append. The channel is
+	// bounded by the worker count, so a slow disk applies backpressure
+	// instead of buffering an unbounded backlog, and the writer drains
+	// completely before RunWithOptions returns — a record accepted into
+	// the channel is durable (or its error latched) by the time the
+	// campaign reports.
+	var jch chan journal.Record
+	var jwg sync.WaitGroup
+	if jw != nil {
+		jch = make(chan journal.Record, workers)
+		jwg.Add(1)
+		go func() {
+			defer jwg.Done()
+			for rec := range jch {
+				if err := jw.Append(rec); err != nil {
+					jerrOnce.Do(func() { jerr = err })
+				}
+			}
+		}()
+	}
+
 	// attemptOnce runs one attempt of point i under its own deadline.
 	attemptOnce := func(i, attempt int) (p Point) {
 		cfg := cfgs[i]
@@ -243,12 +267,11 @@ func RunWithOptions(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, opt
 			return
 		}
 		payload, err := encodeResult(p.Result)
-		if err == nil {
-			err = jw.Append(journal.Record{Key: pointKey(tr, cfgs[i]), Index: i, Payload: payload})
-		}
 		if err != nil {
 			jerrOnce.Do(func() { jerr = err })
+			return
 		}
+		jch <- journal.Record{Key: pointKey(tr, cfgs[i]), Index: i, Payload: payload}
 	}
 
 	var wg sync.WaitGroup
@@ -290,6 +313,10 @@ dispatch:
 	}
 	close(next)
 	wg.Wait()
+	if jch != nil {
+		close(jch)
+		jwg.Wait()
+	}
 	return points, jerr
 }
 

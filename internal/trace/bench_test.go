@@ -91,3 +91,71 @@ func BenchmarkValidateMemoized(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkVMTRCWrite measures .vmtrc serialization (delta encode +
+// per-block CRC).
+func BenchmarkVMTRCWrite(b *testing.B) {
+	tr := benchIOTrace(100_000)
+	var buf bytes.Buffer
+	tr.WriteVMTRC(&buf) // size the buffer once
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := tr.WriteVMTRC(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMTRCChunkStream measures the zero-copy replay path: block
+// reader over an in-memory image (the mmap'd case without page-fault
+// noise), reusable chunk buffer, no materialization.
+func BenchmarkVMTRCChunkStream(b *testing.B) {
+	tr := benchIOTrace(100_000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteVMTRC(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd, err := NewVMTRCReader(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := rd.NextChunk(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkVMTRCReadAll materializes a .vmtrc image — the cost a CLI
+// pays to hand the engine a fully in-memory trace.
+func BenchmarkVMTRCReadAll(b *testing.B) {
+	tr := benchIOTrace(100_000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteVMTRC(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd, err := NewVMTRCReader(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rd.ReadAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

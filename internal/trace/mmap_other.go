@@ -1,0 +1,16 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// mapFile on platforms without mmap support reads the whole file into
+// memory. The VMTRCReader API is identical; only the O(file) resident
+// cost differs from the memory-mapped fast path.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

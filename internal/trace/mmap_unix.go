@@ -1,0 +1,39 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only and returns the mapping plus a
+// release function. The mapping is shared and never written, so page
+// cache pressure is the only cost of a multi-GB trace: pages stream in
+// on demand and are evicted freely. An empty file maps to an empty
+// slice (mmap of length 0 is an error on most Unixes) with a no-op
+// release.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("trace: %s: %d bytes exceeds the addressable mapping size", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: mmap %s: %w", path, err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,485 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The .vmtrc format: a block-oriented, structure-of-arrays, delta-
+// encoded trace layout built for replay speed. Where the classic
+// MMUTRC01 format interleaves full 18-byte records, .vmtrc groups each
+// field into its own contiguous section per block — PCs together, data
+// addresses together, kinds together — with addresses stored as zigzag
+// varint deltas from the previous record. Consecutive fetches and
+// strided data accesses delta down to one or two bytes, the flat
+// per-field sections decode in straight-line loops with no per-record
+// framing, and a CRC-32C per block pins corruption to the damaged block
+// instead of poisoning the rest of the file. The reader memory-maps the
+// file and decodes block-at-a-time into a reusable chunk buffer, so
+// replaying a multi-GB trace allocates nothing in steady state and
+// copies only the decoded refs, never the file bytes.
+//
+// Layout (little-endian throughout):
+//
+//	magic     [8]byte  "VMTRC001"
+//	nameLen   uint32   followed by nameLen bytes of UTF-8 name
+//	count     uint64   total records
+//	blockRecs uint32   maximum records per block
+//	blocks              until count records have been emitted:
+//	    nRecs     uint32  records in this block (1..blockRecs)
+//	    pcBytes   uint32  byte length of the PC delta section
+//	    dataBytes uint32  byte length of the data delta section
+//	    crc       uint32  CRC-32C over the block body
+//	    body:
+//	        pc deltas   [pcBytes]   nRecs zigzag uvarints vs previous PC
+//	        data deltas [dataBytes] nRecs zigzag uvarints vs previous data
+//	        kinds       [nRecs]     trace.Kind per record
+//	        metas       [nRecs]     asid<<4 | flags&0xF per record
+//
+// Deltas chain across block boundaries (the first record of a block is
+// relative to the last record of the previous block; the stream starts
+// from zero), computed with wrapping uint64 arithmetic so any address
+// sequence round-trips exactly.
+const (
+	vmtrcMagic = "VMTRC001"
+	// VMTRCBlockRecords is the default block granularity: 4096 records
+	// keeps a block's decoded form (~96KB of Refs) comfortably inside L2
+	// while amortizing the per-block header to noise.
+	VMTRCBlockRecords = 4096
+	// maxVMTRCBlockRecords bounds the block size a header may declare, so
+	// a corrupt header cannot demand an enormous chunk buffer.
+	maxVMTRCBlockRecords = 1 << 16
+	// vmtrcBlockHeaderBytes is the fixed per-block header size.
+	vmtrcBlockHeaderBytes = 16
+)
+
+// vmtrcTable is the block-checksum polynomial (CRC-32C, hardware-
+// accelerated on amd64/arm64, the same one the journal uses).
+var vmtrcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// vmtrcCRC is the block checksum.
+func vmtrcCRC(body []byte) uint32 { return crc32.Checksum(body, vmtrcTable) }
+
+// zigzag maps a signed delta to an unsigned varint-friendly value.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// uvarintFast is binary.Uvarint with an inlinable one-byte fast path:
+// sequential fetches and strided data accesses delta to a single byte
+// almost always, so the general loop is the exception.
+func uvarintFast(b []byte, off int) (uint64, int) {
+	if off < len(b) {
+		if c := b[off]; c < 0x80 {
+			return uint64(c), 1
+		}
+	}
+	return binary.Uvarint(b[off:])
+}
+
+// WriteVMTRC serializes the trace in the .vmtrc block format and
+// returns the byte count written.
+func (t *Trace) WriteVMTRC(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	var scratch [12]byte
+	if err := write([]byte(vmtrcMagic)); err != nil {
+		return n, err
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(t.Name)))
+	if err := write(scratch[:4]); err != nil {
+		return n, err
+	}
+	if err := write([]byte(t.Name)); err != nil {
+		return n, err
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(t.Refs)))
+	binary.LittleEndian.PutUint32(scratch[8:12], VMTRCBlockRecords)
+	if err := write(scratch[:12]); err != nil {
+		return n, err
+	}
+
+	// Per-block scratch sections, reused across blocks.
+	var (
+		pcSec, dataSec []byte
+		kinds, metas   []byte
+		head           [vmtrcBlockHeaderBytes]byte
+		varint         [binary.MaxVarintLen64]byte
+		prevPC         uint64
+		prevData       uint64
+	)
+	for start := 0; start < len(t.Refs); start += VMTRCBlockRecords {
+		end := start + VMTRCBlockRecords
+		if end > len(t.Refs) {
+			end = len(t.Refs)
+		}
+		pcSec, dataSec = pcSec[:0], dataSec[:0]
+		kinds, metas = kinds[:0], metas[:0]
+		for i := start; i < end; i++ {
+			r := &t.Refs[i]
+			m := binary.PutUvarint(varint[:], zigzag(int64(r.PC-prevPC)))
+			pcSec = append(pcSec, varint[:m]...)
+			prevPC = r.PC
+			m = binary.PutUvarint(varint[:], zigzag(int64(r.Data-prevData)))
+			dataSec = append(dataSec, varint[:m]...)
+			prevData = r.Data
+			kinds = append(kinds, byte(r.Kind))
+			metas = append(metas, r.ASID<<4|r.Flags&0xF)
+		}
+		sum := crc32.Update(0, vmtrcTable, pcSec)
+		sum = crc32.Update(sum, vmtrcTable, dataSec)
+		sum = crc32.Update(sum, vmtrcTable, kinds)
+		sum = crc32.Update(sum, vmtrcTable, metas)
+		binary.LittleEndian.PutUint32(head[0:], uint32(end-start))
+		binary.LittleEndian.PutUint32(head[4:], uint32(len(pcSec)))
+		binary.LittleEndian.PutUint32(head[8:], uint32(len(dataSec)))
+		binary.LittleEndian.PutUint32(head[12:], sum)
+		if err := write(head[:]); err != nil {
+			return n, err
+		}
+		for _, sec := range [][]byte{pcSec, dataSec, kinds, metas} {
+			if err := write(sec); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// VMTRCReader replays a .vmtrc image block by block. Construct with
+// NewVMTRCReader (over an in-memory image) or OpenVMTRC (memory-mapped
+// file); the reader decodes each block into an internal reusable buffer,
+// so the NextChunk loop allocates nothing after the first call. A
+// VMTRCReader is not safe for concurrent use.
+type VMTRCReader struct {
+	data []byte
+	name string
+	total,
+	read uint64
+	blockRecs uint32
+	off       int // cursor: start of the next block header
+	prevPC,
+	prevData uint64
+	chunk  []Ref
+	closer func() error
+}
+
+// NewVMTRCReader parses the header of a .vmtrc image held in memory and
+// returns a reader positioned at the first block. Structural damage
+// surfaces as a *CorruptError wrapping simerr.ErrTraceCorrupt.
+func NewVMTRCReader(data []byte) (*VMTRCReader, error) {
+	if len(data) < len(vmtrcMagic) || string(data[:len(vmtrcMagic)]) != vmtrcMagic {
+		got := data
+		if len(got) > len(vmtrcMagic) {
+			got = got[:len(vmtrcMagic)]
+		}
+		return nil, corruptHeader("", 0, fmt.Errorf("bad magic %q (not a .vmtrc file, or wrong version)", got))
+	}
+	off := len(vmtrcMagic)
+	if len(data) < off+4 {
+		return nil, corruptHeader("", int64(off), fmt.Errorf("truncated before name length"))
+	}
+	nameLen := binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	if nameLen > 4096 {
+		return nil, corruptHeader("", int64(off-4), fmt.Errorf("implausible name length %d", nameLen))
+	}
+	if len(data) < off+int(nameLen)+12 {
+		return nil, corruptHeader("", int64(off), fmt.Errorf("truncated inside header"))
+	}
+	name := string(data[off : off+int(nameLen)])
+	off += int(nameLen)
+	count := binary.LittleEndian.Uint64(data[off:])
+	blockRecs := binary.LittleEndian.Uint32(data[off+8:])
+	if count > maxSerializedRefs {
+		return nil, corruptHeader(name, int64(off), fmt.Errorf("implausible record count %d", count))
+	}
+	if blockRecs == 0 || blockRecs > maxVMTRCBlockRecords {
+		return nil, corruptHeader(name, int64(off+8), fmt.Errorf("implausible block size %d", blockRecs))
+	}
+	off += 12
+	return &VMTRCReader{data: data, name: name, total: count, blockRecs: blockRecs, off: off}, nil
+}
+
+// OpenVMTRC memory-maps path and returns a reader over it. Close
+// releases the mapping. On platforms without mmap the file is read into
+// memory instead; the API is identical.
+func OpenVMTRC(path string) (*VMTRCReader, error) {
+	data, closer, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := NewVMTRCReader(data)
+	if err != nil {
+		closer() //nolint:errcheck
+		return nil, err
+	}
+	rd.closer = closer
+	return rd, nil
+}
+
+// Close releases the underlying mapping, if any. The reader must not be
+// used afterwards.
+func (rd *VMTRCReader) Close() error {
+	if rd.closer == nil {
+		return nil
+	}
+	c := rd.closer
+	rd.closer = nil
+	rd.data = nil
+	return c()
+}
+
+// Name returns the trace name from the header.
+func (rd *VMTRCReader) Name() string { return rd.name }
+
+// Len returns the total record count from the header.
+func (rd *VMTRCReader) Len() int { return int(rd.total) }
+
+// corruptBlock labels damage scoped to the block whose first record is
+// index, starting at byte offset off.
+func (rd *VMTRCReader) corruptBlock(off int, format string, args ...any) error {
+	return &CorruptError{Name: rd.name, Index: int(rd.read), Offset: int64(off), Err: fmt.Errorf(format, args...)}
+}
+
+// NextChunk decodes the next block and returns its records as a slice
+// valid until the following NextChunk or Close call. It returns io.EOF
+// once the trace is exhausted and a *CorruptError (wrapping
+// simerr.ErrTraceCorrupt, carrying the record index and byte offset of
+// the damage) for truncated, checksum-failing, or invalid input.
+// Records are validated as they are decoded. The chunk buffer is reused,
+// so the steady-state loop performs no allocation.
+func (rd *VMTRCReader) NextChunk() ([]Ref, error) {
+	if rd.read == rd.total {
+		if rd.off != len(rd.data) {
+			return nil, rd.corruptBlock(rd.off, "%d trailing bytes after final block", len(rd.data)-rd.off)
+		}
+		return nil, io.EOF
+	}
+	data, off := rd.data, rd.off
+	if len(data)-off < vmtrcBlockHeaderBytes {
+		return nil, rd.corruptBlock(off, "truncated block header (%d of %d bytes)", len(data)-off, vmtrcBlockHeaderBytes)
+	}
+	nRecs := binary.LittleEndian.Uint32(data[off:])
+	pcBytes := binary.LittleEndian.Uint32(data[off+4:])
+	dataBytes := binary.LittleEndian.Uint32(data[off+8:])
+	wantCRC := binary.LittleEndian.Uint32(data[off+12:])
+	if nRecs == 0 || nRecs > rd.blockRecs {
+		return nil, rd.corruptBlock(off, "block declares %d records (block size %d)", nRecs, rd.blockRecs)
+	}
+	if remaining := rd.total - rd.read; uint64(nRecs) > remaining {
+		return nil, rd.corruptBlock(off, "block declares %d records but only %d remain", nRecs, remaining)
+	}
+	bodyOff := off + vmtrcBlockHeaderBytes
+	bodyLen := int(pcBytes) + int(dataBytes) + 2*int(nRecs)
+	if len(data)-bodyOff < bodyLen {
+		return nil, rd.corruptBlock(off, "truncated block body (%d of %d bytes)", len(data)-bodyOff, bodyLen)
+	}
+	body := data[bodyOff : bodyOff+bodyLen]
+	if got := vmtrcCRC(body); got != wantCRC {
+		return nil, rd.corruptBlock(off, "block checksum mismatch (have %08x, want %08x)", got, wantCRC)
+	}
+	pcSec := body[:pcBytes]
+	dataSec := body[pcBytes : pcBytes+dataBytes]
+	kinds := body[pcBytes+dataBytes : pcBytes+dataBytes+nRecs]
+	metas := body[pcBytes+dataBytes+nRecs:]
+
+	if cap(rd.chunk) < int(nRecs) {
+		rd.chunk = make([]Ref, rd.blockRecs)
+	}
+	chunk := rd.chunk[:nRecs]
+	// Decode field by field — the structure-of-arrays layout means each
+	// pass is a tight loop over one contiguous section, with a one-byte
+	// fast path for the overwhelmingly common small delta.
+	pcOff := 0
+	prevPC := rd.prevPC
+	for i := range chunk {
+		u, m := uvarintFast(pcSec, pcOff)
+		if m <= 0 {
+			return nil, &CorruptError{Name: rd.name, Index: int(rd.read) + i,
+				Offset: int64(bodyOff + pcOff), Err: fmt.Errorf("invalid PC delta varint")}
+		}
+		pcOff += m
+		prevPC += uint64(unzigzag(u))
+		chunk[i].PC = prevPC
+	}
+	if pcOff != len(pcSec) {
+		return nil, rd.corruptBlock(off, "PC section holds %d bytes beyond its %d deltas", len(pcSec)-pcOff, nRecs)
+	}
+	dataOff := 0
+	prevData := rd.prevData
+	for i := range chunk {
+		u, m := uvarintFast(dataSec, dataOff)
+		if m <= 0 {
+			return nil, &CorruptError{Name: rd.name, Index: int(rd.read) + i,
+				Offset: int64(bodyOff + int(pcBytes) + dataOff), Err: fmt.Errorf("invalid data delta varint")}
+		}
+		dataOff += m
+		prevData += uint64(unzigzag(u))
+		chunk[i].Data = prevData
+	}
+	if dataOff != len(dataSec) {
+		return nil, rd.corruptBlock(off, "data section holds %d bytes beyond its %d deltas", len(dataSec)-dataOff, nRecs)
+	}
+	for i := range chunk {
+		m := metas[i]
+		chunk[i].Kind = Kind(kinds[i])
+		chunk[i].ASID = m >> 4
+		chunk[i].Flags = m & 0xF
+	}
+	for i := range chunk {
+		if err := validateRef(rd.name, int(rd.read)+i, &chunk[i]); err != nil {
+			err.Offset = int64(off)
+			return nil, err
+		}
+	}
+	rd.prevPC, rd.prevData = prevPC, prevData
+	rd.read += uint64(nRecs)
+	rd.off = bodyOff + bodyLen
+	return chunk, nil
+}
+
+// ReadAll materializes the remaining records as a Trace. The records
+// were validated during decode, so the result is marked validated.
+func (rd *VMTRCReader) ReadAll() (*Trace, error) {
+	out := &Trace{Name: rd.name, Refs: make([]Ref, 0, rd.total-rd.read)}
+	for {
+		chunk, err := rd.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Refs = append(out.Refs, chunk...)
+	}
+	out.validated = 1
+	return out, nil
+}
+
+// ReadVMTRC deserializes a trace written by WriteVMTRC from a stream
+// (reading it fully into memory first; use OpenVMTRC to map a file
+// instead).
+func ReadVMTRC(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, corruptHeader("", 0, fmt.Errorf("reading stream: %w", err))
+	}
+	rd, err := NewVMTRCReader(data)
+	if err != nil {
+		return nil, err
+	}
+	return rd.ReadAll()
+}
+
+// Format identifies a trace serialization.
+type Format int
+
+// The formats every CLI and the serving layer auto-detect.
+const (
+	// FormatUnknown: no magic matched; callers typically fall back to
+	// the Dinero text format.
+	FormatUnknown Format = iota
+	// FormatBinary is the classic MMUTRC01 array-of-records format.
+	FormatBinary
+	// FormatVMTRC is the block-oriented .vmtrc format.
+	FormatVMTRC
+	// FormatDinero is the 1990s "din" text format.
+	FormatDinero
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatBinary:
+		return "binary"
+	case FormatVMTRC:
+		return "vmtrc"
+	case FormatDinero:
+		return "dinero"
+	default:
+		return "unknown"
+	}
+}
+
+// DetectFormat sniffs a serialization from its first bytes (8 suffice).
+// Text that is neither magic is reported as FormatDinero when it starts
+// like a din line (digit, '#', '-', or whitespace), FormatUnknown
+// otherwise.
+func DetectFormat(prefix []byte) Format {
+	if len(prefix) >= len(magic) && string(prefix[:len(magic)]) == magic {
+		return FormatBinary
+	}
+	if len(prefix) >= len(vmtrcMagic) && string(prefix[:len(vmtrcMagic)]) == vmtrcMagic {
+		return FormatVMTRC
+	}
+	for _, c := range prefix {
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			continue
+		case c >= '0' && c <= '9', c == '#', c == '-':
+			return FormatDinero
+		default:
+			return FormatUnknown
+		}
+	}
+	return FormatUnknown
+}
+
+// ReadAny deserializes a trace in whichever supported format the stream
+// holds, sniffing the first bytes: MMUTRC01 binary, .vmtrc, or Dinero
+// text (which carries no name; dineroName labels it). An unrecognizable
+// stream is a *CorruptError.
+func ReadAny(r io.Reader, dineroName string) (*Trace, error) {
+	br := bufio.NewReader(r)
+	prefix, err := br.Peek(len(magic))
+	if err != nil && len(prefix) == 0 {
+		return nil, corruptHeader("", 0, fmt.Errorf("reading stream: %w", err))
+	}
+	switch DetectFormat(prefix) {
+	case FormatBinary:
+		return ReadFrom(br)
+	case FormatVMTRC:
+		return ReadVMTRC(br)
+	case FormatDinero:
+		return ReadDinero(br, dineroName)
+	default:
+		return nil, corruptHeader("", 0, fmt.Errorf("unrecognized trace format (first bytes %q)", prefix))
+	}
+}
+
+// OpenFile loads a trace file in whichever supported format it holds.
+// .vmtrc files are decoded through the memory-mapped block reader; the
+// other formats stream through ReadAny. The Dinero text format carries
+// no embedded name, so the path labels it.
+func OpenFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var prefix [8]byte
+	n, _ := io.ReadFull(f, prefix[:]) //nolint:errcheck // a short file falls through to ReadAny's error
+	if DetectFormat(prefix[:n]) == FormatVMTRC {
+		rd, err := OpenVMTRC(path)
+		if err != nil {
+			return nil, err
+		}
+		defer rd.Close()
+		return rd.ReadAll()
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return ReadAny(f, path)
+}

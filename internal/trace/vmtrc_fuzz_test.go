@@ -1,0 +1,109 @@
+//go:build go1.18
+
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// FuzzVMTraceRoundTrip drives the full conversion pipeline the
+// `vmtrace -convert` path exposes: Dinero text in, .vmtrc out, refs
+// back — the decoded stream must be ref-for-ref identical to what the
+// text parser produced, across both the streaming and the materializing
+// decoders.
+func FuzzVMTraceRoundTrip(f *testing.F) {
+	f.Add("2 400000\n0 10000\n2 400004\n1 10008\n")
+	f.Add("# comment\n2 0x400000\n0 0xdeadbeef\n")
+	f.Add("0 10000\n0 10008\n")
+	f.Add(strings.Repeat("2 400000\n1 7ffffff8\n", 300))
+	f.Add("2 1\n0 7fffffff\n2 7fffffff\n1 1\n") // extreme deltas both directions
+
+	f.Fuzz(func(t *testing.T, s string) {
+		text, err := ReadDinero(strings.NewReader(s), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		n, err := text.WriteVMTRC(&buf)
+		if err != nil {
+			t.Fatalf("WriteVMTRC on a valid trace: %v", err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("WriteVMTRC reported %d bytes, wrote %d", n, buf.Len())
+		}
+		back, err := ReadVMTRC(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reading back a freshly converted trace: %v", err)
+		}
+		if !traceEqual(text, back) {
+			t.Fatalf("text → vmtrc → refs changed the trace:\n text: %+v\nvmtrc: %+v", text, back)
+		}
+		// The chunked reader must agree with the materializing one.
+		rd, err := NewVMTRCReader(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := rd.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !traceEqual(text, streamed) {
+			t.Fatal("chunked decode disagrees with materializing decode")
+		}
+		// And auto-detection must route both serializations correctly.
+		if got := DetectFormat(buf.Bytes()); got != FormatVMTRC {
+			t.Fatalf("DetectFormat on vmtrc output = %v", got)
+		}
+	})
+}
+
+// FuzzReadVMTRC throws arbitrary bytes at the block reader: corrupt
+// headers, lying section lengths, bad checksums, truncation anywhere.
+// The reader may reject the input but must never panic, and anything it
+// accepts must validate and survive a re-serialization round trip.
+func FuzzReadVMTRC(f *testing.F) {
+	good := vmtrcFixture(300)
+	var buf bytes.Buffer
+	if _, err := good.WriteVMTRC(&buf); err != nil {
+		f.Fatal(err)
+	}
+	whole := buf.Bytes()
+	f.Add(whole)
+	f.Add(whole[:len(whole)-5])
+	f.Add(whole[:len(vmtrcMagic)+3])
+	f.Add([]byte("VMTRC999nonsense"))
+	f.Add([]byte{})
+	// A block header lying about its section sizes.
+	lying := append([]byte(nil), whole...)
+	headerLen := len(vmtrcMagic) + 4 + len(good.Name) + 12
+	binary.LittleEndian.PutUint32(lying[headerLen+4:], 1<<30)
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewVMTRCReader(data)
+		if err != nil {
+			return
+		}
+		tr, err := rd.ReadAll()
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadVMTRC accepted a trace that fails Validate: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := tr.WriteVMTRC(&out); err != nil {
+			t.Fatalf("re-serializing an accepted trace: %v", err)
+		}
+		back, err := ReadVMTRC(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading a re-serialized trace: %v", err)
+		}
+		if !traceEqual(tr, back) {
+			t.Fatalf("round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,465 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/simerr"
+)
+
+// vmtrcFixture builds an n-record trace with address patterns that
+// exercise the delta encoder: small forward strides, large jumps
+// (backward deltas), and the full meta byte.
+func vmtrcFixture(n int) *Trace {
+	tr := &Trace{Name: "vmtrc-fixture"}
+	pc := uint64(0x0040_0000)
+	for i := 0; i < n; i++ {
+		r := Ref{PC: pc, Kind: Kind(i % 3)}
+		switch {
+		case i%97 == 0:
+			pc = 0x0040_0000 + uint64(i%7)*0x10_0000 // large jump
+		default:
+			pc += 4
+		}
+		if r.Kind != None {
+			r.Data = 0x1000_0000 + uint64(i%4096)*8
+			r.ASID = uint8(i % MaxASIDs)
+			if i%11 == 0 {
+				r.Flags = FlagUncached
+			}
+		}
+		tr.Refs = append(tr.Refs, r)
+	}
+	return tr
+}
+
+func encodeVMTRC(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := tr.WriteVMTRC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteVMTRC reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func TestVMTRCRoundTrip(t *testing.T) {
+	// 3.2 blocks' worth of records: exercises full blocks, a partial
+	// final block, and cross-block delta chaining.
+	for _, n := range []int{0, 1, 7, VMTRCBlockRecords, 3*VMTRCBlockRecords + 1234} {
+		in := vmtrcFixture(n)
+		out, err := ReadVMTRC(bytes.NewReader(encodeVMTRC(t, in)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if out.Name != in.Name || out.Len() != in.Len() {
+			t.Fatalf("n=%d: got %q/%d records, want %q/%d", n, out.Name, out.Len(), in.Name, in.Len())
+		}
+		for i := range in.Refs {
+			if out.Refs[i] != in.Refs[i] {
+				t.Fatalf("n=%d ref %d: %+v != %+v", n, i, out.Refs[i], in.Refs[i])
+			}
+		}
+	}
+}
+
+// TestVMTRCMatchesBinaryFormat: the two serializations must describe the
+// identical reference stream — decode both and compare ref-for-ref.
+func TestVMTRCMatchesBinaryFormat(t *testing.T) {
+	in := vmtrcFixture(10_000)
+	var classic bytes.Buffer
+	if _, err := in.WriteTo(&classic); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadFrom(&classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadVMTRC(bytes.NewReader(encodeVMTRC(t, in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("binary decodes %d refs, vmtrc %d", a.Len(), b.Len())
+	}
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			t.Fatalf("ref %d: binary %+v != vmtrc %+v", i, a.Refs[i], b.Refs[i])
+		}
+	}
+}
+
+func TestVMTRCOpenFileMapped(t *testing.T) {
+	in := vmtrcFixture(2*VMTRCBlockRecords + 17)
+	path := filepath.Join(t.TempDir(), "trace.vmtrc")
+	if err := os.WriteFile(path, encodeVMTRC(t, in), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenVMTRC(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Name() != in.Name || rd.Len() != in.Len() {
+		t.Fatalf("header %q/%d, want %q/%d", rd.Name(), rd.Len(), in.Name, in.Len())
+	}
+	got := 0
+	for {
+		chunk, err := rd.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range chunk {
+			if chunk[i] != in.Refs[got+i] {
+				t.Fatalf("ref %d: %+v != %+v", got+i, chunk[i], in.Refs[got+i])
+			}
+		}
+		got += len(chunk)
+	}
+	if got != in.Len() {
+		t.Fatalf("streamed %d refs, want %d", got, in.Len())
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent.
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVMTRCRejectsBadMagic(t *testing.T) {
+	if _, err := ReadVMTRC(strings.NewReader("NOTVMTRC-blah")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewVMTRCReader([]byte("VM")); err == nil {
+		t.Fatal("short magic accepted")
+	}
+}
+
+// corruptCase damages one encoded .vmtrc image and states where the
+// typed error must point.
+type corruptCase struct {
+	name string
+	// patch mutates the image (and may shorten it via the return).
+	patch func(img []byte) []byte
+	// wantIndex/wantOffset are the CorruptError coordinates; -1 skips
+	// the exact-value check (but the field must still be >= 0).
+	wantIndex  int
+	wantOffset int64
+}
+
+// TestVMTRCCorruptionTable: every damage class is rejected with a
+// *CorruptError wrapping simerr.ErrTraceCorrupt that carries the record
+// index and byte offset of the damage.
+func TestVMTRCCorruptionTable(t *testing.T) {
+	in := vmtrcFixture(VMTRCBlockRecords + 100) // two blocks
+	img := encodeVMTRC(t, in)
+	headerLen := len(vmtrcMagic) + 4 + len(in.Name) + 12
+	// Block 1 coordinates (the second block, first record index 4096).
+	b0nRecs := int(binary.LittleEndian.Uint32(img[headerLen:]))
+	b0pc := int(binary.LittleEndian.Uint32(img[headerLen+4:]))
+	b0data := int(binary.LittleEndian.Uint32(img[headerLen+8:]))
+	block1 := headerLen + vmtrcBlockHeaderBytes + b0pc + b0data + 2*b0nRecs
+
+	cases := []corruptCase{
+		{
+			name: "flipped body bit fails the block checksum",
+			patch: func(img []byte) []byte {
+				img[block1+vmtrcBlockHeaderBytes+3] ^= 0x40
+				return img
+			},
+			wantIndex: VMTRCBlockRecords, wantOffset: int64(block1),
+		},
+		{
+			name: "truncated final block",
+			patch: func(img []byte) []byte {
+				return img[:len(img)-7]
+			},
+			wantIndex: VMTRCBlockRecords, wantOffset: int64(block1),
+		},
+		{
+			name: "truncated block header",
+			patch: func(img []byte) []byte {
+				return img[:block1+5]
+			},
+			wantIndex: VMTRCBlockRecords, wantOffset: int64(block1),
+		},
+		{
+			name: "block declaring more records than remain",
+			patch: func(img []byte) []byte {
+				binary.LittleEndian.PutUint32(img[block1:], 101)
+				return img
+			},
+			wantIndex: VMTRCBlockRecords, wantOffset: int64(block1),
+		},
+		{
+			name: "zero-record block",
+			patch: func(img []byte) []byte {
+				binary.LittleEndian.PutUint32(img[headerLen:], 0)
+				return img
+			},
+			wantIndex: 0, wantOffset: int64(headerLen),
+		},
+		{
+			name: "trailing garbage after the final block",
+			patch: func(img []byte) []byte {
+				return append(img, 0xDE, 0xAD)
+			},
+			wantIndex: -1, wantOffset: int64(len(img)),
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			damaged := c.patch(append([]byte(nil), img...))
+			rd, err := NewVMTRCReader(damaged)
+			if err == nil {
+				_, err = rd.ReadAll()
+			}
+			if err == nil {
+				t.Fatal("damage accepted")
+			}
+			if !errors.Is(err, simerr.ErrTraceCorrupt) {
+				t.Fatalf("error %v is not ErrTraceCorrupt", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a *CorruptError", err)
+			}
+			if c.wantIndex >= 0 && ce.Index != c.wantIndex {
+				t.Errorf("index = %d, want %d", ce.Index, c.wantIndex)
+			}
+			if c.wantOffset >= 0 && ce.Offset != c.wantOffset {
+				t.Errorf("offset = %d, want %d", ce.Offset, c.wantOffset)
+			}
+			if ce.Name != in.Name {
+				t.Errorf("name = %q, want %q", ce.Name, in.Name)
+			}
+		})
+	}
+}
+
+// TestVMTRCRejectsInvalidContent: a structurally well-formed block whose
+// decoded records violate trace invariants (kernel PC) is rejected with
+// the record's index.
+func TestVMTRCRejectsInvalidContent(t *testing.T) {
+	in := vmtrcFixture(100)
+	in.Refs[57].PC = 0xC000_0000 // kernel space; WriteVMTRC does not validate
+	img := encodeVMTRC(t, in)
+	_, err := ReadVMTRC(bytes.NewReader(img))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("invalid content error = %v, want *CorruptError", err)
+	}
+	if ce.Index != 57 {
+		t.Errorf("index = %d, want 57", ce.Index)
+	}
+	if ce.Offset < 0 {
+		t.Errorf("no byte offset on %+v", ce)
+	}
+}
+
+func TestVMTRCRejectsImplausibleHeader(t *testing.T) {
+	base := encodeVMTRC(t, vmtrcFixture(4))
+	t.Run("name length", func(t *testing.T) {
+		img := append([]byte(nil), base...)
+		binary.LittleEndian.PutUint32(img[8:], 1<<30)
+		if _, err := NewVMTRCReader(img); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("block size zero", func(t *testing.T) {
+		img := append([]byte(nil), base...)
+		binary.LittleEndian.PutUint32(img[8+4+len("vmtrc-fixture")+8:], 0)
+		if _, err := NewVMTRCReader(img); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("record count", func(t *testing.T) {
+		img := append([]byte(nil), base...)
+		binary.LittleEndian.PutUint64(img[8+4+len("vmtrc-fixture"):], 1<<40)
+		if _, err := NewVMTRCReader(img); err == nil {
+			t.Fatal("accepted")
+		}
+	})
+}
+
+// TestVMTRCChunkLoopAllocationFree pins the reader's zero-allocation
+// steady state: after the first chunk (which sizes the reuse buffer),
+// the NextChunk loop must not allocate, mirroring the engine's own
+// AllocsPerRun guarantees.
+func TestVMTRCChunkLoopAllocationFree(t *testing.T) {
+	in := vmtrcFixture(8 * VMTRCBlockRecords)
+	path := filepath.Join(t.TempDir(), "alloc.vmtrc")
+	if err := os.WriteFile(path, encodeVMTRC(t, in), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenVMTRC(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	// Prime the chunk buffer outside the measured region.
+	if _, err := rd.NextChunk(); err != nil {
+		t.Fatal(err)
+	}
+	var refs uint64
+	allocs := testing.AllocsPerRun(1, func() {
+		for {
+			chunk, err := rd.NextChunk()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range chunk {
+				refs += uint64(chunk[i].PC)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state chunk loop allocates %.1f times per drain, want 0", allocs)
+	}
+	_ = refs
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		prefix string
+		want   Format
+	}{
+		{magic, FormatBinary},
+		{vmtrcMagic, FormatVMTRC},
+		{"2 400000\n0 10000\n", FormatDinero},
+		{"  # comment\n2 400000\n", FormatDinero},
+		{"-1 deadbeef\n", FormatDinero},
+		{"hello world", FormatUnknown},
+		{"", FormatUnknown},
+	}
+	for _, c := range cases {
+		if got := DetectFormat([]byte(c.prefix)); got != c.want {
+			t.Errorf("DetectFormat(%q) = %v, want %v", c.prefix, got, c.want)
+		}
+	}
+}
+
+// TestReadAnyAllFormats: one reference stream, three serializations, one
+// entry point — every decode must agree ref-for-ref.
+func TestReadAnyAllFormats(t *testing.T) {
+	in := vmtrcFixture(500)
+
+	var classic, vmtrc bytes.Buffer
+	if _, err := in.WriteTo(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.WriteVMTRC(&vmtrc); err != nil {
+		t.Fatal(err)
+	}
+	din := "2 400000\n0 10000\n2 400004\n1 10008\n"
+
+	for _, c := range []struct {
+		name  string
+		input []byte
+		refs  int
+	}{
+		{"binary", classic.Bytes(), in.Len()},
+		{"vmtrc", vmtrc.Bytes(), in.Len()},
+		{"dinero", []byte(din), 2},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			tr, err := ReadAny(bytes.NewReader(c.input), "named")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() != c.refs {
+				t.Fatalf("decoded %d refs, want %d", tr.Len(), c.refs)
+			}
+		})
+	}
+	if _, err := ReadAny(strings.NewReader("what even is this"), "x"); err == nil {
+		t.Fatal("unrecognizable stream accepted")
+	}
+	if !errors.Is(func() error { _, err := ReadAny(strings.NewReader("zzz"), "x"); return err }(), simerr.ErrTraceCorrupt) {
+		t.Fatal("unrecognizable stream not typed as trace corruption")
+	}
+}
+
+func TestOpenFileAllFormats(t *testing.T) {
+	in := vmtrcFixture(300)
+	dir := t.TempDir()
+
+	write := func(name string, gen func(w io.Writer) error) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gen(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	classic := write("t.trace", func(w io.Writer) error { _, err := in.WriteTo(w); return err })
+	vmtrc := write("t.vmtrc", func(w io.Writer) error { _, err := in.WriteVMTRC(w); return err })
+	din := write("t.din", func(w io.Writer) error {
+		_, err := io.WriteString(w, "2 400000\n0 10000\n")
+		return err
+	})
+
+	for _, path := range []string{classic, vmtrc} {
+		tr, err := OpenFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if tr.Len() != in.Len() || tr.Name != in.Name {
+			t.Fatalf("%s: decoded %q/%d, want %q/%d", path, tr.Name, tr.Len(), in.Name, in.Len())
+		}
+		for i := range in.Refs {
+			if tr.Refs[i] != in.Refs[i] {
+				t.Fatalf("%s: ref %d mismatch", path, i)
+			}
+		}
+	}
+	tr, err := OpenFile(din)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Name != din {
+		t.Fatalf("dinero open = %q/%d", tr.Name, tr.Len())
+	}
+	if _, err := OpenFile(filepath.Join(dir, "missing.vmtrc")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestVMTRCEmptyFileMapped: an empty .vmtrc trace round-trips through
+// the file path (mmap of a zero-length file is the edge the platform
+// shims special-case).
+func TestVMTRCEmptyTraceThroughFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.vmtrc")
+	if err := os.WriteFile(path, encodeVMTRC(t, &Trace{Name: "empty"}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Name != "empty" {
+		t.Fatalf("empty vmtrc = %q/%d", tr.Name, tr.Len())
+	}
+}

@@ -147,6 +147,30 @@ func ReadDineroTrace(r io.Reader, name string) (*Trace, error) {
 	return trace.ReadDinero(r, name)
 }
 
+// WriteVMTRCTrace serializes tr in the zero-copy .vmtrc block format:
+// structure-of-arrays sections with delta-encoded addresses and a
+// CRC-32C per block, typically ~5x smaller than the classic binary
+// format and replayable through a memory-mapped reader that allocates
+// nothing in steady state (OpenTraceFile, `vmtrace -convert`).
+func WriteVMTRCTrace(w io.Writer, tr *Trace) error {
+	_, err := tr.WriteVMTRC(w)
+	return err
+}
+
+// ReadAnyTrace deserializes a trace in whichever supported format the
+// stream holds, sniffing the leading bytes: the classic binary format,
+// .vmtrc, or Dinero text (which carries no embedded name; dineroName
+// labels it). Every CLI's trace-input flag and the vmserved upload
+// endpoint accept all three through this one entry point.
+func ReadAnyTrace(r io.Reader, dineroName string) (*Trace, error) {
+	return trace.ReadAny(r, dineroName)
+}
+
+// OpenTraceFile loads a trace file in whichever supported format it
+// holds; .vmtrc files are decoded through the memory-mapped block
+// reader.
+func OpenTraceFile(path string) (*Trace, error) { return trace.OpenFile(path) }
+
 // Simulate runs cfg over tr.
 func Simulate(cfg Config, tr *Trace) (*Result, error) { return sim.Simulate(cfg, tr) }
 
@@ -216,6 +240,24 @@ func SweepWithOptions(ctx context.Context, tr *Trace, cfgs []Config, opts SweepO
 // ErrCancelled.
 func SimulateContext(ctx context.Context, cfg Config, tr *Trace) (*Result, error) {
 	return sim.SimulateContext(ctx, cfg, tr)
+}
+
+// SweepCSVHeader is the campaign CSV header row shared by vmsweep, the
+// determinism suites, and any client rendering sweep results.
+const SweepCSVHeader = sweep.CSVHeader
+
+// SweepCSVRow renders one completed point as a CSV row (no trailing
+// newline) in the canonical column order. Serial, parallel, remote, and
+// resumed campaigns all format through this one function — that is what
+// makes their outputs byte-comparable.
+func SweepCSVRow(label string, p SweepPoint) string { return sweep.CSVRow(label, p) }
+
+// WriteSweepCSV emits the header plus one row per completed point in
+// point order (campaign order, never completion order) and reports the
+// row count. Errored points are skipped; callers report them out of
+// band.
+func WriteSweepCSV(w io.Writer, label string, points []SweepPoint) (int, error) {
+	return sweep.WriteCSV(w, label, points)
 }
 
 // Error taxonomy. Every failure the simulator, trace readers, and sweep
