@@ -107,6 +107,81 @@ func TestVMSimRejectsUnknownVM(t *testing.T) {
 	}
 }
 
+func TestVMSimListVMs(t *testing.T) {
+	out, errOut, code := run(t, "vmsim", "-list-vms")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, vm := range []string{"ultrix", "mach", "intel", "pa-risc", "l2tlb", "pfsm-hier"} {
+		if !strings.Contains(out, vm) {
+			t.Errorf("-list-vms missing %q:\n%s", vm, out)
+		}
+	}
+}
+
+// TestVMSimMachineFileMatchesVMName: running from a bundled spec file
+// must be indistinguishable from naming the same machine with -vm.
+func TestVMSimMachineFileMatchesVMName(t *testing.T) {
+	args := []string{"-bench", "gcc", "-n", "4000", "-json"}
+	byName, errOut, code := run(t, "vmsim", append([]string{"-vm", "ultrix"}, args...)...)
+	if code != 0 {
+		t.Fatalf("-vm run: exit %d, stderr: %s", code, errOut)
+	}
+	byFile, errOut, code := run(t, "vmsim",
+		append([]string{"-machine", "../machines/ultrix.json"}, args...)...)
+	if code != 0 {
+		t.Fatalf("-machine run: exit %d, stderr: %s", code, errOut)
+	}
+	if byFile != byName {
+		t.Fatalf("-machine output differs from -vm:\n--- -vm ---\n%s--- -machine ---\n%s", byName, byFile)
+	}
+}
+
+func TestVMSimMachineAndVMMutuallyExclusive(t *testing.T) {
+	_, errOut, code := run(t, "vmsim",
+		"-machine", "../machines/ultrix.json", "-vm", "mach", "-n", "2000")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "mutually exclusive") {
+		t.Errorf("stderr does not explain the conflict: %s", errOut)
+	}
+}
+
+// TestVMSimL2TLB: the bundled two-level-TLB machine runs end to end,
+// with -check exercising its naive reference model.
+func TestVMSimL2TLB(t *testing.T) {
+	out, errOut, code := run(t, "vmsim",
+		"-vm", "l2tlb", "-bench", "gcc", "-n", "4000", "-check")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "reference models agree") {
+		t.Errorf("-check did not report agreement:\n%s", out)
+	}
+}
+
+func TestVMSweepMachineFile(t *testing.T) {
+	out, errOut, code := run(t, "vmsweep",
+		"-machine", "../machines/l2tlb.json",
+		"-bench", "gcc", "-n", "4000", "-tlb2", "256,512")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not CSV: %v\n%s", err, out)
+	}
+	if len(rows) != 3 { // header + one row per L2 TLB size
+		t.Fatalf("got %d CSV rows, want 3:\n%s", len(rows), out)
+	}
+	for _, row := range rows[1:] {
+		if row[1] != "l2tlb" {
+			t.Errorf("vm column = %q, want l2tlb", row[1])
+		}
+	}
+}
+
 func TestVMTraceGenerateInspectRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.trc")
 	out, errOut, code := run(t, "vmtrace", "-bench", "vortex", "-n", "4000", "-o", path)

@@ -87,20 +87,28 @@ type report struct {
 
 func main() {
 	var (
-		vms     = flag.String("vms", "ultrix,mach,intel,pa-risc,notlb,base", "comma list of organizations, or 'all'")
-		bench   = flag.String("bench", "gcc", "benchmark trace to replay")
-		n       = flag.Int("n", 200_000, "trace length in instructions")
-		seed    = flag.Uint64("seed", 42, "deterministic seed")
-		runs    = flag.Int("runs", 3, "timed runs per organization (median reported)")
-		out     = flag.String("o", "BENCH_sim.json", "output path ('-' = stdout only)")
-		doSweep = flag.Bool("sweep", true, "also time one paper-style L1-size sweep")
-		workers = flag.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured runs to this file")
-		ver     = flag.Bool("version", false, "print the engine version and exit")
+		vms       = flag.String("vms", "ultrix,mach,intel,pa-risc,notlb,base", "comma list of organizations, or 'all'")
+		machineIn = flag.String("machine", "", "benchmark the machine from this spec file (JSON, see MACHINES.md) instead of -vms")
+		listVMs   = flag.Bool("list-vms", false, "list every registered machine with its description and exit")
+		bench     = flag.String("bench", "gcc", "benchmark trace to replay")
+		n         = flag.Int("n", 200_000, "trace length in instructions")
+		seed      = flag.Uint64("seed", 42, "deterministic seed")
+		runs      = flag.Int("runs", 3, "timed runs per organization (median reported)")
+		out       = flag.String("o", "BENCH_sim.json", "output path ('-' = stdout only)")
+		doSweep   = flag.Bool("sweep", true, "also time one paper-style L1-size sweep")
+		workers   = flag.Int("workers", 0, "sweep workers (0 = GOMAXPROCS)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the measured runs to this file")
+		ver       = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Parse()
 	if *ver {
 		fmt.Println(version.String())
+		return
+	}
+	if *listVMs {
+		for _, s := range mmusim.BundledMachines() {
+			fmt.Printf("%-12s %s\n", s.Name, s.Description)
+		}
 		return
 	}
 
@@ -109,9 +117,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	// configFor builds the measured configuration for a name — through
+	// the -machine spec when given, the registry otherwise.
+	var machineSpec *mmusim.MachineSpec
 	vmList := strings.Split(*vms, ",")
-	if *vms == "all" {
+	if *machineIn != "" {
+		spec, err := mmusim.LoadMachineSpec(*machineIn)
+		if err != nil {
+			fail(err)
+		}
+		machineSpec = spec
+		vmList = []string{spec.Name}
+	} else if *vms == "all" {
 		vmList = mmusim.VMs()
+	}
+	configFor := func(vm string) mmusim.Config {
+		if machineSpec != nil {
+			return mmusim.ConfigForMachine(machineSpec)
+		}
+		return mmusim.DefaultConfig(vm)
 	}
 	tr, err := mmusim.GenerateTrace(*bench, *seed, *n)
 	if err != nil {
@@ -146,7 +170,7 @@ func main() {
 	}
 
 	for _, vm := range vmList {
-		cfg := mmusim.DefaultConfig(strings.TrimSpace(vm))
+		cfg := configFor(strings.TrimSpace(vm))
 		cfg.Seed = *seed
 		// Warm run: faults in the trace pages and verifies the config
 		// before anything is timed.
@@ -206,7 +230,7 @@ func main() {
 			fail(err)
 		}
 
-		space := mmusim.SweepSpace{Base: mmusim.DefaultConfig(vmList[0])}
+		space := mmusim.SweepSpace{Base: configFor(vmList[0])}
 		space.Base.Seed = *seed
 		space.L1Sizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
 		cfgs := space.Configs()

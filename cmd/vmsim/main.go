@@ -7,6 +7,8 @@
 //	vmsim -vm pa-risc -bench vortex -l1 8192 -l2 1048576 -l1line 32 -l2line 64
 //	vmsim -vm mach -bench gcc -timeline gcc.timeline.csv -sample 10000
 //	vmsim -vm intel -bench vortex -n 10000000 -debug-addr localhost:6060
+//	vmsim -machine mymachine.json -bench gcc
+//	vmsim -list-vms
 package main
 
 import (
@@ -87,9 +89,29 @@ func writeHeapProfile(path string) error {
 	return f.Commit()
 }
 
+// listMachines prints every registered machine, bundled ones first in
+// presentation order, with descriptions from the registry.
+func listMachines(w *os.File) {
+	seen := map[string]bool{}
+	for _, s := range mmusim.BundledMachines() {
+		fmt.Fprintf(w, "%-12s %s\n", s.Name, s.Description)
+		seen[s.Name] = true
+	}
+	for _, name := range mmusim.VMs() {
+		if seen[name] {
+			continue
+		}
+		if s, err := mmusim.LookupMachine(name); err == nil {
+			fmt.Fprintf(w, "%-12s %s\n", s.Name, s.Description)
+		}
+	}
+}
+
 func main() {
 	var (
 		vm        = flag.String("vm", mmusim.VMUltrix, "organization: one of "+fmt.Sprint(mmusim.VMs()))
+		machineIn = flag.String("machine", "", "load the machine from this spec file (JSON, see MACHINES.md) instead of -vm")
+		listVMs   = flag.Bool("list-vms", false, "list every registered machine with its description and exit")
 		bench     = flag.String("bench", "gcc", "benchmark: one of "+fmt.Sprint(mmusim.Benchmarks()))
 		n         = flag.Int("n", 1_000_000, "trace length in instructions")
 		seed      = flag.Uint64("seed", 42, "deterministic seed")
@@ -99,6 +121,7 @@ func main() {
 		l2line    = flag.Int("l2line", 128, "L2 linesize (bytes)")
 		tlbN      = flag.Int("tlb", 128, "TLB entries per side")
 		tlb2N     = flag.Int("tlb2", 0, "unified second-level TLB entries (0 = none)")
+		tlb2Ways  = flag.Int("tlb2assoc", 0, "second-level TLB associativity (0 = fully associative)")
 		intCost   = flag.Uint64("intcost", 50, "cycles per precise interrupt (paper: 10/50/200)")
 		warmup    = flag.Int("warmup", 200_000, "uncharged warmup instructions (capped at half the trace)")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of the text break-down")
@@ -118,6 +141,14 @@ func main() {
 		fmt.Println(version.String())
 		return
 	}
+	if *listVMs {
+		listMachines(os.Stdout)
+		return
+	}
+	// Record which flags the user actually set: a machine spec seeds the
+	// TLB hierarchy, which the TLB flags' defaults must not clobber.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	stopProf, err := startCPUProfile(*cpuProf)
 	if err != nil {
@@ -125,11 +156,30 @@ func main() {
 	}
 	defer stopProf()
 
-	cfg := mmusim.DefaultConfig(*vm)
+	var cfg mmusim.Config
+	if *machineIn != "" {
+		if set["vm"] {
+			fail(fmt.Errorf("-vm and -machine are mutually exclusive (the spec file names its machine)"))
+		}
+		spec, merr := mmusim.LoadMachineSpec(*machineIn)
+		if merr != nil {
+			fail(merr)
+		}
+		cfg = mmusim.ConfigForMachine(spec)
+	} else {
+		cfg = mmusim.DefaultConfig(*vm)
+	}
 	cfg.L1SizeBytes, cfg.L2SizeBytes = *l1, *l2
 	cfg.L1LineBytes, cfg.L2LineBytes = *l1line, *l2line
-	cfg.TLBEntries = *tlbN
-	cfg.TLB2Entries = *tlb2N
+	if set["tlb"] {
+		cfg.TLBEntries = *tlbN
+	}
+	if set["tlb2"] {
+		cfg.TLB2Entries = *tlb2N
+	}
+	if set["tlb2assoc"] {
+		cfg.TLB2Assoc = *tlb2Ways
+	}
 	cfg.InterruptCost = *intCost
 	cfg.WarmupInstrs = *warmup
 	cfg.Seed = *seed

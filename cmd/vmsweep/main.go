@@ -6,6 +6,8 @@
 //
 //	vmsweep -bench gcc -vms ultrix,intel -l1 1024,8192,65536 > gcc.csv
 //	vmsweep -bench vortex -vms all -l1 paper -l2 paper -lines paper
+//	vmsweep -bench gcc -vms l2tlb -tlb2 256,512,1024,2048 > l2tlb.csv
+//	vmsweep -bench gcc -machine custom.json -l1 paper > custom.csv
 //	vmsweep -tracefile gcc.trace -vms ultrix -l1 paper
 //	vmsweep -bench gcc -vms all -l1 paper -journal gcc.journal > gcc.csv
 //	vmsweep -bench gcc -vms all -l1 paper -journal gcc.journal -resume > gcc.csv  # after a crash
@@ -168,11 +170,15 @@ func main() {
 	var (
 		bench     = flag.String("bench", "gcc", "benchmark")
 		vms       = flag.String("vms", "ultrix,mach,intel,pa-risc,notlb", "comma list of organizations, or 'all'")
+		machineIn = flag.String("machine", "", "sweep the machine from this spec file (JSON, see MACHINES.md) instead of -vms")
+		listVMs   = flag.Bool("list-vms", false, "list every registered machine with its description and exit")
 		l1s       = flag.String("l1", "", "comma list of L1 sizes in bytes, or 'paper'")
 		l2s       = flag.String("l2", "", "comma list of L2 sizes in bytes, or 'paper'")
 		l1lines   = flag.String("l1lines", "", "comma list of L1 linesizes, or 'paper'")
 		l2lines   = flag.String("l2lines", "", "comma list of L2 linesizes, or 'paper'")
 		tlbs      = flag.String("tlb", "", "comma list of TLB sizes")
+		tlb2s     = flag.String("tlb2", "", "comma list of second-level TLB sizes (0 = none)")
+		tlb2Ways  = flag.Int("tlb2assoc", 0, "second-level TLB associativity for every point (0 = fully associative)")
 		n         = flag.Int("n", 500_000, "trace length in instructions")
 		seed      = flag.Uint64("seed", 42, "deterministic seed")
 		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
@@ -196,6 +202,16 @@ func main() {
 		fmt.Println(version.String())
 		return
 	}
+	if *listVMs {
+		for _, s := range mmusim.BundledMachines() {
+			fmt.Printf("%-12s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+	// Record which flags the user actually set: a machine spec seeds the
+	// TLB hierarchy, which the TLB flags' defaults must not clobber.
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	// cleanups holds abort handlers for in-flight atomic writes: fail()
 	// exits with os.Exit, which skips defers, and an uncommitted
@@ -245,12 +261,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vmsweep: debug server at http://%s/debug/pprof/ and /debug/vars\n", dbg.Addr)
 	}
 
-	vmList := strings.Split(*vms, ",")
-	if *vms == "all" {
-		vmList = mmusim.VMs()
+	var space mmusim.SweepSpace
+	if *machineIn != "" {
+		if setFlags["vms"] {
+			fail(fmt.Errorf("-vms and -machine are mutually exclusive (the spec file names its machine)"))
+		}
+		spec, merr := mmusim.LoadMachineSpec(*machineIn)
+		if merr != nil {
+			fail(merr)
+		}
+		space = mmusim.SweepSpace{Base: mmusim.ConfigForMachine(spec), VMs: []string{spec.Name}}
+	} else {
+		vmList := strings.Split(*vms, ",")
+		if *vms == "all" {
+			vmList = mmusim.VMs()
+		}
+		space = mmusim.SweepSpace{Base: mmusim.DefaultConfig(vmList[0]), VMs: vmList}
 	}
-	space := mmusim.SweepSpace{Base: mmusim.DefaultConfig(vmList[0]), VMs: vmList}
 	space.Base.Seed = *seed
+	if setFlags["tlb2assoc"] {
+		space.Base.TLB2Assoc = *tlb2Ways
+	}
 	var err error
 	if space.L1Sizes, err = parseInts(*l1s, paperL1); err != nil {
 		fail(err)
@@ -265,6 +296,9 @@ func main() {
 		fail(err)
 	}
 	if space.TLBEntries, err = parseInts(*tlbs, nil); err != nil {
+		fail(err)
+	}
+	if space.TLB2Entries, err = parseInts(*tlb2s, nil); err != nil {
 		fail(err)
 	}
 

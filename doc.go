@@ -18,6 +18,18 @@
 //     finite-state-machine walker it proposes (§5)
 //   - clustered — a Talluri & Hill-style subblocked hashed table, the
 //     era's contemporary alternative
+//   - l2tlb    — the ultrix organization behind a set-associative
+//     unified second-level TLB (bundled extension)
+//
+// Every organization is a declarative machine spec — TLB hierarchy,
+// refill mechanism, page-table organization, and handler cost model as
+// data — resolved through a registry and serializable to JSON. Lookup a
+// bundled machine with LookupMachine, load a custom one from a file
+// with LoadMachineSpec (the vmsim/vmsweep -machine flag), or build one
+// in code (see the ExampleParseMachineSpec example); ConfigForMachine
+// turns any validated spec into a runnable Config. MACHINES.md at the
+// repository root documents the full schema; the machines/ directory
+// holds the bundled specs in canonical form.
 //
 // Measurements follow the paper's taxonomy: MCPI (memory-system cycles
 // per user instruction, including the cache misses the VM system inflicts

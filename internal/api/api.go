@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tlb"
@@ -37,7 +38,13 @@ const Version = 1
 // this struct fails the build's tests rather than silently aliasing
 // keys.
 type canonicalConfig struct {
-	VM                string         `json:"vm"`
+	VM string `json:"vm"`
+	// Machine is the canonical serialization of an explicit machine spec
+	// (empty when the config resolves through the registry by VM name):
+	// machine.Canonical is itself canonical — fixed field order, every
+	// field present — so two configs carrying equal specs serialize
+	// identically, which is what lets custom machines cache correctly.
+	Machine           string         `json:"machine"`
 	L1SizeBytes       int            `json:"l1_size"`
 	L2SizeBytes       int            `json:"l2_size"`
 	L1LineBytes       int            `json:"l1_line"`
@@ -47,6 +54,7 @@ type canonicalConfig struct {
 	UnifiedCaches     bool           `json:"unified"`
 	TLBEntries        int            `json:"tlb"`
 	TLB2Entries       int            `json:"tlb2"`
+	TLB2Assoc         int            `json:"tlb2_assoc"`
 	TLB2Latency       int            `json:"tlb2_latency"`
 	TLBPolicy         tlb.Policy     `json:"tlb_policy"`
 	TLBProtectedSlots int            `json:"tlb_protected"`
@@ -63,8 +71,19 @@ type canonicalConfig struct {
 // field, fixed order, fixed encoding. Two configs serialize identically
 // iff they are equal.
 func CanonicalConfig(c sim.Config) []byte {
+	var spec string
+	if c.Machine != nil {
+		sb, err := machine.Canonical(c.Machine)
+		if err != nil {
+			// Invalid specs never reach the cache: submissions are
+			// validated before simulation, so this is a programming error.
+			panic("api: canonical machine spec: " + err.Error())
+		}
+		spec = string(sb)
+	}
 	b, err := json.Marshal(canonicalConfig{
 		VM:                c.VM,
+		Machine:           spec,
 		L1SizeBytes:       c.L1SizeBytes,
 		L2SizeBytes:       c.L2SizeBytes,
 		L1LineBytes:       c.L1LineBytes,
@@ -74,6 +93,7 @@ func CanonicalConfig(c sim.Config) []byte {
 		UnifiedCaches:     c.UnifiedCaches,
 		TLBEntries:        c.TLBEntries,
 		TLB2Entries:       c.TLB2Entries,
+		TLB2Assoc:         c.TLB2Assoc,
 		TLB2Latency:       c.TLB2Latency,
 		TLBPolicy:         c.TLBPolicy,
 		TLBProtectedSlots: c.TLBProtectedSlots,

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/version"
@@ -62,6 +63,27 @@ func TestKeySensitivity(t *testing.T) {
 	mut.CheckInvariants = true
 	if Key("aaaa", mut) == k {
 		t.Error("key ignores a boolean field")
+	}
+	mut = base
+	mut.TLB2Assoc = 4
+	if Key("aaaa", mut) == k {
+		t.Error("key ignores the L2 TLB associativity")
+	}
+	mut = base
+	spec, err := machine.Lookup(sim.VML2TLB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut.Machine = spec
+	if Key("aaaa", mut) == k {
+		t.Error("key ignores an attached machine spec")
+	}
+	spec2, _ := machine.Lookup(sim.VML2TLB)
+	spec2.TLB.Levels[0].Entries *= 2
+	mut2 := base
+	mut2.Machine = spec2
+	if Key("aaaa", mut2) == Key("aaaa", mut) {
+		t.Error("key ignores differences inside the machine spec")
 	}
 }
 

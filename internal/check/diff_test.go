@@ -92,6 +92,18 @@ func TestVariantConfigsNoDivergence(t *testing.T) {
 		{"ultrix-fifo", func(c *sim.Config) { c.TLBPolicy = tlb.FIFO }},
 		{"ultrix-tiny-tlb", func(c *sim.Config) { c.TLBEntries = 32 }},
 		{"ultrix-tlb2", func(c *sim.Config) { c.TLB2Entries = 512 }},
+		{"ultrix-tlb2-4way", func(c *sim.Config) { c.TLB2Entries = 512; c.TLB2Assoc = 4 }},
+		{"ultrix-tlb2-direct", func(c *sim.Config) { c.TLB2Entries = 256; c.TLB2Assoc = 1 }},
+		{"ultrix-tlb2-4way-lru", func(c *sim.Config) {
+			c.TLB2Entries = 512
+			c.TLB2Assoc = 4
+			c.TLBPolicy = tlb.LRU
+		}},
+		{"ultrix-tlb2-4way-fifo", func(c *sim.Config) {
+			c.TLB2Entries = 512
+			c.TLB2Assoc = 4
+			c.TLBPolicy = tlb.FIFO
+		}},
 		{"ultrix-unified", func(c *sim.Config) { c.UnifiedCaches = true }},
 		{"ultrix-2way", func(c *sim.Config) { c.L1Assoc = 2; c.L2Assoc = 2 }},
 		{"mach-tiny-tlb", func(c *sim.Config) { c.VM = sim.VMMach; c.TLBEntries = 32 }},
@@ -165,6 +177,31 @@ func TestInjectedTLBBugCaught(t *testing.T) {
 	if d == nil {
 		t.Fatal("planted TLB partition bug was not detected")
 	}
+}
+
+// TestTwoLevelTLBLockstep is the acceptance gate for the configurable
+// two-level TLB: the bundled l2tlb machine — the ultrix refill behind a
+// 4-way set-associative L2 TLB — runs 110k references in lockstep with
+// the naive reference model under every replacement policy, plus a
+// multiprogrammed run whose flush-on-switch exercises SetAssoc.Flush.
+func TestTwoLevelTLBLockstep(t *testing.T) {
+	const n = 110_000
+	tr := genTrace(t, "gcc", n)
+	for _, policy := range []tlb.Policy{tlb.Random, tlb.LRU, tlb.FIFO} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.Default(sim.VML2TLB)
+			cfg.TLBPolicy = policy
+			requireNoDivergence(t, cfg, tr)
+		})
+	}
+	t.Run("flush-on-switch", func(t *testing.T) {
+		t.Parallel()
+		cfg := sim.Default(sim.VML2TLB)
+		cfg.ASIDs = sim.ASIDFlush
+		requireNoDivergence(t, cfg, mpTrace(t, n, 2_000))
+	})
 }
 
 // TestRefEngineRejectsHybrids pins the oracle's scope.

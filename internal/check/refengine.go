@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -23,7 +24,7 @@ type RefEngine struct {
 	tagged   bool
 	itlb     *refTLB
 	dtlb     *refTLB
-	tlb2     *refTLB
+	tlb2     refLevel
 	tlb2Cost uint64
 
 	icache *refHier
@@ -36,29 +37,63 @@ type RefEngine struct {
 	step    int
 }
 
-// NewRefEngine builds the reference machine for cfg. Only the six paper
-// organizations are modelled; hybrids are rejected.
+// refSpec resolves the machine spec a config simulates, mirroring the
+// engine's precedence: an explicit Config.Machine wins, otherwise the
+// VM name is looked up in the registry. Validate has already checked
+// agreement between the two.
+func refSpec(cfg sim.Config) (*machine.Spec, error) {
+	if cfg.Machine != nil {
+		return cfg.Machine, nil
+	}
+	spec, err := machine.Lookup(cfg.VM)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	return spec, nil
+}
+
+// refillMatches reports whether spec's refill mechanism (walker kind,
+// page-table organization, and cost model) is exactly the named bundled
+// machine's. The oracle dispatches on refill equivalence rather than
+// machine name so custom specs — different TLB hierarchies over a paper
+// refill, like the bundled l2tlb — stay coverable.
+func refillMatches(spec *machine.Spec, name string) bool {
+	ref, err := machine.Lookup(name)
+	if err != nil {
+		return false
+	}
+	return spec.RefillEquivalent(ref)
+}
+
+// NewRefEngine builds the reference machine for cfg. The six paper
+// refill mechanisms are modelled — any machine whose refill is
+// equivalent to one of them is accepted, whatever its TLB hierarchy;
+// the hardware hybrids are rejected.
 func NewRefEngine(cfg sim.Config) (*RefEngine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	spec, err := refSpec(cfg)
+	if err != nil {
+		return nil, err
+	}
 	var walker refWalker
-	switch cfg.VM {
-	case sim.VMBase:
-		walker = nil
-	case sim.VMUltrix:
-		walker = refUltrix{}
-	case sim.VMMach:
-		walker = &refMach{}
-	case sim.VMIntel:
-		walker = newRefIntel(cfg.PhysMemBytes)
-	case sim.VMPARISC:
-		walker = newRefPARISC(cfg.PhysMemBytes)
-	case sim.VMNoTLB:
-		walker = refNoTLB{}
-	default:
-		return nil, fmt.Errorf("check: no reference model for organization %q (the oracle covers %v)",
-			cfg.VM, sim.PaperVMs())
+	if spec.Refill.Kind != machine.RefillNone {
+		switch {
+		case refillMatches(spec, sim.VMUltrix):
+			walker = refUltrix{}
+		case refillMatches(spec, sim.VMMach):
+			walker = &refMach{}
+		case refillMatches(spec, sim.VMIntel):
+			walker = newRefIntel(cfg.PhysMemBytes)
+		case refillMatches(spec, sim.VMPARISC):
+			walker = newRefPARISC(cfg.PhysMemBytes)
+		case refillMatches(spec, sim.VMNoTLB):
+			walker = refNoTLB{}
+		default:
+			return nil, fmt.Errorf("check: no reference model for machine %q (the oracle covers refill mechanisms equivalent to one of %v)",
+				spec.Name, sim.PaperVMs())
+		}
 	}
 
 	e := &RefEngine{
@@ -77,7 +112,11 @@ func NewRefEngine(cfg sim.Config) (*RefEngine, error) {
 			l2: newRefCache(cfg.L2SizeBytes, cfg.L2LineBytes, cfg.L2Assoc),
 		}
 	}
-	if walker != nil && walker.usesTLB() {
+	// Machine metadata — whether translations go through a TLB, whether
+	// its entries carry ASIDs, the default protected partition — comes
+	// from the spec, exactly as the engine's builder derives it, so a
+	// custom spec over a paper refill is modelled with its own hierarchy.
+	if spec.UsesTLB() {
 		e.usesTLB = true
 		switch cfg.ASIDs {
 		case sim.ASIDTagged:
@@ -85,11 +124,15 @@ func NewRefEngine(cfg sim.Config) (*RefEngine, error) {
 		case sim.ASIDFlush:
 			e.tagged = false
 		default:
-			e.tagged = walker.asidsInTLB()
+			e.tagged = spec.TLB.ASIDTagged
 		}
 		prot := cfg.TLBProtectedSlots
 		if prot < 0 {
-			prot = walker.protectedSlots()
+			if l1, ok := spec.L1(); ok {
+				prot = l1.ProtectedSlots
+			} else {
+				prot = 0
+			}
 		}
 		if max := cfg.TLBEntries / 2; prot > max {
 			prot = max
@@ -99,7 +142,11 @@ func NewRefEngine(cfg sim.Config) (*RefEngine, error) {
 		e.itlb = newRefTLB(cfg.TLBEntries, prot, cfg.TLBPolicy, cfg.Seed^0x1711)
 		e.dtlb = newRefTLB(cfg.TLBEntries, prot, cfg.TLBPolicy, cfg.Seed^0x2722)
 		if cfg.TLB2Entries > 0 {
-			e.tlb2 = newRefTLB(cfg.TLB2Entries, 0, cfg.TLBPolicy, cfg.Seed^0x3733)
+			if cfg.TLB2Assoc > 0 {
+				e.tlb2 = newRefSetAssoc(cfg.TLB2Entries, cfg.TLB2Assoc, cfg.TLBPolicy, cfg.Seed^0x3733)
+			} else {
+				e.tlb2 = newRefTLB(cfg.TLB2Entries, 0, cfg.TLBPolicy, cfg.Seed^0x3733)
+			}
 			e.tlb2Cost = uint64(cfg.TLB2Latency)
 			if e.tlb2Cost == 0 {
 				e.tlb2Cost = 2
@@ -287,8 +334,9 @@ func (e *RefEngine) StateSummary() string {
 				t.t.lookups, t.t.misses)
 		}
 		if e.tlb2 != nil {
+			lookups, misses := e.tlb2.counts()
 			fmt.Fprintf(&b, "  tlb2: %d/%d resident, %d lookups, %d misses\n",
-				e.tlb2.resident(), e.tlb2.entries, e.tlb2.lookups, e.tlb2.misses)
+				e.tlb2.resident(), e.tlb2.capacity(), lookups, misses)
 		}
 	}
 	fmt.Fprintf(&b, "  interrupts=%d ctxswitches=%d userinstrs=%d\n",

@@ -1,0 +1,155 @@
+package check
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tlb"
+)
+
+// refLevel is the second-level-TLB surface the reference engine needs,
+// satisfied by both the fully-associative refTLB and the set-associative
+// refSetAssoc — mirroring the engine's tlb.Level split.
+type refLevel interface {
+	lookup(key uint64) bool
+	insert(key uint64)
+	flush()
+	resident() int
+	// capacity returns the configured slot count; counts the accumulated
+	// lookup/miss tallies (for state summaries).
+	capacity() int
+	counts() (lookups, misses uint64)
+}
+
+func (t *refTLB) capacity() int                 { return t.entries }
+func (t *refTLB) counts() (uint64, uint64)      { return t.lookups, t.misses }
+func (t *refSetAssoc) capacity() int            { return t.entries }
+func (t *refSetAssoc) counts() (uint64, uint64) { return t.lookups, t.misses }
+
+var (
+	_ refLevel = (*refTLB)(nil)
+	_ refLevel = (*refSetAssoc)(nil)
+)
+
+// refSetAssoc is the deliberately naive model of the engine's
+// set-associative TLB (tlb.SetAssoc): a flat slice of entries where set
+// s occupies slots [s*ways, (s+1)*ways), searched linearly within the
+// set. The set-selection function — key modulo set count — is part of
+// the simulated hardware's definition, implemented here independently
+// over this model's own state; replacement within a set follows the same
+// three policies as refTLB. Random replacement shares internal/rng and
+// the engine's seed derivation, the package's one piece of deliberate
+// coupling.
+type refSetAssoc struct {
+	entries int
+	ways    int
+	sets    int
+	policy  tlb.Policy
+	slots   []refTLBEntry
+	clock   uint64
+	rotors  []int
+	rand    *rng.Source
+
+	lookups, misses uint64
+}
+
+func newRefSetAssoc(entries, ways int, policy tlb.Policy, seed uint64) *refSetAssoc {
+	sets := entries / ways
+	return &refSetAssoc{
+		entries: entries,
+		ways:    ways,
+		sets:    sets,
+		policy:  policy,
+		slots:   make([]refTLBEntry, entries),
+		rotors:  make([]int, sets),
+		rand:    rng.New(seed),
+	}
+}
+
+// lookup probes key's set with full statistics, refreshing recency on a
+// hit.
+func (t *refSetAssoc) lookup(key uint64) bool {
+	t.lookups++
+	set := int(key % uint64(t.sets))
+	lo, hi := set*t.ways, (set+1)*t.ways
+	for i := lo; i < hi; i++ {
+		if t.slots[i].valid && t.slots[i].key == key {
+			if t.policy == tlb.LRU {
+				t.clock++
+				t.slots[i].seen = t.clock
+			}
+			return true
+		}
+	}
+	t.misses++
+	return false
+}
+
+// insert places key into its set, choosing a victim by policy; a
+// resident key refreshes in place.
+func (t *refSetAssoc) insert(key uint64) {
+	set := int(key % uint64(t.sets))
+	lo, hi := set*t.ways, (set+1)*t.ways
+	for i := lo; i < hi; i++ {
+		if t.slots[i].valid && t.slots[i].key == key {
+			if t.policy == tlb.LRU {
+				t.clock++
+				t.slots[i].seen = t.clock
+			}
+			return
+		}
+	}
+	victim := -1
+	switch t.policy {
+	case tlb.FIFO:
+		victim = lo + t.rotors[set]
+		t.rotors[set] = (t.rotors[set] + 1) % t.ways
+	case tlb.LRU:
+		oldest := ^uint64(0)
+		for s := lo; s < hi; s++ {
+			if !t.slots[s].valid {
+				victim = s
+				break
+			}
+			if t.slots[s].seen < oldest {
+				oldest = t.slots[s].seen
+				victim = s
+			}
+		}
+	default: // Random: invalid slots first, like the hardware.
+		for s := lo; s < hi; s++ {
+			if !t.slots[s].valid {
+				victim = s
+				break
+			}
+		}
+		if victim < 0 {
+			victim = lo + t.rand.Intn(t.ways)
+		}
+	}
+	t.slots[victim] = refTLBEntry{valid: true, key: key}
+	if t.policy == tlb.LRU {
+		t.clock++
+		t.slots[victim].seen = t.clock
+	}
+}
+
+// flush invalidates every entry, preserving statistics and the random
+// stream.
+func (t *refSetAssoc) flush() {
+	for i := range t.slots {
+		t.slots[i] = refTLBEntry{}
+	}
+	for i := range t.rotors {
+		t.rotors[i] = 0
+	}
+}
+
+// resident returns the number of valid entries.
+func (t *refSetAssoc) resident() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,31 @@
+// Command genspecs regenerates the bundled machines/*.json files as the
+// exact canonical serialization of the built-in specs. Run from the
+// repository root after changing internal/machine/registry.go:
+//
+//	go run ./internal/machine/genspecs
+//
+// TestBundledSpecFiles pins the files to the registry byte-for-byte, so
+// a registry change without a regeneration fails the tests.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/machine"
+)
+
+func main() {
+	for _, s := range machine.Bundled() {
+		b, err := machine.Canonical(s)
+		if err != nil {
+			panic(err)
+		}
+		path := filepath.Join("machines", s.Name+".json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}

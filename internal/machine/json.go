@@ -1,0 +1,67 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Canonical returns the spec's canonical JSON serialization: fixed field
+// order (declaration order, with every field present — no omitempty),
+// two-space indentation, trailing newline. Two specs produce identical
+// canonical bytes iff they are equal, which is what lets the simulation
+// service's content-addressed result cache key on it: the same declared
+// machine always hashes to the same key, across processes and releases.
+// The bundled spec files under machines/ are exactly these bytes.
+func Canonical(s *Spec) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// Normalize a nil Levels slice to empty so "levels": [] serializes
+	// identically whether the spec was built in Go (nil) or parsed from
+	// JSON ([]).
+	c := clone(s)
+	if c.TLB.Levels == nil {
+		c.TLB.Levels = []TLBLevel{}
+	}
+	out, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("machine: %s: %w", s.Name, err)
+	}
+	return append(out, '\n'), nil
+}
+
+// Parse decodes and validates a machine spec from JSON. Unknown fields
+// are rejected: a typo in a config file should fail loudly, not silently
+// fall back to a default.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("machine: parsing spec: %w", err)
+	}
+	// Trailing garbage after the JSON document is as suspect as an
+	// unknown field.
+	if dec.More() {
+		return nil, fmt.Errorf("machine: trailing data after spec document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and validates a machine spec file (the -machine CLI path).
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}

@@ -1,0 +1,129 @@
+package mmu
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/ptable"
+)
+
+// Build constructs the walker a machine spec declares over phys. The
+// dispatch is (refill kind × page-table organization) → walker
+// implementation; the spec's cost model parameterizes handler lengths
+// and walk cycles, and its TLB section parameterizes the metadata the
+// walker reports (name, protected slots, ASID tagging). A nil refill
+// with a nil error means the spec declares no VM system (the BASE
+// machine).
+//
+// Build validates the spec first, so the combination cases below can
+// assume a buildable shape; an unbuildable spec never reaches them.
+func Build(spec *machine.Spec, phys *mem.Phys) (Refill, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Refill.Kind == machine.RefillNone {
+		return nil, nil
+	}
+
+	md := meta{
+		name:    spec.Name,
+		usesTLB: spec.UsesTLB(),
+		tagged:  spec.TLB.ASIDTagged,
+	}
+	if l1, ok := spec.L1(); ok {
+		md.protected = l1.ProtectedSlots
+	}
+	c := spec.Costs
+	sw := spec.Refill.Kind == machine.RefillSoftware
+
+	switch spec.PageTable.Kind {
+	case machine.PTTwoTierBottomUp:
+		if sw {
+			return &Ultrix{
+				meta:       md,
+				pt:         ptable.NewUltrix(phys),
+				userInstrs: c.UserHandlerInstrs,
+				rootInstrs: c.RootHandlerInstrs,
+			}, nil
+		}
+		return &HWMIPS{
+			meta:         md,
+			pt:           ptable.NewUltrix(phys),
+			walkCycles:   c.WalkCycles,
+			mappedCycles: c.MappedWalkCycles,
+		}, nil
+	case machine.PTThreeTierBottomUp:
+		return &Mach{
+			meta:         md,
+			pt:           ptable.NewMach(phys),
+			admin:        phys.MustReserve("mach-admin", 16<<10),
+			userInstrs:   c.UserHandlerInstrs,
+			kernelInstrs: c.KernelHandlerInstrs,
+			rootInstrs:   c.RootHandlerInstrs,
+			adminLoads:   c.RootAdminLoads,
+		}, nil
+	case machine.PTTwoTierTopDown:
+		if spec.Refill.Kind == machine.RefillPFSM {
+			return &PFSM{
+				meta:   md,
+				table:  PFSMHierarchical,
+				cycles: c.WalkCycles,
+				hier:   ptable.NewIntel(phys),
+			}, nil
+		}
+		return &Intel{
+			meta:       md,
+			pt:         ptable.NewIntel(phys),
+			walkCycles: c.WalkCycles,
+		}, nil
+	case machine.PTHashedInverted:
+		switch spec.Refill.Kind {
+		case machine.RefillSoftware:
+			return &PARISC{
+				meta:          md,
+				pt:            ptable.NewPARISC(phys),
+				handlerInstrs: c.UserHandlerInstrs,
+			}, nil
+		case machine.RefillPFSM:
+			return &PFSM{
+				meta:   md,
+				table:  PFSMHashed,
+				cycles: c.WalkCycles,
+				hashed: ptable.NewPARISC(phys),
+			}, nil
+		default:
+			return &PowerPC{
+				meta:       md,
+				pt:         ptable.NewPARISC(phys),
+				walkCycles: c.WalkCycles,
+			}, nil
+		}
+	case machine.PTClustered:
+		return &Clustered{
+			meta:          md,
+			pt:            ptable.NewClustered(phys),
+			handlerInstrs: c.UserHandlerInstrs,
+		}, nil
+	case machine.PTDisjunctTwoTier:
+		if sw {
+			return &NoTLB{
+				meta:       md,
+				pt:         ptable.NewNoTLB(phys),
+				userInstrs: c.UserHandlerInstrs,
+				rootInstrs: c.RootHandlerInstrs,
+			}, nil
+		}
+		return &SPUR{
+			meta:       md,
+			pt:         ptable.NewNoTLB(phys),
+			walkCycles: c.WalkCycles,
+			rootCycles: c.RootWalkCycles,
+		}, nil
+	default:
+		// Validate admits only the kinds above; reaching here means the
+		// dispatch table and the validator have drifted apart.
+		return nil, fmt.Errorf("mmu: no walker for page table %q with %s refill",
+			spec.PageTable.Kind, spec.Refill.Kind)
+	}
+}

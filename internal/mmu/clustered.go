@@ -14,25 +14,20 @@ import (
 // paper's era proposed to combine the inverted table's density with the
 // hierarchical table's spatial locality.
 type Clustered struct {
-	pt *ptable.Clustered
+	meta
+	pt            *ptable.Clustered
+	handlerInstrs int
 }
 
-// NewClustered builds the walker over a fresh clustered table in phys.
+// NewClustered builds the walker over a fresh clustered table in phys
+// with the PA-RISC handler length and an unpartitioned, tagged TLB.
 func NewClustered(phys *mem.Phys) *Clustered {
-	return &Clustered{pt: ptable.NewClustered(phys)}
+	return &Clustered{
+		meta:          meta{name: ptable.NameClustered, usesTLB: true, tagged: true},
+		pt:            ptable.NewClustered(phys),
+		handlerInstrs: PARISCHandlerInstrs,
+	}
 }
-
-// Name returns "clustered".
-func (c *Clustered) Name() string { return ptable.NameClustered }
-
-// UsesTLB reports true.
-func (c *Clustered) UsesTLB() bool { return true }
-
-// ProtectedSlots returns 0 (unpartitioned, like PA-RISC).
-func (c *Clustered) ProtectedSlots() int { return 0 }
-
-// ASIDsInTLB reports true.
-func (c *Clustered) ASIDsInTLB() bool { return true }
 
 // Table exposes the clustered table for chain statistics.
 func (c *Clustered) Table() *ptable.Clustered { return c.pt }
@@ -41,7 +36,7 @@ func (c *Clustered) Table() *ptable.Clustered { return c.pt }
 // element loads are charged like PA-RISC's.
 func (c *Clustered) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 	m.Interrupt()
-	m.ExecHandler(stats.UHandler, addr.HandlerPC(hClustered), PARISCHandlerInstrs, true)
+	m.ExecHandler(stats.UHandler, addr.HandlerPC(hClustered), c.handlerInstrs, true)
 	for _, a := range c.pt.ChainAddrs(asid, va) {
 		m.PTELoad(a, stats.UPTEL2, stats.UPTEMem)
 	}

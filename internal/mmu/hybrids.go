@@ -31,34 +31,35 @@ const (
 // but the UPTE reference still translates through the (partitioned)
 // D-TLB, falling back to a physical root-table access on a nested miss.
 type HWMIPS struct {
+	meta
 	pt *ptable.Ultrix
+	// walkCycles is the full-walk cost (root level consulted);
+	// mappedCycles the cheaper cost when the UPT page is TLB-resident.
+	walkCycles   int
+	mappedCycles int
 }
 
-// NewHWMIPS builds the walker over a fresh Ultrix-style table in phys.
-func NewHWMIPS(phys *mem.Phys) *HWMIPS { return &HWMIPS{pt: ptable.NewUltrix(phys)} }
+// NewHWMIPS builds the walker over a fresh Ultrix-style table in phys:
+// four cycles when the UPT page is already mapped, seven (the Intel
+// figure) when the root level must be consulted. The hardware still
+// wires UPT mappings into protected slots, as the MIPS convention
+// requires.
+func NewHWMIPS(phys *mem.Phys) *HWMIPS {
+	return &HWMIPS{
+		meta:         meta{name: NameHWMIPS, usesTLB: true, protected: 16, tagged: true},
+		pt:           ptable.NewUltrix(phys),
+		walkCycles:   IntelWalkCycles,
+		mappedCycles: 4,
+	}
+}
 
-// Name returns "hw-mips".
-func (h *HWMIPS) Name() string { return NameHWMIPS }
-
-// UsesTLB reports true.
-func (h *HWMIPS) UsesTLB() bool { return true }
-
-// ProtectedSlots returns 16: the hardware still wires UPT mappings into
-// protected slots, as the MIPS convention requires.
-func (h *HWMIPS) ProtectedSlots() int { return 16 }
-
-// ASIDsInTLB reports true (MIPS-style tagged entries).
-func (h *HWMIPS) ASIDsInTLB() bool { return true }
-
-// HandleMiss performs the hardware bottom-up walk: four cycles when the
-// UPT page is already mapped, seven (the Intel figure) when the root
-// level must be consulted.
+// HandleMiss performs the hardware bottom-up walk.
 func (h *HWMIPS) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 	upte := h.pt.UPTEAddr(asid, va)
 	if m.DTLBLookup(asid, addr.VPN(upte)) {
-		m.ExecHandler(stats.UHandler, 0, 4, false)
+		m.ExecHandler(stats.UHandler, 0, h.mappedCycles, false)
 	} else {
-		m.ExecHandler(stats.UHandler, 0, IntelWalkCycles, false)
+		m.ExecHandler(stats.UHandler, 0, h.walkCycles, false)
 		m.PTELoad(h.pt.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
 		m.DTLBInsertProtected(asid, addr.VPN(upte))
 	}
@@ -70,32 +71,29 @@ func (h *HWMIPS) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 // solution would be to merge these two and use a hardware-managed TLB
 // with an inverted page table. Note that this is exactly what has been
 // done in the PowerPC" — a hardware state machine walking the hashed
-// inverted table in physical space.
+// inverted table in physical space. TLB entries are tagged
+// (segment-register-derived VSIDs).
 type PowerPC struct {
-	pt *ptable.PARISC
+	meta
+	pt         *ptable.PARISC
+	walkCycles int
 }
 
 // NewPowerPC builds the walker over a fresh hashed table in phys.
-func NewPowerPC(phys *mem.Phys) *PowerPC { return &PowerPC{pt: ptable.NewPARISC(phys)} }
-
-// Name returns "powerpc".
-func (p *PowerPC) Name() string { return NamePowerPC }
-
-// UsesTLB reports true.
-func (p *PowerPC) UsesTLB() bool { return true }
-
-// ProtectedSlots returns 0.
-func (p *PowerPC) ProtectedSlots() int { return 0 }
-
-// ASIDsInTLB reports true (segment-register-derived VSIDs).
-func (p *PowerPC) ASIDsInTLB() bool { return true }
+func NewPowerPC(phys *mem.Phys) *PowerPC {
+	return &PowerPC{
+		meta:       meta{name: NamePowerPC, usesTLB: true, tagged: true},
+		pt:         ptable.NewPARISC(phys),
+		walkCycles: IntelWalkCycles,
+	}
+}
 
 // Table exposes the hashed table for chain statistics.
 func (p *PowerPC) Table() *ptable.PARISC { return p.pt }
 
 // HandleMiss hashes in hardware and walks the chain with physical loads.
 func (p *PowerPC) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
-	m.ExecHandler(stats.UHandler, 0, IntelWalkCycles, false)
+	m.ExecHandler(stats.UHandler, 0, p.walkCycles, false)
 	for _, a := range p.pt.ChainAddrs(asid, va) {
 		m.PTELoad(a, stats.UPTEL2, stats.UPTEMem)
 	}
@@ -107,29 +105,30 @@ func (p *PowerPC) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 // the disjunct table — the NOTLB data path without interrupts or handler
 // instruction fetches.
 type SPUR struct {
+	meta
 	pt *ptable.NoTLB
+	// walkCycles is the in-cache translation cost; rootCycles the
+	// nested hardware walk when the UPTE load misses the L2.
+	walkCycles int
+	rootCycles int
 }
 
 // NewSPUR builds the walker over a fresh disjunct table in phys.
-func NewSPUR(phys *mem.Phys) *SPUR { return &SPUR{pt: ptable.NewNoTLB(phys)} }
-
-// Name returns "spur".
-func (s *SPUR) Name() string { return NameSPUR }
-
-// UsesTLB reports false.
-func (s *SPUR) UsesTLB() bool { return false }
-
-// ProtectedSlots returns 0.
-func (s *SPUR) ProtectedSlots() int { return 0 }
-
-// ASIDsInTLB reports true vacuously (ASID-tagged virtual caches).
-func (s *SPUR) ASIDsInTLB() bool { return true }
+// ASIDsInTLB is vacuously true (ASID-tagged virtual caches).
+func NewSPUR(phys *mem.Phys) *SPUR {
+	return &SPUR{
+		meta:       meta{name: NameSPUR, usesTLB: false, tagged: true},
+		pt:         ptable.NewNoTLB(phys),
+		walkCycles: IntelWalkCycles,
+		rootCycles: 4,
+	}
+}
 
 // HandleMiss performs the hardware in-cache translation.
 func (s *SPUR) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
-	m.ExecHandler(stats.UHandler, 0, IntelWalkCycles, false)
+	m.ExecHandler(stats.UHandler, 0, s.walkCycles, false)
 	if lvl := m.PTELoad(s.pt.UPTEAddr(asid, va), stats.UPTEL2, stats.UPTEMem); lvl == cache.Memory {
-		m.ExecHandler(stats.RHandler, 0, 4, false)
+		m.ExecHandler(stats.RHandler, 0, s.rootCycles, false)
 		m.PTELoad(s.pt.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
 	}
 }
@@ -149,7 +148,9 @@ const (
 // conclusions: a hardware walker whose table format and per-walk cycle
 // cost are software-defined, giving "the flexibility of alternate page
 // table organizations … and yet no interrupt or I-cache overhead".
+// TLB entries are tagged: a from-scratch design would tag its entries.
 type PFSM struct {
+	meta
 	table  PFSMTable
 	cycles int
 	hier   *ptable.Intel
@@ -163,7 +164,11 @@ func NewPFSM(phys *mem.Phys, table PFSMTable, cycles int) *PFSM {
 	if cycles <= 0 {
 		cycles = IntelWalkCycles
 	}
-	p := &PFSM{table: table, cycles: cycles}
+	p := &PFSM{
+		meta:   meta{name: NamePFSM, usesTLB: true, tagged: true},
+		table:  table,
+		cycles: cycles,
+	}
 	switch table {
 	case PFSMHashed:
 		p.hashed = ptable.NewPARISC(phys)
@@ -172,18 +177,6 @@ func NewPFSM(phys *mem.Phys, table PFSMTable, cycles int) *PFSM {
 	}
 	return p
 }
-
-// Name returns "pfsm".
-func (p *PFSM) Name() string { return NamePFSM }
-
-// UsesTLB reports true.
-func (p *PFSM) UsesTLB() bool { return true }
-
-// ProtectedSlots returns 0.
-func (p *PFSM) ProtectedSlots() int { return 0 }
-
-// ASIDsInTLB reports true: a from-scratch design would tag its entries.
-func (p *PFSM) ASIDsInTLB() bool { return true }
 
 // HandleMiss runs the microcoded walk for the configured format.
 func (p *PFSM) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {

@@ -116,6 +116,29 @@ const (
 	hClustered
 )
 
+// meta carries the organization metadata every walker reports through the
+// Refill interface. The NewXxx constructors fill it with the paper's
+// values; Build fills it from a machine.Spec, which is how one walker
+// implementation serves many declared machines.
+type meta struct {
+	name      string
+	usesTLB   bool
+	protected int
+	tagged    bool
+}
+
+// Name returns the organization name.
+func (m meta) Name() string { return m.name }
+
+// UsesTLB reports whether the organization translates through TLBs.
+func (m meta) UsesTLB() bool { return m.usesTLB }
+
+// ProtectedSlots returns the TLB slots reserved for root-level PTEs.
+func (m meta) ProtectedSlots() int { return m.protected }
+
+// ASIDsInTLB reports whether TLB entries carry address-space ids.
+func (m meta) ASIDsInTLB() bool { return m.tagged }
+
 // inserter routes the final translation to the right TLB.
 func insertUser(m Machine, asid uint8, va uint64, instr bool) {
 	if instr {

@@ -13,37 +13,38 @@ import (
 // ten-instruction user handler loads the UPTE through the D-TLB; if that
 // load itself misses the D-TLB, a twenty-instruction root handler loads
 // the root PTE from the wired physical root table and installs the
-// user-page-table mapping in a protected TLB slot.
+// user-page-table mapping in a protected TLB slot. The handler lengths
+// are parameters so a declared machine can scale them; NewUltrix uses
+// the paper's.
 type Ultrix struct {
-	pt *ptable.Ultrix
+	meta
+	pt         *ptable.Ultrix
+	userInstrs int
+	rootInstrs int
 }
 
-// NewUltrix builds the walker over a fresh page table in phys.
-func NewUltrix(phys *mem.Phys) *Ultrix { return &Ultrix{pt: ptable.NewUltrix(phys)} }
-
-// Name returns "ultrix".
-func (u *Ultrix) Name() string { return ptable.NameUltrix }
-
-// UsesTLB reports true.
-func (u *Ultrix) UsesTLB() bool { return true }
-
-// ProtectedSlots returns 16 (MIPS-style partitioned TLB).
-func (u *Ultrix) ProtectedSlots() int { return 16 }
-
-// ASIDsInTLB reports true: MIPS TLB entries carry ASIDs.
-func (u *Ultrix) ASIDsInTLB() bool { return true }
+// NewUltrix builds the walker over a fresh page table in phys with the
+// paper's handler lengths and the MIPS-style 16-slot protected partition.
+func NewUltrix(phys *mem.Phys) *Ultrix {
+	return &Ultrix{
+		meta:       meta{name: ptable.NameUltrix, usesTLB: true, protected: 16, tagged: true},
+		pt:         ptable.NewUltrix(phys),
+		userInstrs: UserHandlerInstrs,
+		rootInstrs: KernelHandlerInstrs,
+	}
+}
 
 // HandleMiss implements the walk_page_table pseudocode of paper §3.1.
 func (u *Ultrix) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 	m.Interrupt()
-	m.ExecHandler(stats.UHandler, addr.HandlerPC(hUltrixUser), UserHandlerInstrs, true)
+	m.ExecHandler(stats.UHandler, addr.HandlerPC(hUltrixUser), u.userInstrs, true)
 	upte := u.pt.UPTEAddr(asid, va)
 	if !m.DTLBLookup(asid, addr.VPN(upte)) {
 		// The UPTE load faulted: nested exception into the root handler,
 		// which reads the wired root table (physical; cannot itself miss
 		// the TLB) and installs the UPT-page mapping protected.
 		m.Interrupt()
-		m.ExecHandler(stats.RHandler, addr.HandlerPC(hUltrixRoot), KernelHandlerInstrs, true)
+		m.ExecHandler(stats.RHandler, addr.HandlerPC(hUltrixRoot), u.rootInstrs, true)
 		m.PTELoad(u.pt.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
 		m.DTLBInsertProtected(asid, addr.VPN(upte))
 	}
@@ -57,52 +58,51 @@ func (u *Ultrix) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 // loads and is deliberately expensive (500 instructions plus ten
 // administrative loads) to model Mach's general-exception path.
 type Mach struct {
+	meta
 	pt    *ptable.Mach
 	admin mem.Region
 	// adminCursor walks the administrative data so the loads displace
 	// real cache lines rather than hitting one hot line forever.
-	adminCursor uint64
+	adminCursor  uint64
+	userInstrs   int
+	kernelInstrs int
+	rootInstrs   int
+	adminLoads   int
 }
 
-// NewMach builds the walker over a fresh page table in phys.
+// NewMach builds the walker over a fresh page table in phys with the
+// paper's handler lengths.
 func NewMach(phys *mem.Phys) *Mach {
 	return &Mach{
-		pt:    ptable.NewMach(phys),
-		admin: phys.MustReserve("mach-admin", 16<<10),
+		meta:         meta{name: ptable.NameMach, usesTLB: true, protected: 16, tagged: true},
+		pt:           ptable.NewMach(phys),
+		admin:        phys.MustReserve("mach-admin", 16<<10),
+		userInstrs:   UserHandlerInstrs,
+		kernelInstrs: KernelHandlerInstrs,
+		rootInstrs:   MachRootHandlerInstrs,
+		adminLoads:   MachRootAdminLoads,
 	}
 }
-
-// Name returns "mach".
-func (mc *Mach) Name() string { return ptable.NameMach }
-
-// UsesTLB reports true.
-func (mc *Mach) UsesTLB() bool { return true }
-
-// ProtectedSlots returns 16 (MIPS-style partitioned TLB).
-func (mc *Mach) ProtectedSlots() int { return 16 }
-
-// ASIDsInTLB reports true: MIPS TLB entries carry ASIDs.
-func (mc *Mach) ASIDsInTLB() bool { return true }
 
 // HandleMiss implements the three-level bottom-up walk. Kernel-space
 // structures (the kernel table and below) are shared, so their TLB
 // entries live in address space 0 regardless of the faulting process.
 func (mc *Mach) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 	m.Interrupt()
-	m.ExecHandler(stats.UHandler, addr.HandlerPC(hMachUser), UserHandlerInstrs, true)
+	m.ExecHandler(stats.UHandler, addr.HandlerPC(hMachUser), mc.userInstrs, true)
 	upte := mc.pt.UPTEAddr(asid, va)
 	if !m.DTLBLookup(0, addr.VPN(upte)) {
 		m.Interrupt()
-		m.ExecHandler(stats.KHandler, addr.HandlerPC(hMachKernel), KernelHandlerInstrs, true)
+		m.ExecHandler(stats.KHandler, addr.HandlerPC(hMachKernel), mc.kernelInstrs, true)
 		kpte := mc.pt.KPTEAddr(upte)
 		if !m.DTLBLookup(0, addr.VPN(kpte)) {
 			m.Interrupt()
-			m.ExecHandler(stats.RHandler, addr.HandlerPC(hMachRoot), MachRootHandlerInstrs, true)
+			m.ExecHandler(stats.RHandler, addr.HandlerPC(hMachRoot), mc.rootInstrs, true)
 			// Administrative memory activity, accounted under the
 			// rpte components (paper §4.2: "rpte-MEM, … along with
 			// rpte-L2 and rhandlers, is where we account for the
 			// simulated 'administrative' memory activity").
-			for i := 0; i < MachRootAdminLoads; i++ {
+			for i := 0; i < mc.adminLoads; i++ {
 				a := mc.admin.Base + mc.adminCursor%mc.admin.Size
 				m.PTELoad(addr.Unmapped(a), stats.RPTEL2, stats.RPTEMem)
 				mc.adminCursor += 64
@@ -123,30 +123,24 @@ func (mc *Mach) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 // instruction caches are untouched, and the root PTE is referenced on
 // every miss (it is never cached in the TLB).
 type Intel struct {
-	pt *ptable.Intel
+	meta
+	pt         *ptable.Intel
+	walkCycles int
 }
 
-// NewIntel builds the walker over a fresh page table in phys.
-func NewIntel(phys *mem.Phys) *Intel { return &Intel{pt: ptable.NewIntel(phys)} }
+// NewIntel builds the walker over a fresh page table in phys with the
+// paper's seven-cycle walk and an untagged (flush-on-switch) TLB.
+func NewIntel(phys *mem.Phys) *Intel {
+	return &Intel{
+		meta:       meta{name: ptable.NameIntel, usesTLB: true, tagged: false},
+		pt:         ptable.NewIntel(phys),
+		walkCycles: IntelWalkCycles,
+	}
+}
 
-// Name returns "intel".
-func (i *Intel) Name() string { return ptable.NameIntel }
-
-// UsesTLB reports true.
-func (i *Intel) UsesTLB() bool { return true }
-
-// ProtectedSlots returns 0: "the TLBs are not partitioned … all 128
-// entries in each TLB are available for user-level PTEs".
-func (i *Intel) ProtectedSlots() int { return 0 }
-
-// ASIDsInTLB reports false: the classical x86 TLB is untagged and must be
-// flushed on every address-space switch.
-func (i *Intel) ASIDsInTLB() bool { return false }
-
-// HandleMiss performs the seven-cycle hardware walk with two physical
-// PTE loads.
+// HandleMiss performs the hardware walk with two physical PTE loads.
 func (i *Intel) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
-	m.ExecHandler(stats.UHandler, 0, IntelWalkCycles, false)
+	m.ExecHandler(stats.UHandler, 0, i.walkCycles, false)
 	m.PTELoad(i.pt.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
 	m.PTELoad(i.pt.UPTEAddr(asid, va), stats.UPTEL2, stats.UPTEMem)
 	insertUser(m, asid, va, instr)
@@ -158,23 +152,20 @@ func (i *Intel) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 // through physical, cacheable space. The TLB is not partitioned; entries
 // carry space ids.
 type PARISC struct {
-	pt *ptable.PARISC
+	meta
+	pt            *ptable.PARISC
+	handlerInstrs int
 }
 
-// NewPARISC builds the walker over a fresh hashed table in phys.
-func NewPARISC(phys *mem.Phys) *PARISC { return &PARISC{pt: ptable.NewPARISC(phys)} }
-
-// Name returns "pa-risc".
-func (p *PARISC) Name() string { return ptable.NamePARISC }
-
-// UsesTLB reports true.
-func (p *PARISC) UsesTLB() bool { return true }
-
-// ProtectedSlots returns 0 (unpartitioned, like INTEL).
-func (p *PARISC) ProtectedSlots() int { return 0 }
-
-// ASIDsInTLB reports true: PA-RISC TLB entries carry space ids.
-func (p *PARISC) ASIDsInTLB() bool { return true }
+// NewPARISC builds the walker over a fresh hashed table in phys with the
+// paper's twenty-instruction handler.
+func NewPARISC(phys *mem.Phys) *PARISC {
+	return &PARISC{
+		meta:          meta{name: ptable.NamePARISC, usesTLB: true, tagged: true},
+		pt:            ptable.NewPARISC(phys),
+		handlerInstrs: PARISCHandlerInstrs,
+	}
+}
 
 // Table exposes the hashed table for chain-length statistics.
 func (p *PARISC) Table() *ptable.PARISC { return p.pt }
@@ -184,7 +175,7 @@ func (p *PARISC) Table() *ptable.PARISC { return p.pt }
 // loads", Table 4).
 func (p *PARISC) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 	m.Interrupt()
-	m.ExecHandler(stats.UHandler, addr.HandlerPC(hPARISC), PARISCHandlerInstrs, true)
+	m.ExecHandler(stats.UHandler, addr.HandlerPC(hPARISC), p.handlerInstrs, true)
 	for _, a := range p.pt.ChainAddrs(asid, va) {
 		m.PTELoad(a, stats.UPTEL2, stats.UPTEMem)
 	}
@@ -197,24 +188,24 @@ func (p *PARISC) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 // walking a disjunct two-tiered table. If the UPTE load itself misses the
 // L2 cache, a nested root handler loads the root PTE from physical space.
 type NoTLB struct {
-	pt *ptable.NoTLB
+	meta
+	pt         *ptable.NoTLB
+	userInstrs int
+	rootInstrs int
 }
 
-// NewNoTLB builds the walker over a fresh disjunct table in phys.
-func NewNoTLB(phys *mem.Phys) *NoTLB { return &NoTLB{pt: ptable.NewNoTLB(phys)} }
-
-// Name returns "notlb".
-func (n *NoTLB) Name() string { return ptable.NameNoTLB }
-
-// UsesTLB reports false: misses are detected at the L2 cache.
-func (n *NoTLB) UsesTLB() bool { return false }
-
-// ProtectedSlots returns 0.
-func (n *NoTLB) ProtectedSlots() int { return 0 }
-
-// ASIDsInTLB reports true vacuously: the virtual caches carry ASIDs in
-// their tags (the softvm assumption), so nothing is flushed on a switch.
-func (n *NoTLB) ASIDsInTLB() bool { return true }
+// NewNoTLB builds the walker over a fresh disjunct table in phys with the
+// paper's handler lengths. ASIDsInTLB is vacuously true: the virtual
+// caches carry ASIDs in their tags (the softvm assumption), so nothing
+// is flushed on a switch.
+func NewNoTLB(phys *mem.Phys) *NoTLB {
+	return &NoTLB{
+		meta:       meta{name: ptable.NameNoTLB, usesTLB: false, tagged: true},
+		pt:         ptable.NewNoTLB(phys),
+		userInstrs: UserHandlerInstrs,
+		rootInstrs: KernelHandlerInstrs,
+	}
+}
 
 // HandleMiss runs the ten-instruction cache-miss handler; the UPTE load
 // goes through the data caches (it is a virtual address in the disjunct
@@ -223,10 +214,10 @@ func (n *NoTLB) ASIDsInTLB() bool { return true }
 // misses are charged but cannot recurse.
 func (n *NoTLB) HandleMiss(m Machine, asid uint8, va uint64, instr bool) {
 	m.Interrupt()
-	m.ExecHandler(stats.UHandler, addr.HandlerPC(hNoTLBUser), UserHandlerInstrs, true)
+	m.ExecHandler(stats.UHandler, addr.HandlerPC(hNoTLBUser), n.userInstrs, true)
 	if lvl := m.PTELoad(n.pt.UPTEAddr(asid, va), stats.UPTEL2, stats.UPTEMem); lvl == cache.Memory {
 		m.Interrupt()
-		m.ExecHandler(stats.RHandler, addr.HandlerPC(hNoTLBRoot), KernelHandlerInstrs, true)
+		m.ExecHandler(stats.RHandler, addr.HandlerPC(hNoTLBRoot), n.rootInstrs, true)
 		m.PTELoad(n.pt.RPTEAddr(asid, va), stats.RPTEL2, stats.RPTEMem)
 	}
 }

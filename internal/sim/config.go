@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/cache"
+	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/mmu"
 	"repro/internal/simerr"
@@ -33,6 +34,11 @@ const (
 	VMPFSMHier   = "pfsm-hier"
 	VMPFSMHashed = "pfsm-hashed"
 	VMClustered  = "clustered"
+
+	// VML2TLB is the bundled two-level-TLB extension (not in the paper):
+	// the ultrix software refill behind the paper's L1 TLBs plus a
+	// set-associative second-level TLB.
+	VML2TLB = "l2tlb"
 )
 
 // PaperVMs returns the organizations in the paper's Table 1, in its
@@ -47,9 +53,12 @@ func HybridVMs() []string {
 	return []string{VMHWMIPS, VMPowerPC, VMSPUR, VMPFSMHier, VMPFSMHashed, VMClustered}
 }
 
-// AllVMs returns every accepted organization name, sorted.
+// AllVMs returns every registered machine name, sorted: the paper's
+// Table 1 rows, the hybrids, the bundled extensions (the two-level-TLB
+// "l2tlb"), and anything registered at run time through the machine
+// registry.
 func AllVMs() []string {
-	out := append(PaperVMs(), HybridVMs()...)
+	out := machine.Names()
 	sort.Strings(out)
 	return out
 }
@@ -57,8 +66,18 @@ func AllVMs() []string {
 // Config describes one simulation run. Zero-valued fields are filled by
 // Default; construct via Default(vm) and override.
 type Config struct {
-	// VM is the memory-management organization name.
+	// VM is the memory-management organization name, resolved through
+	// the machine registry (see internal/machine and MACHINES.md).
 	VM string
+
+	// Machine, when non-nil, is an explicit machine spec (e.g. loaded
+	// from a -machine file) that takes the place of a registry lookup on
+	// VM. VM must equal Machine.Name. The spec declares the walker, the
+	// page-table organization, the cost model, and the default TLB
+	// hierarchy; the TLB scalar fields below remain authoritative for
+	// the TLBs actually built (Default and ConfigForMachine seed them
+	// from the spec), which is what keeps machine specs sweepable.
+	Machine *machine.Spec
 
 	// Cache geometry, per side (the caches are split I/D).
 	L1SizeBytes int
@@ -82,6 +101,11 @@ type Config struct {
 	// configuration, disables it). An extension beyond the paper,
 	// modelling the two-level TLB hierarchies that followed it.
 	TLB2Entries int
+	// TLB2Assoc is the second-level TLB's set-associativity: 0 (the
+	// default) keeps it fully associative; n > 0 builds an n-way
+	// set-associative TLB indexed by the tagged VPN modulo the set
+	// count. TLB2Entries must divide evenly into TLB2Assoc ways.
+	TLB2Assoc int
 	// TLB2Latency is the cycles charged per second-level TLB hit
 	// (0 defaults to 2 when TLB2Entries > 0).
 	TLB2Latency int
@@ -165,9 +189,14 @@ func (p ASIDPolicy) String() string {
 // Default returns the paper's baseline configuration for the given
 // organization: 64/128-byte L1/L2 linesizes (the best-performing choice,
 // §4.2), 32KB L1 and 2MB L2 per side, 128-entry TLBs with random
-// replacement, 8MB physical memory, 50-cycle interrupts.
+// replacement, 8MB physical memory, 50-cycle interrupts. When vm names a
+// registered machine whose spec declares a TLB hierarchy, the TLB scalar
+// fields are seeded from the spec — which is how `-vm l2tlb` gets its
+// set-associative second-level TLB without further flags. For the twelve
+// classic organizations the spec values equal the paper baseline, so
+// this changes nothing for them.
 func Default(vm string) Config {
-	return Config{
+	cfg := Config{
 		VM:                vm,
 		L1SizeBytes:       32 * addr.KB,
 		L2SizeBytes:       2 * addr.MB,
@@ -182,6 +211,42 @@ func Default(vm string) Config {
 		PhysMemBytes:      addr.DefaultPhysMemBytes,
 		Seed:              1,
 		WarmupInstrs:      200_000,
+	}
+	if spec, err := machine.Lookup(vm); err == nil {
+		cfg.applyMachineTLB(spec)
+	}
+	return cfg
+}
+
+// ConfigForMachine returns the baseline configuration for an explicit
+// machine spec (e.g. one loaded from a -machine file): Default's cache
+// and cost baseline, the spec attached as Config.Machine, and the TLB
+// scalar fields seeded from the spec's TLB hierarchy.
+func ConfigForMachine(spec *machine.Spec) Config {
+	cfg := Default(spec.Name)
+	cfg.Machine = spec
+	cfg.applyMachineTLB(spec)
+	return cfg
+}
+
+// applyMachineTLB seeds the TLB scalar fields from a machine spec's TLB
+// hierarchy. The scalars stay authoritative afterwards — sweeps vary
+// them directly — so this runs only at config construction.
+func (c *Config) applyMachineTLB(spec *machine.Spec) {
+	if l1, ok := spec.L1(); ok {
+		c.TLBEntries = l1.Entries
+		if p, err := machine.ParsePolicy(l1.Replacement); err == nil {
+			c.TLBPolicy = p
+		}
+	}
+	if l2, ok := spec.L2(); ok {
+		c.TLB2Entries = l2.Entries
+		c.TLB2Assoc = l2.Assoc
+		c.TLB2Latency = l2.HitLatency
+	} else {
+		c.TLB2Entries = 0
+		c.TLB2Assoc = 0
+		c.TLB2Latency = 0
 	}
 }
 
@@ -217,7 +282,7 @@ func (c Config) Validate() error {
 
 // validate holds the actual checks, unwrapped.
 func (c Config) validate() error {
-	refill, err := buildRefill(c.VM, mem.New(c.PhysMemBytes))
+	refill, err := buildRefill(c, mem.New(c.PhysMemBytes))
 	if err != nil {
 		return err
 	}
@@ -245,8 +310,12 @@ func (c Config) validate() error {
 	if c.PhysMemBytes == 0 {
 		return fmt.Errorf("sim: physical memory size must be non-zero")
 	}
-	if c.TLB2Entries < 0 || c.TLB2Latency < 0 {
+	if c.TLB2Entries < 0 || c.TLB2Latency < 0 || c.TLB2Assoc < 0 {
 		return fmt.Errorf("sim: second-level TLB parameters must be non-negative")
+	}
+	if c.TLB2Entries > 0 && c.TLB2Assoc > 0 && c.TLB2Entries%c.TLB2Assoc != 0 {
+		return fmt.Errorf("sim: second-level TLB entries %d not divisible by associativity %d",
+			c.TLB2Entries, c.TLB2Assoc)
 	}
 	if c.SampleEvery < 0 {
 		return fmt.Errorf("sim: SampleEvery must be non-negative, got %d", c.SampleEvery)
@@ -261,35 +330,34 @@ func (c Config) Label() string {
 		c.L2SizeBytes/addr.KB, c.L2LineBytes, c.TLBEntries)
 }
 
-// buildRefill constructs the named organization's walker over phys.
-// VMBase returns (nil, nil): no VM system at all.
-func buildRefill(vm string, phys *mem.Phys) (mmu.Refill, error) {
-	switch vm {
-	case VMBase:
-		return nil, nil
-	case VMUltrix:
-		return mmu.NewUltrix(phys), nil
-	case VMMach:
-		return mmu.NewMach(phys), nil
-	case VMIntel:
-		return mmu.NewIntel(phys), nil
-	case VMPARISC:
-		return mmu.NewPARISC(phys), nil
-	case VMNoTLB:
-		return mmu.NewNoTLB(phys), nil
-	case VMHWMIPS:
-		return mmu.NewHWMIPS(phys), nil
-	case VMPowerPC:
-		return mmu.NewPowerPC(phys), nil
-	case VMSPUR:
-		return mmu.NewSPUR(phys), nil
-	case VMPFSMHier:
-		return mmu.NewPFSM(phys, mmu.PFSMHierarchical, 0), nil
-	case VMPFSMHashed:
-		return mmu.NewPFSM(phys, mmu.PFSMHashed, 0), nil
-	case VMClustered:
-		return mmu.NewClustered(phys), nil
-	default:
-		return nil, fmt.Errorf("sim: unknown VM organization %q (have %v)", vm, AllVMs())
+// resolveMachine returns the machine spec a configuration declares: the
+// explicit Config.Machine if set (its name must agree with Config.VM),
+// otherwise the registry entry for Config.VM. An unknown name's error
+// enumerates the registered machines.
+func (c Config) resolveMachine() (*machine.Spec, error) {
+	if c.Machine != nil {
+		if c.VM != "" && c.VM != c.Machine.Name {
+			return nil, fmt.Errorf("sim: config names VM %q but carries machine spec %q", c.VM, c.Machine.Name)
+		}
+		if err := c.Machine.Validate(); err != nil {
+			return nil, err
+		}
+		return c.Machine, nil
 	}
+	spec, err := machine.Lookup(c.VM)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return spec, nil
+}
+
+// buildRefill constructs the configured machine's walker over phys by
+// resolving its spec (explicit or registry) and handing it to mmu.Build.
+// A machine with no VM system (BASE) returns (nil, nil).
+func buildRefill(c Config, phys *mem.Phys) (mmu.Refill, error) {
+	spec, err := c.resolveMachine()
+	if err != nil {
+		return nil, err
+	}
+	return mmu.Build(spec, phys)
 }

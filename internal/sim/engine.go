@@ -43,9 +43,10 @@ type Engine struct {
 	noTLBRefill bool
 	itlb        *tlb.TLB
 	dtlb        *tlb.TLB
-	// tlb2 is the optional unified second-level TLB; tlb2Cost is the
-	// cycles charged when it satisfies a first-level miss.
-	tlb2     *tlb.TLB
+	// tlb2 is the optional unified second-level TLB — fully associative
+	// or set-associative per the configuration; tlb2Cost is the cycles
+	// charged when it satisfies a first-level miss.
+	tlb2     tlb.Level
 	tlb2Cost uint64
 	icache   *cache.Hierarchy
 	dcache   *cache.Hierarchy
@@ -121,7 +122,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	phys := mem.New(cfg.PhysMemBytes)
-	refill, err := buildRefill(cfg.VM, phys)
+	refill, err := buildRefill(cfg, phys)
 	if err != nil {
 		return nil, err
 	}
@@ -180,11 +181,20 @@ func assemble(cfg Config, phys *mem.Phys, refill mmu.Refill) *Engine {
 		tcfg.Seed = cfg.Seed ^ 0x2722
 		e.dtlb = tlb.New(tcfg)
 		if cfg.TLB2Entries > 0 {
-			e.tlb2 = tlb.New(tlb.Config{
-				Entries: cfg.TLB2Entries,
-				Policy:  cfg.TLBPolicy,
-				Seed:    cfg.Seed ^ 0x3733,
-			})
+			if cfg.TLB2Assoc > 0 {
+				e.tlb2 = tlb.NewSetAssoc(tlb.SetAssocConfig{
+					Entries: cfg.TLB2Entries,
+					Ways:    cfg.TLB2Assoc,
+					Policy:  cfg.TLBPolicy,
+					Seed:    cfg.Seed ^ 0x3733,
+				})
+			} else {
+				e.tlb2 = tlb.New(tlb.Config{
+					Entries: cfg.TLB2Entries,
+					Policy:  cfg.TLBPolicy,
+					Seed:    cfg.Seed ^ 0x3733,
+				})
+			}
 			e.tlb2Cost = uint64(cfg.TLB2Latency)
 			if e.tlb2Cost == 0 {
 				e.tlb2Cost = 2

@@ -88,7 +88,15 @@ func (e *Engine) checkInvariants() error {
 	if e.usesTLB {
 		tlbs = append(tlbs, namedTLB{"itlb", e.itlb}, namedTLB{"dtlb", e.dtlb})
 		if e.tlb2 != nil {
-			tlbs = append(tlbs, namedTLB{"tlb2", e.tlb2})
+			// The second-level TLB may be set-associative; check it
+			// through the organization-agnostic Level surface.
+			st := e.tlb2.Stats()
+			if st.Misses > st.Lookups {
+				return fail("tlb2 misses %d exceed lookups %d", st.Misses, st.Lookups)
+			}
+			if got := e.tlb2.Resident(); got > e.tlb2.Entries() {
+				return fail("tlb2 holds %d entries in %d slots", got, e.tlb2.Entries())
+			}
 		}
 	}
 	for _, s := range tlbs {
@@ -190,7 +198,7 @@ func (e *Engine) StateSummary() string {
 		if e.tlb2 != nil {
 			st := e.tlb2.Stats()
 			fmt.Fprintf(&b, "  tlb2: %d/%d resident, %d lookups, %d misses\n",
-				e.tlb2.Resident(), e.tlb2.Config().Entries, st.Lookups, st.Misses)
+				e.tlb2.Resident(), e.tlb2.Entries(), st.Lookups, st.Misses)
 		}
 	}
 	fmt.Fprintf(&b, "  interrupts=%d ctxswitches=%d userinstrs=%d\n",

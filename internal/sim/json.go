@@ -18,6 +18,7 @@ type resultJSON struct {
 	L2LineBytes    int                `json:"l2_line_bytes"`
 	TLBEntries     int                `json:"tlb_entries"`
 	TLB2Entries    int                `json:"tlb2_entries,omitempty"`
+	TLB2Assoc      int                `json:"tlb2_assoc,omitempty"`
 	Seed           uint64             `json:"seed"`
 	UserInstrs     uint64             `json:"user_instructions"`
 	MCPI           float64            `json:"mcpi"`
@@ -45,6 +46,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		L2LineBytes:    r.Config.L2LineBytes,
 		TLBEntries:     r.Config.TLBEntries,
 		TLB2Entries:    r.Config.TLB2Entries,
+		TLB2Assoc:      r.Config.TLB2Assoc,
 		Seed:           r.Config.Seed,
 		UserInstrs:     r.Counters.UserInstrs,
 		MCPI:           r.MCPI(),

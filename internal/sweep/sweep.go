@@ -404,7 +404,10 @@ type Space struct {
 	L1Lines    []int
 	L2Lines    []int
 	TLBEntries []int
-	Seeds      []uint64
+	// TLB2Entries sweeps the unified second-level TLB's capacity (0 =
+	// no L2 TLB); associativity stays Base.TLB2Assoc throughout.
+	TLB2Entries []int
+	Seeds       []uint64
 }
 
 // PaperL1Sizes are Table 1's L1 sizes (bytes per side).
@@ -430,28 +433,32 @@ func (s Space) Configs() []sim.Config {
 	l1l := orDefaultInt(s.L1Lines, s.Base.L1LineBytes)
 	l2l := orDefaultInt(s.L2Lines, s.Base.L2LineBytes)
 	tlbs := orDefaultInt(s.TLBEntries, s.Base.TLBEntries)
+	tlb2s := orDefaultInt(s.TLB2Entries, s.Base.TLB2Entries)
 	seeds := s.Seeds
 	if len(seeds) == 0 {
 		seeds = []uint64{s.Base.Seed}
 	}
 	out := make([]sim.Config, 0,
-		len(vms)*len(l1s)*len(l2s)*len(l1l)*len(l2l)*len(tlbs)*len(seeds))
+		len(vms)*len(l1s)*len(l2s)*len(l1l)*len(l2l)*len(tlbs)*len(tlb2s)*len(seeds))
 	for _, vm := range vms {
 		for _, l1 := range l1s {
 			for _, l2 := range l2s {
 				for _, ll1 := range l1l {
 					for _, ll2 := range l2l {
 						for _, tl := range tlbs {
-							for _, seed := range seeds {
-								c := s.Base
-								c.VM = vm
-								c.L1SizeBytes = l1
-								c.L2SizeBytes = l2
-								c.L1LineBytes = ll1
-								c.L2LineBytes = ll2
-								c.TLBEntries = tl
-								c.Seed = seed
-								out = append(out, c)
+							for _, t2 := range tlb2s {
+								for _, seed := range seeds {
+									c := s.Base
+									c.VM = vm
+									c.L1SizeBytes = l1
+									c.L2SizeBytes = l2
+									c.L1LineBytes = ll1
+									c.L2LineBytes = ll2
+									c.TLBEntries = tl
+									c.TLB2Entries = t2
+									c.Seed = seed
+									out = append(out, c)
+								}
 							}
 						}
 					}

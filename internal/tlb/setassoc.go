@@ -1,0 +1,250 @@
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Level is the probe/fill surface the simulation engine needs from a
+// second-level TLB, satisfied by both the fully-associative TLB and the
+// set-associative SetAssoc. The engine's L2 TLB slot holds one of these,
+// selected by the machine configuration.
+type Level interface {
+	// Lookup probes for vpn with statistics, returning true on hit.
+	Lookup(vpn uint64) bool
+	// Insert places vpn, evicting per the replacement policy.
+	Insert(vpn uint64)
+	// Flush invalidates every entry, preserving statistics.
+	Flush()
+	// Resident returns the number of valid entries.
+	Resident() int
+	// Entries returns the configured capacity.
+	Entries() int
+	// Stats returns the accumulated statistics.
+	Stats() Stats
+}
+
+// Entries returns the TLB's configured slot count, making *TLB a Level.
+func (t *TLB) Entries() int { return t.cfg.Entries }
+
+// Statically assert both organizations satisfy Level.
+var (
+	_ Level = (*TLB)(nil)
+	_ Level = (*SetAssoc)(nil)
+)
+
+// SetAssocConfig describes one set-associative TLB.
+type SetAssocConfig struct {
+	// Entries is the total slot count; must divide evenly into Ways.
+	Entries int
+	// Ways is the associativity (slots per set).
+	Ways int
+	// Policy is the replacement policy within a set (default Random).
+	Policy Policy
+	// Seed seeds the random-replacement stream.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c SetAssocConfig) Validate() error {
+	switch {
+	case c.Entries <= 0:
+		return fmt.Errorf("tlb: entries %d must be positive", c.Entries)
+	case c.Ways <= 0:
+		return fmt.Errorf("tlb: ways %d must be positive", c.Ways)
+	case c.Entries%c.Ways != 0:
+		return fmt.Errorf("tlb: entries %d not divisible by ways %d", c.Entries, c.Ways)
+	case c.Policy != Random && c.Policy != LRU && c.Policy != FIFO:
+		return fmt.Errorf("tlb: unknown policy %d", c.Policy)
+	}
+	return nil
+}
+
+// SetAssoc is an n-way set-associative translation buffer: the key (an
+// ASID-tagged VPN) selects a set by modulo over the set count, and
+// replacement happens within the set. It models the second-level TLBs
+// that followed the paper's fully-associative parts, where full
+// associativity stops scaling with capacity.
+//
+// The set-selection function — key modulo set count — is part of the
+// simulated hardware's definition: the naive reference model in
+// internal/check implements the same function independently over its own
+// state, so the differential oracle checks the replacement behaviour
+// around it, not the indexing itself.
+type SetAssoc struct {
+	cfg  SetAssocConfig
+	sets int
+	// slot i holds key+1; zero means invalid. Set s occupies
+	// slots[s*Ways : (s+1)*Ways].
+	slots []uint64
+
+	// Per-set replacement state.
+	age  []uint64 // LRU timestamps, parallel to slots
+	tick uint64
+	fifo []int // next-victim rotor per set
+
+	rand  *rng.Source
+	stats Stats
+}
+
+// NewSetAssoc constructs a set-associative TLB. Like New, it panics on an
+// invalid configuration: configs are validated at experiment-construction
+// time, so an invalid one here is a programming error.
+func NewSetAssoc(cfg SetAssocConfig) *SetAssoc {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Entries / cfg.Ways
+	t := &SetAssoc{
+		cfg:   cfg,
+		sets:  sets,
+		slots: make([]uint64, cfg.Entries),
+		rand:  rng.New(cfg.Seed),
+	}
+	if cfg.Policy == LRU {
+		t.age = make([]uint64, cfg.Entries)
+	}
+	if cfg.Policy == FIFO {
+		t.fifo = make([]int, sets)
+	}
+	return t
+}
+
+// Config returns the configuration the TLB was built with.
+func (t *SetAssoc) Config() SetAssocConfig { return t.cfg }
+
+// setRange returns the slot bounds of the set key maps to.
+func (t *SetAssoc) setRange(key uint64) (lo, hi, set int) {
+	set = int(key % uint64(t.sets))
+	lo = set * t.cfg.Ways
+	return lo, lo + t.cfg.Ways, set
+}
+
+// find returns the slot holding key within [lo, hi), or -1.
+func (t *SetAssoc) find(key uint64, lo, hi int) int {
+	want := key + 1
+	for s := lo; s < hi; s++ {
+		if t.slots[s] == want {
+			return s
+		}
+	}
+	return -1
+}
+
+// Lookup probes the TLB for vpn, updating statistics and (for LRU)
+// recency. It returns true on hit.
+func (t *SetAssoc) Lookup(vpn uint64) bool {
+	t.stats.Lookups++
+	lo, hi, _ := t.setRange(vpn)
+	slot := t.find(vpn, lo, hi)
+	if slot < 0 {
+		t.stats.Misses++
+		return false
+	}
+	if t.age != nil {
+		t.tick++
+		t.age[slot] = t.tick
+	}
+	return true
+}
+
+// Probe reports whether vpn is resident without perturbing statistics or
+// replacement state.
+func (t *SetAssoc) Probe(vpn uint64) bool {
+	lo, hi, _ := t.setRange(vpn)
+	return t.find(vpn, lo, hi) >= 0
+}
+
+// Insert places vpn into its set, evicting per the replacement policy if
+// the set is full. Inserting a resident VPN refreshes it in place.
+func (t *SetAssoc) Insert(vpn uint64) {
+	t.stats.Inserts++
+	lo, hi, set := t.setRange(vpn)
+	if slot := t.find(vpn, lo, hi); slot >= 0 {
+		if t.age != nil {
+			t.tick++
+			t.age[slot] = t.tick
+		}
+		return
+	}
+	var victim int
+	switch {
+	case t.cfg.Policy == FIFO:
+		victim = lo + t.fifo[set]
+		t.fifo[set] = (t.fifo[set] + 1) % t.cfg.Ways
+	case t.cfg.Policy == LRU:
+		victim = lo
+		oldest := ^uint64(0)
+		for s := lo; s < hi; s++ {
+			if t.slots[s] == 0 {
+				victim = s
+				break
+			}
+			if t.age[s] < oldest {
+				oldest = t.age[s]
+				victim = s
+			}
+		}
+	default: // Random — but fill invalid slots first, like real hardware
+		victim = -1
+		for s := lo; s < hi; s++ {
+			if t.slots[s] == 0 {
+				victim = s
+				break
+			}
+		}
+		if victim < 0 {
+			victim = lo + t.rand.Intn(t.cfg.Ways)
+		}
+	}
+	t.slots[victim] = vpn + 1
+	if t.age != nil {
+		t.tick++
+		t.age[victim] = t.tick
+	}
+}
+
+// Evict removes vpn if resident, returning whether it was.
+func (t *SetAssoc) Evict(vpn uint64) bool {
+	lo, hi, _ := t.setRange(vpn)
+	slot := t.find(vpn, lo, hi)
+	if slot < 0 {
+		return false
+	}
+	t.slots[slot] = 0
+	return true
+}
+
+// Flush invalidates every entry, preserving statistics.
+func (t *SetAssoc) Flush() {
+	for i := range t.slots {
+		t.slots[i] = 0
+	}
+	for i := range t.age {
+		t.age[i] = 0
+	}
+	for i := range t.fifo {
+		t.fifo[i] = 0
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (t *SetAssoc) Stats() Stats { return t.stats }
+
+// ResetStats clears statistics without touching contents.
+func (t *SetAssoc) ResetStats() { t.stats = Stats{} }
+
+// Resident returns the number of valid entries.
+func (t *SetAssoc) Resident() int {
+	n := 0
+	for _, s := range t.slots {
+		if s != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Entries returns the configured capacity.
+func (t *SetAssoc) Entries() int { return t.cfg.Entries }

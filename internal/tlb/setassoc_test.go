@@ -1,0 +1,173 @@
+package tlb
+
+import "testing"
+
+func newSA(t *testing.T, entries, ways int, policy Policy) *SetAssoc {
+	t.Helper()
+	return NewSetAssoc(SetAssocConfig{Entries: entries, Ways: ways, Policy: policy, Seed: 1})
+}
+
+// TestSetAssocConfigValidate is the rejection table for the
+// set-associative geometry.
+func TestSetAssocConfigValidate(t *testing.T) {
+	good := SetAssocConfig{Entries: 64, Ways: 4, Policy: Random}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SetAssocConfig{
+		{Entries: 0, Ways: 4, Policy: Random},
+		{Entries: 64, Ways: 0, Policy: Random},
+		{Entries: 100, Ways: 3, Policy: Random},
+		{Entries: 64, Ways: 4, Policy: Policy(99)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: %+v accepted", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSetAssoc accepted an invalid config without panicking")
+		}
+	}()
+	NewSetAssoc(SetAssocConfig{Entries: 0, Ways: 1, Policy: Random})
+}
+
+// TestSetAssocSetIsolation pins the documented indexing function — key
+// modulo set count — and that replacement stays within a set: filling
+// one set to bursting never evicts another set's entry.
+func TestSetAssocSetIsolation(t *testing.T) {
+	sa := newSA(t, 8, 2, Random) // 4 sets × 2 ways
+	sa.Insert(1)                 // set 1
+	// Flood set 0 far past its 2 ways.
+	for i := uint64(0); i < 40; i += 4 {
+		sa.Insert(i)
+	}
+	if !sa.Probe(1) {
+		t.Fatal("flooding set 0 evicted set 1's entry")
+	}
+	if got := sa.Resident(); got != 3 {
+		t.Fatalf("resident = %d, want 3 (set 0 full with 2, set 1 holding 1)", got)
+	}
+}
+
+// TestSetAssocLookupStats pins hit/miss accounting and the resident
+// refresh on re-insert.
+func TestSetAssocLookupStats(t *testing.T) {
+	sa := newSA(t, 8, 2, Random)
+	if sa.Lookup(5) {
+		t.Fatal("hit in an empty TLB")
+	}
+	sa.Insert(5)
+	if !sa.Lookup(5) {
+		t.Fatal("miss after insert")
+	}
+	sa.Insert(5) // refresh, not duplicate
+	if got := sa.Resident(); got != 1 {
+		t.Fatalf("resident = %d after re-insert, want 1", got)
+	}
+	st := sa.Stats()
+	if st.Lookups != 2 || st.Misses != 1 || st.Inserts != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSetAssocFIFO pins the per-set rotor: victims cycle in insertion
+// order regardless of intervening hits.
+func TestSetAssocFIFO(t *testing.T) {
+	sa := newSA(t, 4, 2, FIFO) // 2 sets × 2 ways; keys 0,2,4,… land in set 0
+	sa.Insert(0)
+	sa.Insert(2)
+	sa.Lookup(0) // a hit must not save 0 from FIFO eviction
+	sa.Insert(4) // evicts 0 (first in)
+	if sa.Probe(0) {
+		t.Fatal("FIFO kept the oldest entry")
+	}
+	if !sa.Probe(2) || !sa.Probe(4) {
+		t.Fatal("FIFO evicted the wrong entry")
+	}
+}
+
+// TestSetAssocLRU pins recency-based eviction: a hit refreshes, so the
+// other way is the victim.
+func TestSetAssocLRU(t *testing.T) {
+	sa := newSA(t, 4, 2, LRU)
+	sa.Insert(0)
+	sa.Insert(2)
+	sa.Lookup(0) // 0 now most recent
+	sa.Insert(4) // evicts 2
+	if sa.Probe(2) {
+		t.Fatal("LRU evicted the recently-used entry's neighbour incorrectly")
+	}
+	if !sa.Probe(0) || !sa.Probe(4) {
+		t.Fatal("LRU evicted the wrong entry")
+	}
+}
+
+// TestSetAssocRandomFillsInvalidFirst pins the hardware-like fill
+// order: no random eviction while a set still has an invalid slot.
+func TestSetAssocRandomFillsInvalidFirst(t *testing.T) {
+	sa := newSA(t, 8, 4, Random) // 2 sets × 4 ways
+	for i := uint64(0); i < 8; i += 2 {
+		sa.Insert(i) // all land in set 0, exactly filling its 4 ways
+	}
+	for i := uint64(0); i < 8; i += 2 {
+		if !sa.Probe(i) {
+			t.Fatalf("key %d evicted while the set still had invalid slots", i)
+		}
+	}
+}
+
+// TestSetAssocFlush pins Flush semantics: contents and rotors clear,
+// statistics survive.
+func TestSetAssocFlush(t *testing.T) {
+	sa := newSA(t, 4, 2, FIFO)
+	sa.Insert(0)
+	sa.Insert(1)
+	sa.Lookup(0)
+	before := sa.Stats()
+	sa.Flush()
+	if got := sa.Resident(); got != 0 {
+		t.Fatalf("resident = %d after flush", got)
+	}
+	if sa.Stats() != before {
+		t.Fatalf("flush changed statistics: %+v -> %+v", before, sa.Stats())
+	}
+	// Rotor reset: the first post-flush victim is way 0 again.
+	sa.Insert(0)
+	sa.Insert(2)
+	sa.Insert(4)
+	if sa.Probe(0) {
+		t.Fatal("post-flush FIFO rotor did not restart at way 0")
+	}
+}
+
+// TestSetAssocEvict pins targeted invalidation.
+func TestSetAssocEvict(t *testing.T) {
+	sa := newSA(t, 4, 2, Random)
+	sa.Insert(3)
+	if !sa.Evict(3) {
+		t.Fatal("resident key not evicted")
+	}
+	if sa.Evict(3) {
+		t.Fatal("absent key reported evicted")
+	}
+	if sa.Probe(3) {
+		t.Fatal("evicted key still resident")
+	}
+}
+
+// TestSetAssocLevelSurface pins the Level interface views shared with
+// the fully-associative TLB.
+func TestSetAssocLevelSurface(t *testing.T) {
+	var lvl Level = newSA(t, 16, 4, Random)
+	lvl.Insert(9)
+	if !lvl.Lookup(9) || lvl.Entries() != 16 || lvl.Resident() != 1 {
+		t.Fatalf("Level surface inconsistent: entries=%d resident=%d", lvl.Entries(), lvl.Resident())
+	}
+	var full Level = New(Config{Entries: 16, Policy: Random, Seed: 1})
+	full.Insert(9)
+	if !full.Lookup(9) || full.Entries() != 16 {
+		t.Fatal("fully-associative TLB does not satisfy the same surface")
+	}
+}

@@ -1,0 +1,52 @@
+package mmusim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBundledSpecFiles pins the machines/*.json files byte-for-byte to
+// the registry's canonical serialization: one file per bundled machine,
+// no strays, each loadable through the -machine path. Regenerate after
+// a registry change with `go run ./internal/machine/genspecs`.
+func TestBundledSpecFiles(t *testing.T) {
+	specs := BundledMachines()
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.Name] = true
+		path := filepath.Join("machines", s.Name+".json")
+		want, err := CanonicalMachineSpec(s)
+		if err != nil {
+			t.Fatalf("canonical %s: %v", s.Name, err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with `go run ./internal/machine/genspecs`)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from the registry (regenerate with `go run ./internal/machine/genspecs`)", path)
+		}
+		loaded, err := LoadMachineSpec(path)
+		if err != nil {
+			t.Fatalf("LoadMachineSpec(%s): %v", path, err)
+		}
+		if loaded.Name != s.Name {
+			t.Errorf("%s loads as %q", path, loaded.Name)
+		}
+	}
+	ents, err := os.ReadDir("machines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !names[name[:len(name)-len(".json")]] {
+			t.Errorf("stray file machines/%s (not a bundled machine)", name)
+		}
+	}
+	if len(ents) != len(specs) {
+		t.Errorf("machines/ holds %d files for %d bundled specs", len(ents), len(specs))
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/experiments"
+	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/simerr"
 	"repro/internal/sweep"
@@ -87,7 +88,50 @@ const (
 	VMPFSMHier   = sim.VMPFSMHier
 	VMPFSMHashed = sim.VMPFSMHashed
 	VMClustered  = sim.VMClustered
+	VML2TLB      = sim.VML2TLB
 )
+
+// MachineSpec declares a machine as data: the TLB hierarchy, the refill
+// mechanism, the page-table organization, and the handler cost model.
+// Every VM name above resolves to one of these through the registry;
+// custom machines are defined by constructing (or loading) a spec. See
+// MACHINES.md for the full schema.
+type MachineSpec = machine.Spec
+
+// TLBLevel is one level of a MachineSpec's TLB hierarchy.
+type TLBLevel = machine.TLBLevel
+
+// LookupMachine returns the registered spec for a machine name; the
+// error for an unknown name enumerates what is registered.
+func LookupMachine(name string) (*MachineSpec, error) { return machine.Lookup(name) }
+
+// BundledMachines returns the built-in machine specs (the paper's six
+// organizations, the hybrids, and the two-level-TLB extension) in
+// presentation order.
+func BundledMachines() []*MachineSpec { return machine.Bundled() }
+
+// RegisterMachine validates and installs a custom spec in the registry,
+// making its name usable anywhere a VM name is accepted. Bundled names
+// cannot be replaced.
+func RegisterMachine(s *MachineSpec) error { return machine.Register(s) }
+
+// LoadMachineSpec reads and validates a machine spec from a JSON file
+// (the `-machine` flag's loader).
+func LoadMachineSpec(path string) (*MachineSpec, error) { return machine.Load(path) }
+
+// ParseMachineSpec parses and validates a JSON machine spec, rejecting
+// unknown fields.
+func ParseMachineSpec(data []byte) (*MachineSpec, error) { return machine.Parse(data) }
+
+// CanonicalMachineSpec returns the spec's canonical serialization —
+// fixed field order, every field present — the form the result cache
+// keys on and the bundled machines/*.json files are written in.
+func CanonicalMachineSpec(s *MachineSpec) ([]byte, error) { return machine.Canonical(s) }
+
+// ConfigForMachine returns the baseline configuration for an arbitrary
+// spec (registered or not): paper cache geometry, the spec's TLB
+// hierarchy, and the spec attached as Config.Machine.
+func ConfigForMachine(s *MachineSpec) Config { return sim.ConfigForMachine(s) }
 
 // DefaultConfig returns the paper's baseline configuration for the given
 // organization: 32KB/2MB caches with 64/128-byte lines, 128-entry TLBs
@@ -187,7 +231,9 @@ func WriteTimelineCSV(w io.Writer, samples []TimelineSample) error {
 // returns a non-empty human-readable report describing the first
 // divergence (reference index, mismatched counter, both component state
 // dumps), or "" when the two implementations agree over the whole
-// trace. Only the six paper organizations are supported.
+// trace. Machines whose refill mechanism is one of the six paper
+// organizations' are supported, whatever their TLB hierarchy (the
+// bundled l2tlb included); the hardware hybrids are rejected.
 func CheckDivergence(cfg Config, tr *Trace) (string, error) {
 	d, err := check.Diff(cfg, tr)
 	if err != nil {

@@ -21,11 +21,15 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 func TestFacadeListings(t *testing.T) {
-	if len(VMs()) != 12 {
+	if len(VMs()) != 13 {
 		t.Fatalf("VMs() = %v", VMs())
 	}
 	if len(PaperVMs()) != 6 || len(HybridVMs()) != 6 {
 		t.Fatal("paper/hybrid VM splits wrong")
+	}
+	if len(BundledMachines()) != len(VMs()) {
+		t.Fatalf("BundledMachines() = %d specs, VMs() = %d names",
+			len(BundledMachines()), len(VMs()))
 	}
 	if len(Benchmarks()) < 8 {
 		t.Fatalf("Benchmarks() = %v", Benchmarks())
