@@ -1,0 +1,210 @@
+// End-to-end tests of the fault-tolerant distributed sweep: real
+// vmserved worker processes, a real `vmsweep -remote ep1,ep2,ep3`
+// coordinator, and real chaos — one worker SIGKILLed mid-campaign, one
+// partitioned behind a hanging proxy, the coordinator itself killed and
+// resumed. Every surviving run must produce a CSV byte-identical to a
+// strictly serial local sweep.
+package cmd_test
+
+import (
+	"bufio"
+	"bytes"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/journal"
+)
+
+// chaosArgs is the distributed-chaos campaign: enough points (16) that
+// every worker owns a share of the ring and leases are in flight when
+// the chaos lands, small enough per point that the whole suite stays
+// fast.
+var chaosArgs = []string{
+	"-bench", "gcc", "-n", "20000",
+	"-vms", "ultrix,intel",
+	"-l1", "1024,2048,4096,8192",
+	"-tlb", "16,32",
+}
+
+// serialGolden runs the campaign locally with one worker and returns
+// its CSV.
+func serialGolden(t *testing.T, args []string) string {
+	t.Helper()
+	out, errOut, code := run(t, "vmsweep", append([]string{"-workers", "1"}, args...)...)
+	if code != 0 {
+		t.Fatalf("serial local sweep exit %d, stderr: %s", code, errOut)
+	}
+	return out
+}
+
+// TestVMSweepDistributedChaosIsByteIdentical is the headline robustness
+// oracle: a 3-worker campaign where one worker is SIGKILLed and another
+// is partitioned (requests hang, never answer) as soon as the first
+// lease is dispatched. The coordinator must reclaim both workers'
+// leases, re-route their points to the survivor, and finish with output
+// byte-identical to the serial local run.
+func TestVMSweepDistributedChaosIsByteIdentical(t *testing.T) {
+	local := serialGolden(t, chaosArgs)
+
+	w1 := startVMServed(t, "-cache-dir", t.TempDir())
+	w2 := startVMServed(t, "-cache-dir", t.TempDir())
+	w3 := startVMServed(t, "-cache-dir", t.TempDir())
+
+	// w2 sits behind a partition valve: once Cut, every request to it
+	// hangs with no answer — the hung-worker failure mode, as opposed to
+	// w1's crashed-worker conn-refused mode.
+	target, err := url.Parse(w2.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valve := &faults.Partition{Next: httputil.NewSingleHostReverseProxy(target)}
+	proxy := httptest.NewServer(valve)
+	t.Cleanup(func() {
+		valve.Heal() // let hung requests drain so Close can finish
+		proxy.Close()
+	})
+
+	args := append([]string{
+		"-remote", strings.Join([]string{w1.base, proxy.URL, w3.base}, ","),
+		"-lease-timeout", "2s",
+	}, chaosArgs...)
+	cmd := exec.Command(filepath.Join(binDir, "vmsweep"), args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Watch the coordinator's own lease log and strike as soon as the
+	// first lease is in flight: SIGKILL w1, cut the w2 partition.
+	var chaos sync.Once
+	var stderrMu sync.Mutex
+	var stderrBuf strings.Builder
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			line := sc.Text()
+			stderrMu.Lock()
+			stderrBuf.WriteString(line)
+			stderrBuf.WriteByte('\n')
+			stderrMu.Unlock()
+			if strings.Contains(line, "coord: lease") {
+				chaos.Do(func() {
+					w1.cmd.Process.Kill() //nolint:errcheck
+					valve.Cut()
+				})
+			}
+		}
+	}()
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		<-scanDone
+		stderrMu.Lock()
+		errOut := stderrBuf.String()
+		stderrMu.Unlock()
+		if err != nil {
+			t.Fatalf("chaos campaign did not survive: %v\nstderr:\n%s", err, errOut)
+		}
+		if !strings.Contains(errOut, "reclaiming lease") {
+			t.Fatalf("no lease was ever reclaimed — chaos never landed?\nstderr:\n%s", errOut)
+		}
+	case <-time.After(120 * time.Second):
+		cmd.Process.Kill() //nolint:errcheck
+		t.Fatal("chaos campaign did not finish within 120s")
+	}
+	if got := stdout.String(); got != local {
+		t.Fatalf("chaos CSV differs from serial local run:\n--- local ---\n%s--- chaos ---\n%s", local, got)
+	}
+}
+
+// TestVMSweepCoordinatorKilledAndResumedIsByteIdentical kills the
+// coordinator process itself once its journal holds completed points,
+// then re-runs with -resume: replayed points and freshly simulated ones
+// must reassemble into the identical CSV.
+func TestVMSweepCoordinatorKilledAndResumedIsByteIdentical(t *testing.T) {
+	local := serialGolden(t, chaosArgs)
+
+	w1 := startVMServed(t, "-cache-dir", t.TempDir())
+	w2 := startVMServed(t, "-cache-dir", t.TempDir())
+	jdir := t.TempDir()
+	endpoints := w1.base + "," + w2.base
+
+	args := append([]string{"-remote", endpoints, "-journal", jdir}, chaosArgs...)
+	victim := exec.Command(filepath.Join(binDir, "vmsweep"), args...)
+	victim.Stdout, victim.Stderr = &bytes.Buffer{}, &bytes.Buffer{}
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill as soon as the journal holds at least one committed
+	// (CRC-sealed) point — raw file size is not enough: the SIGKILL
+	// could land mid-append, leaving only a torn record that replay
+	// rightly discards.
+	deadline := time.Now().Add(60 * time.Second)
+	for journalRecords(jdir) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("journal never gained a committed point")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	victim.Process.Kill() //nolint:errcheck
+	victim.Wait()         //nolint:errcheck
+
+	resumeArgs := append([]string{"-remote", endpoints, "-journal", jdir, "-resume"}, chaosArgs...)
+	out, errOut, code := run(t, "vmsweep", resumeArgs...)
+	if code != 0 {
+		t.Fatalf("resumed coordinator exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "coord: resumed") {
+		t.Fatalf("resume replayed nothing from the journal, stderr: %s", errOut)
+	}
+	if out != local {
+		t.Fatalf("resumed CSV differs from serial local run:\n--- local ---\n%s--- resumed ---\n%s", local, out)
+	}
+}
+
+// journalRecords counts the CRC-valid records currently replayable
+// from dir, tolerating the torn tail of an in-flight append.
+func journalRecords(dir string) int {
+	recs, _, err := journal.Replay(dir)
+	if err != nil {
+		return 0
+	}
+	return len(recs)
+}
+
+// TestVMServedCoordinatorFrontDoor drives the daemon's coordinator
+// mode: a plain single-endpoint `vmsweep -remote` talks to one vmserved
+// which fans the job out to two backing workers, and the reassembled
+// CSV matches the serial local run.
+func TestVMServedCoordinatorFrontDoor(t *testing.T) {
+	local := serialGolden(t, sweepArgs)
+
+	w1 := startVMServed(t, "-cache-dir", t.TempDir())
+	w2 := startVMServed(t, "-cache-dir", t.TempDir())
+	front := startVMServed(t, "-coord", w1.base+","+w2.base)
+
+	out, errOut, code := run(t, "vmsweep", append([]string{"-remote", front.base}, sweepArgs...)...)
+	if code != 0 {
+		t.Fatalf("front-door sweep exit %d, stderr: %s", code, errOut)
+	}
+	if out != local {
+		t.Fatalf("front-door CSV differs from serial local run:\n--- local ---\n%s--- front-door ---\n%s", local, out)
+	}
+}

@@ -21,6 +21,18 @@
 // stops accepting work, queued and in-flight points run to completion
 // (bounded by -drain-timeout, then cancelled cooperatively), and the
 // daemon exits 0.
+//
+// Health: GET /healthz answers liveness (the process is up); GET
+// /readyz answers readiness (503 while draining or while the point
+// queue is saturated), which is what fleet clients and the distributed
+// coordinator fail over on.
+//
+// Coordinator mode: -coord URL1,URL2,... turns the daemon into a
+// front-door — jobs it accepts are not simulated locally but fanned out
+// across the listed vmserved workers through the fault-tolerant
+// coordinator (internal/coord: leases, consistent-hash failover, work
+// stealing), with this daemon's result cache and wire protocol
+// unchanged from a client's point of view.
 package main
 
 import (
@@ -29,12 +41,17 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/obs"
 	"repro/internal/rescache"
 	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/version"
 )
 
@@ -49,6 +66,8 @@ func main() {
 		retries      = flag.Int("retries", 0, "extra attempts for transiently-failing points")
 		backoff      = flag.Duration("backoff", 100*time.Millisecond, "first retry delay; doubles per attempt")
 		drain        = flag.Duration("drain-timeout", time.Minute, "on SIGTERM, bound the graceful drain; then in-flight points are cancelled")
+		coordFleet   = flag.String("coord", "", "coordinator front-door: fan jobs out across these comma-separated vmserved worker endpoints instead of simulating locally")
+		leaseTO      = flag.Duration("lease-timeout", coord.DefaultLeaseTimeout, "with -coord: no-progress deadline before a worker's lease is reclaimed")
 		showVersion  = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Parse()
@@ -65,14 +84,38 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	srv := server.New(server.Config{
+	scfg := server.Config{
 		Workers:      *workers,
 		QueueBound:   *queue,
 		Cache:        cache,
 		PointTimeout: *timeout,
 		Retries:      *retries,
 		Backoff:      *backoff,
-	})
+	}
+	if *coordFleet != "" {
+		var endpoints []string
+		for _, f := range strings.Split(*coordFleet, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				endpoints = append(endpoints, f)
+			}
+		}
+		if len(endpoints) == 0 {
+			fail(fmt.Errorf("-coord needs at least one worker endpoint"))
+		}
+		scfg.Campaign = func(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, done func(int, sweep.Point)) error {
+			_, err := coord.Run(ctx, tr, cfgs, coord.Options{
+				Endpoints:    endpoints,
+				LeaseTimeout: *leaseTO,
+				PointDone:    done,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "vmserved: "+format+"\n", args...)
+				},
+			})
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "vmserved: coordinator mode, %d worker(s)\n", len(endpoints))
+	}
+	srv := server.New(scfg)
 	// Install the signal handler before the socket binds: once the
 	// "listening on" line is out, a supervisor may SIGTERM at any time
 	// and must get a drain, never the default kill disposition.

@@ -44,9 +44,23 @@
 // (content-addressed), every point the server has seen before replays
 // from its result cache, and the CSV on stdout is byte-identical to a
 // local run. A killed -remote campaign simply re-runs: finished points
-// are cache hits. -remote is incompatible with -journal/-resume (the
-// server's cache is the checkpoint); -timeout/-retries/-backoff are
-// applied by the server's own configuration, not these flags.
+// are cache hits. Single-endpoint -remote is incompatible with
+// -journal/-resume (the server's cache is the checkpoint);
+// -timeout/-retries/-backoff are applied by the server's own
+// configuration, not these flags.
+//
+// Distributed sweeps: -remote with a comma-separated endpoint list
+// engages the fault-tolerant coordinator (internal/coord) — points are
+// leased to workers along a consistent-hash ring, a worker that dies,
+// hangs, or partitions mid-campaign loses its lease and the points are
+// re-dispatched, and idle workers steal from stragglers. -journal and
+// -resume ARE supported here (the journal is the coordinator's durable
+// checkpoint: kill vmsweep mid-campaign and re-run with -resume), and
+// -lease-timeout tunes the no-progress deadline. The CSV is still
+// byte-identical to a serial local run:
+//
+//	vmsweep -remote http://w1:8080,http://w2:8080,http://w3:8080 \
+//	        -bench gcc -vms all -l1 paper -journal gcc.journal > gcc.csv
 package main
 
 import (
@@ -67,6 +81,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/atomicio"
 	"repro/internal/client"
+	"repro/internal/coord"
 	"repro/internal/obs"
 	"repro/internal/version"
 )
@@ -165,6 +180,41 @@ func runRemote(ctx context.Context, addr string, tr *mmusim.Trace, cfgs []mmusim
 	return points, nil
 }
 
+// runCoord executes the campaign across a fleet of vmserved workers via
+// the fault-tolerant coordinator: leases, consistent-hash routing with
+// failover, work stealing, and — unlike single-endpoint -remote — a
+// durable local journal, so a killed coordinator resumes instead of
+// restarting.
+func runCoord(ctx context.Context, endpoints []string, tr *mmusim.Trace, cfgs []mmusim.Config,
+	prog *obs.Progress, jdir string, resume bool, leaseTimeout time.Duration, seed uint64) ([]mmusim.SweepPoint, error) {
+	fmt.Fprintf(os.Stderr, "vmsweep: coordinating %d points across %d workers\n", len(cfgs), len(endpoints))
+	return coord.Run(ctx, tr, cfgs, coord.Options{
+		Endpoints:    endpoints,
+		LeaseTimeout: leaseTimeout,
+		JournalDir:   jdir,
+		Resume:       resume,
+		Seed:         seed,
+		PointDone: func(_ int, p mmusim.SweepPoint) {
+			prog.Done(p.Attempts, p.Resumed,
+				p.Err != nil && mmusim.ErrorCategory(p.Err) != "cancelled")
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "vmsweep: "+format+"\n", args...)
+		},
+	})
+}
+
+// splitEndpoints parses -remote's comma-separated endpoint list.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 func main() {
 	start := time.Now()
 	var (
@@ -194,7 +244,8 @@ func main() {
 		progress  = flag.Bool("progress", false, "report live completion/rate/ETA on stderr")
 		manifest  = flag.String("manifest", "", "write an end-of-run campaign manifest (JSON) to this file")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
-		remote    = flag.String("remote", "", "run the campaign on this vmserved instance (e.g. http://localhost:8080) instead of simulating locally")
+		remote    = flag.String("remote", "", "run the campaign on vmserved instance(s) instead of simulating locally; a comma-separated list engages the fault-tolerant coordinator")
+		leaseTO   = flag.Duration("lease-timeout", coord.DefaultLeaseTimeout, "multi-endpoint -remote: no-progress deadline before a worker's lease is reclaimed")
 		showVer   = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Parse()
@@ -338,10 +389,13 @@ func main() {
 	if *resumeFl && *jdir == "" {
 		fail(fmt.Errorf("-resume requires -journal"))
 	}
-	if *remote != "" && (*jdir != "" || *resumeFl) {
-		// Remote campaigns are checkpointed by the server's result cache
-		// (kill vmsweep and re-run: finished points replay from the
-		// cache); the local journal has no role.
+	remotes := splitEndpoints(*remote)
+	if len(remotes) == 1 && (*jdir != "" || *resumeFl) {
+		// Single-endpoint remote campaigns are checkpointed by the
+		// server's result cache (kill vmsweep and re-run: finished points
+		// replay from the cache); the local journal has no role. The
+		// multi-endpoint coordinator journals locally — there the flags
+		// are supported.
 		fail(fmt.Errorf("-remote is incompatible with -journal/-resume"))
 	}
 
@@ -373,9 +427,12 @@ func main() {
 
 	exitCode := 0
 	var points []mmusim.SweepPoint
-	if *remote != "" {
-		points, err = runRemote(ctx, *remote, tr, cfgs, prog)
-	} else {
+	switch {
+	case len(remotes) > 1:
+		points, err = runCoord(ctx, remotes, tr, cfgs, prog, *jdir, *resumeFl, *leaseTO, *seed)
+	case len(remotes) == 1:
+		points, err = runRemote(ctx, remotes[0], tr, cfgs, prog)
+	default:
 		points, err = mmusim.SweepWithOptions(ctx, tr, cfgs, mmusim.SweepOptions{
 			Workers:      *workers,
 			JournalDir:   *jdir,

@@ -187,10 +187,80 @@ type JobStatus struct {
 	Results []PointResult `json:"results,omitempty"`
 }
 
-// Health is the /v1/healthz response.
+// Health is the /v1/healthz (and /healthz) response — pure liveness:
+// the process is up and can answer HTTP.
 type Health struct {
 	Status string `json:"status"`
 	Engine string `json:"engine"`
+}
+
+// Ready is the /v1/readyz (and /readyz) response — readiness to accept
+// work, which liveness does not imply: a draining daemon and a daemon
+// whose point queue is saturated both answer 503 with this body, so a
+// fleet client (or the campaign coordinator) can fail over before
+// wasting a submission on a 429 or a drain refusal.
+type Ready struct {
+	// Status is "ready" (200) or "unready" (503).
+	Status string `json:"status"`
+	Engine string `json:"engine"`
+	// QueueDepth and QueueBound expose the admission headroom that
+	// readiness is judged against.
+	QueueDepth int `json:"queue_depth"`
+	QueueBound int `json:"queue_bound"`
+	// Draining marks a daemon that received SIGTERM and is finishing
+	// in-flight work; it will never become ready again.
+	Draining bool `json:"draining"`
+}
+
+// --- coordinator wire types ------------------------------------------
+//
+// The distributed sweep fabric (internal/coord) registers workers,
+// heartbeats them, and hands out point leases. Registration and
+// heartbeating ride on the /v1/healthz and /v1/readyz endpoints above;
+// the types below are the coordinator's durable and observable record
+// of the exchange — serialized into campaign checkpoints and expvar
+// snapshots, so a resumed or inspected campaign sees the same shape the
+// wire carried.
+
+// WorkerRegistration is the coordinator's record of admitting one
+// worker to the campaign: the endpoint, the engine identity it reported
+// (all workers in one campaign must agree, or byte-identity across
+// re-dispatch would be forfeit), and its advertised capacity.
+type WorkerRegistration struct {
+	Endpoint string `json:"endpoint"`
+	Engine   string `json:"engine"`
+	// QueueBound is the worker's advertised admission bound, the cap on
+	// a single lease's point count.
+	QueueBound int `json:"queue_bound,omitempty"`
+}
+
+// Heartbeat is one liveness/readiness probe outcome for a registered
+// worker.
+type Heartbeat struct {
+	Endpoint string `json:"endpoint"`
+	// Healthy reports whether the probe succeeded; Error carries the
+	// failure text when it did not.
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// QueueDepth is the worker's queue depth at probe time (0 when the
+	// probe failed).
+	QueueDepth int `json:"queue_depth,omitempty"`
+}
+
+// Lease is one batch of sweep points assigned to a worker. The
+// coordinator submits the batch as a single job on the worker and polls
+// it; a lease whose worker dies, partitions, or stops making progress
+// past its deadline is reclaimed and its incomplete points re-dispatched
+// to the next worker on the hash ring.
+type Lease struct {
+	// ID is the coordinator-local lease identifier, unique per campaign.
+	ID int `json:"id"`
+	// Endpoint is the worker holding the lease; JobID is the job the
+	// batch was submitted as on that worker.
+	Endpoint string `json:"endpoint"`
+	JobID    string `json:"job_id,omitempty"`
+	// Indices are the campaign point indices the lease covers.
+	Indices []int `json:"indices"`
 }
 
 // Error is the JSON envelope every non-2xx response carries.

@@ -1,0 +1,197 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/simerr"
+)
+
+// TestBackoffScheduleDeterministic pins the retry-backoff contract:
+// equal seeds replay the identical delay schedule, distinct seeds
+// decorrelate, and every delay is full-jittered into [d/2, d) of the
+// capped exponential — so a fleet of clients retrying the same outage
+// never synchronizes into a retry storm, yet every schedule reproduces
+// under test.
+func TestBackoffScheduleDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		c := New("http://example.invalid")
+		c.Backoff = 100 * time.Millisecond
+		c.SeedJitter(seed)
+		out := make([]time.Duration, 12)
+		for a := range out {
+			out[a] = c.backoffDelay(a)
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: equal seeds diverged (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	c := schedule(8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("distinct seeds produced the identical schedule — jitter is not seeded")
+	}
+	// Envelope: attempt n's base is 100ms<<n capped at 15s; the jittered
+	// delay lands in [base/2, base).
+	for i, d := range a {
+		base := 100 * time.Millisecond << i
+		if base > 15*time.Second || base < 0 {
+			base = 15 * time.Second
+		}
+		if d < base/2 || d >= base {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", i, d, base/2, base)
+		}
+	}
+}
+
+// TestEndpointSeededJitterDiffersAcrossEndpoints pins the default
+// seeding: two clients for different endpoints draw different
+// schedules without any explicit SeedJitter call.
+func TestEndpointSeededJitterDiffersAcrossEndpoints(t *testing.T) {
+	c1, c2 := New("http://worker-1:8080"), New("http://worker-2:8080")
+	c1.Backoff, c2.Backoff = 100*time.Millisecond, 100*time.Millisecond
+	same := 0
+	for a := 0; a < 12; a++ {
+		if c1.backoffDelay(a) == c2.backoffDelay(a) {
+			same++
+		}
+	}
+	if same == 12 {
+		t.Fatal("different endpoints share a jitter stream")
+	}
+}
+
+// readyFlipServer answers readiness according to its current state.
+type readyFlipServer struct {
+	mu    sync.Mutex
+	ready bool
+}
+
+func (s *readyFlipServer) set(ready bool) {
+	s.mu.Lock()
+	s.ready = ready
+	s.mu.Unlock()
+}
+
+func (s *readyFlipServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ready := s.ready
+	s.mu.Unlock()
+	rd := api.Ready{Status: "ready", Engine: "test-engine", QueueDepth: 3, QueueBound: 8}
+	code := http.StatusOK
+	if !ready {
+		rd.Status = "unready"
+		rd.Draining = true
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(rd) //nolint:errcheck
+}
+
+func TestReadyParses503Body(t *testing.T) {
+	flip := &readyFlipServer{}
+	ts := httptest.NewServer(flip)
+	defer ts.Close()
+	c := New(ts.URL)
+	rd, err := c.Ready(context.Background())
+	if err == nil {
+		t.Fatal("unready endpoint reported no error")
+	}
+	if !errors.Is(err, simerr.ErrUnavailable) {
+		t.Fatalf("unready error lost its taxonomy class: %v", err)
+	}
+	if !rd.Draining || rd.Status != "unready" || rd.QueueDepth != 3 {
+		t.Fatalf("503 Ready body not recovered: %+v", rd)
+	}
+	flip.set(true)
+	rd, err = c.Ready(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Status != "ready" || rd.Engine != "test-engine" {
+		t.Fatalf("ready body %+v", rd)
+	}
+}
+
+func TestTrackerMarksDownAndProbeReadmits(t *testing.T) {
+	flip := &readyFlipServer{ready: true}
+	ts := httptest.NewServer(flip)
+	defer ts.Close()
+	tk := NewTracker(ts.URL)
+	tk.FailureThreshold = 2
+
+	// One transient failure: not down yet. Two: down.
+	terr := simerr.ErrUnavailable
+	if tk.Observe(terr) {
+		t.Fatal("down after one failure with threshold 2")
+	}
+	if !tk.Observe(terr) || !tk.Down() {
+		t.Fatal("not down after reaching the threshold")
+	}
+	// Non-transient outcomes never count toward the threshold and reset
+	// the streak.
+	tk2 := NewTracker(ts.URL)
+	tk2.FailureThreshold = 2
+	tk2.Observe(terr)
+	tk2.Observe(errors.New("a 400: the caller's problem"))
+	if tk2.Observe(terr) {
+		t.Fatal("non-transient outcome did not reset the failure streak")
+	}
+
+	// A failed probe keeps it down; a ready probe readmits.
+	flip.set(false)
+	hb := tk.Probe(context.Background(), time.Second)
+	if hb.Healthy || !tk.Down() {
+		t.Fatalf("unready probe readmitted the endpoint: %+v", hb)
+	}
+	if hb.Error == "" {
+		t.Fatal("failed probe carries no error text")
+	}
+	flip.set(true)
+	hb = tk.Probe(context.Background(), time.Second)
+	if !hb.Healthy || tk.Down() {
+		t.Fatalf("ready probe did not readmit: %+v, down=%v", hb, tk.Down())
+	}
+	if got := tk.LastHeartbeat(); !got.Healthy || got.Endpoint != ts.URL {
+		t.Fatalf("last heartbeat %+v", got)
+	}
+}
+
+func TestTrackerProbeCancelledByCallerIsNotCharged(t *testing.T) {
+	// A probe cut short by the campaign's own cancellation says nothing
+	// about the endpoint.
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer hang.Close()
+	tk := NewTracker(hang.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	hb := tk.Probe(ctx, 0)
+	if hb.Healthy {
+		t.Fatalf("cancelled probe reported healthy: %+v", hb)
+	}
+	if tk.Down() {
+		t.Fatal("caller-cancelled probe charged the endpoint")
+	}
+}

@@ -11,13 +11,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/simerr"
 	"repro/internal/sweep"
@@ -25,7 +28,7 @@ import (
 )
 
 // Client talks to one vmserved instance. The zero value is not usable;
-// construct with New.
+// construct with New. Safe for concurrent use.
 type Client struct {
 	base string
 	http *http.Client
@@ -33,21 +36,47 @@ type Client struct {
 	// Retries bounds how many times a transient failure (connection
 	// error, 429, 503, 5xx) is retried per call; Backoff is the base of
 	// the exponential delay between attempts, overridden by the
-	// server's Retry-After when present.
+	// server's Retry-After when present. Each delay carries
+	// deterministic jitter — see SeedJitter.
 	Retries int
 	Backoff time.Duration
+
+	// jitter decorrelates this client's retry schedule from every other
+	// client's (see SeedJitter); jmu serializes draws, since a
+	// coordinator polls many jobs through one client concurrently.
+	jmu    sync.Mutex
+	jitter *rng.Source
 }
 
 // New builds a client for the server at base (e.g.
 // "http://127.0.0.1:8080"), with 4 retries at 250ms exponential
-// backoff.
+// backoff. The retry jitter stream is seeded from the endpoint string,
+// so a fleet of workers hammering the same coordinator (or vice versa)
+// spreads its retries deterministically instead of synchronizing into
+// storms — same endpoint, same schedule; different endpoint, different
+// schedule. Use SeedJitter to decorrelate clients sharing an endpoint.
 func New(base string) *Client {
+	base = strings.TrimRight(base, "/")
+	h := fnv.New64a()
+	h.Write([]byte(base)) //nolint:errcheck // fnv never fails
 	return &Client{
-		base:    strings.TrimRight(base, "/"),
+		base:    base,
 		http:    &http.Client{},
 		Retries: 4,
 		Backoff: 250 * time.Millisecond,
+		jitter:  rng.New(h.Sum64()),
 	}
+}
+
+// SeedJitter resets the client's deterministic retry-jitter stream.
+// Clients with equal seeds (and equal Backoff) produce identical delay
+// schedules; distinct seeds produce decorrelated ones. Call it before
+// issuing requests when many clients share one endpoint — e.g. the
+// coordinator gives each worker connection its own seed.
+func (c *Client) SeedJitter(seed uint64) {
+	c.jmu.Lock()
+	c.jitter = rng.New(seed)
+	c.jmu.Unlock()
 }
 
 // maxRetryBackoff caps the exponential inter-attempt delay.
@@ -60,6 +89,24 @@ func (c *Client) Health(ctx context.Context) (api.Health, error) {
 	return h, err
 }
 
+// Ready probes readiness without retrying — it is the failover signal,
+// so a slow or refusing endpoint must answer "not ready" immediately,
+// not after a retry budget. The parsed body is returned even on a 503,
+// so callers can see queue depth and the draining flag.
+func (c *Client) Ready(ctx context.Context) (api.Ready, error) {
+	var rd api.Ready
+	err := c.once(ctx, http.MethodGet, "/v1/readyz", nil, "", &rd)
+	if err != nil {
+		var he *httpError
+		if AsHTTPError(err, &he) && he.status == http.StatusServiceUnavailable {
+			// An unready daemon answers 503 with the Ready body itself.
+			json.Unmarshal(he.body, &rd) //nolint:errcheck // best-effort detail
+		}
+		return rd, err
+	}
+	return rd, nil
+}
+
 // EnsureTrace makes tr resident on the server, uploading only when the
 // server does not already hold a trace with the same digest. It returns
 // the digest that submissions should reference.
@@ -70,7 +117,7 @@ func (c *Client) EnsureTrace(ctx context.Context, tr *trace.Trace) (string, erro
 	if err == nil {
 		return sha, nil
 	}
-	if !isNotFound(err) {
+	if !IsNotFound(err) {
 		return "", err
 	}
 	var buf bytes.Buffer
@@ -156,11 +203,12 @@ func ToSweepPoint(cfg sim.Config, r api.PointResult) sweep.Point {
 
 // --- transport --------------------------------------------------------
 
-// httpError is a non-2xx response, carrying enough to classify and to
-// honor Retry-After.
+// httpError is a non-2xx response, carrying enough to classify, to
+// honor Retry-After, and to recover typed bodies (the readyz detail).
 type httpError struct {
 	status     int
 	msg        string
+	body       []byte
 	retryAfter time.Duration
 }
 
@@ -178,7 +226,10 @@ func (e *httpError) Unwrap() error {
 	return nil
 }
 
-func isNotFound(err error) bool {
+// IsNotFound reports whether err is the server's 404. The coordinator
+// uses it to recognize a restarted worker that lost its uploaded trace
+// (re-upload and retry) and a poll for a job the worker no longer knows.
+func IsNotFound(err error) bool {
 	var he *httpError
 	return AsHTTPError(err, &he) && he.status == http.StatusNotFound
 }
@@ -220,9 +271,14 @@ func (c *Client) call(ctx context.Context, method, path string, body []byte, con
 	}
 }
 
-// sleep waits out the backoff before the next attempt, preferring the
-// server's Retry-After hint; false means ctx fired first.
-func (c *Client) sleep(ctx context.Context, attempt int, err error) bool {
+// backoffDelay computes the delay before retry attempt+1: exponential
+// growth from Backoff capped at maxRetryBackoff, then deterministic
+// full jitter into [d/2, d). The jitter draw comes from the client's
+// seeded rng stream, so a fleet of clients retrying the same outage
+// spreads out deterministically — identical seeds replay identical
+// schedules (pinned by TestBackoffScheduleDeterministic), distinct
+// seeds never synchronize into a retry storm.
+func (c *Client) backoffDelay(attempt int) time.Duration {
 	d := c.Backoff
 	if d <= 0 {
 		d = 250 * time.Millisecond
@@ -233,6 +289,20 @@ func (c *Client) sleep(ctx context.Context, attempt int, err error) bool {
 	if d > maxRetryBackoff {
 		d = maxRetryBackoff
 	}
+	c.jmu.Lock()
+	if c.jitter == nil { // zero-value Client used directly in tests
+		c.jitter = rng.New(0)
+	}
+	f := c.jitter.Float64()
+	c.jmu.Unlock()
+	half := d / 2
+	return half + time.Duration(f*float64(half))
+}
+
+// sleep waits out the backoff before the next attempt, preferring the
+// server's Retry-After hint; false means ctx fired first.
+func (c *Client) sleep(ctx context.Context, attempt int, err error) bool {
+	d := c.backoffDelay(attempt)
 	var he *httpError
 	if AsHTTPError(err, &he) && he.retryAfter > 0 {
 		d = he.retryAfter
@@ -274,8 +344,9 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, con
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		he := &httpError{status: resp.StatusCode}
+		he.body, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		var e api.Error
-		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e); err == nil {
+		if err := json.Unmarshal(he.body, &e); err == nil {
 			he.msg = e.Message
 		}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/simerr"
+)
+
+// Tracker wraps one endpoint's Client with the health state a fleet
+// caller needs for failover: every call outcome is Observed, transient
+// failures accumulate toward a down mark, and a down endpoint is only
+// readmitted by a successful readiness Probe. The coordinator keeps one
+// Tracker per worker; `vmsweep -remote` with several endpoints routes
+// around whichever Trackers report down.
+//
+// State machine: up —(FailureThreshold consecutive transient
+// failures)→ down —(successful Probe)→ up. Non-transient errors (a 400,
+// a 404) are the caller's problem, not the endpoint's, and never count
+// toward the threshold.
+type Tracker struct {
+	// C is the wrapped client.
+	C *Client
+	// Endpoint labels the tracker in heartbeats and logs.
+	Endpoint string
+	// FailureThreshold is how many consecutive transient failures mark
+	// the endpoint down (<= 0 selects 1: fail fast, Probe readmits).
+	FailureThreshold int
+
+	mu       sync.Mutex
+	fails    int
+	down     bool
+	lastErr  error
+	lastBeat api.Heartbeat
+}
+
+// NewTracker builds a Tracker over a fresh client for endpoint.
+func NewTracker(endpoint string) *Tracker {
+	return &Tracker{C: New(endpoint), Endpoint: endpoint, FailureThreshold: 1}
+}
+
+// Observe records one call outcome against the endpoint. A nil error
+// (or a non-transient one) resets the consecutive-failure count; a
+// transient error — the endpoint refused, hung, or answered 5xx —
+// increments it, and crossing FailureThreshold marks the endpoint down.
+// It reports whether the endpoint is down after recording.
+func (t *Tracker) Observe(err error) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch {
+	case err == nil:
+		t.fails = 0
+		t.down = false
+		t.lastErr = nil
+	case simerr.Transient(err):
+		t.fails++
+		t.lastErr = err
+		if t.fails >= t.threshold() {
+			t.down = true
+		}
+	default:
+		// The caller's error: the endpoint answered, just not 2xx.
+		t.fails = 0
+		t.lastErr = err
+	}
+	return t.down
+}
+
+// Down reports whether the endpoint is currently marked down.
+func (t *Tracker) Down() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.down
+}
+
+// LastErr returns the most recent error Observe recorded.
+func (t *Tracker) LastErr() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastErr
+}
+
+// Probe performs one readiness heartbeat with the given per-probe
+// timeout (0 = none). A ready answer readmits a down endpoint; anything
+// else (unready, unreachable, hung past the timeout) counts as a
+// transient failure. The returned Heartbeat is the wire-shaped record
+// of the probe (see api.Heartbeat): Healthy reports whether this probe
+// succeeded, not the tracker's overall mark.
+func (t *Tracker) Probe(ctx context.Context, timeout time.Duration) api.Heartbeat {
+	pctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		pctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	rd, err := t.C.Ready(pctx)
+	hb := api.Heartbeat{Endpoint: t.Endpoint, QueueDepth: rd.QueueDepth}
+	if err != nil {
+		// Healthy stays false: this probe did not succeed. A probe cut
+		// short by the campaign's own cancellation says nothing about
+		// the endpoint, though, so only genuine failures are charged.
+		hb.Error = err.Error()
+		if ctx.Err() == nil {
+			t.Observe(err)
+		}
+		t.mu.Lock()
+		t.lastBeat = hb
+		t.mu.Unlock()
+		return hb
+	}
+	hb.Healthy = true
+	t.mu.Lock()
+	t.fails = 0
+	t.down = false
+	t.lastErr = nil
+	t.lastBeat = hb
+	t.mu.Unlock()
+	return hb
+}
+
+// LastHeartbeat returns the most recent Probe outcome.
+func (t *Tracker) LastHeartbeat() api.Heartbeat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastBeat
+}
+
+func (t *Tracker) threshold() int {
+	if t.FailureThreshold <= 0 {
+		return 1
+	}
+	return t.FailureThreshold
+}

@@ -1,0 +1,447 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/faults"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/simerr"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/version"
+	"repro/internal/workload"
+)
+
+// testTrace generates a small deterministic workload trace.
+func testTrace(t *testing.T, refs int) *trace.Trace {
+	t.Helper()
+	p, err := workload.ByName("ijpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Generate(p, 5, refs)
+}
+
+// testConfigs is a small cross-product: enough points that leases,
+// stealing, and failover all engage.
+func testConfigs(n int) []sim.Config {
+	base := sim.Default(sim.VMUltrix)
+	cfgs := make([]sim.Config, 0, n)
+	for i := 0; i < n; i++ {
+		c := base
+		c.L1SizeBytes = 1024 << (i % 4)
+		c.TLBEntries = 16 << (i % 3)
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+// startWorker spins up one real vmserved core over httptest.
+func startWorker(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	})
+	return ts
+}
+
+// csvOf renders points the way vmsweep does — the byte-identity oracle.
+func csvOf(t *testing.T, tr *trace.Trace, points []sweep.Point) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := sweep.WriteCSV(&b, tr.Name, points); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// serialCSV is the single-node, single-worker reference output.
+func serialCSV(t *testing.T, tr *trace.Trace, cfgs []sim.Config) string {
+	t.Helper()
+	return csvOf(t, tr, sweep.Run(tr, cfgs, 1))
+}
+
+// fastOpts are chaos-test latencies: tight polling, a lease deadline
+// short enough that a hung worker is reclaimed within the test budget.
+func fastOpts(endpoints ...string) Options {
+	return Options{
+		Endpoints:    endpoints,
+		LeasePoints:  2,
+		LeaseTimeout: 2 * time.Second,
+		Poll:         5 * time.Millisecond,
+	}
+}
+
+func TestRingOwnershipDeterministicAndBalanced(t *testing.T) {
+	eps := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, r2 := newRing(eps), newRing(eps)
+	owned := make([]int, len(eps))
+	for i := 0; i < 1000; i++ {
+		key := hash64(fmt.Sprintf("key-%d", i))
+		w1, w2 := r1.owner(key, nil), r2.owner(key, nil)
+		if w1 != w2 {
+			t.Fatalf("key %d: rings disagree (%d vs %d)", i, w1, w2)
+		}
+		owned[w1]++
+	}
+	for w, n := range owned {
+		if n == 0 {
+			t.Fatalf("worker %d owns no keys out of 1000", w)
+		}
+	}
+	// Failover: with the owner excluded the key must land elsewhere,
+	// deterministically, and return home once the owner is back.
+	key := hash64("some-point")
+	home := r1.owner(key, nil)
+	alt := r1.owner(key, func(w int) bool { return w != home })
+	if alt == home {
+		t.Fatalf("failover returned the excluded owner %d", home)
+	}
+	if again := r1.owner(key, func(w int) bool { return w != home }); again != alt {
+		t.Fatalf("failover not deterministic: %d then %d", alt, again)
+	}
+	if back := r1.owner(key, nil); back != home {
+		t.Fatalf("owner moved with everyone alive: %d, want %d", back, home)
+	}
+}
+
+func TestRingFallsBackWhenNobodyAlive(t *testing.T) {
+	r := newRing([]string{"http://a:1", "http://b:1"})
+	w := r.owner(hash64("k"), func(int) bool { return false })
+	if w != 0 && w != 1 {
+		t.Fatalf("fallback owner %d out of range", w)
+	}
+}
+
+func TestCoordMatchesSerialSweep(t *testing.T) {
+	tr := testTrace(t, 20000)
+	cfgs := testConfigs(18)
+	var eps []string
+	for i := 0; i < 3; i++ {
+		eps = append(eps, startWorker(t, server.Config{Workers: 2, QueueBound: 64}).URL)
+	}
+	points, err := Run(context.Background(), tr, cfgs, fastOpts(eps...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := csvOf(t, tr, points), serialCSV(t, tr, cfgs); got != want {
+		t.Fatalf("distributed CSV differs from serial:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestCoordSurvivesWorkerKill(t *testing.T) {
+	tr := testTrace(t, 20000)
+	cfgs := testConfigs(18)
+	vs := server.New(server.Config{Workers: 1, QueueBound: 64})
+	victim := httptest.NewServer(vs.Handler())
+	var kill sync.Once
+	killVictim := func() {
+		kill.Do(func() {
+			victim.CloseClientConnections()
+			victim.Close()
+		})
+	}
+	t.Cleanup(killVictim)
+	eps := []string{victim.URL}
+	for i := 0; i < 2; i++ {
+		eps = append(eps, startWorker(t, server.Config{Workers: 1, QueueBound: 64}).URL)
+	}
+	// Kill the victim the moment the first point lands: the campaign is
+	// mid-flight, its queued and leased points must fail over. The kill
+	// runs off the driver goroutine — Close waits for in-flight requests,
+	// and the driver delivering this very point may own one.
+	var once sync.Once
+	killed := make(chan struct{})
+	opts := fastOpts(eps...)
+	opts.PointDone = func(int, sweep.Point) {
+		once.Do(func() {
+			go func() {
+				killVictim()
+				close(killed)
+			}()
+		})
+	}
+	opts.Logf = t.Logf
+	points, err := Run(context.Background(), tr, cfgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-killed
+	if got, want := csvOf(t, tr, points), serialCSV(t, tr, cfgs); got != want {
+		t.Fatalf("CSV after worker kill differs from serial:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestCoordSurvivesWorkerHang(t *testing.T) {
+	tr := testTrace(t, 20000)
+	cfgs := testConfigs(18)
+	s := server.New(server.Config{Workers: 1, QueueBound: 64})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	})
+	valve := &faults.Partition{Next: s.Handler()}
+	hung := httptest.NewServer(valve)
+	t.Cleanup(hung.Close)
+	t.Cleanup(valve.Heal)
+	eps := []string{hung.URL}
+	for i := 0; i < 2; i++ {
+		eps = append(eps, startWorker(t, server.Config{Workers: 1, QueueBound: 64}).URL)
+	}
+	// Partition the worker after the first landed point: in-flight polls
+	// against it hang silently until the per-RPC deadline reclaims its
+	// lease.
+	var once sync.Once
+	opts := fastOpts(eps...)
+	opts.LeaseTimeout = 500 * time.Millisecond
+	opts.PointDone = func(int, sweep.Point) { once.Do(valve.Cut) }
+	opts.Logf = t.Logf
+	points, err := Run(context.Background(), tr, cfgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := csvOf(t, tr, points), serialCSV(t, tr, cfgs); got != want {
+		t.Fatalf("CSV after worker hang differs from serial:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestCoordKilledAndResumedMidCampaign(t *testing.T) {
+	tr := testTrace(t, 20000)
+	cfgs := testConfigs(18)
+	var eps []string
+	for i := 0; i < 2; i++ {
+		eps = append(eps, startWorker(t, server.Config{Workers: 2, QueueBound: 64}).URL)
+	}
+	jdir := t.TempDir()
+
+	// First coordinator: cancelled (killed) after a third of the points.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var landed atomic.Int64
+	opts := fastOpts(eps...)
+	opts.JournalDir = jdir
+	opts.PointDone = func(int, sweep.Point) {
+		if landed.Add(1) == int64(len(cfgs)/3) {
+			cancel()
+		}
+	}
+	first, err := Run(ctx, tr, cfgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := 0
+	for _, p := range first {
+		if p.Err != nil && errors.Is(p.Err, simerr.ErrCancelled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("first coordinator was not interrupted mid-campaign")
+	}
+
+	// Second coordinator: resumes the journal, finishes the remainder.
+	opts2 := fastOpts(eps...)
+	opts2.JournalDir = jdir
+	opts2.Resume = true
+	second, err := Run(context.Background(), tr, cfgs, opts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := 0
+	for _, p := range second {
+		if p.Resumed {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Fatal("second coordinator resumed nothing from the journal")
+	}
+	if got, want := csvOf(t, tr, second), serialCSV(t, tr, cfgs); got != want {
+		t.Fatalf("CSV after kill+resume differs from serial:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestCoordQuarantinesPointFailingAcrossLeases(t *testing.T) {
+	// A worker whose every simulation exceeds its nanosecond deadline
+	// fails each lease's points transiently; the coordinator re-leases
+	// each point MaxPointFailures times, then quarantines it as poison.
+	tr := testTrace(t, 20000)
+	cfgs := testConfigs(4)
+	w := startWorker(t, server.Config{Workers: 1, QueueBound: 64, PointTimeout: time.Nanosecond})
+	opts := fastOpts(w.URL)
+	opts.MaxPointFailures = 2
+	points, err := Run(context.Background(), tr, cfgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if p.Err == nil {
+			t.Fatalf("point %d succeeded under a nanosecond deadline", i)
+		}
+		if !errors.Is(p.Err, simerr.ErrPointTimeout) {
+			t.Fatalf("point %d error lost its taxonomy class: %v", i, p.Err)
+		}
+		if !strings.Contains(p.Err.Error(), "quarantined after 2 failed lease(s)") {
+			t.Fatalf("point %d not quarantined by the failure budget: %v", i, p.Err)
+		}
+	}
+}
+
+// stubWorker is a minimal wire-compatible worker whose job results are
+// scripted — for exercising coordinator paths a real engine cannot
+// reach deterministically.
+type stubWorker struct {
+	engine  string
+	results func(cfgs []sim.Config) []api.PointResult
+
+	mu   sync.Mutex
+	seq  int
+	jobs map[string][]api.PointResult
+}
+
+func newStubWorker(t *testing.T, engine string, results func([]sim.Config) []api.PointResult) *httptest.Server {
+	t.Helper()
+	st := &stubWorker{engine: engine, results: results, jobs: map[string][]api.PointResult{}}
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v) //nolint:errcheck
+	}
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, api.Health{Status: "ok", Engine: st.engine})
+	})
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, api.Ready{Status: "ready", Engine: st.engine})
+	})
+	mux.HandleFunc("GET /v1/traces/{sha}", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, api.TraceUploaded{SHA256: r.PathValue("sha")})
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req api.SubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st.mu.Lock()
+		st.seq++
+		id := fmt.Sprintf("stub-job-%d", st.seq)
+		st.jobs[id] = st.results(req.Configs)
+		st.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, api.SubmitResponse{JobID: id, Points: len(req.Configs), Engine: st.engine})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		results, ok := st.jobs[r.PathValue("id")]
+		st.mu.Unlock()
+		if !ok {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, api.JobStatus{ID: r.PathValue("id"), State: api.JobDone,
+			Total: len(results), Done: len(results), Results: results})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestCoordQuarantinesDeterministicFailureImmediately(t *testing.T) {
+	// A "config"-category failure would fail identically on every
+	// worker: no re-dispatch, immediate quarantine.
+	tr := testTrace(t, 2000)
+	cfgs := testConfigs(3)
+	stub := newStubWorker(t, version.Engine(), func(cfgs []sim.Config) []api.PointResult {
+		out := make([]api.PointResult, len(cfgs))
+		for i := range out {
+			out[i] = api.PointResult{Error: "scripted config failure", Category: "config"}
+		}
+		return out
+	})
+	points, err := Run(context.Background(), tr, cfgs, fastOpts(stub.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if !errors.Is(p.Err, simerr.ErrConfigInvalid) {
+			t.Fatalf("point %d: want ErrConfigInvalid, got %v", i, p.Err)
+		}
+		if strings.Contains(p.Err.Error(), "failed lease") {
+			t.Fatalf("point %d was re-dispatched despite a deterministic failure: %v", i, p.Err)
+		}
+	}
+}
+
+func TestCoordRejectsMismatchedEngines(t *testing.T) {
+	tr := testTrace(t, 2000)
+	real := startWorker(t, server.Config{Workers: 1, QueueBound: 8})
+	imposter := newStubWorker(t, "someother-engine/v9", nil)
+	_, err := Run(context.Background(), tr, testConfigs(2), fastOpts(real.URL, imposter.URL))
+	if err == nil || !strings.Contains(err.Error(), "engines disagree") {
+		t.Fatalf("mixed-engine fleet admitted: err=%v", err)
+	}
+}
+
+func TestCoordErrorsWhenNoWorkerReachable(t *testing.T) {
+	tr := testTrace(t, 2000)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // nothing listens here anymore
+	opts := fastOpts(dead.URL)
+	opts.LeaseTimeout = 300 * time.Millisecond
+	_, err := Run(context.Background(), tr, testConfigs(2), opts)
+	if err == nil || !errors.Is(err, simerr.ErrUnavailable) {
+		t.Fatalf("unreachable fleet admitted: err=%v", err)
+	}
+}
+
+func TestCoordCancelledWhileFleetIsDownReturnsPromptly(t *testing.T) {
+	// Every worker dies right after registration. The coordinator waits
+	// for revival (points are not abandonable while the fleet might come
+	// back) — but the caller's cancellation must end the campaign
+	// promptly, with the unfinished points marked cancelled.
+	tr := testTrace(t, 2000)
+	w := httptest.NewServer(server.New(server.Config{Workers: 1, QueueBound: 8}).Handler())
+	opts := fastOpts(w.URL)
+	opts.LeaseTimeout = 200 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 1500*time.Millisecond)
+	defer cancel()
+	registered := false
+	opts.Logf = func(format string, args ...any) {
+		if !registered && strings.Contains(format, "registered") {
+			registered = true
+			w.CloseClientConnections()
+			w.Close()
+		}
+	}
+	start := time.Now()
+	points, err := Run(ctx, tr, testConfigs(2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("cancellation took %v to unwind", took)
+	}
+	for i, p := range points {
+		if p.Err == nil || !errors.Is(p.Err, simerr.ErrCancelled) {
+			t.Fatalf("point %d after cancelled campaign: %+v", i, p)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package coord
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker indices. Each worker
+// contributes ringVnodes virtual nodes, so ownership spreads evenly and
+// the failure of one worker redistributes its points across the
+// survivors instead of dumping them on a single neighbour. Routing is
+// keyed on the point's content address (internal/api.Key), so the same
+// point in a re-run campaign hashes to the same worker — the one whose
+// result cache is warm — and failover walks the ring to the next alive
+// worker deterministically.
+type ring struct {
+	nodes []ringNode // sorted by hash
+}
+
+// ringNode is one virtual node: a position on the ring owned by a
+// worker.
+type ringNode struct {
+	hash   uint64
+	worker int
+}
+
+// ringVnodes is the virtual-node count per worker. 64 keeps the maximum
+// ownership imbalance across a handful of workers within a few percent
+// while the ring stays small enough to scan in tests.
+const ringVnodes = 64
+
+// hash64 hashes a string to a ring position.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	return h.Sum64()
+}
+
+// newRing builds the ring over n workers named by their endpoints.
+// Positions depend only on the endpoint strings, so every coordinator
+// (and every resumed campaign) agrees on ownership.
+func newRing(endpoints []string) *ring {
+	r := &ring{nodes: make([]ringNode, 0, len(endpoints)*ringVnodes)}
+	for w, ep := range endpoints {
+		for v := 0; v < ringVnodes; v++ {
+			r.nodes = append(r.nodes, ringNode{hash: hash64(fmt.Sprintf("%s#%d", ep, v)), worker: w})
+		}
+	}
+	sort.Slice(r.nodes, func(i, j int) bool {
+		if r.nodes[i].hash != r.nodes[j].hash {
+			return r.nodes[i].hash < r.nodes[j].hash
+		}
+		return r.nodes[i].worker < r.nodes[j].worker
+	})
+	return r
+}
+
+// owner returns the worker owning keyHash: the first alive worker at or
+// clockwise of the key's position. When no worker is alive it falls
+// back to the position's unconditional owner, so points keep a
+// deterministic home to be stolen from once somebody revives.
+func (r *ring) owner(keyHash uint64, alive func(worker int) bool) int {
+	n := len(r.nodes)
+	start := sort.Search(n, func(i int) bool { return r.nodes[i].hash >= keyHash }) % n
+	for i := 0; i < n; i++ {
+		w := r.nodes[(start+i)%n].worker
+		if alive == nil || alive(w) {
+			return w
+		}
+	}
+	return r.nodes[start].worker
+}

@@ -1,10 +1,13 @@
 // Package faults is a deterministic fault injector for the robustness
 // test suites. It wraps io.Readers with crash-shaped failure modes
-// (hard errors, short reads, bit corruption at a chosen offset) and
+// (hard errors, short reads, bit corruption at a chosen offset),
 // manufactures sweep-pool point hooks (panic on the nth point, stall
-// until cancelled, fail n times then recover, seedably-flaky). Every
-// injector is reproducible: the same construction parameters produce
-// the same faults, so a failing recovery test replays exactly.
+// until cancelled, fail n times then recover, seedably-flaky), and
+// provides HTTP-level chaos (Partition: a valve that black-holes a
+// worker mid-campaign) for the distributed sweep fabric's kill/hang/
+// partition suites. Every injector is reproducible: the same
+// construction parameters produce the same faults, so a failing
+// recovery test replays exactly.
 package faults
 
 import (
@@ -12,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
+	"sync"
 )
 
 // ErrInjected is the error injected readers and hooks fail with (when
@@ -160,6 +165,68 @@ func Flaky(seed uint64, p float64, err error) func(context.Context, int, int) er
 			return fmt.Errorf("faults: flaky point %d attempt %d: %w", idx, attempt, err)
 		}
 		return nil
+	}
+}
+
+// --- HTTP chaos -------------------------------------------------------
+
+// Partition is an HTTP chaos valve for the distributed-sweep suites: it
+// forwards requests to the wrapped handler until Cut, after which every
+// request blocks silently — no status line, no bytes — until the client
+// gives up or Heal reopens the valve. To the caller this is
+// indistinguishable from a network partition or a hung worker: the
+// connection is alive but nothing ever comes back, which is exactly the
+// failure mode lease deadlines and per-RPC timeouts exist to survive.
+//
+// Front a worker with it in-process (wrap server.Handler()) or across
+// processes (wrap an httputil.ReverseProxy to the worker's address).
+type Partition struct {
+	// Next receives requests while the valve is open.
+	Next http.Handler
+
+	mu   sync.Mutex
+	cut  bool
+	heal chan struct{} // closed by Heal; replaced on each Cut
+}
+
+// Cut closes the valve: from now until Heal, requests hang.
+func (p *Partition) Cut() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cut {
+		return
+	}
+	p.cut = true
+	p.heal = make(chan struct{})
+}
+
+// Heal reopens the valve, releasing every request hung in Cut.
+func (p *Partition) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.cut {
+		return
+	}
+	p.cut = false
+	close(p.heal)
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Partition) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	cut, heal := p.cut, p.heal
+	p.mu.Unlock()
+	if !cut {
+		p.Next.ServeHTTP(w, r)
+		return
+	}
+	// Hang without writing a byte. Returning after the client's context
+	// fires leaves the client with a timeout, never a response; if the
+	// partition heals first, the request proceeds as if delayed.
+	select {
+	case <-r.Context().Done():
+	case <-heal:
+		p.Next.ServeHTTP(w, r)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -85,15 +86,41 @@ type HTTPServer struct {
 	srv *http.Server
 }
 
+// Connection-hygiene bounds applied to every server this package
+// starts. A client that dribbles its request header, never finishes its
+// body, or parks an idle keep-alive connection must not pin a
+// goroutine (and its buffers) forever — the slowloris failure mode. The
+// read timeout is generous because the daemon's trace uploads are
+// legitimately large; the upload handler additionally bounds the body
+// size itself (see server.Config.MaxTraceBytes).
+const (
+	// HTTPReadHeaderTimeout bounds how long a client may take to send
+	// its request headers.
+	HTTPReadHeaderTimeout = 10 * time.Second
+	// HTTPReadTimeout bounds the whole request read, body included.
+	HTTPReadTimeout = 5 * time.Minute
+	// HTTPIdleTimeout bounds how long an idle keep-alive connection is
+	// kept open.
+	HTTPIdleTimeout = 2 * time.Minute
+)
+
 // StartHTTP listens on addr and serves handler (nil selects
 // http.DefaultServeMux, which carries /debug/pprof/* and /debug/vars
-// once this package is imported) until Shutdown or Close.
+// once this package is imported) until Shutdown or Close. The server is
+// hardened against slow and hung clients: request headers, request
+// bodies, and idle keep-alive connections are all deadline-bounded (see
+// the HTTP*Timeout constants).
 func StartHTTP(addr string, handler http.Handler) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &HTTPServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: handler}}
+	s := &HTTPServer{Addr: ln.Addr().String(), srv: &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: HTTPReadHeaderTimeout,
+		ReadTimeout:       HTTPReadTimeout,
+		IdleTimeout:       HTTPIdleTimeout,
+	}}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown/Close
 	return s, nil
 }

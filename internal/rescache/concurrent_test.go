@@ -1,0 +1,137 @@
+package rescache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReadersWritersSameKey hammers one key from many
+// goroutines mixing Get, Put, and Do — the access pattern a coordinator
+// fleet re-running the same campaign produces. Run under -race, the
+// test pins that the cache's locking covers every path and that a
+// reader can only ever observe a complete, correct value.
+func TestConcurrentReadersWritersSameKey(t *testing.T) {
+	c, err := New(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "00deadbeef"
+	want := []byte(`{"result":"canonical"}`)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					c.Put(key, want)
+				case 1:
+					if v, ok := c.Get(key); ok && !bytes.Equal(v, want) {
+						errs <- fmt.Errorf("goroutine %d: read %q, want %q", g, v, want)
+						return
+					}
+				case 2:
+					v, _, err := c.Do(key, func() ([]byte, error) { return want, nil })
+					if err != nil || !bytes.Equal(v, want) {
+						errs <- fmt.Errorf("goroutine %d: Do returned %q, %v", g, v, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentDistinctKeysWithEviction drives more concurrent keys
+// than the LRU bound holds, so reads race evictions, disk loads, and
+// re-insertions.
+func TestConcurrentDistinctKeysWithEviction(t *testing.T) {
+	c, err := New(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("%08x", (g+i)%16)
+				want := []byte(fmt.Sprintf(`{"key":%q}`, key))
+				v, _, err := c.Do(key, func() ([]byte, error) { return want, nil })
+				if err != nil || !bytes.Equal(v, want) {
+					errs <- fmt.Errorf("goroutine %d key %s: got %q, %v", g, key, v, err)
+					return
+				}
+				if v, ok := c.Get(key); ok && !bytes.Equal(v, want) {
+					errs <- fmt.Errorf("goroutine %d key %s: read %q", g, key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCorruptEntryUnderConcurrentReads corrupts a disk entry while
+// several readers load it concurrently: every reader must observe a
+// miss (the verification boundary rejects the damage, and the entry is
+// removed so the store heals) — never a wrong value.
+func TestCorruptEntryUnderConcurrentReads(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "0badc0ffee"
+	want := []byte(`{"result":"intact"}`)
+	for iter := 0; iter < 20; iter++ {
+		c.Put(key, want)
+		// Evict the key from memory so every read goes to disk.
+		c.Put("evictor00", []byte(`{}`))
+		// Corrupt the on-disk entry in place.
+		if err := os.WriteFile(c.path(key), []byte(`{"schema":1,"garbage`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if v, ok := c.Get(key); ok {
+					errs <- fmt.Errorf("read a value from a corrupt entry: %q", v)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().Corrupt; got == 0 {
+		t.Fatal("corruption was never detected by verification")
+	}
+	// The store healed: a fresh Put round-trips.
+	c.Put(key, want)
+	c.Put("evictor00", []byte(`{}`))
+	if v, ok := c.Get(key); !ok || !bytes.Equal(v, want) {
+		t.Fatalf("store did not heal after corruption: %q, %v", v, ok)
+	}
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simerr"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+func TestCampaignFrontDoorRunsJobsThroughRunner(t *testing.T) {
+	// In coordinator mode the daemon's jobs run through the configured
+	// campaign runner instead of the local point queue, but the wire
+	// surface — submit, poll, results — is unchanged.
+	ran := make(chan int, 1)
+	cfg := Config{Workers: 1, QueueBound: 8,
+		Campaign: func(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, done func(int, sweep.Point)) error {
+			ran <- len(cfgs)
+			for i, p := range sweep.RunContext(ctx, tr, cfgs, 1) {
+				done(i, p)
+			}
+			return nil
+		}}
+	_, ts := startServer(t, cfg)
+	sha := uploadTrace(t, ts.URL, testTrace(t, 5000))
+	cfgs := []sim.Config{sim.Default(sim.VMUltrix), sim.Default(sim.VMMach)}
+	st := waitJob(t, ts.URL, submitOK(t, ts.URL, sha, cfgs))
+	if n := <-ran; n != len(cfgs) {
+		t.Fatalf("runner saw %d configs, want %d", n, len(cfgs))
+	}
+	if st.Failed != 0 || len(st.Results) != len(cfgs) {
+		t.Fatalf("front-door job: %+v", st)
+	}
+	for i, r := range st.Results {
+		if r.Error != "" || r.Counters == nil {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+}
+
+func TestCampaignFrontDoorFillsInUndeliveredPoints(t *testing.T) {
+	// A runner that dies mid-campaign (here: delivers only the even
+	// points, then errors) must not leave the job hanging in "running":
+	// undelivered points are quarantined with the runner's error.
+	cfg := Config{Workers: 1, QueueBound: 8,
+		Campaign: func(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, done func(int, sweep.Point)) error {
+			for i, p := range sweep.RunContext(ctx, tr, cfgs, 1) {
+				if i%2 == 0 {
+					done(i, p)
+				}
+			}
+			return fmt.Errorf("fleet lost mid-campaign: %w", simerr.ErrUnavailable)
+		}}
+	_, ts := startServer(t, cfg)
+	sha := uploadTrace(t, ts.URL, testTrace(t, 5000))
+	cfgs := []sim.Config{sim.Default(sim.VMUltrix), sim.Default(sim.VMMach), sim.Default(sim.VMIntel)}
+	st := waitJob(t, ts.URL, submitOK(t, ts.URL, sha, cfgs))
+	if st.Failed != 1 {
+		t.Fatalf("failed count %d, want 1 (the undelivered odd point): %+v", st.Failed, st)
+	}
+	for i, r := range st.Results {
+		if i%2 == 0 {
+			if r.Error != "" {
+				t.Fatalf("delivered point %d carries error %q", i, r.Error)
+			}
+			continue
+		}
+		if r.Error == "" || r.Category != "unavailable" {
+			t.Fatalf("undelivered point %d: %+v", i, r)
+		}
+	}
+}
+
+func TestTraceUploadBodyBound(t *testing.T) {
+	// A trace bigger than the configured bound is refused mid-read, not
+	// buffered to completion.
+	_, ts := startServer(t, Config{Workers: 1, QueueBound: 8, MaxTraceBytes: 128})
+	tr := testTrace(t, 5000)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/traces", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized upload answered %d, want 400", resp.StatusCode)
+	}
+}

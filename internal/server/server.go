@@ -11,7 +11,9 @@
 //	GET  /v1/traces/{sha}  existence check (404 = upload first)
 //	POST /v1/jobs          submit {api_version, trace_sha256, configs[]}
 //	GET  /v1/jobs/{id}     poll status; results present once state=done
-//	GET  /v1/healthz       liveness + engine identity
+//	GET  /v1/healthz       liveness + engine identity (alias /healthz)
+//	GET  /v1/readyz        readiness: 200 when accepting work, 503 when
+//	                       draining or the queue is saturated (alias /readyz)
 //	GET  /debug/vars       expvar (queue depth, in-flight, cache stats)
 //	GET  /debug/pprof/     live profiles
 //
@@ -61,22 +63,33 @@ type Config struct {
 	// Cache, when non-nil, memoizes every successful point by content
 	// address and deduplicates concurrent identical points.
 	Cache *rescache.Cache
+	// MaxTraceBytes bounds one trace upload's body (<= 0 selects
+	// DefaultMaxTraceBytes). Requests beyond it are refused mid-read
+	// rather than buffered.
+	MaxTraceBytes int64
 
 	// PointTimeout, Retries, and Backoff are handed to the sweep driver
 	// for every point, with the same semantics as a local campaign.
 	PointTimeout time.Duration
 	Retries      int
 	Backoff      time.Duration
+
+	// Campaign, when non-nil, turns the daemon into a coordinator
+	// front-door: whole jobs are executed through this runner (in
+	// practice internal/coord fanning the points out across a worker
+	// fleet) instead of the local worker pool. done must be called
+	// exactly once per point, concurrently is fine.
+	Campaign func(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, done func(index int, p sweep.Point)) error
 }
+
+// DefaultMaxTraceBytes bounds one trace upload when Config does not (a
+// million-reference trace serializes to ~18MB; this leaves an order of
+// magnitude of headroom).
+const DefaultMaxTraceBytes = 512 << 20
 
 // maxJobsRetained bounds the completed-job history kept for polling;
 // the oldest finished jobs are forgotten first.
 const maxJobsRetained = 256
-
-// maxTraceUploadBytes bounds one trace upload (a million-reference
-// trace serializes to ~18MB; this leaves an order of magnitude of
-// headroom).
-const maxTraceUploadBytes = 512 << 20
 
 // task is one queued point.
 type task struct {
@@ -120,6 +133,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxTraces <= 0 {
 		cfg.MaxTraces = 8
 	}
+	if cfg.MaxTraceBytes <= 0 {
+		cfg.MaxTraceBytes = DefaultMaxTraceBytes
+	}
 	s := &Server{
 		cfg:    cfg,
 		mux:    http.NewServeMux(),
@@ -133,6 +149,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReady)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	// The debug surface: net/http/pprof and expvar register on the
 	// default mux (via internal/obs's imports), including the metrics
 	// published below.
@@ -218,10 +237,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, api.Health{Status: "ok", Engine: version.Engine()})
 }
 
+// handleReady answers readiness, which liveness does not imply: a
+// draining daemon and one whose point queue has no admission headroom
+// both report unready with 503, so fleet clients fail over instead of
+// submitting into a guaranteed 429/503.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	depth := int(s.queued.Load())
+	rd := api.Ready{
+		Status:     "ready",
+		Engine:     version.Engine(),
+		QueueDepth: depth,
+		QueueBound: s.cfg.QueueBound,
+		Draining:   draining,
+	}
+	status := http.StatusOK
+	if draining || depth >= s.cfg.QueueBound {
+		rd.Status = "unready"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
+}
+
 func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	// Clients may POST any trace format the CLIs read — classic binary,
 	// .vmtrc blocks, or Dinero text; the magic bytes decide.
-	tr, err := trace.ReadAny(http.MaxBytesReader(w, r.Body, maxTraceUploadBytes), "upload")
+	tr, err := trace.ReadAny(http.MaxBytesReader(w, r.Body, s.cfg.MaxTraceBytes), "upload")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading trace: %v", err)
 		return
@@ -305,10 +348,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j.seq = s.seq
 	s.jobs[j.id] = j
 	s.pruneJobsLocked()
-	// Capacity was reserved above and the channel holds QueueBound
-	// slots, so these sends cannot block.
-	for i := 0; i < n; i++ {
-		s.tasks <- task{j: j, idx: i}
+	if s.cfg.Campaign != nil {
+		// Coordinator front-door: the whole job runs as one campaign
+		// across the worker fleet instead of the local point queue. The
+		// goroutine joins the worker pool's WaitGroup so Shutdown drains
+		// in-flight campaigns exactly like in-flight points.
+		s.wg.Add(1)
+		go s.runCampaign(j)
+	} else {
+		// Capacity was reserved above and the channel holds QueueBound
+		// slots, so these sends cannot block.
+		for i := 0; i < n; i++ {
+			s.tasks <- task{j: j, idx: i}
+		}
 	}
 	s.mu.Unlock()
 	s.jobsTotal.Inc()
@@ -431,6 +483,58 @@ func (s *Server) runPoint(j *job, idx int) {
 		}
 	}
 	j.finish(idx, res)
+}
+
+// pointResult converts a finished sweep point to its wire form.
+func pointResult(p sweep.Point) api.PointResult {
+	if p.Err != nil {
+		return api.PointResult{Error: p.Err.Error(), Category: simerr.Category(p.Err)}
+	}
+	return api.PointResult{
+		Workload:       p.Result.Workload,
+		Counters:       &p.Result.Counters,
+		AvgChainLength: p.Result.AvgChainLength,
+		Attempts:       p.Attempts,
+		Cached:         p.Resumed,
+	}
+}
+
+// runCampaign executes one job through the configured campaign runner.
+// Every point reaches the job exactly once: live as the runner delivers
+// it, or — for points a failed or cancelled campaign never delivered —
+// quarantined here, so a polled job always reaches the done state
+// instead of hanging in "running" forever.
+func (s *Server) runCampaign(j *job) {
+	defer s.wg.Done()
+	n := len(j.cfgs)
+	s.queued.Add(-int64(n))
+	s.inflight.Add(int64(n))
+	var mu sync.Mutex
+	delivered := make([]bool, n)
+	deliver := func(idx int, r api.PointResult) {
+		mu.Lock()
+		dup := delivered[idx]
+		delivered[idx] = true
+		mu.Unlock()
+		if dup {
+			return
+		}
+		s.inflight.Add(-1)
+		if r.Error == "" && !r.Cached {
+			s.simulated.Inc()
+		}
+		j.finish(idx, r)
+	}
+	err := s.cfg.Campaign(s.baseCtx, j.tr, j.cfgs, func(idx int, p sweep.Point) {
+		deliver(idx, pointResult(p))
+	})
+	for i := 0; i < n; i++ {
+		ferr := err
+		if ferr == nil {
+			ferr = fmt.Errorf("campaign runner returned without delivering point %d: %w", i, simerr.ErrUnavailable)
+		}
+		deliver(i, api.PointResult{Error: ferr.Error(), Category: simerr.Category(ferr)})
+	}
 }
 
 // --- jobs -------------------------------------------------------------

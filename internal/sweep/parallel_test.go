@@ -170,7 +170,7 @@ func TestParallelJournalRecordsEveryPoint(t *testing.T) {
 	}
 	keys := map[string]bool{}
 	for i := range cfgs {
-		keys[pointKey(tr, cfgs[i])] = true
+		keys[PointKey(tr, cfgs[i])] = true
 	}
 	for _, r := range recs {
 		if !keys[r.Key] {

@@ -151,11 +151,11 @@ func RunWithOptions(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, opt
 			}
 			byKey := journal.Latest(recs)
 			for i := range cfgs {
-				rec, ok := byKey[pointKey(tr, cfgs[i])]
+				rec, ok := byKey[PointKey(tr, cfgs[i])]
 				if !ok {
 					continue
 				}
-				res, err := decodeResult(cfgs[i], tr.Name, rec.Payload)
+				res, err := DecodePointPayload(cfgs[i], tr.Name, rec.Payload)
 				if err != nil {
 					// An undecodable payload is treated as incomplete,
 					// never trusted: the point re-runs.
@@ -266,12 +266,12 @@ func RunWithOptions(ctx context.Context, tr *trace.Trace, cfgs []sim.Config, opt
 		if jw == nil || p.Err != nil {
 			return
 		}
-		payload, err := encodeResult(p.Result)
+		payload, err := EncodePointPayload(p.Result)
 		if err != nil {
 			jerrOnce.Do(func() { jerr = err })
 			return
 		}
-		jch <- journal.Record{Key: pointKey(tr, cfgs[i]), Index: i, Payload: payload}
+		jch <- journal.Record{Key: PointKey(tr, cfgs[i]), Index: i, Payload: payload}
 	}
 
 	var wg sync.WaitGroup
@@ -343,11 +343,14 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
 	}
 }
 
-// pointKey identifies one sweep point for the journal: the trace
+// PointKey identifies one sweep point for the journal: the trace
 // identity plus every field of the configuration, hashed. Any change to
 // either produces a different key, so a stale journal can never claim a
-// different campaign's points.
-func pointKey(tr *trace.Trace, cfg sim.Config) string {
+// different campaign's points. Exported because the distributed
+// coordinator (internal/coord) journals its campaign state under the
+// same keys — a journal written locally resumes remotely and vice
+// versa.
+func PointKey(tr *trace.Trace, cfg sim.Config) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%d|%#v", tr.Name, tr.Len(), cfg)
 	sum := h.Sum(nil)
@@ -363,8 +366,9 @@ type journalResult struct {
 	AvgChainLength float64        `json:"avg_chain_length,omitempty"`
 }
 
-// encodeResult serializes a result for the journal.
-func encodeResult(res *sim.Result) (json.RawMessage, error) {
+// EncodePointPayload serializes a completed point's result into the
+// journal's lossless payload form (shared with internal/coord).
+func EncodePointPayload(res *sim.Result) (json.RawMessage, error) {
 	return json.Marshal(journalResult{
 		Workload:       res.Workload,
 		Counters:       res.Counters,
@@ -372,11 +376,11 @@ func encodeResult(res *sim.Result) (json.RawMessage, error) {
 	})
 }
 
-// decodeResult reconstructs a journalled result. The workload name must
-// match the trace being swept — a guard against a journal written by a
-// different campaign colliding on key (impossible by construction, but
-// cheap to enforce).
-func decodeResult(cfg sim.Config, workload string, payload json.RawMessage) (*sim.Result, error) {
+// DecodePointPayload reconstructs a journalled result. The workload
+// name must match the trace being swept — a guard against a journal
+// written by a different campaign colliding on key (impossible by
+// construction, but cheap to enforce).
+func DecodePointPayload(cfg sim.Config, workload string, payload json.RawMessage) (*sim.Result, error) {
 	var jr journalResult
 	if err := json.Unmarshal(payload, &jr); err != nil {
 		return nil, err
