@@ -1,0 +1,226 @@
+// End-to-end tests of the streaming service: a real vmserved process
+// fed live over POST /v1/stream in randomized chunk sizes — including
+// one SIGTERM mid-stream — asserting the streamed result is
+// byte-identical to the batch path, and of the vmsim -stream / vmtrace
+// -follow front-ends.
+package cmd_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestVMSimStreamMatchesLocalByteForByte(t *testing.T) {
+	srv := startVMServed(t)
+	dir := t.TempDir()
+	localCSV := filepath.Join(dir, "local.csv")
+	streamCSV := filepath.Join(dir, "stream.csv")
+	base := []string{"-vm", "ultrix", "-bench", "gcc", "-n", "20000", "-warmup", "4000", "-sample", "3000", "-json"}
+
+	local, errLocal, code := run(t, "vmsim", append(base, "-timeline", localCSV)...)
+	if code != 0 {
+		t.Fatalf("local vmsim exit %d, stderr: %s", code, errLocal)
+	}
+	streamed, errStream, code := run(t, "vmsim", append(base, "-timeline", streamCSV, "-stream", srv.base)...)
+	if code != 0 {
+		t.Fatalf("vmsim -stream exit %d, stderr: %s", code, errStream)
+	}
+	if streamed != local {
+		t.Fatalf("-stream JSON differs from local JSON:\n--- local ---\n%s--- stream ---\n%s", local, streamed)
+	}
+	if !strings.Contains(errStream, "mcpi=") {
+		t.Fatalf("-stream printed no live timeline rows to stderr:\n%s", errStream)
+	}
+	lc, err := os.ReadFile(localCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := os.ReadFile(streamCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lc, sc) {
+		t.Fatalf("-stream timeline CSV differs from local:\n--- local ---\n%s--- stream ---\n%s", lc, sc)
+	}
+}
+
+// TestStreamSurvivesMidStreamSIGTERM streams a trace in randomized
+// chunk sizes, SIGTERMs the daemon a third of the way through the
+// upload, and requires the drain to finalize the stream with a result
+// identical to a local batch run — and the daemon to exit 0.
+func TestStreamSurvivesMidStreamSIGTERM(t *testing.T) {
+	srv := startVMServed(t, "-drain-timeout", "60s")
+
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.Generate(p, 42, 30_000)
+	cfg := sim.Default(sim.VMUltrix)
+	cfg.WarmupInstrs = 5_000
+	cfg.SampleEvery = 4_000
+	batch, err := sim.Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	head, err := json.Marshal(api.StreamRequest{APIVersion: api.Version, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	body.Write(head)
+	if _, err := tr.WriteVMTRC(&body); err != nil {
+		t.Fatal(err)
+	}
+	raw := body.Bytes()
+
+	// Feed the body through a pipe in random-sized chunks, signalling
+	// when a third has gone out so the test can SIGTERM mid-upload.
+	pr, pw := io.Pipe()
+	third := make(chan struct{})
+	var feedErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer pw.Close()
+		src := rng.New(7)
+		sent, signalled := 0, false
+		for sent < len(raw) {
+			n := 1 + src.Intn(4096)
+			if sent+n > len(raw) {
+				n = len(raw) - sent
+			}
+			if _, err := pw.Write(raw[sent : sent+n]); err != nil {
+				feedErr = err
+				return
+			}
+			sent += n
+			if !signalled && sent >= len(raw)/3 {
+				close(third)
+				signalled = true
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	resp, err := http.Post(srv.base+"/v1/stream", "application/octet-stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+
+	<-third
+	if err := srv.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The draining daemon must keep consuming the upload and finish the
+	// stream: ready, live samples, then a result matching batch.
+	var evs []api.StreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		var ev api.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	wg.Wait()
+	if feedErr != nil {
+		t.Fatalf("feeding stream: %v", feedErr)
+	}
+	if len(evs) < 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	last := evs[len(evs)-1]
+	if last.Type != api.StreamResult {
+		t.Fatalf("terminal event %+v, want result (drain must finalize the stream)", last)
+	}
+	if *last.Result.Counters != batch.Counters {
+		t.Fatalf("drained stream diverges from batch:\n got  %+v\n want %+v", *last.Result.Counters, batch.Counters)
+	}
+	samples := evs[1 : len(evs)-1]
+	if len(samples) != len(batch.Timeline) {
+		t.Fatalf("got %d sample events, batch recorded %d", len(samples), len(batch.Timeline))
+	}
+	for i, ev := range samples {
+		if *ev.Sample != batch.Timeline[i] {
+			t.Fatalf("sample %d diverges from batch timeline", i)
+		}
+	}
+
+	// And the daemon drains to a clean exit.
+	if err := srv.cmd.Wait(); err != nil {
+		t.Fatalf("vmserved exited uncleanly after drain: %v", err)
+	}
+}
+
+func TestVMTraceFollowTailsAGrowingFile(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.vmtrc")
+	if _, errOut, code := run(t, "vmtrace", "-bench", "gcc", "-n", "40000", "-convert", "-o", full); code != 0 {
+		t.Fatalf("vmtrace -convert exit %d, stderr: %s", code, errOut)
+	}
+	want, errOut, code := run(t, "vmtrace", "-i", full)
+	if code != 0 {
+		t.Fatalf("vmtrace -i exit %d, stderr: %s", code, errOut)
+	}
+
+	// Grow a copy of the file under a running -follow: first 60% up
+	// front, the rest appended while the decoder is already tailing.
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := filepath.Join(dir, "live.vmtrc")
+	cut := len(raw) * 6 / 10
+	if err := os.WriteFile(live, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(binDir, "vmtrace"), "-follow", "-follow-timeout", "10s", "-i", live)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	f, err := os.OpenFile(live, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(raw[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("vmtrace -follow failed: %v\nstderr: %s", err, stderr.String())
+	}
+	if got := stdout.String(); got != want {
+		t.Fatalf("-follow report differs from batch -i:\n--- batch ---\n%s--- follow ---\n%s", want, got)
+	}
+}

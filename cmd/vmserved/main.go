@@ -17,6 +17,13 @@
 // daemon answers 503. /debug/vars exposes queue depth, in-flight
 // points, and cache hit rates; /debug/pprof/ serves live profiles.
 //
+// Streaming: POST /v1/stream accepts a JSON preamble followed by raw
+// .vmtrc bytes on one long-lived connection, simulates block by block
+// as the upload arrives, and pushes live MCPI/VMCPI timeline rows back
+// as NDJSON (`vmsim -stream`). At most -max-streams run concurrently;
+// beyond that, 429 with Retry-After. A SIGTERM drain finalizes
+// in-flight streams before exiting.
+//
 // Lifecycle: SIGINT/SIGTERM starts a graceful drain — the listener
 // stops accepting work, queued and in-flight points run to completion
 // (bounded by -drain-timeout, then cancelled cooperatively), and the
@@ -60,6 +67,7 @@ func main() {
 		addr         = flag.String("addr", "localhost:8080", "HTTP listen address")
 		workers      = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 1024, "queued-point bound; beyond it submissions get 429 + Retry-After")
+		maxStreams   = flag.Int("max-streams", 0, "concurrent /v1/stream bound; beyond it streams get 429 (0 = worker count)")
 		cacheDir     = flag.String("cache-dir", "", "persist results content-addressed under this directory ('' = memory only)")
 		cacheEntries = flag.Int("cache-entries", rescache.DefaultMaxEntries, "in-memory result cache bound")
 		timeout      = flag.Duration("timeout", 0, "per-point deadline (0 = none)")
@@ -87,6 +95,7 @@ func main() {
 	scfg := server.Config{
 		Workers:      *workers,
 		QueueBound:   *queue,
+		MaxStreams:   *maxStreams,
 		Cache:        cache,
 		PointTimeout: *timeout,
 		Retries:      *retries,
@@ -134,7 +143,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "vmserved: draining (up to %s)\n", *drain)
 
 	// Stop accepting connections first, then drain the simulation queue.
-	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// The HTTP shutdown shares the drain budget: a live /v1/stream is an
+	// in-flight request, and hs.Shutdown waits for it — cutting this off
+	// at a short fixed timeout would sever streams mid-upload instead of
+	// finalizing them.
+	hctx, hcancel := context.WithTimeout(context.Background(), *drain)
 	if err := hs.Shutdown(hctx); err != nil {
 		hs.Close() //nolint:errcheck
 	}

@@ -8,10 +8,12 @@
 //	vmsim -vm mach -bench gcc -timeline gcc.timeline.csv -sample 10000
 //	vmsim -vm intel -bench vortex -n 10000000 -debug-addr localhost:6060
 //	vmsim -machine mymachine.json -bench gcc
+//	vmsim -stream http://localhost:8080 -vm ultrix -bench gcc -n 1000000
 //	vmsim -list-vms
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +23,7 @@ import (
 
 	mmusim "repro"
 	"repro/internal/atomicio"
+	"repro/internal/client"
 	"repro/internal/obs"
 	"repro/internal/version"
 )
@@ -132,7 +135,8 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
 		timeline  = flag.String("timeline", "", "write a per-interval MCPI/VMCPI timeline CSV to this file")
-		sample    = flag.Int("sample", 10_000, "references per timeline interval (with -timeline)")
+		sample    = flag.Int("sample", 10_000, "references per timeline interval (with -timeline or -stream)")
+		streamURL = flag.String("stream", "", "stream the trace to this vmserved endpoint (POST /v1/stream) instead of simulating locally; live timeline rows go to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		showVer   = flag.Bool("version", false, "print the engine version and exit")
 	)
@@ -184,9 +188,9 @@ func main() {
 	cfg.WarmupInstrs = *warmup
 	cfg.Seed = *seed
 	cfg.CheckInvariants = *invar
-	if *timeline != "" {
+	if *timeline != "" || *streamURL != "" {
 		if *sample <= 0 {
-			fail(fmt.Errorf("-sample must be positive with -timeline, got %d", *sample))
+			fail(fmt.Errorf("-sample must be positive with -timeline/-stream, got %d", *sample))
 		}
 		cfg.SampleEvery = *sample
 	}
@@ -241,7 +245,12 @@ func main() {
 		fmt.Fprintf(dst, "check: engine and reference models agree over %d references\n", tr.Len())
 	}
 
-	res, err := mmusim.Simulate(cfg, tr)
+	var res *mmusim.Result
+	if *streamURL != "" {
+		res, err = streamRun(*streamURL, cfg, tr)
+	} else {
+		res, err = mmusim.Simulate(cfg, tr)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -273,4 +282,34 @@ func main() {
 	if err := writeHeapProfile(*memProf); err != nil {
 		fail(err)
 	}
+}
+
+// streamRun runs cfg over tr on a remote vmserved through the streaming
+// endpoint, echoing each live timeline row to stderr as it arrives, and
+// rebuilds the local Result shape from the terminal event — so -json,
+// the text break-down, and -timeline emit exactly what a local run
+// would. The server pins the streamed engine bit-identical to batch,
+// and Result.Config here is the same cfg, so every derived figure
+// (MCPI, TotalCPI, CSV rows) matches by construction.
+func streamRun(url string, cfg mmusim.Config, tr *mmusim.Trace) (*mmusim.Result, error) {
+	c := client.New(url)
+	fmt.Fprintf(os.Stderr, "vmsim: streaming %d refs to %s\n", tr.Len(), url)
+	out, err := c.Stream(context.Background(), cfg, tr, func(s mmusim.TimelineSample) {
+		fmt.Fprintf(os.Stderr, "vmsim: %9d  mcpi=%.5f vmcpi=%.5f (interval of %d refs)\n",
+			s.Instr, s.Delta.MCPI(), s.Delta.VMCPI(), s.Delta.UserInstrs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &mmusim.Result{
+		Config:         cfg,
+		Workload:       out.Result.Workload,
+		AvgChainLength: out.Result.AvgChainLength,
+		Timeline:       out.Timeline,
+	}
+	if out.Result.Counters != nil {
+		res.Counters = *out.Result.Counters
+	}
+	fmt.Fprintf(os.Stderr, "vmsim: stream done: %d refs, %d bytes, engine %s\n", out.Refs, out.Bytes, out.Engine)
+	return res, nil
 }

@@ -7,36 +7,108 @@
 // .vmtrc, or Dinero text (auto-detected), and -o writes either binary
 // or the delta-encoded .vmtrc block format.
 //
+// With -follow, vmtrace tails a growing .vmtrc file — decoding each
+// CRC-validated block as soon as it lands, the way the vmserved
+// streaming endpoint ingests a live upload — and reports once the file
+// stops growing for -follow-timeout.
+//
 // Usage:
 //
 //	vmtrace -bench vortex -n 500000
 //	vmtrace -list
 //	vmtrace -convert -i gcc.din -o gcc.vmtrc
+//	vmtrace -follow -i live.vmtrc
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	mmusim "repro"
 	"repro/internal/atomicio"
 	"repro/internal/version"
 )
 
+// tailReader reads from a file that may still be growing: at end of
+// file it polls for more bytes, and only reports EOF once the file has
+// not grown for the timeout. Each Read arms a fresh deadline, so the
+// budget bounds idle time, not total stream length.
+type tailReader struct {
+	f       *os.File
+	timeout time.Duration
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	deadline := time.Now().Add(t.timeout)
+	for {
+		n, err := t.f.Read(p)
+		if n > 0 || (err != nil && err != io.EOF) {
+			return n, err
+		}
+		if time.Now().After(deadline) {
+			return 0, io.EOF
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// followTrace tails path as a live .vmtrc stream, decoding blocks as
+// they arrive with progress on stderr, and returns the accumulated
+// trace once the stream completes (all declared references decoded) or
+// goes quiet for timeout.
+func followTrace(path string, timeout time.Duration) (*mmusim.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rd, err := mmusim.NewTraceStreamReader(&tailReader{f: f, timeout: timeout})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "vmtrace: following %s: %q, %d refs declared\n", path, rd.Name(), rd.Len())
+	tr := &mmusim.Trace{Name: rd.Name()}
+	nextReport := 1 << 18
+	for {
+		chunk, err := rd.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Refs = append(tr.Refs, chunk...)
+		if len(tr.Refs) >= nextReport {
+			fmt.Fprintf(os.Stderr, "vmtrace: %d/%d refs decoded (%d bytes)\n",
+				rd.Decoded(), rd.Len(), rd.BytesRead())
+			nextReport = len(tr.Refs) + 1<<18
+		}
+	}
+	if rd.Decoded() < rd.Len() {
+		fmt.Fprintf(os.Stderr, "vmtrace: stream went quiet at %d of %d declared refs; reporting on what arrived\n",
+			rd.Decoded(), rd.Len())
+	}
+	return tr, nil
+}
+
 func main() {
 	var (
-		bench   = flag.String("bench", "gcc", "benchmark")
-		n       = flag.Int("n", 500_000, "trace length in instructions")
-		seed    = flag.Uint64("seed", 42, "deterministic seed")
-		top     = flag.Int("top", 10, "hottest data pages to list")
-		list    = flag.Bool("list", false, "list available benchmarks and exit")
-		out     = flag.String("o", "", "write the trace to this file")
-		in      = flag.String("i", "", "inspect an existing trace file instead of generating (format auto-detected)")
-		convert = flag.Bool("convert", false, "convert -i (or a generated trace) to -o and skip the stats report")
-		format  = flag.String("format", "", "output format for -o: binary or vmtrc (default: by -o extension)")
-		ver     = flag.Bool("version", false, "print the engine version and exit")
+		bench    = flag.String("bench", "gcc", "benchmark")
+		n        = flag.Int("n", 500_000, "trace length in instructions")
+		seed     = flag.Uint64("seed", 42, "deterministic seed")
+		top      = flag.Int("top", 10, "hottest data pages to list")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		out      = flag.String("o", "", "write the trace to this file")
+		in       = flag.String("i", "", "inspect an existing trace file instead of generating (format auto-detected)")
+		convert  = flag.Bool("convert", false, "convert -i (or a generated trace) to -o and skip the stats report")
+		format   = flag.String("format", "", "output format for -o: binary or vmtrc (default: by -o extension)")
+		follow   = flag.Bool("follow", false, "with -i: tail a growing .vmtrc file, decoding blocks as they land")
+		followTO = flag.Duration("follow-timeout", 2*time.Second, "with -follow: report once the file stops growing for this long")
+		ver      = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Parse()
 	if *ver {
@@ -61,13 +133,23 @@ func main() {
 		os.Exit(1)
 	}
 	var tr *mmusim.Trace
-	if *in != "" {
+	switch {
+	case *follow:
+		if *in == "" {
+			fail(fmt.Errorf("-follow requires -i (a .vmtrc file to tail)"))
+		}
+		var err error
+		if tr, err = followTrace(*in, *followTO); err != nil {
+			fail(err)
+		}
+		*bench = tr.Name
+	case *in != "":
 		var err error
 		if tr, err = mmusim.OpenTraceFile(*in); err != nil {
 			fail(err)
 		}
 		*bench = tr.Name
-	} else {
+	default:
 		var err error
 		if tr, err = mmusim.GenerateTrace(*bench, *seed, *n); err != nil {
 			fail(err)

@@ -187,6 +187,58 @@ type JobStatus struct {
 	Results []PointResult `json:"results,omitempty"`
 }
 
+// StreamRequest is the JSON preamble of a POST /v1/stream body: the
+// request line of the streaming protocol. The raw .vmtrc bytes follow
+// immediately after the closing brace on the same connection, so one
+// request carries configuration and trace without framing overhead —
+// the .vmtrc block structure is its own framing.
+type StreamRequest struct {
+	APIVersion int        `json:"api_version"`
+	Config     sim.Config `json:"config"`
+}
+
+// Stream event types, in protocol order: exactly one "ready", zero or
+// more "sample" rows, then exactly one terminal "result" or "error".
+const (
+	StreamReady  = "ready"
+	StreamSample = "sample"
+	StreamResult = "result"
+	StreamError  = "error"
+)
+
+// StreamEvent is one NDJSON line of a POST /v1/stream response. Which
+// fields are set depends on Type; unset fields are omitted from the
+// wire.
+type StreamEvent struct {
+	Type string `json:"type"`
+
+	// ready: the server accepted the stream and decoded the trace header.
+	Engine    string `json:"engine,omitempty"`
+	Trace     string `json:"trace,omitempty"`
+	TotalRefs int    `json:"total_refs,omitempty"`
+
+	// sample: one completed timeline interval, pushed as the simulation
+	// crosses it. The concatenated sample events equal the final
+	// Result.Timeline exactly — the terminal result carries no separate
+	// copy.
+	Sample *sim.TimelineSample `json:"sample,omitempty"`
+
+	// result: the finished run. Refs and Bytes are the server-side ingest
+	// totals (references simulated, stream bytes consumed); Digest is the
+	// machine-state summary, so a client can hold the streamed run
+	// bit-identical to a local batch run.
+	Result *PointResult `json:"result,omitempty"`
+	Digest *sim.Digest  `json:"digest,omitempty"`
+	Refs   int          `json:"refs,omitempty"`
+	Bytes  int64        `json:"bytes,omitempty"`
+
+	// error: the stream failed after the response status was committed.
+	// Category is the simerr taxonomy name, so clients classify exactly
+	// as they would a pre-commit HTTP error.
+	Error    string `json:"error,omitempty"`
+	Category string `json:"category,omitempty"`
+}
+
 // Health is the /v1/healthz (and /healthz) response — pure liveness:
 // the process is up and can answer HTTP.
 type Health struct {
@@ -207,6 +259,11 @@ type Ready struct {
 	// readiness is judged against.
 	QueueDepth int `json:"queue_depth"`
 	QueueBound int `json:"queue_bound"`
+	// ActiveStreams and StreamBound expose the live-stream admission
+	// headroom (POST /v1/stream); a daemon whose stream slots are all
+	// taken is unready even with queue headroom to spare.
+	ActiveStreams int `json:"active_streams"`
+	StreamBound   int `json:"stream_bound"`
 	// Draining marks a daemon that received SIGTERM and is finishing
 	// in-flight work; it will never become ready again.
 	Draining bool `json:"draining"`

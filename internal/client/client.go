@@ -317,6 +317,40 @@ func (c *Client) sleep(ctx context.Context, attempt int, err error) bool {
 	}
 }
 
+// maxRetryAfter clamps the server's Retry-After hint. A hint is only a
+// hint: a misconfigured (or hostile) server saying "come back in an
+// hour" must not park a retry loop for longer than the client would
+// ever choose to wait on its own.
+const maxRetryAfter = 2 * time.Minute
+
+// parseRetryAfter interprets a Retry-After header value, which RFC 9110
+// allows in two forms: a non-negative integer of seconds, or an
+// HTTP-date. Zero means "no usable hint" — the caller falls back to its
+// own backoff — and covers malformed values, non-positive delays, and
+// dates already in the past. Positive results are clamped to
+// maxRetryAfter.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(v); err == nil {
+		d = t.Sub(now)
+		if d <= 0 {
+			return 0
+		}
+	} else {
+		return 0
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
+}
+
 // once is a single request/response cycle.
 func (c *Client) once(ctx context.Context, method, path string, body []byte, contentType string, out any) error {
 	var rd io.Reader
@@ -350,9 +384,7 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, con
 			he.msg = e.Message
 		}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-				he.retryAfter = time.Duration(secs) * time.Second
-			}
+			he.retryAfter = parseRetryAfter(ra, time.Now())
 		}
 		return he
 	}

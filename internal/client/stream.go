@@ -1,0 +1,189 @@
+// Streaming client for POST /v1/stream: feed a trace to the server
+// while it simulates, receiving timeline rows live as NDJSON events.
+//
+// Two entry points with different replay contracts. StreamVMTRC takes
+// an arbitrary io.Reader of .vmtrc bytes and therefore cannot retry —
+// the body may not be replayable. Stream takes an in-memory trace it
+// can re-encode at will, so it retries transient failures with the
+// client's usual backoff, replaying from the start and deduplicating
+// timeline rows the previous attempt already delivered (samples carry
+// strictly increasing Instr positions, so a cursor suffices).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/sim"
+	"repro/internal/simerr"
+	"repro/internal/trace"
+)
+
+// StreamOutcome is the terminal state of one streamed simulation: the
+// final result and machine-state digest from the server's "result"
+// event, plus every timeline row received along the way. Timeline is
+// exactly the Result.Timeline a local batch run would have produced —
+// the protocol pushes each interval once and the trailing partial
+// interval before the result, and the server's engine is pinned
+// bit-identical to batch.
+type StreamOutcome struct {
+	// Engine and Trace are echoed from the server's "ready" event.
+	Engine string
+	Trace  string
+
+	// Result and Digest come from the terminal "result" event; Refs and
+	// Bytes are the server-side ingest totals.
+	Result api.PointResult
+	Digest sim.Digest
+	Refs   int
+	Bytes  int64
+
+	// Timeline collects every "sample" event in arrival order.
+	Timeline []sim.TimelineSample
+}
+
+// StreamVMTRC streams raw .vmtrc bytes from body to the server in a
+// single attempt, invoking onSample (when non-nil) as each live
+// timeline row arrives. The body is consumed as the server accepts it —
+// backpressure propagates from the server's block-at-a-time decode loop
+// through the TCP window into body reads — so body may be a live tail
+// (a pipe, a growing file) and need not be replayable; that is also why
+// there is no retry here. Use Stream for retries.
+func (c *Client) StreamVMTRC(ctx context.Context, cfg sim.Config, body io.Reader, onSample func(sim.TimelineSample)) (*StreamOutcome, error) {
+	hdr, err := json.Marshal(api.StreamRequest{APIVersion: api.Version, Config: cfg})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding stream request: %w", err)
+	}
+	if body == nil {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/stream",
+		io.MultiReader(bytes.NewReader(hdr), body))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: POST /v1/stream: %v: %w", err, simerr.ErrCancelled)
+		}
+		return nil, fmt.Errorf("client: POST /v1/stream: %v: %w", err, simerr.ErrUnavailable)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		he := &httpError{status: resp.StatusCode}
+		he.body, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var e api.Error
+		if err := json.Unmarshal(he.body, &e); err == nil {
+			he.msg = e.Message
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			he.retryAfter = parseRetryAfter(ra, time.Now())
+		}
+		return nil, he
+	}
+
+	out := &StreamOutcome{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev api.StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("client: decoding stream event: %w", err)
+		}
+		switch ev.Type {
+		case api.StreamReady:
+			out.Engine, out.Trace = ev.Engine, ev.Trace
+		case api.StreamSample:
+			if ev.Sample == nil {
+				return nil, fmt.Errorf("client: protocol error: sample event without a sample")
+			}
+			out.Timeline = append(out.Timeline, *ev.Sample)
+			if onSample != nil {
+				onSample(*ev.Sample)
+			}
+		case api.StreamResult:
+			if ev.Result == nil {
+				return nil, fmt.Errorf("client: protocol error: result event without a result")
+			}
+			out.Result = *ev.Result
+			if ev.Digest != nil {
+				out.Digest = *ev.Digest
+			}
+			out.Refs, out.Bytes = ev.Refs, ev.Bytes
+			return out, nil
+		case api.StreamError:
+			// Post-commit failures arrive as events, classified with the
+			// same taxonomy HTTP statuses map onto — so "the server began
+			// draining mid-stream" retries and "the trace is corrupt"
+			// does not.
+			return nil, fmt.Errorf("client: stream failed: %s: %w", ev.Error, simerr.ForCategory(ev.Category))
+		default:
+			// Unknown event types are skipped for forward compatibility.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: reading stream: %v: %w", err, simerr.ErrCancelled)
+		}
+		return nil, fmt.Errorf("client: reading stream: %v: %w", err, simerr.ErrUnavailable)
+	}
+	// EOF without a terminal event: the connection died (or the server
+	// did) mid-stream. Transient — the caller may retry with a fresh
+	// stream.
+	return nil, fmt.Errorf("client: stream ended without a result: %w", simerr.ErrUnavailable)
+}
+
+// Stream runs cfg over tr on the server's streaming endpoint with the
+// client's usual bounded retry of transient failures (connection drops,
+// 429/503 admission refusals, mid-stream drain). Each attempt re-encodes
+// the trace and replays it from the start; onSample still sees every
+// timeline row exactly once, because rows already delivered by a failed
+// attempt are skipped by their Instr cursor on the replay. The returned
+// outcome is always from the one successful attempt, so its Timeline
+// has no duplicates by construction.
+func (c *Client) Stream(ctx context.Context, cfg sim.Config, tr *trace.Trace, onSample func(sim.TimelineSample)) (*StreamOutcome, error) {
+	var lastInstr uint64 // samples are 1-based positions, so 0 = none seen
+	dedup := func(s sim.TimelineSample) {
+		if s.Instr <= lastInstr {
+			return
+		}
+		lastInstr = s.Instr
+		if onSample != nil {
+			onSample(s)
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		pr, pw := io.Pipe()
+		go func() {
+			_, err := tr.WriteVMTRC(pw)
+			pw.CloseWithError(err)
+		}()
+		out, err := c.StreamVMTRC(ctx, cfg, pr, dedup)
+		// The transport wraps the MultiReader body in a NopCloser, so
+		// the pipe must be torn down here to release the encoder
+		// goroutine when the attempt ended before consuming everything.
+		pr.CloseWithError(err) //nolint:errcheck
+		if err == nil {
+			return out, nil
+		}
+		if attempt >= c.Retries || !simerr.Transient(err) || ctx.Err() != nil {
+			return nil, err
+		}
+		if !c.sleep(ctx, attempt, err) {
+			return nil, err
+		}
+	}
+}

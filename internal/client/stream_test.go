@@ -1,0 +1,233 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/simerr"
+	"repro/internal/stats"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"seconds", "5", 5 * time.Second},
+		{"seconds with spaces", "  7 ", 7 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-3", 0},
+		{"absurd seconds clamped", "999999", maxRetryAfter},
+		{"http date ahead", now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second},
+		{"http date in the past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"http date now", now.Format(http.TimeFormat), 0},
+		{"http date far ahead clamped", now.Add(24 * time.Hour).Format(http.TimeFormat), maxRetryAfter},
+		{"garbage", "soon", 0},
+		{"empty", "", 0},
+		{"float is not the seconds form", "1.5", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.v, now); got != c.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", c.name, c.v, got, c.want)
+		}
+	}
+}
+
+// TestStreamMatchesLocalBatch runs the full stack — streaming client
+// against a real server — and checks the outcome (counters, digest,
+// timeline, live callback order) against a local batch run.
+func TestStreamMatchesLocalBatch(t *testing.T) {
+	c := startService(t, server.Config{Workers: 2})
+	tr := testTrace(t, 20_000)
+	cfg := sim.Default(sim.VMUltrix)
+	cfg.WarmupInstrs = 4_000
+	cfg.SampleEvery = 3_000
+
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := eng.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDigest := eng.Digest()
+
+	var live []sim.TimelineSample
+	out, err := c.Stream(context.Background(), cfg, tr, func(s sim.TimelineSample) {
+		live = append(live, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out.Result.Counters != batch.Counters {
+		t.Fatalf("streamed counters diverge from batch:\n got  %+v\n want %+v", *out.Result.Counters, batch.Counters)
+	}
+	if out.Digest != wantDigest {
+		t.Fatalf("streamed digest diverges from batch:\n got  %+v\n want %+v", out.Digest, wantDigest)
+	}
+	if out.Refs != tr.Len() {
+		t.Fatalf("outcome reports %d refs, want %d", out.Refs, tr.Len())
+	}
+	if len(out.Timeline) != len(batch.Timeline) {
+		t.Fatalf("got %d timeline rows, batch recorded %d", len(out.Timeline), len(batch.Timeline))
+	}
+	for i := range out.Timeline {
+		if out.Timeline[i] != batch.Timeline[i] {
+			t.Fatalf("timeline row %d diverges:\n got  %+v\n want %+v", i, out.Timeline[i], batch.Timeline[i])
+		}
+	}
+	if len(live) != len(out.Timeline) {
+		t.Fatalf("onSample saw %d rows, outcome holds %d", len(live), len(out.Timeline))
+	}
+	for i := range live {
+		if live[i] != out.Timeline[i] {
+			t.Fatalf("live row %d diverges from outcome row", i)
+		}
+	}
+}
+
+// ndjson writes one event line and flushes it to the wire.
+func ndjson(t *testing.T, w http.ResponseWriter, ev api.StreamEvent) {
+	t.Helper()
+	if err := json.NewEncoder(w).Encode(ev); err != nil {
+		t.Errorf("encoding event: %v", err)
+	}
+	w.(http.Flusher).Flush()
+}
+
+func mkSample(instr uint64) *sim.TimelineSample {
+	return &sim.TimelineSample{Instr: instr}
+}
+
+// TestStreamRetriesAndDeduplicatesSamples drops the connection after
+// two samples on the first attempt and serves the full stream on the
+// second: the caller must still see every row exactly once, in order.
+func TestStreamRetriesAndDeduplicatesSamples(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		n := attempts
+		go io.Copy(io.Discard, r.Body) //nolint:errcheck // keep the upload moving
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		ndjson(t, w, api.StreamEvent{Type: api.StreamReady, Trace: "fake", TotalRefs: 400})
+		ndjson(t, w, api.StreamEvent{Type: api.StreamSample, Sample: mkSample(100)})
+		ndjson(t, w, api.StreamEvent{Type: api.StreamSample, Sample: mkSample(200)})
+		if n == 1 {
+			panic(http.ErrAbortHandler) // mid-stream connection drop
+		}
+		ndjson(t, w, api.StreamEvent{Type: api.StreamSample, Sample: mkSample(300)})
+		ndjson(t, w, api.StreamEvent{Type: api.StreamResult,
+			Result: &api.PointResult{Workload: "fake", Counters: &stats.Counters{}}, Refs: 400})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Backoff = time.Millisecond
+	var seen []uint64
+	out, err := c.Stream(context.Background(), sim.Default(sim.VMUltrix), testTrace(t, 400),
+		func(s sim.TimelineSample) { seen = append(seen, s.Instr) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("server saw %d attempts, want 2", attempts)
+	}
+	want := []uint64{100, 200, 300}
+	if fmt.Sprint(seen) != fmt.Sprint(want) {
+		t.Fatalf("onSample saw %v, want %v (each row exactly once)", seen, want)
+	}
+	// The outcome's timeline is from the successful attempt alone.
+	if len(out.Timeline) != 3 {
+		t.Fatalf("outcome timeline has %d rows, want 3", len(out.Timeline))
+	}
+}
+
+// TestStreamRetriesAdmissionRefusal: a 429 before the stream commits is
+// transient, so Stream tries again.
+func TestStreamRetriesAdmissionRefusal(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts == 1 {
+			w.Header().Set("Retry-After", "0") // no usable hint: client backoff applies
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.Error{Message: "slots full"}) //nolint:errcheck
+			return
+		}
+		go io.Copy(io.Discard, r.Body) //nolint:errcheck
+		w.WriteHeader(http.StatusOK)
+		ndjson(t, w, api.StreamEvent{Type: api.StreamReady})
+		ndjson(t, w, api.StreamEvent{Type: api.StreamResult, Result: &api.PointResult{Counters: &stats.Counters{}}})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Backoff = time.Millisecond
+	if _, err := c.Stream(context.Background(), sim.Default(sim.VMUltrix), testTrace(t, 400), nil); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("server saw %d attempts, want 2", attempts)
+	}
+}
+
+// TestStreamErrorEventsClassifyByCategory: a terminal "error" event
+// carries the simerr taxonomy, so a corrupt trace fails fast while a
+// mid-stream drain is retried.
+func TestStreamErrorEventsClassifyByCategory(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		go io.Copy(io.Discard, r.Body) //nolint:errcheck
+		w.WriteHeader(http.StatusOK)
+		ndjson(t, w, api.StreamEvent{Type: api.StreamReady})
+		ndjson(t, w, api.StreamEvent{Type: api.StreamError, Error: "bad block", Category: "trace"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Backoff = time.Millisecond
+	_, err := c.Stream(context.Background(), sim.Default(sim.VMUltrix), testTrace(t, 400), nil)
+	if !errors.Is(err, simerr.ErrTraceCorrupt) {
+		t.Fatalf("err = %v, want ErrTraceCorrupt", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("corrupt-trace error retried: %d attempts, want 1", attempts)
+	}
+}
+
+// TestStreamVMTRCIsSingleAttempt: the raw-body variant must not retry —
+// its reader may not be replayable.
+func TestStreamVMTRCIsSingleAttempt(t *testing.T) {
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.Error{Message: "draining"}) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Backoff = time.Millisecond
+	_, err := c.StreamVMTRC(context.Background(), sim.Default(sim.VMUltrix), nil, nil)
+	if !errors.Is(err, simerr.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("StreamVMTRC retried: %d attempts, want 1", attempts)
+	}
+}

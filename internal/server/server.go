@@ -67,6 +67,12 @@ type Config struct {
 	// DefaultMaxTraceBytes). Requests beyond it are refused mid-read
 	// rather than buffered.
 	MaxTraceBytes int64
+	// MaxStreams bounds the concurrent POST /v1/stream connections; a
+	// stream beyond it is refused with 429 + Retry-After (<= 0 selects
+	// the worker count). Each stream costs one goroutine and two
+	// block-sized decode buffers, so the bound is the streaming side's
+	// whole memory story.
+	MaxStreams int
 
 	// PointTimeout, Retries, and Backoff are handed to the sweep driver
 	// for every point, with the same semantics as a local campaign.
@@ -108,17 +114,21 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	mu     sync.Mutex
-	closed bool
-	seq    int
-	jobs   map[string]*job
+	mu      sync.Mutex
+	closed  bool
+	seq     int
+	jobs    map[string]*job
+	streams int // live POST /v1/stream connections (admission-bounded)
 
 	wg sync.WaitGroup
 
-	queued    obs.Gauge // points accepted but not yet picked up
-	inflight  obs.Gauge // points being simulated (or cache-resolved)
-	jobsTotal obs.Counter
-	simulated obs.Counter // points actually simulated (cache misses)
+	queued       obs.Gauge // points accepted but not yet picked up
+	inflight     obs.Gauge // points being simulated (or cache-resolved)
+	jobsTotal    obs.Counter
+	simulated    obs.Counter // points actually simulated (cache misses)
+	streamsTotal obs.Counter // streams admitted over the server's lifetime
+	streamRefs   obs.Counter // references ingested over all streams
+	streamBytes  obs.Counter // stream body bytes consumed over all streams
 }
 
 // New builds a Server and starts its worker pool. The caller owns the
@@ -136,6 +146,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxTraceBytes <= 0 {
 		cfg.MaxTraceBytes = DefaultMaxTraceBytes
 	}
+	if cfg.MaxStreams <= 0 {
+		cfg.MaxStreams = cfg.Workers
+	}
 	s := &Server{
 		cfg:    cfg,
 		mux:    http.NewServeMux(),
@@ -147,6 +160,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 	s.mux.HandleFunc("GET /v1/traces/{sha}", s.handleTraceGet)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -201,6 +215,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) metrics() map[string]any {
 	s.mu.Lock()
 	jobs := len(s.jobs)
+	streams := s.streams
 	s.mu.Unlock()
 	m := map[string]any{
 		"engine":           version.Engine(),
@@ -212,6 +227,11 @@ func (s *Server) metrics() map[string]any {
 		"jobs_submitted":   s.jobsTotal.Load(),
 		"points_simulated": s.simulated.Load(),
 		"traces_resident":  s.traces.len(),
+		"active_streams":   streams,
+		"stream_bound":     s.cfg.MaxStreams,
+		"streams_total":    s.streamsTotal.Load(),
+		"stream_refs":      s.streamRefs.Load(),
+		"stream_bytes":     s.streamBytes.Load(),
 	}
 	if s.cfg.Cache != nil {
 		m["cache"] = s.cfg.Cache.Stats()
@@ -244,17 +264,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.closed
+	streams := s.streams
 	s.mu.Unlock()
 	depth := int(s.queued.Load())
 	rd := api.Ready{
-		Status:     "ready",
-		Engine:     version.Engine(),
-		QueueDepth: depth,
-		QueueBound: s.cfg.QueueBound,
-		Draining:   draining,
+		Status:        "ready",
+		Engine:        version.Engine(),
+		QueueDepth:    depth,
+		QueueBound:    s.cfg.QueueBound,
+		ActiveStreams: streams,
+		StreamBound:   s.cfg.MaxStreams,
+		Draining:      draining,
 	}
 	status := http.StatusOK
-	if draining || depth >= s.cfg.QueueBound {
+	if draining || depth >= s.cfg.QueueBound || streams >= s.cfg.MaxStreams {
 		rd.Status = "unready"
 		status = http.StatusServiceUnavailable
 	}

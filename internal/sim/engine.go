@@ -79,6 +79,14 @@ type Engine struct {
 	samples    []TimelineSample
 	sampleBase stats.Counters
 	samplePrev stats.Counters
+
+	// Streaming state (BeginStream/Feed/EndStream; see stream.go).
+	// streamTotal is the declared reference count (-1 when unknown); fed
+	// counts references consumed so far.
+	streaming   bool
+	streamName  string
+	streamTotal int
+	fed         int
 }
 
 // tlbKey composes the fully-associative TLB lookup key. With tagged TLBs

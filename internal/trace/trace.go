@@ -220,6 +220,22 @@ func (t *Trace) Validate() error {
 	return nil
 }
 
+// ValidateRefs checks one chunk of an incrementally-delivered trace
+// against the same invariants Validate enforces on a whole trace. start
+// is the trace index of refs[0], so a violation's *CorruptError carries
+// the record's absolute index (Offset is -1: the chunk arrived decoded,
+// not serialized). The streaming engine feed (sim.Engine.Feed) runs
+// every chunk through this, making an incrementally-fed run exactly as
+// strict as a batch one.
+func ValidateRefs(name string, start int, refs []Ref) error {
+	for i := range refs {
+		if err := validateRef(name, start+i, &refs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // validateRef checks one reference's invariants; i and name label the
 // resulting *CorruptError (Offset -1; the serialized reader fills it).
 func validateRef(name string, i int, r *Ref) *CorruptError {

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -82,9 +83,22 @@ func uvarintFast(b []byte, off int) (uint64, int) {
 	return binary.Uvarint(b[off:])
 }
 
-// WriteVMTRC serializes the trace in the .vmtrc block format and
-// returns the byte count written.
+// WriteVMTRC serializes the trace in the .vmtrc block format at the
+// default block granularity and returns the byte count written.
 func (t *Trace) WriteVMTRC(w io.Writer) (int64, error) {
+	return t.WriteVMTRCBlocks(w, VMTRCBlockRecords)
+}
+
+// WriteVMTRCBlocks is WriteVMTRC with an explicit block granularity
+// (1..maxVMTRCBlockRecords records per block). Every reader accepts any
+// granularity in that range — the header declares it — so callers that
+// stream traces incrementally can trade per-block overhead against
+// flush latency, and the chaos suites can force block boundaries the
+// default 4096-record blocks would make rare.
+func (t *Trace) WriteVMTRCBlocks(w io.Writer, blockRecs int) (int64, error) {
+	if blockRecs < 1 || blockRecs > maxVMTRCBlockRecords {
+		return 0, fmt.Errorf("trace: .vmtrc block size %d outside 1..%d", blockRecs, maxVMTRCBlockRecords)
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var n int64
 	write := func(p []byte) error {
@@ -104,7 +118,7 @@ func (t *Trace) WriteVMTRC(w io.Writer) (int64, error) {
 		return n, err
 	}
 	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(t.Refs)))
-	binary.LittleEndian.PutUint32(scratch[8:12], VMTRCBlockRecords)
+	binary.LittleEndian.PutUint32(scratch[8:12], uint32(blockRecs))
 	if err := write(scratch[:12]); err != nil {
 		return n, err
 	}
@@ -118,8 +132,8 @@ func (t *Trace) WriteVMTRC(w io.Writer) (int64, error) {
 		prevPC         uint64
 		prevData       uint64
 	)
-	for start := 0; start < len(t.Refs); start += VMTRCBlockRecords {
-		end := start + VMTRCBlockRecords
+	for start := 0; start < len(t.Refs); start += blockRecs {
+		end := start + blockRecs
 		if end > len(t.Refs) {
 			end = len(t.Refs)
 		}
@@ -172,7 +186,13 @@ type VMTRCReader struct {
 	prevData uint64
 	chunk  []Ref
 	closer func() error
+	closed bool
 }
+
+// ErrReaderClosed reports use of a trace reader after Close. It is a
+// typed sentinel (match with errors.Is) rather than a *CorruptError:
+// the trace is fine, the caller's lifecycle is not.
+var ErrReaderClosed = errors.New("trace: reader is closed")
 
 // NewVMTRCReader parses the header of a .vmtrc image held in memory and
 // returns a reader positioned at the first block. Structural damage
@@ -228,15 +248,23 @@ func OpenVMTRC(path string) (*VMTRCReader, error) {
 	return rd, nil
 }
 
-// Close releases the underlying mapping, if any. The reader must not be
-// used afterwards.
+// Close releases the underlying mapping, if any. Close is idempotent:
+// the first call releases resources and returns the unmap result,
+// every later call is a no-op returning nil. After Close, NextChunk and
+// ReadAll fail with an error wrapping ErrReaderClosed — for a mapped
+// reader the image is literally unmapped, so the guard turns what would
+// be a fault on unmapped memory into a typed, testable error.
 func (rd *VMTRCReader) Close() error {
+	if rd.closed {
+		return nil
+	}
+	rd.closed = true
+	rd.data = nil
 	if rd.closer == nil {
 		return nil
 	}
 	c := rd.closer
 	rd.closer = nil
-	rd.data = nil
 	return c()
 }
 
@@ -260,6 +288,9 @@ func (rd *VMTRCReader) corruptBlock(off int, format string, args ...any) error {
 // Records are validated as they are decoded. The chunk buffer is reused,
 // so the steady-state loop performs no allocation.
 func (rd *VMTRCReader) NextChunk() ([]Ref, error) {
+	if rd.closed {
+		return nil, fmt.Errorf("trace %q: NextChunk after Close: %w", rd.name, ErrReaderClosed)
+	}
 	if rd.read == rd.total {
 		if rd.off != len(rd.data) {
 			return nil, rd.corruptBlock(rd.off, "%d trailing bytes after final block", len(rd.data)-rd.off)
@@ -289,47 +320,68 @@ func (rd *VMTRCReader) NextChunk() ([]Ref, error) {
 	if got := vmtrcCRC(body); got != wantCRC {
 		return nil, rd.corruptBlock(off, "block checksum mismatch (have %08x, want %08x)", got, wantCRC)
 	}
+	if cap(rd.chunk) < int(nRecs) {
+		rd.chunk = make([]Ref, rd.blockRecs)
+	}
+	chunk := rd.chunk[:nRecs]
+	prevPC, prevData, err := decodeVMTRCBlock(rd.name, int(rd.read), int64(off), int64(bodyOff),
+		nRecs, pcBytes, dataBytes, body, rd.prevPC, rd.prevData, chunk)
+	if err != nil {
+		return nil, err
+	}
+	rd.prevPC, rd.prevData = prevPC, prevData
+	rd.read += uint64(nRecs)
+	rd.off = bodyOff + bodyLen
+	return chunk, nil
+}
+
+// decodeVMTRCBlock decodes one CRC-verified block body into chunk
+// (length nRecs), chaining deltas from prevPC/prevData and validating
+// every record, and returns the delta chain's new tail. baseIdx is the
+// trace index of the block's first record; blockOff and bodyOff are the
+// byte offsets of the block header and body within the serialized
+// stream — together they label CorruptErrors with the same coordinates
+// whichever reader (in-memory, mapped, or streaming) hit the damage.
+func decodeVMTRCBlock(name string, baseIdx int, blockOff, bodyOff int64,
+	nRecs, pcBytes, dataBytes uint32, body []byte, prevPC, prevData uint64, chunk []Ref) (uint64, uint64, error) {
+	corruptBlock := func(format string, args ...any) error {
+		return &CorruptError{Name: name, Index: baseIdx, Offset: blockOff, Err: fmt.Errorf(format, args...)}
+	}
 	pcSec := body[:pcBytes]
 	dataSec := body[pcBytes : pcBytes+dataBytes]
 	kinds := body[pcBytes+dataBytes : pcBytes+dataBytes+nRecs]
 	metas := body[pcBytes+dataBytes+nRecs:]
 
-	if cap(rd.chunk) < int(nRecs) {
-		rd.chunk = make([]Ref, rd.blockRecs)
-	}
-	chunk := rd.chunk[:nRecs]
 	// Decode field by field — the structure-of-arrays layout means each
 	// pass is a tight loop over one contiguous section, with a one-byte
 	// fast path for the overwhelmingly common small delta.
 	pcOff := 0
-	prevPC := rd.prevPC
 	for i := range chunk {
 		u, m := uvarintFast(pcSec, pcOff)
 		if m <= 0 {
-			return nil, &CorruptError{Name: rd.name, Index: int(rd.read) + i,
-				Offset: int64(bodyOff + pcOff), Err: fmt.Errorf("invalid PC delta varint")}
+			return 0, 0, &CorruptError{Name: name, Index: baseIdx + i,
+				Offset: bodyOff + int64(pcOff), Err: fmt.Errorf("invalid PC delta varint")}
 		}
 		pcOff += m
 		prevPC += uint64(unzigzag(u))
 		chunk[i].PC = prevPC
 	}
 	if pcOff != len(pcSec) {
-		return nil, rd.corruptBlock(off, "PC section holds %d bytes beyond its %d deltas", len(pcSec)-pcOff, nRecs)
+		return 0, 0, corruptBlock("PC section holds %d bytes beyond its %d deltas", len(pcSec)-pcOff, nRecs)
 	}
 	dataOff := 0
-	prevData := rd.prevData
 	for i := range chunk {
 		u, m := uvarintFast(dataSec, dataOff)
 		if m <= 0 {
-			return nil, &CorruptError{Name: rd.name, Index: int(rd.read) + i,
-				Offset: int64(bodyOff + int(pcBytes) + dataOff), Err: fmt.Errorf("invalid data delta varint")}
+			return 0, 0, &CorruptError{Name: name, Index: baseIdx + i,
+				Offset: bodyOff + int64(pcBytes) + int64(dataOff), Err: fmt.Errorf("invalid data delta varint")}
 		}
 		dataOff += m
 		prevData += uint64(unzigzag(u))
 		chunk[i].Data = prevData
 	}
 	if dataOff != len(dataSec) {
-		return nil, rd.corruptBlock(off, "data section holds %d bytes beyond its %d deltas", len(dataSec)-dataOff, nRecs)
+		return 0, 0, corruptBlock("data section holds %d bytes beyond its %d deltas", len(dataSec)-dataOff, nRecs)
 	}
 	for i := range chunk {
 		m := metas[i]
@@ -338,20 +390,20 @@ func (rd *VMTRCReader) NextChunk() ([]Ref, error) {
 		chunk[i].Flags = m & 0xF
 	}
 	for i := range chunk {
-		if err := validateRef(rd.name, int(rd.read)+i, &chunk[i]); err != nil {
-			err.Offset = int64(off)
-			return nil, err
+		if err := validateRef(name, baseIdx+i, &chunk[i]); err != nil {
+			err.Offset = blockOff
+			return 0, 0, err
 		}
 	}
-	rd.prevPC, rd.prevData = prevPC, prevData
-	rd.read += uint64(nRecs)
-	rd.off = bodyOff + bodyLen
-	return chunk, nil
+	return prevPC, prevData, nil
 }
 
 // ReadAll materializes the remaining records as a Trace. The records
 // were validated during decode, so the result is marked validated.
 func (rd *VMTRCReader) ReadAll() (*Trace, error) {
+	if rd.closed {
+		return nil, fmt.Errorf("trace %q: ReadAll after Close: %w", rd.name, ErrReaderClosed)
+	}
 	out := &Trace{Name: rd.name, Refs: make([]Ref, 0, rd.total-rd.read)}
 	for {
 		chunk, err := rd.NextChunk()

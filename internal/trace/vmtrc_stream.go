@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// VMTRCStreamReader decodes a .vmtrc stream incrementally from an
+// io.Reader — a network body, a pipe, a growing file — where
+// VMTRCReader needs the whole image resident (in memory or mapped) up
+// front. The header is consumed by NewVMTRCStreamReader; each NextChunk
+// then reads exactly one block from the stream, verifies its CRC-32C,
+// and decodes it into a reusable buffer, so the reader's footprint is
+// two small block-sized buffers regardless of trace length. That bound
+// holds even against a hostile stream: a block header may not declare
+// more than the trace header's block size in records nor more than the
+// varint-encoding maximum in section bytes, so corruption is refused
+// before any allocation it could have inflated.
+//
+// Error semantics match VMTRCReader: structural damage surfaces as a
+// *CorruptError wrapping simerr.ErrTraceCorrupt whose byte offsets
+// count from the start of the .vmtrc stream, so the two readers report
+// identical coordinates for the same damaged image. The one divergence
+// is trailing garbage after the final block: a stream reader would have
+// to block waiting for bytes that may never come (the body of a live
+// upload ends when the peer closes it), so NextChunk returns io.EOF as
+// soon as the declared record count has been decoded and leaves the
+// remainder of the stream untouched.
+//
+// A VMTRCStreamReader is not safe for concurrent use.
+type VMTRCStreamReader struct {
+	r    io.Reader
+	name string
+	total,
+	read uint64
+	blockRecs uint32
+	// off is the byte offset of the stream cursor: bytes consumed so
+	// far, which is also the next block header's offset between chunks.
+	off int64
+	prevPC,
+	prevData uint64
+	body   []byte
+	chunk  []Ref
+	closed bool
+}
+
+// NewVMTRCStreamReader consumes the .vmtrc header from r and returns a
+// reader positioned at the first block. The reader takes no ownership
+// of r; Close only marks the reader unusable.
+func NewVMTRCStreamReader(r io.Reader) (*VMTRCStreamReader, error) {
+	rd := &VMTRCStreamReader{r: r}
+	var head [12]byte
+	if _, err := rd.fill(head[:8]); err != nil {
+		return nil, corruptHeader("", rd.off, fmt.Errorf("reading magic: %w", err))
+	}
+	if string(head[:8]) != vmtrcMagic {
+		return nil, corruptHeader("", 0, fmt.Errorf("bad magic %q (not a .vmtrc stream, or wrong version)", head[:8]))
+	}
+	if _, err := rd.fill(head[8:12]); err != nil {
+		return nil, corruptHeader("", rd.off, fmt.Errorf("truncated before name length: %w", err))
+	}
+	nameLen := binary.LittleEndian.Uint32(head[8:12])
+	if nameLen > 4096 {
+		return nil, corruptHeader("", rd.off-4, fmt.Errorf("implausible name length %d", nameLen))
+	}
+	name := make([]byte, nameLen)
+	if _, err := rd.fill(name); err != nil {
+		return nil, corruptHeader("", rd.off, fmt.Errorf("truncated inside header: %w", err))
+	}
+	rd.name = string(name)
+	if _, err := rd.fill(head[:12]); err != nil {
+		return nil, corruptHeader(rd.name, rd.off, fmt.Errorf("truncated inside header: %w", err))
+	}
+	rd.total = binary.LittleEndian.Uint64(head[:8])
+	rd.blockRecs = binary.LittleEndian.Uint32(head[8:12])
+	if rd.total > maxSerializedRefs {
+		return nil, corruptHeader(rd.name, rd.off-12, fmt.Errorf("implausible record count %d", rd.total))
+	}
+	if rd.blockRecs == 0 || rd.blockRecs > maxVMTRCBlockRecords {
+		return nil, corruptHeader(rd.name, rd.off-4, fmt.Errorf("implausible block size %d", rd.blockRecs))
+	}
+	return rd, nil
+}
+
+// fill reads exactly len(p) bytes, advancing the stream offset by what
+// actually arrived (so error labels point at the truncation, not the
+// expectation).
+func (rd *VMTRCStreamReader) fill(p []byte) (int, error) {
+	n, err := io.ReadFull(rd.r, p)
+	rd.off += int64(n)
+	return n, err
+}
+
+// Name returns the trace name from the header.
+func (rd *VMTRCStreamReader) Name() string { return rd.name }
+
+// Len returns the total record count the header declares.
+func (rd *VMTRCStreamReader) Len() int { return int(rd.total) }
+
+// Decoded returns how many records NextChunk has delivered so far.
+func (rd *VMTRCStreamReader) Decoded() int { return int(rd.read) }
+
+// BytesRead returns how many stream bytes have been consumed, header
+// included — the wire-side progress counter.
+func (rd *VMTRCStreamReader) BytesRead() int64 { return rd.off }
+
+// Close marks the reader unusable; later NextChunk calls fail with an
+// error wrapping ErrReaderClosed. Close is idempotent and does not
+// close the underlying io.Reader, which the caller owns.
+func (rd *VMTRCStreamReader) Close() error {
+	rd.closed = true
+	return nil
+}
+
+// corrupt labels block-scoped damage at stream offset off.
+func (rd *VMTRCStreamReader) corrupt(off int64, format string, args ...any) error {
+	return &CorruptError{Name: rd.name, Index: int(rd.read), Offset: off, Err: fmt.Errorf(format, args...)}
+}
+
+// NextChunk reads and decodes the next block, returning its records as
+// a slice valid until the following NextChunk call. It returns io.EOF
+// once the header's declared record count has been decoded, and a
+// *CorruptError for truncated, checksum-failing, or invalid input. A
+// read that blocks (a live stream waiting for its next block) simply
+// blocks here; cancel by closing the underlying reader or its
+// transport.
+func (rd *VMTRCStreamReader) NextChunk() ([]Ref, error) {
+	if rd.closed {
+		return nil, fmt.Errorf("trace %q: NextChunk after Close: %w", rd.name, ErrReaderClosed)
+	}
+	if rd.read == rd.total {
+		return nil, io.EOF
+	}
+	blockOff := rd.off
+	var head [vmtrcBlockHeaderBytes]byte
+	if n, err := rd.fill(head[:]); err != nil {
+		return nil, rd.corrupt(blockOff, "truncated block header (%d of %d bytes): %v", n, vmtrcBlockHeaderBytes, err)
+	}
+	nRecs := binary.LittleEndian.Uint32(head[0:])
+	pcBytes := binary.LittleEndian.Uint32(head[4:])
+	dataBytes := binary.LittleEndian.Uint32(head[8:])
+	wantCRC := binary.LittleEndian.Uint32(head[12:])
+	if nRecs == 0 || nRecs > rd.blockRecs {
+		return nil, rd.corrupt(blockOff, "block declares %d records (block size %d)", nRecs, rd.blockRecs)
+	}
+	if remaining := rd.total - rd.read; uint64(nRecs) > remaining {
+		return nil, rd.corrupt(blockOff, "block declares %d records but only %d remain", nRecs, remaining)
+	}
+	// The mapped reader is implicitly bounded by the file size; a stream
+	// has no such backstop, so refuse section lengths beyond what nRecs
+	// varints can possibly occupy before allocating for them.
+	if maxSec := uint32(binary.MaxVarintLen64) * nRecs; pcBytes > maxSec || dataBytes > maxSec {
+		return nil, rd.corrupt(blockOff, "block declares %d+%d section bytes for %d records (max %d each)",
+			pcBytes, dataBytes, nRecs, maxSec)
+	}
+	bodyLen := int(pcBytes) + int(dataBytes) + 2*int(nRecs)
+	if cap(rd.body) < bodyLen {
+		rd.body = make([]byte, bodyLen, bodyLen+bodyLen/2)
+	}
+	body := rd.body[:bodyLen]
+	bodyOff := rd.off
+	if n, err := rd.fill(body); err != nil {
+		return nil, rd.corrupt(blockOff, "truncated block body (%d of %d bytes): %v", n, bodyLen, err)
+	}
+	if got := vmtrcCRC(body); got != wantCRC {
+		return nil, rd.corrupt(blockOff, "block checksum mismatch (have %08x, want %08x)", got, wantCRC)
+	}
+	if cap(rd.chunk) < int(nRecs) {
+		rd.chunk = make([]Ref, rd.blockRecs)
+	}
+	chunk := rd.chunk[:nRecs]
+	prevPC, prevData, err := decodeVMTRCBlock(rd.name, int(rd.read), blockOff, bodyOff,
+		nRecs, pcBytes, dataBytes, body, rd.prevPC, rd.prevData, chunk)
+	if err != nil {
+		return nil, err
+	}
+	rd.prevPC, rd.prevData = prevPC, prevData
+	rd.read += uint64(nRecs)
+	return chunk, nil
+}

@@ -1,0 +1,316 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/simerr"
+)
+
+// drainStream decodes a whole .vmtrc image through the incremental
+// stream reader and returns the reassembled trace.
+func drainStream(t *testing.T, img []byte) *Trace {
+	t.Helper()
+	rd, err := NewVMTRCStreamReader(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &Trace{Name: rd.Name()}
+	for {
+		chunk, err := rd.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Refs = append(out.Refs, chunk...)
+	}
+	if rd.Decoded() != out.Len() {
+		t.Fatalf("Decoded() = %d after draining %d records", rd.Decoded(), out.Len())
+	}
+	return out
+}
+
+func TestVMTRCStreamReaderMatchesMapped(t *testing.T) {
+	for _, n := range []int{0, 1, 7, VMTRCBlockRecords, 3*VMTRCBlockRecords + 1234} {
+		in := vmtrcFixture(n)
+		img := encodeVMTRC(t, in)
+		out := drainStream(t, img)
+		if out.Name != in.Name || out.Len() != in.Len() {
+			t.Fatalf("n=%d: got %q/%d records, want %q/%d", n, out.Name, out.Len(), in.Name, in.Len())
+		}
+		for i := range in.Refs {
+			if out.Refs[i] != in.Refs[i] {
+				t.Fatalf("n=%d ref %d: %+v != %+v", n, i, out.Refs[i], in.Refs[i])
+			}
+		}
+	}
+}
+
+func TestVMTRCStreamReaderOneByteReads(t *testing.T) {
+	// A network body delivers bytes at whatever granularity it likes;
+	// iotest-style one-byte reads are the worst case.
+	in := vmtrcFixture(3000)
+	img := encodeVMTRC(t, in)
+	rd, err := NewVMTRCStreamReader(oneByteReader{bytes.NewReader(img)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		chunk, err := rd.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range chunk {
+			if r != in.Refs[total] {
+				t.Fatalf("ref %d: %+v != %+v", total, r, in.Refs[total])
+			}
+			total++
+		}
+	}
+	if total != in.Len() {
+		t.Fatalf("decoded %d records, want %d", total, in.Len())
+	}
+	if rd.BytesRead() != int64(len(img)) {
+		t.Fatalf("BytesRead() = %d, want %d", rd.BytesRead(), len(img))
+	}
+}
+
+type oneByteReader struct{ r io.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+// TestVMTRCStreamReaderErrorCoordinates: the stream reader must report
+// the same *CorruptError coordinates as the mapped reader for the same
+// damaged image — corrupt one body byte per block and compare.
+func TestVMTRCStreamReaderErrorCoordinates(t *testing.T) {
+	in := vmtrcFixture(2*VMTRCBlockRecords + 99)
+	img := encodeVMTRC(t, in)
+	// Flip a byte in the middle of the second block's body.
+	pos := len(img) / 2
+	bad := append([]byte(nil), img...)
+	bad[pos] ^= 0x40
+
+	mappedErr := drainError(t, func() error {
+		rd, err := NewVMTRCReader(bad)
+		if err != nil {
+			return err
+		}
+		for {
+			if _, err := rd.NextChunk(); err != nil {
+				return err
+			}
+		}
+	})
+	streamErr := drainError(t, func() error {
+		rd, err := NewVMTRCStreamReader(bytes.NewReader(bad))
+		if err != nil {
+			return err
+		}
+		for {
+			if _, err := rd.NextChunk(); err != nil {
+				return err
+			}
+		}
+	})
+	var me, se *CorruptError
+	if !errors.As(mappedErr, &me) || !errors.As(streamErr, &se) {
+		t.Fatalf("expected CorruptErrors, got mapped=%v stream=%v", mappedErr, streamErr)
+	}
+	if me.Index != se.Index || me.Offset != se.Offset || me.Name != se.Name {
+		t.Fatalf("coordinates diverge: mapped {%q %d %d}, stream {%q %d %d}",
+			me.Name, me.Index, me.Offset, se.Name, se.Index, se.Offset)
+	}
+	if !errors.Is(streamErr, simerr.ErrTraceCorrupt) {
+		t.Fatalf("stream error %v does not wrap ErrTraceCorrupt", streamErr)
+	}
+}
+
+func drainError(t *testing.T, f func() error) error {
+	t.Helper()
+	err := f()
+	if err == nil || err == io.EOF {
+		t.Fatal("damaged image decoded cleanly")
+	}
+	return err
+}
+
+func TestVMTRCStreamReaderTruncation(t *testing.T) {
+	in := vmtrcFixture(VMTRCBlockRecords + 50)
+	img := encodeVMTRC(t, in)
+	// Truncate at several depths: inside the trace header, inside a
+	// block header, inside a block body.
+	for _, cut := range []int{4, 10, len(img) / 3, len(img) - 3} {
+		rd, err := NewVMTRCStreamReader(bytes.NewReader(img[:cut]))
+		for err == nil {
+			_, err = rd.NextChunk()
+		}
+		if err == io.EOF || !errors.Is(err, simerr.ErrTraceCorrupt) {
+			t.Fatalf("cut=%d: err = %v, want ErrTraceCorrupt", cut, err)
+		}
+	}
+}
+
+func TestVMTRCStreamReaderIgnoresTrailingBytes(t *testing.T) {
+	// The documented divergence from the mapped reader: once the declared
+	// count is decoded the stream reader returns io.EOF and never touches
+	// the remainder (a live body may simply not have ended yet).
+	in := vmtrcFixture(100)
+	img := append(encodeVMTRC(t, in), "trailing garbage"...)
+	out := drainStream(t, img)
+	if out.Len() != in.Len() {
+		t.Fatalf("decoded %d records, want %d", out.Len(), in.Len())
+	}
+}
+
+func TestVMTRCStreamReaderHostileSections(t *testing.T) {
+	// A hostile block header demanding absurd section sizes must be
+	// refused before allocation.
+	in := vmtrcFixture(VMTRCBlockRecords)
+	img := encodeVMTRC(t, in)
+	hdr := 8 + 4 + len(in.Name) + 12 // magic, nameLen, name, count+blockRecs
+	bad := append([]byte(nil), img...)
+	// pcBytes field of the first block header.
+	bad[hdr+4] = 0xff
+	bad[hdr+5] = 0xff
+	bad[hdr+6] = 0xff
+	bad[hdr+7] = 0x7f
+	rd, err := NewVMTRCStreamReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.NextChunk(); !errors.Is(err, simerr.ErrTraceCorrupt) {
+		t.Fatalf("oversized section accepted: %v", err)
+	}
+}
+
+func TestVMTRCStreamReaderClose(t *testing.T) {
+	in := vmtrcFixture(10)
+	rd, err := NewVMTRCStreamReader(bytes.NewReader(encodeVMTRC(t, in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if _, err := rd.NextChunk(); !errors.Is(err, ErrReaderClosed) {
+		t.Fatalf("NextChunk after Close = %v, want ErrReaderClosed", err)
+	}
+}
+
+// TestVMTRCReaderCloseSemantics pins the mapped reader's close contract:
+// Close is idempotent, and NextChunk/ReadAll after Close fail with a
+// typed error instead of faulting on a released image.
+func TestVMTRCReaderCloseSemantics(t *testing.T) {
+	img := encodeVMTRC(t, vmtrcFixture(10))
+	rd, err := NewVMTRCReader(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if _, err := rd.NextChunk(); !errors.Is(err, ErrReaderClosed) {
+		t.Fatalf("NextChunk after Close = %v, want ErrReaderClosed", err)
+	}
+	if _, err := rd.ReadAll(); !errors.Is(err, ErrReaderClosed) {
+		t.Fatalf("ReadAll after Close = %v, want ErrReaderClosed", err)
+	}
+
+	// The closer runs exactly once even under repeated Close.
+	rd2, err := NewVMTRCReader(encodeVMTRC(t, vmtrcFixture(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	closes := 0
+	rd2.closer = func() error { closes++; return nil }
+	rd2.Close() //nolint:errcheck
+	rd2.Close() //nolint:errcheck
+	if closes != 1 {
+		t.Fatalf("closer ran %d times, want 1", closes)
+	}
+}
+
+func TestWriteVMTRCBlocksRoundTrip(t *testing.T) {
+	in := vmtrcFixture(1000)
+	for _, blockRecs := range []int{1, 7, 256, maxVMTRCBlockRecords} {
+		var buf bytes.Buffer
+		if _, err := in.WriteVMTRCBlocks(&buf, blockRecs); err != nil {
+			t.Fatalf("blockRecs=%d: %v", blockRecs, err)
+		}
+		out, err := ReadVMTRC(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("blockRecs=%d: %v", blockRecs, err)
+		}
+		for i := range in.Refs {
+			if out.Refs[i] != in.Refs[i] {
+				t.Fatalf("blockRecs=%d ref %d: %+v != %+v", blockRecs, i, out.Refs[i], in.Refs[i])
+			}
+		}
+		// The stream reader handles the non-default geometry too.
+		if st := drainStream(t, buf.Bytes()); st.Len() != in.Len() {
+			t.Fatalf("blockRecs=%d: stream decoded %d records, want %d", blockRecs, st.Len(), in.Len())
+		}
+	}
+	for _, bad := range []int{0, -1, maxVMTRCBlockRecords + 1} {
+		if _, err := in.WriteVMTRCBlocks(io.Discard, bad); err == nil {
+			t.Fatalf("blockRecs=%d accepted", bad)
+		}
+	}
+}
+
+// TestDetectFormatShortPrefixes: prefixes shorter than every magic must
+// sniff deterministically — never panic, never misreport a binary
+// format from a partial magic.
+func TestDetectFormatShortPrefixes(t *testing.T) {
+	cases := []struct {
+		prefix string
+		want   Format
+	}{
+		{"", FormatUnknown},
+		{"V", FormatUnknown},
+		{"VMTRC", FormatUnknown},
+		{"VMTRC00", FormatUnknown}, // one byte short of the magic
+		{"M", FormatUnknown},
+		{"MMUTRC0", FormatUnknown}, // one byte short of the magic
+		{"2", FormatDinero},        // a single digit already sniffs as din
+		{"#", FormatDinero},
+		{"-", FormatDinero},
+		{" ", FormatUnknown}, // all-whitespace: undecidable
+		{"\t\n", FormatUnknown},
+		{" 2", FormatDinero},
+		{"x", FormatUnknown},
+	}
+	for _, c := range cases {
+		if got := DetectFormat([]byte(c.prefix)); got != c.want {
+			t.Errorf("DetectFormat(%q) = %v, want %v", c.prefix, got, c.want)
+		}
+	}
+	// Every strict prefix of both magics is FormatUnknown — no partial
+	// match may claim the format.
+	for _, m := range []string{magic, vmtrcMagic} {
+		for i := 0; i < len(m); i++ {
+			if got := DetectFormat([]byte(m[:i])); got != FormatUnknown {
+				t.Errorf("DetectFormat(%q) = %v, want FormatUnknown", m[:i], got)
+			}
+		}
+	}
+}

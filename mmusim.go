@@ -215,6 +215,19 @@ func ReadAnyTrace(r io.Reader, dineroName string) (*Trace, error) {
 // reader.
 func OpenTraceFile(path string) (*Trace, error) { return trace.OpenFile(path) }
 
+// TraceStreamReader decodes a .vmtrc stream incrementally from any
+// io.Reader, one CRC-validated block per NextChunk — the ingest side of
+// live streaming (`vmtrace -follow`, the vmserved /v1/stream endpoint),
+// where the bytes arrive over a pipe or socket and mmap is not an
+// option.
+type TraceStreamReader = trace.VMTRCStreamReader
+
+// NewTraceStreamReader begins decoding a .vmtrc stream from r; the
+// header is read (and validated) immediately, blocks on demand.
+func NewTraceStreamReader(r io.Reader) (*TraceStreamReader, error) {
+	return trace.NewVMTRCStreamReader(r)
+}
+
 // Simulate runs cfg over tr.
 func Simulate(cfg Config, tr *Trace) (*Result, error) { return sim.Simulate(cfg, tr) }
 
