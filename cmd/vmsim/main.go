@@ -8,6 +8,7 @@
 //	vmsim -vm mach -bench gcc -timeline gcc.timeline.csv -sample 10000
 //	vmsim -vm intel -bench vortex -n 10000000 -debug-addr localhost:6060
 //	vmsim -machine mymachine.json -bench gcc
+//	vmsim -vm ultrix -benches gcc,ijpeg -cores 4 -ospolicy lru -memframes 128 -shootdown 60
 //	vmsim -stream http://localhost:8080 -vm ultrix -bench gcc -n 1000000
 //	vmsim -list-vms
 package main
@@ -20,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	mmusim "repro"
 	"repro/internal/atomicio"
@@ -126,6 +128,12 @@ func main() {
 		tlb2N     = flag.Int("tlb2", 0, "unified second-level TLB entries (0 = none)")
 		tlb2Ways  = flag.Int("tlb2assoc", 0, "second-level TLB associativity (0 = fully associative)")
 		intCost   = flag.Uint64("intcost", 50, "cycles per precise interrupt (paper: 10/50/200)")
+		coresN    = flag.Int("cores", 1, "simulated cores; >1 runs the multicore cluster (private TLBs/caches, shared page table and OS kernel)")
+		osPol     = flag.String("ospolicy", "first-touch", "OS page-allocation policy: one of "+fmt.Sprint(mmusim.OSPolicies()))
+		frames    = flag.Int("memframes", 0, "physical frame budget in pages for demand paging (0 = unbounded)")
+		shootFl   = flag.Uint64("shootdown", 0, "cycles per remote TLB shootdown (default: the machine spec's)")
+		mpmix     = flag.String("benches", "", "comma list of benchmarks for a generated multicore/multiprogram trace (overrides -bench)")
+		quantum   = flag.Int("quantum", 50_000, "scheduling quantum in instructions for a -benches trace")
 		warmup    = flag.Int("warmup", 200_000, "uncharged warmup instructions (capped at half the trace)")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of the text break-down")
 		traceIn   = flag.String("tracefile", "", "replay this trace file instead of generating -bench")
@@ -188,6 +196,18 @@ func main() {
 	cfg.WarmupInstrs = *warmup
 	cfg.Seed = *seed
 	cfg.CheckInvariants = *invar
+	if set["cores"] {
+		cfg.Cores = *coresN
+	}
+	if set["ospolicy"] {
+		cfg.OSPolicy = *osPol
+	}
+	if set["memframes"] {
+		cfg.MemFrames = *frames
+	}
+	if set["shootdown"] {
+		cfg.ShootdownCost = *shootFl
+	}
 	if *timeline != "" || *streamURL != "" {
 		if *sample <= 0 {
 			fail(fmt.Errorf("-sample must be positive with -timeline/-stream, got %d", *sample))
@@ -221,7 +241,19 @@ func main() {
 			f.Close()
 		}
 	default:
-		tr, err = mmusim.GenerateTrace(*bench, *seed, *n)
+		if *mpmix != "" {
+			var benches []string
+			for _, b := range strings.Split(*mpmix, ",") {
+				benches = append(benches, strings.TrimSpace(b))
+			}
+			cores := cfg.Cores
+			if cores == 0 {
+				cores = 1
+			}
+			tr, err = mmusim.Multicore(benches, *seed, cores, *n, *quantum)
+		} else {
+			tr, err = mmusim.GenerateTrace(*bench, *seed, *n)
+		}
 	}
 	if err != nil {
 		fail(err)
@@ -264,6 +296,14 @@ func main() {
 		fmt.Print(res.BreakdownString())
 		fmt.Printf("  total CPI (1-CPI core + overheads @%d-cycle interrupts) = %.5f\n",
 			cfg.InterruptCost, res.TotalCPI())
+		if len(res.PerCore) > 1 {
+			for i := range res.PerCore {
+				c := &res.PerCore[i]
+				fmt.Printf("  core %d: %8d instrs  mcpi=%.5f vmcpi=%.5f  faults=%d shootdowns=%d\n",
+					i, c.UserInstrs, c.MCPI(), c.VMCPI(),
+					c.Events[mmusim.EventPageFault], c.Events[mmusim.EventShootdown])
+			}
+		}
 	}
 	if *timeline != "" {
 		f, terr := atomicio.Create(*timeline)
@@ -306,6 +346,7 @@ func streamRun(url string, cfg mmusim.Config, tr *mmusim.Trace) (*mmusim.Result,
 		Workload:       out.Result.Workload,
 		AvgChainLength: out.Result.AvgChainLength,
 		Timeline:       out.Timeline,
+		PerCore:        out.Result.PerCore,
 	}
 	if out.Result.Counters != nil {
 		res.Counters = *out.Result.Counters

@@ -9,6 +9,7 @@
 //	vmsweep -bench gcc -vms l2tlb -tlb2 256,512,1024,2048 > l2tlb.csv
 //	vmsweep -bench gcc -machine custom.json -l1 paper > custom.csv
 //	vmsweep -tracefile gcc.trace -vms ultrix -l1 paper
+//	vmsweep -bench gcc -vms ultrix,intel -cores 1,2,4 -ospolicies first-touch,lru -memframes 128 > mc.csv
 //	vmsweep -bench gcc -vms all -l1 paper -journal gcc.journal > gcc.csv
 //	vmsweep -bench gcc -vms all -l1 paper -journal gcc.journal -resume > gcc.csv  # after a crash
 //	vmsweep -bench gcc -vms all -l1 paper -progress -manifest gcc.manifest.json > gcc.csv
@@ -229,6 +230,10 @@ func main() {
 		tlbs      = flag.String("tlb", "", "comma list of TLB sizes")
 		tlb2s     = flag.String("tlb2", "", "comma list of second-level TLB sizes (0 = none)")
 		tlb2Ways  = flag.Int("tlb2assoc", 0, "second-level TLB associativity for every point (0 = fully associative)")
+		coresFl   = flag.String("cores", "", "comma list of core counts (>1 runs the multicore cluster)")
+		osPols    = flag.String("ospolicies", "", "comma list of OS page-allocation policies, from "+fmt.Sprint(mmusim.OSPolicies()))
+		frames    = flag.Int("memframes", 0, "physical frame budget in pages for every point (0 = unbounded)")
+		shootFl   = flag.Uint64("shootdown", 0, "cycles per remote TLB shootdown for every point (default: the machine spec's)")
 		n         = flag.Int("n", 500_000, "trace length in instructions")
 		seed      = flag.Uint64("seed", 42, "deterministic seed")
 		workers   = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
@@ -351,6 +356,20 @@ func main() {
 	}
 	if space.TLB2Entries, err = parseInts(*tlb2s, nil); err != nil {
 		fail(err)
+	}
+	if space.Cores, err = parseInts(*coresFl, nil); err != nil {
+		fail(err)
+	}
+	if *osPols != "" {
+		for _, p := range strings.Split(*osPols, ",") {
+			space.OSPolicies = append(space.OSPolicies, strings.TrimSpace(p))
+		}
+	}
+	if setFlags["memframes"] {
+		space.Base.MemFrames = *frames
+	}
+	if setFlags["shootdown"] {
+		space.Base.ShootdownCost = *shootFl
 	}
 
 	var tr *mmusim.Trace

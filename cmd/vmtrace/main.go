@@ -15,6 +15,7 @@
 // Usage:
 //
 //	vmtrace -bench vortex -n 500000
+//	vmtrace -benches gcc,ijpeg -cores 4 -n 1000000 -o mc.vmtrc
 //	vmtrace -list
 //	vmtrace -convert -i gcc.din -o gcc.vmtrc
 //	vmtrace -follow -i live.vmtrc
@@ -98,6 +99,9 @@ func followTrace(path string, timeout time.Duration) (*mmusim.Trace, error) {
 func main() {
 	var (
 		bench    = flag.String("bench", "gcc", "benchmark")
+		mpmix    = flag.String("benches", "", "comma list of benchmarks for a generated multicore/multiprogram trace (overrides -bench)")
+		cores    = flag.Int("cores", 1, "core count for a -benches trace (reference i runs on core i mod cores)")
+		quantum  = flag.Int("quantum", 50_000, "scheduling quantum in instructions for a -benches trace")
 		n        = flag.Int("n", 500_000, "trace length in instructions")
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
 		top      = flag.Int("top", 10, "hottest data pages to list")
@@ -151,7 +155,16 @@ func main() {
 		*bench = tr.Name
 	default:
 		var err error
-		if tr, err = mmusim.GenerateTrace(*bench, *seed, *n); err != nil {
+		if *mpmix != "" {
+			var benches []string
+			for _, b := range strings.Split(*mpmix, ",") {
+				benches = append(benches, strings.TrimSpace(b))
+			}
+			if tr, err = mmusim.Multicore(benches, *seed, *cores, *n, *quantum); err != nil {
+				fail(err)
+			}
+			*bench = tr.Name
+		} else if tr, err = mmusim.GenerateTrace(*bench, *seed, *n); err != nil {
 			fail(err)
 		}
 	}

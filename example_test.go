@@ -58,6 +58,34 @@ func ExampleMultiprogram() {
 	// 10000 instructions, 3 context switches
 }
 
+// ExampleConfig shows the multicore knobs: two cores with private TLBs
+// and caches share one page table and one OS kernel; LRU demand paging
+// under a bounded frame budget evicts pages, and each eviction shoots
+// the victim's translation down on the other core at a configurable
+// IPI cost. Cores=1 with the default first-touch policy is the paper's
+// single-core machine, bit for bit.
+func ExampleConfig() {
+	tr, err := mmusim.Multicore([]string{"gcc", "ijpeg"}, 1, 2, 40_000, 5_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mmusim.DefaultConfig(mmusim.VMUltrix)
+	cfg.Cores = 2          // reference i runs on core i mod 2
+	cfg.OSPolicy = "lru"   // demand paging with LRU eviction
+	cfg.MemFrames = 96     // bounded physical-memory budget (pages)
+	cfg.ShootdownCost = 60 // cycles per remote TLB invalidation
+	res, err := mmusim.Simulate(cfg, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cores=%d faults>0: %v shootdowns>0: %v\n",
+		len(res.PerCore),
+		res.Counters.Events[mmusim.EventPageFault] > 0,
+		res.Counters.Events[mmusim.EventShootdown] > 0)
+	// Output:
+	// cores=2 faults>0: true shootdowns>0: true
+}
+
 // ExampleParseMachineSpec declares a custom machine as data — here the
 // ULTRIX organization behind a small LRU second-level TLB — and
 // simulates it. See MACHINES.md for the full config schema.

@@ -65,6 +65,10 @@ type canonicalConfig struct {
 	ASIDs             sim.ASIDPolicy `json:"asids"`
 	SampleEvery       int            `json:"sample_every"`
 	CheckInvariants   bool           `json:"check_invariants"`
+	Cores             int            `json:"cores"`
+	OSPolicy          string         `json:"os_policy"`
+	MemFrames         int            `json:"mem_frames"`
+	ShootdownCost     uint64         `json:"shootdown_cost"`
 }
 
 // CanonicalConfig returns the canonical serialized form of c: every
@@ -104,6 +108,10 @@ func CanonicalConfig(c sim.Config) []byte {
 		ASIDs:             c.ASIDs,
 		SampleEvery:       c.SampleEvery,
 		CheckInvariants:   c.CheckInvariants,
+		Cores:             c.Cores,
+		OSPolicy:          c.OSPolicy,
+		MemFrames:         c.MemFrames,
+		ShootdownCost:     c.ShootdownCost,
 	})
 	if err != nil {
 		// A struct of scalars cannot fail to marshal.
@@ -161,6 +169,10 @@ type PointResult struct {
 	Workload       string          `json:"workload,omitempty"`
 	Counters       *stats.Counters `json:"counters,omitempty"`
 	AvgChainLength float64         `json:"avg_chain_length,omitempty"`
+	// PerCore holds each core's own counters for multicore points
+	// (sim.Result.PerCore); empty for single-core points, keeping their
+	// wire encoding untouched.
+	PerCore []stats.Counters `json:"per_core,omitempty"`
 	// Error and Category report a quarantined point (simerr taxonomy
 	// name); both are empty on success.
 	Error    string `json:"error,omitempty"`

@@ -1,0 +1,148 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simerr"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// mcTrace builds a deterministic multicore workload trace.
+func mcTrace(t *testing.T, cores, n int) *trace.Trace {
+	t.Helper()
+	tr, err := workload.Multicore([]string{"gcc", "ijpeg"}, 11, cores, n, 1_000)
+	if err != nil {
+		t.Fatalf("multicore workload: %v", err)
+	}
+	return tr
+}
+
+// requireNoMulticoreDivergence runs the multicore differential harness
+// and fails with the full divergence report if the clusters disagree.
+func requireNoMulticoreDivergence(t *testing.T, cfg sim.Config, tr *trace.Trace) {
+	t.Helper()
+	d, err := DiffMulticore(cfg, tr)
+	if err != nil {
+		t.Fatalf("DiffMulticore(%s): %v", cfg.Label(), err)
+	}
+	if d != nil {
+		t.Fatalf("DiffMulticore(%s):\n%s", cfg.Label(), d)
+	}
+}
+
+// TestMulticoreNoDivergence is the multicore acceptance gate: every OS
+// policy under a bounded frame budget (shootdowns firing) across
+// multiple core counts and paper organizations, engine vs reference, in
+// lockstep per-core.
+func TestMulticoreNoDivergence(t *testing.T) {
+	const n = 24_000
+	for _, cores := range []int{2, 4} {
+		tr := mcTrace(t, cores, n)
+		for _, vm := range []string{sim.VMUltrix, sim.VMIntel, sim.VMNoTLB} {
+			for _, pol := range []string{"round-robin", "random", "lru", "clock"} {
+				cores, vm, pol, tr := cores, vm, pol, tr
+				t.Run(vm+"/"+pol, func(t *testing.T) {
+					t.Parallel()
+					cfg := sim.Default(vm)
+					cfg.Cores = cores
+					cfg.OSPolicy = pol
+					cfg.MemFrames = 96
+					cfg.ShootdownCost = 60
+					cfg.WarmupInstrs = 3_000
+					requireNoMulticoreDivergence(t, cfg, tr)
+				})
+			}
+		}
+	}
+}
+
+// TestMulticoreUnboundedNoDivergence covers the kernel without a frame
+// budget: demand-paging faults are charged but nothing ever evicts, so
+// no shootdown may fire on either machine.
+func TestMulticoreUnboundedNoDivergence(t *testing.T) {
+	tr := mcTrace(t, 2, 16_000)
+	cfg := sim.Default(sim.VMUltrix)
+	cfg.Cores = 2
+	cfg.OSPolicy = "lru"
+	cfg.ShootdownCost = 60
+	requireNoMulticoreDivergence(t, cfg, tr)
+}
+
+// TestMulticoreOneCoreNoDivergence pins the degenerate cluster: one
+// core, first-touch, unbounded — the paper's machine driven through the
+// multicore harness.
+func TestMulticoreOneCoreNoDivergence(t *testing.T) {
+	tr := mcTrace(t, 1, 16_000)
+	for _, vm := range sim.PaperVMs() {
+		vm := vm
+		t.Run(vm, func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.Default(vm)
+			cfg.Cores = 1
+			requireNoMulticoreDivergence(t, cfg, tr)
+		})
+	}
+}
+
+// TestMulticoreExhaustionAgrees pins that both machines exhaust memory
+// on the same reference: DiffMulticore errors if only one of them does.
+func TestMulticoreExhaustionAgrees(t *testing.T) {
+	tr := mcTrace(t, 2, 16_000)
+	cfg := sim.Default(sim.VMUltrix)
+	cfg.Cores = 2
+	cfg.OSPolicy = "first-touch"
+	cfg.MemFrames = 8
+	cfg.WarmupInstrs = 0
+	// The harness returns cleanly when both kernels fail at the same
+	// reference; the engine's own run loop surfaces the error.
+	requireNoMulticoreDivergence(t, cfg, tr)
+	if _, err := sim.Simulate(cfg, tr); !errors.Is(err, simerr.ErrMemExhausted) {
+		t.Fatalf("engine run error %v does not wrap ErrMemExhausted", err)
+	}
+}
+
+// TestMulticoreLongTraceNoDivergence is the >=100k-reference lockstep
+// confirmation the multicore subsystem ships under: per-core counters,
+// shootdown charges, and eviction decisions agree between the engine
+// and the naive reference over a trace long enough for the frame budget
+// to cycle thousands of times. CI runs it on every push; locally,
+// -short skips it.
+func TestMulticoreLongTraceNoDivergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long multicore differential-oracle run; skipped with -short")
+	}
+	const n = 120_000
+	tr := mcTrace(t, 4, n)
+	if tr.Len() < 100_000 {
+		t.Fatalf("trace only %d references, want >= 100000", tr.Len())
+	}
+	for _, pol := range []string{"round-robin", "random", "lru", "clock"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			t.Parallel()
+			cfg := sim.Default(sim.VMUltrix)
+			cfg.Cores = 4
+			cfg.OSPolicy = pol
+			cfg.MemFrames = 128
+			cfg.ShootdownCost = 100
+			cfg.WarmupInstrs = 10_000
+			requireNoMulticoreDivergence(t, cfg, tr)
+		})
+	}
+}
+
+// TestMulticoreL2TLBNoDivergence exercises shootdowns through the
+// set-associative second-level TLB (the victim must vanish from every
+// level on every core).
+func TestMulticoreL2TLBNoDivergence(t *testing.T) {
+	tr := mcTrace(t, 2, 20_000)
+	cfg := sim.Default(sim.VML2TLB)
+	cfg.Cores = 2
+	cfg.OSPolicy = "clock"
+	cfg.MemFrames = 64
+	cfg.ShootdownCost = 80
+	requireNoMulticoreDivergence(t, cfg, tr)
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/machine"
+	"repro/internal/oskernel"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -35,6 +36,23 @@ type RefEngine struct {
 	curASID uint8
 	warm    int
 	step    int
+
+	// OS-kernel state, mirroring the engine's: kern is nil for the
+	// paper's machine (first-touch, unbounded); peers are the other
+	// cores sharing this kernel in a multicore reference cluster;
+	// kernErr latches the first kernel failure.
+	kern          *refKernel
+	coreID        int
+	peers         []*RefEngine
+	shootdownCost uint64
+	kernErr       error
+}
+
+// refNeedsKernel mirrors the engine's rule for when a configuration
+// requires an OS model at all: any policy other than first-touch, or a
+// bounded frame budget.
+func refNeedsKernel(cfg sim.Config) bool {
+	return (cfg.OSPolicy != "" && cfg.OSPolicy != "first-touch") || cfg.MemFrames > 0
 }
 
 // refSpec resolves the machine spec a config simulates, mirroring the
@@ -153,7 +171,66 @@ func NewRefEngine(cfg sim.Config) (*RefEngine, error) {
 			}
 		}
 	}
+	if refNeedsKernel(cfg) {
+		// The kernel derives from the base seed, exactly as the engine's
+		// does; NewRefMulticore replaces it with one shared instance.
+		e.kern = newRefKernel(cfg.OSPolicy, cfg.MemFrames, cfg.Seed)
+		e.shootdownCost = cfg.ShootdownCost
+	}
 	return e, nil
+}
+
+// Err returns the latched kernel failure, if any (memory exhaustion
+// under a non-evicting policy).
+func (e *RefEngine) Err() error { return e.kernErr }
+
+// kernelTouch demands (asid, page-of-va) from the OS model: a page
+// fault charge when non-resident, and the victim's shootdown when
+// admitting it evicted — the mirror of the engine's kernelTouch.
+func (e *RefEngine) kernelTouch(asid uint8, va uint64) {
+	ev, have, fault, err := e.kern.touch(asid, refVPN(va))
+	if err != nil {
+		if e.kernErr == nil {
+			e.kernErr = fmt.Errorf("check: core %d: %w", e.coreID, err)
+		}
+		return
+	}
+	if fault && e.live {
+		e.c.Charge(stats.PageFault, stats.PageFaultPenalty)
+	}
+	if have {
+		e.shootdown(ev)
+	}
+}
+
+// shootdown invalidates the victim's translation on this core and on
+// every peer, charging the configured cost per remote core — the mirror
+// of the engine's shootdown.
+func (e *RefEngine) shootdown(p oskernel.Page) {
+	if e.usesTLB {
+		key := e.key(p.ASID, p.VPN)
+		e.itlb.evict(key)
+		e.dtlb.evict(key)
+		if e.tlb2 != nil {
+			e.tlb2.evict(key)
+		}
+	}
+	for _, peer := range e.peers {
+		if peer == e {
+			continue
+		}
+		if peer.usesTLB {
+			key := peer.key(p.ASID, p.VPN)
+			peer.itlb.evict(key)
+			peer.dtlb.evict(key)
+			if peer.tlb2 != nil {
+				peer.tlb2.evict(key)
+			}
+		}
+		if e.live {
+			e.c.Charge(stats.Shootdown, e.shootdownCost)
+		}
+	}
 }
 
 // Begin prepares the engine to replay tr via Step.
@@ -241,6 +318,9 @@ func (e *RefEngine) Step(r *trace.Ref) {
 
 	// Instruction side.
 	if e.usesTLB && !e.itlbHit(e.key(r.ASID, refVPN(r.PC))) {
+		if e.kern != nil {
+			e.kernelTouch(r.ASID, r.PC)
+		}
 		e.walker.handleMiss(e, r.ASID, r.PC, true)
 	}
 	lvl := e.icache.access(userAddr(r.ASID, r.PC))
@@ -251,6 +331,9 @@ func (e *RefEngine) Step(r *trace.Ref) {
 		}
 	}
 	if lvl == refMemory && noTLBRefill {
+		if e.kern != nil {
+			e.kernelTouch(r.ASID, r.PC)
+		}
 		e.walker.handleMiss(e, r.ASID, r.PC, true)
 	}
 
@@ -259,6 +342,9 @@ func (e *RefEngine) Step(r *trace.Ref) {
 		return
 	}
 	if e.usesTLB && !e.dtlbHit(e.key(r.ASID, refVPN(r.Data))) {
+		if e.kern != nil {
+			e.kernelTouch(r.ASID, r.Data)
+		}
 		e.walker.handleMiss(e, r.ASID, r.Data, false)
 	}
 	if r.Flags&trace.FlagUncached != 0 {
@@ -278,6 +364,9 @@ func (e *RefEngine) Step(r *trace.Ref) {
 		}
 	}
 	if lvl == refMemory && noTLBRefill {
+		if e.kern != nil {
+			e.kernelTouch(r.ASID, r.Data)
+		}
 		e.walker.handleMiss(e, r.ASID, r.Data, false)
 	}
 }

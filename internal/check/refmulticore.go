@@ -1,0 +1,210 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// RefMulticore is the naive reference model of the multicore cluster:
+// N RefEngines with private TLBs and caches — seeded per core with the
+// engine's own CoreSeed derivation — sharing one walker (and thus one
+// page table) and one OS kernel model, replayed in the same global
+// round-robin interleaving (reference i on core i mod N) with the same
+// cluster-level warmup boundary.
+type RefMulticore struct {
+	cfg   sim.Config
+	cores []*RefEngine
+	kern  *refKernel
+
+	warm int
+	step int
+	live bool
+}
+
+// NewRefMulticore builds the reference cluster for cfg.
+func NewRefMulticore(cfg sim.Config) (*RefMulticore, error) {
+	n := cfg.Cores
+	if n == 0 {
+		n = 1
+	}
+	m := &RefMulticore{cfg: cfg}
+	m.cores = make([]*RefEngine, n)
+	for c := 0; c < n; c++ {
+		coreCfg := cfg
+		coreCfg.Seed = sim.CoreSeed(cfg.Seed, c)
+		e, err := NewRefEngine(coreCfg)
+		if err != nil {
+			return nil, err
+		}
+		e.coreID = c
+		m.cores[c] = e
+	}
+	// Share one walker — the page table is machine state, not core
+	// state. Core 0's instance becomes the cluster's.
+	for _, e := range m.cores[1:] {
+		e.walker = m.cores[0].walker
+	}
+	if refNeedsKernel(cfg) {
+		// One shared kernel, derived from the base seed (per-core
+		// NewRefEngine attached per-seed instances; replace them).
+		m.kern = newRefKernel(cfg.OSPolicy, cfg.MemFrames, cfg.Seed)
+		for _, e := range m.cores {
+			e.kern = m.kern
+			e.peers = m.cores
+			e.shootdownCost = cfg.ShootdownCost
+		}
+	}
+	return m, nil
+}
+
+// Begin prepares the cluster to replay tr via Step.
+func (m *RefMulticore) Begin(tr *trace.Trace) {
+	m.warm = m.cfg.WarmupInstrs
+	if m.warm > len(tr.Refs)/2 {
+		m.warm = len(tr.Refs) / 2
+	}
+	m.step = 0
+	m.live = m.warm == 0
+	for _, e := range m.cores {
+		// Disarm the per-core boundary; the cluster flips every core at
+		// the global boundary.
+		e.warm = -1
+		e.step = 0
+		e.live = m.live
+	}
+}
+
+// Step replays one reference on the core the interleaving assigns,
+// handling the cluster warmup boundary first. The returned error is a
+// latched kernel failure (memory exhaustion), mirroring the engine's.
+func (m *RefMulticore) Step(r *trace.Ref) error {
+	if m.step == m.warm && !m.live {
+		m.live = true
+		for _, e := range m.cores {
+			e.live = true
+			if e.usesTLB {
+				e.itlb.resetStats()
+				e.dtlb.resetStats()
+			}
+		}
+	}
+	e := m.cores[m.step%len(m.cores)]
+	m.step++
+	e.Step(r)
+	return e.kernErr
+}
+
+// Snapshot returns the cluster counters: the sum over every core.
+func (m *RefMulticore) Snapshot() stats.Counters {
+	var sum stats.Counters
+	for _, e := range m.cores {
+		c := e.Snapshot()
+		sum.Add(&c)
+	}
+	return sum
+}
+
+// CoreSnapshot returns core c's own counters.
+func (m *RefMulticore) CoreSnapshot(c int) stats.Counters {
+	return m.cores[c].Snapshot()
+}
+
+// Digest summarizes the cluster state: the field-wise sum of every
+// core's digest.
+func (m *RefMulticore) Digest() sim.Digest {
+	var sum sim.Digest
+	for _, e := range m.cores {
+		d := e.Digest()
+		sum.IL1 += d.IL1
+		sum.IL2 += d.IL2
+		sum.DL1 += d.DL1
+		sum.DL2 += d.DL2
+		sum.ITLB += d.ITLB
+		sum.ITLBProt += d.ITLBProt
+		sum.DTLB += d.DTLB
+		sum.DTLBProt += d.DTLBProt
+		sum.TLB2 += d.TLB2
+	}
+	return sum
+}
+
+// CoreDigest returns core c's own machine-state digest.
+func (m *RefMulticore) CoreDigest(c int) sim.Digest { return m.cores[c].Digest() }
+
+// StateSummary concatenates every core's state dump.
+func (m *RefMulticore) StateSummary() string {
+	out := ""
+	for i, e := range m.cores {
+		out += fmt.Sprintf("--- reference core %d ---\n%s", i, e.StateSummary())
+	}
+	return out
+}
+
+// DiffMulticore replays tr through a sim.Multicore and a RefMulticore
+// in lockstep and returns the first divergence, or nil if the clusters
+// agree after every reference. Counters are compared per core after
+// every reference (so a mischarged shootdown is pinned to the core and
+// instruction that charged it); digests are sampled every digestStride
+// references, per core.
+func DiffMulticore(cfg sim.Config, tr *trace.Trace) (*Divergence, error) {
+	eng, err := sim.NewMulticore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := NewRefMulticore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Begin(tr); err != nil {
+		return nil, err
+	}
+	ref.Begin(tr)
+	cores := eng.Cores()
+	report := func(i, core int, field string, got, want uint64) *Divergence {
+		return &Divergence{
+			Index: i, Ref: tr.Refs[i],
+			Field:       fmt.Sprintf("core%d.%s", core, field),
+			Got:         got,
+			Want:        want,
+			EngineState: fmt.Sprintf("multicore cluster (%d cores)\n", cores),
+			RefState:    ref.StateSummary(),
+		}
+	}
+	for i := range tr.Refs {
+		r := &tr.Refs[i]
+		engErr := eng.Step(r)
+		refErr := ref.Step(r)
+		if (engErr == nil) != (refErr == nil) {
+			return nil, fmt.Errorf("check: kernel failure disagreement at ref %d: engine %v, reference %v",
+				i, engErr, refErr)
+		}
+		if engErr != nil {
+			// Both kernels exhausted memory on the same reference: the
+			// machines agree, and the run ends here as both engines' run
+			// loops would end it.
+			return nil, nil
+		}
+		core := i % cores
+		if field, got, want, same := firstCounterDiff(eng.CoreSnapshot(core), ref.CoreSnapshot(core)); !same {
+			return report(i, core, field, got, want), nil
+		}
+		if i%digestStride == digestStride-1 || i == len(tr.Refs)-1 {
+			for c := 0; c < cores; c++ {
+				if field, got, want, same := firstDigestDiff(eng.CoreDigest(c), ref.CoreDigest(c)); !same {
+					return report(i, c, field, got, want), nil
+				}
+			}
+		}
+	}
+	// Final cross-check over the summed cluster observables.
+	if field, got, want, same := firstCounterDiff(eng.Snapshot(), ref.Snapshot()); !same {
+		return report(len(tr.Refs)-1, -1, "cluster."+field, got, want), nil
+	}
+	if field, got, want, same := firstDigestDiff(eng.Digest(), ref.Digest()); !same {
+		return report(len(tr.Refs)-1, -1, "cluster."+field, got, want), nil
+	}
+	return nil, nil
+}

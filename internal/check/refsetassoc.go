@@ -11,6 +11,7 @@ import (
 type refLevel interface {
 	lookup(key uint64) bool
 	insert(key uint64)
+	evict(key uint64) bool
 	flush()
 	resident() int
 	// capacity returns the configured slot count; counts the accumulated
@@ -130,6 +131,20 @@ func (t *refSetAssoc) insert(key uint64) {
 		t.clock++
 		t.slots[victim].seen = t.clock
 	}
+}
+
+// evict invalidates key's slot in its set if resident (a TLB
+// shootdown), reporting whether it was.
+func (t *refSetAssoc) evict(key uint64) bool {
+	set := int(key % uint64(t.sets))
+	lo, hi := set*t.ways, (set+1)*t.ways
+	for i := lo; i < hi; i++ {
+		if t.slots[i].valid && t.slots[i].key == key {
+			t.slots[i] = refTLBEntry{}
+			return true
+		}
+	}
+	return false
 }
 
 // flush invalidates every entry, preserving statistics and the random

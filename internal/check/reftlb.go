@@ -131,6 +131,19 @@ func (t *refTLB) place(key uint64, lo, hi int, rotor *int) {
 	}
 }
 
+// evict invalidates key's slot if resident (a TLB shootdown), reporting
+// whether it was. Statistics, recency stamps of other entries, the
+// rotors, and the random stream are all untouched.
+func (t *refTLB) evict(key uint64) bool {
+	for i := range t.slots {
+		if t.slots[i].valid && t.slots[i].key == key {
+			t.slots[i] = refTLBEntry{}
+			return true
+		}
+	}
+	return false
+}
+
 // flush invalidates every entry, preserving statistics and the random
 // stream.
 func (t *refTLB) flush() {

@@ -194,7 +194,7 @@ func ToSweepPoint(cfg sim.Config, r api.PointResult) sweep.Point {
 		p.Err = fmt.Errorf("server: %s: %w", r.Error, simerr.ForCategory(r.Category))
 		return p
 	}
-	p.Result = &sim.Result{Workload: r.Workload, AvgChainLength: r.AvgChainLength}
+	p.Result = &sim.Result{Workload: r.Workload, AvgChainLength: r.AvgChainLength, PerCore: r.PerCore}
 	if r.Counters != nil {
 		p.Result.Counters = *r.Counters
 	}

@@ -160,6 +160,10 @@ type CostSpec struct {
 	// RootWalkCycles is the hardware nested-walk cost for cache-miss-
 	// triggered walkers whose leaf PTE load misses the L2 (SPUR's 4).
 	RootWalkCycles int `json:"root_walk_cycles"`
+	// ShootdownCycles is the IPI-plus-remote-flush cost charged per
+	// remote core invalidated when the OS evicts a page (multicore runs
+	// with a bounded memory budget only; see Config.ShootdownCost).
+	ShootdownCycles int `json:"shootdown_cycles"`
 }
 
 // Spec is one machine declared as data. Construct by hand, via Parse /
@@ -309,6 +313,7 @@ func (s *Spec) validateRefill() error {
 		{"walk_cycles", c.WalkCycles},
 		{"mapped_walk_cycles", c.MappedWalkCycles},
 		{"root_walk_cycles", c.RootWalkCycles},
+		{"shootdown_cycles", c.ShootdownCycles},
 	} {
 		if f.v < 0 || f.v > maxHandlerInstrs {
 			return fmt.Errorf("costs: %s %d outside [0, %d]", f.name, f.v, maxHandlerInstrs)

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/addr"
+	"repro/internal/simerr"
 )
 
 // Phys is the simulated physical memory.
@@ -74,8 +75,8 @@ func (p *Phys) Reserve(name string, size uint64) (Region, error) {
 	}
 	size = (size + addr.PageMask) &^ uint64(addr.PageMask)
 	if p.reserveAt+size > p.size {
-		return Region{}, fmt.Errorf("mem: region %q (%d bytes) exceeds physical memory (%d of %d bytes used)",
-			name, size, p.reserveAt, p.size)
+		return Region{}, fmt.Errorf("mem: region %q (%d bytes) exceeds physical memory (%d of %d bytes used): %w",
+			name, size, p.reserveAt, p.size, simerr.ErrMemExhausted)
 	}
 	r := Region{Name: name, Base: p.reserveAt, Size: size}
 	p.regions[name] = r

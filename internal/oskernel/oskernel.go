@@ -1,0 +1,356 @@
+// Package oskernel models the operating system's page-frame management
+// as a pluggable policy layer above the simulated physical memory.
+//
+// The paper's machine has an invisible OS: pages are allocated first
+// touch from an effectively infinite physical memory, so the only OS
+// cost is the TLB-refill handler itself. This package makes the OS a
+// simulation subject. A Kernel tracks which (address space, virtual
+// page) pairs are resident under a bounded frame budget, charges a page
+// fault when a non-resident page is touched, and — when the budget is
+// full — asks its replacement Policy for a victim. Evicting a victim
+// unmaps it everywhere: the engine propagates the eviction to every
+// core's TLBs as a shootdown (see internal/sim).
+//
+// Determinism: the Kernel is driven single-threaded in trace order (in
+// multicore runs, in the global round-robin interleaving order), every
+// policy is a deterministic function of the touch sequence, and the one
+// random policy draws from an internal/rng stream seeded from the
+// configuration — the same deliberate seed coupling the TLBs use, so
+// the naive reference model in internal/check can replay the identical
+// victim sequence.
+//
+// The OS observes memory at page-fault granularity only: a Touch is a
+// TLB-hierarchy miss, not a load. Recency state (LRU stamps, clock
+// reference bits) therefore updates per miss, never per reference —
+// a real OS cannot see TLB hits either.
+package oskernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/simerr"
+)
+
+// Page identifies one virtual page in one address space — the unit the
+// kernel maps, evicts, and shoots down.
+type Page struct {
+	ASID uint8
+	VPN  uint64
+}
+
+// key packs a Page into the map key form used throughout (the same
+// asid<<32|vpn packing the tagged TLBs use).
+func (p Page) key() uint64 { return uint64(p.ASID)<<32 | p.VPN }
+
+func pageOf(key uint64) Page {
+	return Page{ASID: uint8(key >> 32), VPN: key & (1<<32 - 1)}
+}
+
+// Policy is a pluggable page-replacement policy. The Kernel owns the
+// residency bookkeeping and the frame budget; the policy owns only the
+// ordering state needed to pick victims. Implementations are driven
+// single-threaded.
+type Policy interface {
+	// Name returns the registry name.
+	Name() string
+	// ChargesFaults reports whether a non-resident touch costs a page
+	// fault. First-touch allocation is free (the paper's model); demand
+	// paging is not.
+	ChargesFaults() bool
+	// Touched notifies the policy that a resident page was touched
+	// (recency update).
+	Touched(key uint64)
+	// Admitted notifies the policy that a page became resident.
+	Admitted(key uint64)
+	// Victim selects and removes the next page to evict. ok is false
+	// when the policy never evicts (first-touch), which under a full
+	// budget means the memory is exhausted.
+	Victim() (key uint64, ok bool)
+}
+
+// KernelSeedSalt derives the random policy's rng stream from the
+// configuration seed, exactly as the engine derives its per-TLB
+// streams. internal/check shares this constant on purpose — victim
+// choices can only be compared step by step if both implementations
+// draw the same stream.
+const KernelSeedSalt = 0x4744
+
+// Policies lists the registered policy names in presentation order.
+// "first-touch" is the default and reproduces the paper's model.
+func Policies() []string {
+	return []string{"first-touch", "round-robin", "random", "lru", "clock"}
+}
+
+// newPolicy constructs a registered policy.
+func newPolicy(name string, seed uint64) (Policy, error) {
+	switch name {
+	case "", "first-touch":
+		return firstTouch{}, nil
+	case "round-robin":
+		return &roundRobin{}, nil
+	case "random":
+		return &randomPolicy{
+			rnd:      rng.New(seed ^ KernelSeedSalt),
+			resident: make(map[uint64]struct{}),
+		}, nil
+	case "lru":
+		return &lru{stamp: make(map[uint64]uint64)}, nil
+	case "clock":
+		return &clock{slot: make(map[uint64]int)}, nil
+	default:
+		return nil, fmt.Errorf("oskernel: unknown policy %q (have %v)", name, Policies())
+	}
+}
+
+// Kernel is the simulated OS memory manager: a resident-set map, a
+// frame budget, and a replacement policy.
+type Kernel struct {
+	pol      Policy
+	frames   int // 0 = unbounded
+	resident map[uint64]struct{}
+	faults   uint64
+	evicts   uint64
+}
+
+// New builds a kernel for the named policy. frames bounds the number of
+// simultaneously resident pages; 0 means unbounded. seed feeds the
+// random policy's stream and is ignored by the rest.
+func New(policy string, frames int, seed uint64) (*Kernel, error) {
+	if frames < 0 {
+		return nil, fmt.Errorf("oskernel: negative frame budget %d", frames)
+	}
+	pol, err := newPolicy(policy, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{
+		pol:      pol,
+		frames:   frames,
+		resident: make(map[uint64]struct{}),
+	}, nil
+}
+
+// Policy returns the active policy's name.
+func (k *Kernel) Policy() string { return k.pol.Name() }
+
+// Resident returns the number of currently resident pages.
+func (k *Kernel) Resident() int { return len(k.resident) }
+
+// Faults and Evictions expose lifetime totals for tests; the engine's
+// warmup-aware counters are authoritative for results.
+func (k *Kernel) Faults() uint64    { return k.faults }
+func (k *Kernel) Evictions() uint64 { return k.evicts }
+
+// Touch records that (asid, vpn) was demanded by a TLB-hierarchy miss.
+// It returns whether the touch page-faulted, and — when admitting the
+// page forced an eviction — the victim page the caller must shoot down
+// on every other core. A full budget with a non-evicting policy returns
+// an error wrapping simerr.ErrMemExhausted.
+func (k *Kernel) Touch(asid uint8, vpn uint64) (evicted Page, haveEvict, fault bool, err error) {
+	key := Page{ASID: asid, VPN: vpn}.key()
+	if _, ok := k.resident[key]; ok {
+		k.pol.Touched(key)
+		return Page{}, false, false, nil
+	}
+	fault = k.pol.ChargesFaults()
+	if fault {
+		k.faults++
+	}
+	if k.frames > 0 && len(k.resident) >= k.frames {
+		vk, ok := k.pol.Victim()
+		if !ok {
+			return Page{}, false, fault, fmt.Errorf(
+				"oskernel: %s policy over %d frames cannot place page asid=%d vpn=%#x: %w",
+				k.pol.Name(), k.frames, asid, vpn, simerr.ErrMemExhausted)
+		}
+		delete(k.resident, vk)
+		k.evicts++
+		evicted, haveEvict = pageOf(vk), true
+	}
+	k.resident[key] = struct{}{}
+	k.pol.Admitted(key)
+	return evicted, haveEvict, fault, nil
+}
+
+// --- first-touch ------------------------------------------------------
+
+// firstTouch is the paper's model: pages are allocated on first touch,
+// for free, and never reclaimed.
+type firstTouch struct{}
+
+func (firstTouch) Name() string           { return "first-touch" }
+func (firstTouch) ChargesFaults() bool    { return false }
+func (firstTouch) Touched(uint64)         {}
+func (firstTouch) Admitted(uint64)        {}
+func (firstTouch) Victim() (uint64, bool) { return 0, false }
+
+// --- round-robin ------------------------------------------------------
+
+// roundRobin evicts frames in admission order — a FIFO rotation over
+// the frame ring.
+type roundRobin struct {
+	fifo []uint64
+	head int
+}
+
+func (*roundRobin) Name() string        { return "round-robin" }
+func (*roundRobin) ChargesFaults() bool { return true }
+func (*roundRobin) Touched(uint64)      {}
+
+func (p *roundRobin) Admitted(key uint64) {
+	// Compact the consumed prefix occasionally so the queue stays
+	// bounded by the resident count, not the fault count.
+	if p.head > 0 && p.head*2 >= len(p.fifo) {
+		p.fifo = append(p.fifo[:0], p.fifo[p.head:]...)
+		p.head = 0
+	}
+	p.fifo = append(p.fifo, key)
+}
+
+func (p *roundRobin) Victim() (uint64, bool) {
+	if p.head >= len(p.fifo) {
+		return 0, false
+	}
+	v := p.fifo[p.head]
+	p.head++
+	return v, true
+}
+
+// --- random -----------------------------------------------------------
+
+// randomPolicy evicts a uniformly random resident page. The victim is
+// defined as the Intn(n)-th smallest resident key — an
+// implementation-independent spec, so the engine and the reference
+// model agree given the same rng stream.
+type randomPolicy struct {
+	rnd      *rng.Source
+	resident map[uint64]struct{}
+}
+
+func (*randomPolicy) Name() string        { return "random" }
+func (*randomPolicy) ChargesFaults() bool { return true }
+func (*randomPolicy) Touched(uint64)      {}
+
+func (p *randomPolicy) Admitted(key uint64) { p.resident[key] = struct{}{} }
+
+func (p *randomPolicy) Victim() (uint64, bool) {
+	if len(p.resident) == 0 {
+		return 0, false
+	}
+	keys := make([]uint64, 0, len(p.resident))
+	for k := range p.resident {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	v := keys[p.rnd.Intn(len(keys))]
+	delete(p.resident, v)
+	return v, true
+}
+
+// --- lru --------------------------------------------------------------
+
+// lru evicts the page whose last touch is oldest. Touches are
+// TLB-hierarchy misses, so this is miss-LRU, not reference-LRU — the
+// OS cannot observe TLB hits. Stamps are unique (a monotone counter),
+// so there are never ties to break.
+type lru struct {
+	stamp map[uint64]uint64
+	tick  uint64
+}
+
+func (*lru) Name() string        { return "lru" }
+func (*lru) ChargesFaults() bool { return true }
+
+func (p *lru) Touched(key uint64) {
+	p.tick++
+	p.stamp[key] = p.tick
+}
+
+func (p *lru) Admitted(key uint64) {
+	p.tick++
+	p.stamp[key] = p.tick
+}
+
+func (p *lru) Victim() (uint64, bool) {
+	if len(p.stamp) == 0 {
+		return 0, false
+	}
+	var victim uint64
+	oldest := ^uint64(0)
+	for k, s := range p.stamp {
+		if s < oldest {
+			oldest, victim = s, k
+		}
+	}
+	delete(p.stamp, victim)
+	return victim, true
+}
+
+// --- clock ------------------------------------------------------------
+
+// clock is the classic second-chance ring: each resident page has a
+// reference bit set on touch; the hand sweeps, clearing bits, and
+// evicts the first unreferenced page it finds.
+type clock struct {
+	ring []clockEnt
+	slot map[uint64]int
+	hand int
+}
+
+type clockEnt struct {
+	key   uint64
+	valid bool
+	ref   bool
+}
+
+func (*clock) Name() string        { return "clock" }
+func (*clock) ChargesFaults() bool { return true }
+
+func (p *clock) Touched(key uint64) {
+	if i, ok := p.slot[key]; ok {
+		p.ring[i].ref = true
+	}
+}
+
+func (p *clock) Admitted(key uint64) {
+	// Reuse the slot Victim just vacated if there is one; grow the ring
+	// otherwise (the budget has not filled yet). The free slot, if any,
+	// is the one behind the hand — Victim advanced past it — so this
+	// scan is O(1) in the steady state.
+	for off := range p.ring {
+		i := (p.hand + len(p.ring) - 1 + off) % len(p.ring)
+		if !p.ring[i].valid {
+			p.ring[i] = clockEnt{key: key, valid: true, ref: true}
+			p.slot[key] = i
+			return
+		}
+	}
+	p.slot[key] = len(p.ring)
+	p.ring = append(p.ring, clockEnt{key: key, valid: true, ref: true})
+}
+
+func (p *clock) Victim() (uint64, bool) {
+	valid := 0
+	for i := range p.ring {
+		if p.ring[i].valid {
+			valid++
+		}
+	}
+	if valid == 0 {
+		return 0, false
+	}
+	for {
+		e := &p.ring[p.hand]
+		if e.valid && !e.ref {
+			v := e.key
+			delete(p.slot, v)
+			*e = clockEnt{}
+			p.hand = (p.hand + 1) % len(p.ring)
+			return v, true
+		}
+		e.ref = false
+		p.hand = (p.hand + 1) % len(p.ring)
+	}
+}

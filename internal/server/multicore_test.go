@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// TestMulticoreRemoteMatchesLocal is the acceptance gate's -remote
+// half: a cores × policy campaign submitted to the server must rebuild
+// — per-core counters included — into sweep points whose CSV is
+// byte-identical to a local serial run over the same trace.
+func TestMulticoreRemoteMatchesLocal(t *testing.T) {
+	tr, err := workload.Multicore([]string{"gcc", "ijpeg"}, 9, 4, 12_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Default(sim.VMUltrix)
+	base.MemFrames = 128
+	base.ShootdownCost = 60
+	space := sweep.Space{
+		Base:       base,
+		VMs:        []string{sim.VMUltrix, sim.VMIntel},
+		Cores:      []int{1, 2, 4},
+		OSPolicies: []string{"round-robin", "lru"},
+	}
+	cfgs := space.Configs()
+
+	_, ts := startServer(t, Config{Workers: 4, QueueBound: 64})
+	sha := uploadTrace(t, ts.URL, tr)
+	st := waitJob(t, ts.URL, submitOK(t, ts.URL, sha, cfgs))
+	if st.Failed != 0 || st.Done != len(cfgs) {
+		t.Fatalf("status %+v", st)
+	}
+
+	local := sweep.Run(tr, cfgs, 1)
+	for i, r := range st.Results {
+		remote := client.ToSweepPoint(cfgs[i], r)
+		if remote.Err != nil {
+			t.Fatalf("point %s: %v", cfgs[i].Label(), remote.Err)
+		}
+		if got, want := sweep.CSVRow("mc", remote), sweep.CSVRow("mc", local[i]); got != want {
+			t.Errorf("point %s: remote CSV row diverges:\nremote: %s\nlocal:  %s", cfgs[i].Label(), got, want)
+		}
+		if cores := cfgs[i].Cores; cores > 1 {
+			if len(remote.Result.PerCore) != cores {
+				t.Fatalf("point %s: %d per-core entries over the wire, want %d",
+					cfgs[i].Label(), len(remote.Result.PerCore), cores)
+			}
+			var sum uint64
+			for c := range remote.Result.PerCore {
+				if remote.Result.PerCore[c] != local[i].Result.PerCore[c] {
+					t.Errorf("point %s core %d: counters diverge over the wire", cfgs[i].Label(), c)
+				}
+				sum += remote.Result.PerCore[c].UserInstrs
+			}
+			if sum != remote.Result.Counters.UserInstrs {
+				t.Errorf("point %s: per-core instrs sum %d != cluster %d",
+					cfgs[i].Label(), sum, remote.Result.Counters.UserInstrs)
+			}
+		}
+	}
+}
+
+// TestMulticoreStreamMatchesBatchOverTheWire drives the streaming
+// endpoint with a Cores > 1 config: the handler must dispatch to the
+// multicore cluster and the terminal result — cluster counters, the
+// sampled timeline, and the per-core break-down — must equal a local
+// batch run bit for bit.
+func TestMulticoreStreamMatchesBatchOverTheWire(t *testing.T) {
+	tr, err := workload.Multicore([]string{"gcc", "ijpeg"}, 9, 2, 20_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Default(sim.VMUltrix)
+	cfg.Cores = 2
+	cfg.OSPolicy = "clock"
+	cfg.MemFrames = 96
+	cfg.ShootdownCost = 60
+	cfg.WarmupInstrs = 4_000
+	cfg.SampleEvery = 3_000
+
+	batch, err := sim.Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := startServer(t, Config{Workers: 2})
+	resp, err := http.Post(ts.URL+"/v1/stream", "application/octet-stream",
+		bytes.NewReader(streamBody(t, cfg, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	evs := readEvents(t, resp.Body)
+	last := evs[len(evs)-1]
+	if last.Type != api.StreamResult {
+		t.Fatalf("terminal event %+v, want result", last)
+	}
+	if *last.Result.Counters != batch.Counters {
+		t.Fatalf("streamed multicore counters diverge from batch:\n got  %+v\n want %+v",
+			*last.Result.Counters, batch.Counters)
+	}
+	if len(last.Result.PerCore) != 2 {
+		t.Fatalf("terminal result carries %d per-core entries, want 2", len(last.Result.PerCore))
+	}
+	for c := range last.Result.PerCore {
+		if last.Result.PerCore[c] != batch.PerCore[c] {
+			t.Errorf("core %d counters diverge over the wire", c)
+		}
+	}
+	samples := evs[1 : len(evs)-1]
+	if len(samples) != len(batch.Timeline) {
+		t.Fatalf("got %d sample events, batch recorded %d", len(samples), len(batch.Timeline))
+	}
+	for i, ev := range samples {
+		if *ev.Sample != batch.Timeline[i] {
+			t.Fatalf("sample %d diverges:\n got  %+v\n want %+v", i, *ev.Sample, batch.Timeline[i])
+		}
+	}
+}

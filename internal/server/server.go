@@ -480,6 +480,7 @@ func (s *Server) runPoint(j *job, idx int) {
 			Workload:       pt.Result.Workload,
 			Counters:       &pt.Result.Counters,
 			AvgChainLength: pt.Result.AvgChainLength,
+			PerCore:        pt.Result.PerCore,
 			Attempts:       pt.Attempts,
 		})
 	}
@@ -517,6 +518,7 @@ func pointResult(p sweep.Point) api.PointResult {
 		Workload:       p.Result.Workload,
 		Counters:       &p.Result.Counters,
 		AvgChainLength: p.Result.AvgChainLength,
+		PerCore:        p.Result.PerCore,
 		Attempts:       p.Attempts,
 		Cached:         p.Resumed,
 	}

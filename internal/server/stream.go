@@ -90,7 +90,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading trace header: %v", err)
 		return
 	}
-	eng, err := sim.NewEngine(req.Config)
+	eng, err := sim.NewStreamer(req.Config)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "config: %v", err)
 		return
@@ -186,6 +186,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			Workload:       res.Workload,
 			Counters:       &res.Counters,
 			AvgChainLength: res.AvgChainLength,
+			PerCore:        res.PerCore,
 		},
 		Digest: &dg,
 		Refs:   rd.Decoded(),

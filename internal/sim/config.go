@@ -15,6 +15,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/mmu"
+	"repro/internal/oskernel"
 	"repro/internal/simerr"
 	"repro/internal/tlb"
 )
@@ -157,6 +158,62 @@ type Config struct {
 	// descriptive error pinned to the offending instruction. Opt-in: the
 	// checks cost a constant amount of work per reference.
 	CheckInvariants bool
+
+	// Cores is the number of simulated cores. 0 and 1 both mean the
+	// single-core machine of the paper (today's engine, bit for bit).
+	// With Cores > 1 each core gets private TLBs and cache hierarchy
+	// (seeded per core; see CoreSeed) while all cores share one physical
+	// memory, one page table, and one OS kernel; reference i of the
+	// trace executes on core i mod Cores, so the trace order is the
+	// global execution order.
+	Cores int
+
+	// OSPolicy names the kernel's page-replacement policy (see
+	// internal/oskernel): "first-touch" (the default, the paper's free
+	// infinite-memory allocator), "round-robin", "random", "lru", or
+	// "clock". Every policy except first-touch charges a page fault per
+	// non-resident touch; under a bounded MemFrames budget evictions
+	// invalidate the victim's translation on every core (shootdowns).
+	OSPolicy string
+
+	// MemFrames bounds the number of simultaneously resident virtual
+	// pages the kernel will map; 0 (the default) is unbounded. A full
+	// budget makes the OSPolicy evict — except first-touch, which never
+	// evicts and instead fails the run with a "mem"-category error.
+	MemFrames int
+
+	// ShootdownCost is the cycles charged to the faulting core per
+	// remote core whose TLBs must be invalidated when a page is evicted
+	// — the IPI plus the remote flush. 0 models free shootdowns (the
+	// invalidations still happen). Machine specs seed it from their
+	// shootdown_cycles cost.
+	ShootdownCost uint64
+}
+
+// CoreSeed derives core c's configuration seed from the base seed, so
+// each core's TLBs draw independent random-replacement streams. Core 0
+// keeps the base seed — which is what makes a 1-core multicore run
+// bit-identical to the single-core engine. internal/check shares this
+// derivation.
+func CoreSeed(seed uint64, core int) uint64 {
+	return seed + uint64(core)*0x9E3779B97F4A7C15
+}
+
+// osPolicyName resolves the configured policy name, defaulting to
+// first-touch.
+func (c Config) osPolicyName() string {
+	if c.OSPolicy == "" {
+		return "first-touch"
+	}
+	return c.OSPolicy
+}
+
+// needsKernel reports whether the configuration requires an OS kernel
+// model at all. A nil kernel is the paper's machine: first-touch
+// allocation with no budget, no faults, no shootdowns — and keeping it
+// nil keeps the replay loop's hot path untouched.
+func (c Config) needsKernel() bool {
+	return c.osPolicyName() != "first-touch" || c.MemFrames > 0
 }
 
 // ASIDPolicy selects TLB behaviour across address-space switches.
@@ -248,6 +305,7 @@ func (c *Config) applyMachineTLB(spec *machine.Spec) {
 		c.TLB2Assoc = 0
 		c.TLB2Latency = 0
 	}
+	c.ShootdownCost = uint64(spec.Costs.ShootdownCycles)
 }
 
 // resolveProtectedSlots returns the protected-slot count a configuration
@@ -268,11 +326,13 @@ func resolveProtectedSlots(r mmu.Refill, c Config) int {
 }
 
 // Validate reports whether the configuration is usable. A failure wraps
-// simerr.ErrConfigInvalid, so sweep drivers can classify it as a
+// simerr.ErrConfigInvalid — except physical-memory exhaustion (a
+// page-table region that does not fit PhysMemBytes), which keeps its
+// own "mem" class — so sweep drivers can classify either as a
 // deterministic (never-retried) point error.
 func (c Config) Validate() error {
 	if err := c.validate(); err != nil {
-		if errors.Is(err, simerr.ErrConfigInvalid) {
+		if errors.Is(err, simerr.ErrConfigInvalid) || errors.Is(err, simerr.ErrMemExhausted) {
 			return err
 		}
 		return fmt.Errorf("%w: %w", simerr.ErrConfigInvalid, err)
@@ -320,14 +380,41 @@ func (c Config) validate() error {
 	if c.SampleEvery < 0 {
 		return fmt.Errorf("sim: SampleEvery must be non-negative, got %d", c.SampleEvery)
 	}
+	if c.Cores < 0 || c.Cores > MaxCores {
+		return fmt.Errorf("sim: Cores must be in [0, %d], got %d", MaxCores, c.Cores)
+	}
+	if c.MemFrames < 0 {
+		return fmt.Errorf("sim: MemFrames must be non-negative, got %d", c.MemFrames)
+	}
+	if _, err := oskernel.New(c.osPolicyName(), c.MemFrames, c.Seed); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	return nil
 }
 
-// Label returns a compact identifier for tables and CSV rows.
+// MaxCores bounds Config.Cores — generous for a model whose cores step
+// round-robin, tight enough to catch a garbage value before it
+// allocates that many cache hierarchies.
+const MaxCores = 256
+
+// Label returns a compact identifier for tables and CSV rows. The
+// multicore knobs are appended only when set, so single-core
+// first-touch labels read exactly as they always have.
 func (c Config) Label() string {
-	return fmt.Sprintf("%s/L1=%dKB.%dB/L2=%dKB.%dB/tlb=%d",
+	s := fmt.Sprintf("%s/L1=%dKB.%dB/L2=%dKB.%dB/tlb=%d",
 		c.VM, c.L1SizeBytes/addr.KB, c.L1LineBytes,
 		c.L2SizeBytes/addr.KB, c.L2LineBytes, c.TLBEntries)
+	if c.Cores > 1 || c.MemFrames > 0 || c.osPolicyName() != "first-touch" {
+		cores := c.Cores
+		if cores == 0 {
+			cores = 1
+		}
+		s += fmt.Sprintf("/cores=%d.%s", cores, c.osPolicyName())
+		if c.MemFrames > 0 {
+			s += fmt.Sprintf(".%df", c.MemFrames)
+		}
+	}
+	return s
 }
 
 // resolveMachine returns the machine spec a configuration declares: the
@@ -353,11 +440,26 @@ func (c Config) resolveMachine() (*machine.Spec, error) {
 
 // buildRefill constructs the configured machine's walker over phys by
 // resolving its spec (explicit or registry) and handing it to mmu.Build.
-// A machine with no VM system (BASE) returns (nil, nil).
-func buildRefill(c Config, phys *mem.Phys) (mmu.Refill, error) {
-	spec, err := c.resolveMachine()
-	if err != nil {
-		return nil, err
+// A machine with no VM system (BASE) returns (nil, nil). Walker
+// constructors reserve their page-table regions with MustReserve; a
+// region that does not fit the configured physical memory panics with a
+// typed exhaustion error, recovered here into a deterministic
+// "mem"-class failure instead of a retried panic.
+func buildRefill(c Config, phys *mem.Phys) (refill mmu.Refill, err error) {
+	spec, serr := c.resolveMachine()
+	if serr != nil {
+		return nil, serr
 	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if perr, ok := r.(error); ok && errors.Is(perr, simerr.ErrMemExhausted) {
+			refill, err = nil, fmt.Errorf("sim: building %s walker: %w", spec.Name, perr)
+			return
+		}
+		panic(r)
+	}()
 	return mmu.Build(spec, phys)
 }

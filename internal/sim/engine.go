@@ -23,6 +23,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/mmu"
+	"repro/internal/oskernel"
 	"repro/internal/simerr"
 	"repro/internal/stats"
 	"repro/internal/tlb"
@@ -87,6 +88,18 @@ type Engine struct {
 	streamName  string
 	streamTotal int
 	fed         int
+
+	// OS-kernel state (see oskernel and multicore.go). kern is nil for
+	// the paper's machine (first-touch, unbounded) — the hot path then
+	// pays one nil compare per TLB-hierarchy miss and nothing else.
+	// peers are the other cores sharing this kernel (multicore runs);
+	// kernErr latches the first kernel failure (memory exhaustion),
+	// checked at phase boundaries and per Step.
+	kern          *oskernel.Kernel
+	coreID        int
+	peers         []*Engine
+	shootdownCost uint64
+	kernErr       error
 }
 
 // tlbKey composes the fully-associative TLB lookup key. With tagged TLBs
@@ -134,7 +147,29 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return assemble(cfg, phys, refill), nil
+	e := assemble(cfg, phys, refill)
+	if err := e.attachKernel(cfg); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// attachKernel builds and attaches the OS kernel a configuration calls
+// for; a first-touch unbounded configuration keeps kern nil, which is
+// the paper's machine exactly. The kernel always derives from the base
+// configuration seed — in multicore runs it is shared, so NewMulticore
+// attaches one kernel to every core itself.
+func (e *Engine) attachKernel(cfg Config) error {
+	if !cfg.needsKernel() {
+		return nil
+	}
+	kern, err := oskernel.New(cfg.osPolicyName(), cfg.MemFrames, cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("%w: sim: %w", simerr.ErrConfigInvalid, err)
+	}
+	e.kern = kern
+	e.shootdownCost = cfg.ShootdownCost
+	return nil
 }
 
 // NewEngineWithRefill builds an engine whose miss handling is the given
@@ -146,7 +181,11 @@ func NewEngineWithRefill(cfg Config, refill mmu.Refill) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return assemble(cfg, mem.New(cfg.PhysMemBytes), refill), nil
+	e := assemble(cfg, mem.New(cfg.PhysMemBytes), refill)
+	if err := e.attachKernel(cfg); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // assemble wires caches, TLBs, and the walker into an Engine.
@@ -232,8 +271,10 @@ func (e *Engine) dtlbHit(key uint64) bool {
 }
 
 // itlbMiss services a first-level I-TLB miss: probe the optional unified
-// second-level TLB, and run the walker if that misses too. The first-level
-// probe (with its statistics) already happened in Step.
+// second-level TLB, and run the walker if that misses too — demanding
+// the page from the OS kernel first, since a full TLB-hierarchy miss is
+// the point where a real OS would discover a non-resident page. The
+// first-level probe (with its statistics) already happened in Step.
 func (e *Engine) itlbMiss(asid uint8, va uint64) {
 	if e.tlb2 != nil {
 		key := e.tlbKey(asid, addr.VPN(va))
@@ -244,6 +285,9 @@ func (e *Engine) itlbMiss(asid uint8, va uint64) {
 			e.itlb.Insert(key)
 			return
 		}
+	}
+	if e.kern != nil {
+		e.kernelTouch(asid, va)
 	}
 	e.refill.HandleMiss(e, asid, va, true)
 }
@@ -260,7 +304,66 @@ func (e *Engine) dtlbMiss(asid uint8, va uint64) {
 			return
 		}
 	}
+	if e.kern != nil {
+		e.kernelTouch(asid, va)
+	}
 	e.refill.HandleMiss(e, asid, va, false)
+}
+
+// kernelTouch demands (asid, page-of-va) from the OS kernel: charges a
+// page fault when the page was not resident, and — when admitting it
+// evicted a victim — performs the victim's TLB shootdown. Kernel
+// failures (memory exhaustion) latch into kernErr; the replay loops
+// abort at their next check.
+func (e *Engine) kernelTouch(asid uint8, va uint64) {
+	ev, have, fault, err := e.kern.Touch(asid, addr.VPN(va))
+	if err != nil {
+		if e.kernErr == nil {
+			e.kernErr = fmt.Errorf("sim: core %d: %w", e.coreID, err)
+		}
+		return
+	}
+	if fault && e.live {
+		e.c.Charge(stats.PageFault, stats.PageFaultPenalty)
+	}
+	if have {
+		e.shootdown(ev)
+	}
+}
+
+// shootdown propagates a page eviction to the TLBs: the victim's
+// translation is invalidated on this core (part of the fault the kernel
+// already charged) and on every peer core, each remote invalidation
+// costing the configured IPI + flush cycles, charged to the initiating
+// core. Untagged TLBs evict by bare VPN — they only ever hold the
+// running process's entries, so this can over-invalidate a same-VPN
+// entry of another address space, which costs a spurious refill but
+// never lets a stale translation survive.
+func (e *Engine) shootdown(p oskernel.Page) {
+	if e.usesTLB {
+		key := e.tlbKey(p.ASID, p.VPN)
+		e.itlb.Evict(key)
+		e.dtlb.Evict(key)
+		if e.tlb2 != nil {
+			e.tlb2.Evict(key)
+		}
+	}
+	for _, peer := range e.peers {
+		if peer == e {
+			continue
+		}
+		if peer.usesTLB {
+			key := peer.tlbKey(p.ASID, p.VPN)
+			peer.itlb.Evict(key)
+			peer.dtlb.Evict(key)
+			if peer.tlb2 != nil {
+				peer.tlb2.Evict(key)
+			}
+		}
+		if e.live {
+			e.c.Charge(stats.Shootdown, e.shootdownCost)
+		}
+	}
 }
 
 // Run replays tr through the simulated machine, following the paper's
@@ -380,7 +483,7 @@ func (e *Engine) cancelErr(ctx context.Context) error {
 func (e *Engine) runPhaseChunked(ctx context.Context, done <-chan struct{}, refs []trace.Ref) error {
 	if done == nil {
 		e.runPhase(refs)
-		return nil
+		return e.kernErr
 	}
 	for len(refs) > 0 {
 		select {
@@ -395,6 +498,9 @@ func (e *Engine) runPhaseChunked(ctx context.Context, done <-chan struct{}, refs
 		e.runPhase(refs[:n])
 		e.stepIdx += n
 		refs = refs[n:]
+		if e.kernErr != nil {
+			return e.kernErr
+		}
 	}
 	return nil
 }
@@ -479,6 +585,9 @@ func (e *Engine) runPhase(refs []trace.Ref) {
 					}
 				}
 				if lvl == cache.Memory && noTLBRefill {
+					if e.kern != nil {
+						e.kernelTouch(r.ASID, r.PC)
+					}
 					e.refill.HandleMiss(e, r.ASID, r.PC, true)
 				}
 			}
@@ -519,6 +628,9 @@ func (e *Engine) runPhase(refs []trace.Ref) {
 				}
 			}
 			if lvl == cache.Memory && noTLBRefill {
+				if e.kern != nil {
+					e.kernelTouch(r.ASID, r.Data)
+				}
 				e.refill.HandleMiss(e, r.ASID, r.Data, false)
 			}
 			if unified || noTLBRefill {
@@ -605,13 +717,16 @@ func (e *Engine) Step(r *trace.Ref) error {
 			}
 		}
 		if lvl == cache.Memory && noTLBRefill {
+			if e.kern != nil {
+				e.kernelTouch(r.ASID, r.PC)
+			}
 			e.refill.HandleMiss(e, r.ASID, r.PC, true)
 		}
 	}
 
 	// Data side.
 	if r.Kind == trace.None {
-		return e.maybeCheckInvariants()
+		return e.stepErr()
 	}
 	if e.usesTLB && !e.dtlb.Lookup(e.tlbKey(r.ASID, addr.VPN(r.Data))) {
 		e.dtlbMiss(r.ASID, r.Data)
@@ -626,7 +741,7 @@ func (e *Engine) Step(r *trace.Ref) error {
 			e.c.Charge(stats.L1DMiss, stats.L1MissPenalty)
 			e.c.Charge(stats.L2DMiss, stats.L2MissPenalty)
 		}
-		return e.maybeCheckInvariants()
+		return e.stepErr()
 	}
 	if !e.dprobe.Hit(userCacheAddr(r.ASID, r.Data)) {
 		lvl := e.dcache.AccessMissedL1(userCacheAddr(r.ASID, r.Data))
@@ -637,8 +752,21 @@ func (e *Engine) Step(r *trace.Ref) error {
 			}
 		}
 		if lvl == cache.Memory && noTLBRefill {
+			if e.kern != nil {
+				e.kernelTouch(r.ASID, r.Data)
+			}
 			e.refill.HandleMiss(e, r.ASID, r.Data, false)
 		}
+	}
+	return e.stepErr()
+}
+
+// stepErr is Step's exit check: a latched kernel failure aborts the
+// stepped run exactly as it aborts the phase loop, then the optional
+// invariant hook runs.
+func (e *Engine) stepErr() error {
+	if e.kernErr != nil {
+		return e.kernErr
 	}
 	return e.maybeCheckInvariants()
 }
@@ -781,20 +909,24 @@ func (e *Engine) Interrupt() {
 	}
 }
 
-// Simulate is the one-call convenience: build an engine for cfg and run
-// it over tr.
+// Simulate is the one-call convenience: build the machine cfg calls for
+// — the multicore cluster when Cores > 1, the single-core engine
+// otherwise — and run it over tr.
 func Simulate(cfg Config, tr *trace.Trace) (*Result, error) {
-	e, err := NewEngine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return e.Run(tr)
+	return SimulateContext(context.Background(), cfg, tr)
 }
 
 // SimulateContext is Simulate with cooperative cancellation: the run
 // aborts with an error wrapping simerr.ErrCancelled shortly after ctx
 // is done. The sweep pool uses this to impose per-point deadlines.
 func SimulateContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, error) {
+	if cfg.Cores > 1 {
+		m, err := NewMulticore(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.RunContext(ctx, tr)
+	}
 	e, err := NewEngine(cfg)
 	if err != nil {
 		return nil, err

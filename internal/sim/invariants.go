@@ -130,9 +130,10 @@ func (e *Engine) checkInvariants() error {
 }
 
 // fixedComponentCosts maps every component with a fixed per-event cost to
-// that cost (paper Table 2: 20 cycles to L2, 500 to memory). Handler base
-// components are excluded — their per-event cost is the handler length,
-// which varies by organization.
+// that cost (paper Table 2: 20 cycles to L2, 500 to memory; page faults
+// at the demand-paging extension's constant). Handler base components and
+// shootdowns are excluded — their per-event cost varies by organization
+// (handler length, configured IPI cost).
 var fixedComponentCosts = map[stats.Component]uint64{
 	stats.L1IMiss: stats.L1MissPenalty, stats.L1DMiss: stats.L1MissPenalty,
 	stats.L2IMiss: stats.L2MissPenalty, stats.L2DMiss: stats.L2MissPenalty,
@@ -140,6 +141,7 @@ var fixedComponentCosts = map[stats.Component]uint64{
 	stats.KPTEL2: stats.L1MissPenalty, stats.KPTEMem: stats.L2MissPenalty,
 	stats.RPTEL2: stats.L1MissPenalty, stats.RPTEMem: stats.L2MissPenalty,
 	stats.HandlerL2: stats.L1MissPenalty, stats.HandlerMem: stats.L2MissPenalty,
+	stats.PageFault: stats.PageFaultPenalty,
 }
 
 // checkDecomposition verifies that the headline figures are exactly the

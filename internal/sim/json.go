@@ -33,6 +33,23 @@ type resultJSON struct {
 	AvgChainLength float64            `json:"avg_chain_length,omitempty"`
 	Components     map[string]float64 `json:"components"`
 	Events         map[string]uint64  `json:"events"`
+	Cores          int                `json:"cores,omitempty"`
+	OSPolicy       string             `json:"os_policy,omitempty"`
+	MemFrames      int                `json:"mem_frames,omitempty"`
+	PerCore        []perCoreJSON      `json:"per_core,omitempty"`
+}
+
+// perCoreJSON is one core's slice of a multicore result: the headline
+// rates plus the raw event counts behind them.
+type perCoreJSON struct {
+	Core         int     `json:"core"`
+	UserInstrs   uint64  `json:"user_instructions"`
+	MCPI         float64 `json:"mcpi"`
+	VMCPI        float64 `json:"vmcpi"`
+	PageFaults   uint64  `json:"page_faults,omitempty"`
+	Shootdowns   uint64  `json:"shootdowns,omitempty"`
+	ITLBMissRate float64 `json:"itlb_miss_rate"`
+	DTLBMissRate float64 `json:"dtlb_miss_rate"`
 }
 
 // MarshalJSON serializes the result with the paper's component tags.
@@ -68,6 +85,24 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		}
 		out.Components[c.String()] = r.Counters.CPI(c)
 		out.Events[c.String()] = r.Counters.Events[c]
+	}
+	if len(r.PerCore) > 0 {
+		out.Cores = r.Config.Cores
+		out.OSPolicy = r.Config.osPolicyName()
+		out.MemFrames = r.Config.MemFrames
+		for i := range r.PerCore {
+			c := &r.PerCore[i]
+			out.PerCore = append(out.PerCore, perCoreJSON{
+				Core:         i,
+				UserInstrs:   c.UserInstrs,
+				MCPI:         c.MCPI(),
+				VMCPI:        c.VMCPI(),
+				PageFaults:   c.Events[stats.PageFault],
+				Shootdowns:   c.Events[stats.Shootdown],
+				ITLBMissRate: c.ITLBMissRate(),
+				DTLBMissRate: c.DTLBMissRate(),
+			})
+		}
 	}
 	return json.Marshal(out)
 }

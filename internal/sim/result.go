@@ -23,6 +23,10 @@ type Result struct {
 	// position. Excluded from the JSON wire format and the sweep
 	// journal, which pin only end-of-run numbers.
 	Timeline []TimelineSample
+	// PerCore holds each core's own counters in a multicore run
+	// (Config.Cores > 1); Counters is their sum. Nil for single-core
+	// runs, keeping their serializations untouched.
+	PerCore []stats.Counters
 }
 
 // MCPI returns the memory-system overhead per user instruction.

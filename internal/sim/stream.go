@@ -124,6 +124,9 @@ func (e *Engine) Feed(refs []trace.Ref) ([]TimelineSample, error) {
 			e.fed += n
 			e.stepIdx = e.fed
 			refs = refs[n:]
+			if e.kernErr != nil {
+				return nil, e.kernErr
+			}
 			if e.fed == e.warm {
 				e.live = true
 				if e.usesTLB {
@@ -146,6 +149,9 @@ func (e *Engine) Feed(refs []trace.Ref) ([]TimelineSample, error) {
 		e.fed += n
 		e.stepIdx = e.fed
 		refs = refs[n:]
+		if e.kernErr != nil {
+			return nil, e.kernErr
+		}
 		if every > 0 && (e.fed-e.warm)%every == 0 {
 			e.recordSample(e.fed)
 		}

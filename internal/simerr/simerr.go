@@ -24,6 +24,12 @@ var (
 	// Deterministic — never retried.
 	ErrTraceCorrupt = errors.New("corrupt trace")
 
+	// ErrMemExhausted: the simulated physical memory could not hold the
+	// requested working set — a page-table region did not fit, or the OS
+	// policy's frame budget was exceeded with nothing evictable.
+	// Deterministic for a given config and trace — never retried.
+	ErrMemExhausted = errors.New("physical memory exhausted")
+
 	// ErrPointTimeout: one sweep point exceeded its per-point deadline.
 	// Treated as transient (a straggler) and retried.
 	ErrPointTimeout = errors.New("point deadline exceeded")
@@ -58,6 +64,8 @@ func Category(err error) string {
 		return "config"
 	case errors.Is(err, ErrTraceCorrupt):
 		return "trace"
+	case errors.Is(err, ErrMemExhausted):
+		return "mem"
 	case errors.Is(err, ErrPointTimeout):
 		return "timeout"
 	case errors.Is(err, ErrInternalPanic):
@@ -72,7 +80,7 @@ func Category(err error) string {
 // Categories lists every Category value in stable presentation order,
 // for deterministic per-class summaries.
 func Categories() []string {
-	return []string{"config", "trace", "timeout", "panic", "unavailable", "cancelled", "other"}
+	return []string{"config", "trace", "mem", "timeout", "panic", "unavailable", "cancelled", "other"}
 }
 
 // ForCategory returns the sentinel class for a taxonomy category name —
@@ -86,6 +94,8 @@ func ForCategory(cat string) error {
 		return ErrConfigInvalid
 	case "trace":
 		return ErrTraceCorrupt
+	case "mem":
+		return ErrMemExhausted
 	case "timeout":
 		return ErrPointTimeout
 	case "panic":

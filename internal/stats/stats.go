@@ -80,6 +80,15 @@ const (
 	// TLB2Hit: a first-level TLB miss was satisfied by the second-level
 	// TLB (an extension beyond the paper's single-level TLBs).
 	TLB2Hit
+	// PageFault: the OS policy had to allocate (and possibly evict) a
+	// physical frame for a first-touched or paged-out page (an extension
+	// beyond the paper's infinite first-touch memory; zero unless a
+	// bounded MemFrames budget is configured).
+	PageFault
+	// Shootdown: a page eviction invalidated the victim's translation on
+	// a remote core — one event per remote core per eviction, charged at
+	// the configured IPI + flush cost (multicore runs only).
+	Shootdown
 
 	// NumComponents is the count of distinct components.
 	NumComponents
@@ -91,7 +100,15 @@ var componentNames = [NumComponents]string{
 	"khandler", "kpte-L2", "kpte-MEM",
 	"rhandler", "rpte-L2", "rpte-MEM",
 	"handler-L2", "handler-MEM", "l2tlb-hit",
+	"page-fault", "shootdown",
 }
+
+// PageFaultPenalty is the fixed cycle cost charged per page fault taken
+// by a demand-paging OS policy — a round trip to the backing store,
+// deliberately far above the L2 miss penalty but small enough that
+// paging-heavy configurations still finish. The paper does not model
+// paging; the constant is this simulator's extension knob.
+const PageFaultPenalty = 2000
 
 // String returns the paper's tag for the component.
 func (c Component) String() string {
@@ -117,6 +134,7 @@ func VMCPIComponents() []Component {
 		KHandler, KPTEL2, KPTEMem,
 		RHandler, RPTEL2, RPTEMem,
 		HandlerL2, HandlerMem, TLB2Hit,
+		PageFault, Shootdown,
 	}
 }
 

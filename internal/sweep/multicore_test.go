@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// multicoreSpace is the cores × policy cross-product the acceptance
+// suite pins: every point shares one frame budget and shootdown cost,
+// and the 1-core first-touch corner is the paper's machine.
+func multicoreSpace() []sim.Config {
+	base := sim.Default(sim.VMUltrix)
+	base.MemFrames = 128
+	base.ShootdownCost = 60
+	s := Space{
+		Base:       base,
+		VMs:        []string{sim.VMUltrix, sim.VMIntel},
+		Cores:      []int{1, 2, 4},
+		OSPolicies: []string{"round-robin", "lru", "clock"},
+	}
+	return s.Configs()
+}
+
+// TestMulticoreSpaceExpansion pins the cross-product shape and that the
+// cores/policy dimensions land in the emitted configs.
+func TestMulticoreSpaceExpansion(t *testing.T) {
+	cfgs := multicoreSpace()
+	if len(cfgs) != 2*3*3 {
+		t.Fatalf("expanded %d configs, want %d", len(cfgs), 2*3*3)
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if c.MemFrames != 128 || c.ShootdownCost != 60 {
+			t.Fatalf("point %s lost the base budget: frames=%d cost=%d", c.Label(), c.MemFrames, c.ShootdownCost)
+		}
+		seen[c.Label()] = true
+	}
+	if len(seen) != len(cfgs) {
+		t.Fatalf("labels collide: %d distinct for %d configs", len(seen), len(cfgs))
+	}
+}
+
+// TestMulticoreSweepParallelMatchesSerial is the acceptance gate's
+// -workers half: a cores × policy campaign over a multicore trace must
+// emit byte-identical CSV at -workers 1 and -workers N.
+func TestMulticoreSweepParallelMatchesSerial(t *testing.T) {
+	tr, err := workload.Multicore([]string{"gcc", "ijpeg"}, 9, 4, 16_000, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := multicoreSpace()
+
+	serialPts, err := RunWithOptions(context.Background(), tr, cfgs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range serialPts {
+		if p.Err != nil {
+			t.Fatalf("point %s: %v", p.Config.Label(), p.Err)
+		}
+		if want := p.Config.Cores; want > 1 && len(p.Result.PerCore) != want {
+			t.Fatalf("point %s carries %d per-core entries, want %d", p.Config.Label(), len(p.Result.PerCore), want)
+		}
+	}
+	serial := renderCSV(t, "mc", serialPts)
+	for _, workers := range []int{2, 8} {
+		pts, err := RunWithOptions(context.Background(), tr, cfgs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderCSV(t, "mc", pts); !bytes.Equal(got, serial) {
+			t.Fatalf("-workers %d multicore CSV is not byte-identical to serial:\nserial:\n%s\nparallel:\n%s",
+				workers, serial, got)
+		}
+	}
+}

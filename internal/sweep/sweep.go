@@ -364,6 +364,9 @@ type journalResult struct {
 	Workload       string         `json:"workload"`
 	Counters       stats.Counters `json:"counters"`
 	AvgChainLength float64        `json:"avg_chain_length,omitempty"`
+	// PerCore journals each core's own counters for multicore points;
+	// empty for single-core points, keeping their records byte-stable.
+	PerCore []stats.Counters `json:"per_core,omitempty"`
 }
 
 // EncodePointPayload serializes a completed point's result into the
@@ -373,6 +376,7 @@ func EncodePointPayload(res *sim.Result) (json.RawMessage, error) {
 		Workload:       res.Workload,
 		Counters:       res.Counters,
 		AvgChainLength: res.AvgChainLength,
+		PerCore:        res.PerCore,
 	})
 }
 
@@ -393,6 +397,7 @@ func DecodePointPayload(cfg sim.Config, workload string, payload json.RawMessage
 		Workload:       jr.Workload,
 		Counters:       jr.Counters,
 		AvgChainLength: jr.AvgChainLength,
+		PerCore:        jr.PerCore,
 	}, nil
 }
 
@@ -412,6 +417,12 @@ type Space struct {
 	// no L2 TLB); associativity stays Base.TLB2Assoc throughout.
 	TLB2Entries []int
 	Seeds       []uint64
+	// Cores sweeps the simulated core count (0/1 = the single-core
+	// machine); OSPolicies the kernel's page-replacement policy. Frame
+	// budget and shootdown cost stay Base.MemFrames/Base.ShootdownCost
+	// throughout.
+	Cores      []int
+	OSPolicies []string
 }
 
 // PaperL1Sizes are Table 1's L1 sizes (bytes per side).
@@ -442,8 +453,13 @@ func (s Space) Configs() []sim.Config {
 	if len(seeds) == 0 {
 		seeds = []uint64{s.Base.Seed}
 	}
+	coress := orDefaultInt(s.Cores, s.Base.Cores)
+	policies := s.OSPolicies
+	if len(policies) == 0 {
+		policies = []string{s.Base.OSPolicy}
+	}
 	out := make([]sim.Config, 0,
-		len(vms)*len(l1s)*len(l2s)*len(l1l)*len(l2l)*len(tlbs)*len(tlb2s)*len(seeds))
+		len(vms)*len(l1s)*len(l2s)*len(l1l)*len(l2l)*len(tlbs)*len(tlb2s)*len(coress)*len(policies)*len(seeds))
 	for _, vm := range vms {
 		for _, l1 := range l1s {
 			for _, l2 := range l2s {
@@ -451,17 +467,23 @@ func (s Space) Configs() []sim.Config {
 					for _, ll2 := range l2l {
 						for _, tl := range tlbs {
 							for _, t2 := range tlb2s {
-								for _, seed := range seeds {
-									c := s.Base
-									c.VM = vm
-									c.L1SizeBytes = l1
-									c.L2SizeBytes = l2
-									c.L1LineBytes = ll1
-									c.L2LineBytes = ll2
-									c.TLBEntries = tl
-									c.TLB2Entries = t2
-									c.Seed = seed
-									out = append(out, c)
+								for _, cores := range coress {
+									for _, pol := range policies {
+										for _, seed := range seeds {
+											c := s.Base
+											c.VM = vm
+											c.L1SizeBytes = l1
+											c.L2SizeBytes = l2
+											c.L1LineBytes = ll1
+											c.L2LineBytes = ll2
+											c.TLBEntries = tl
+											c.TLB2Entries = t2
+											c.Cores = cores
+											c.OSPolicy = pol
+											c.Seed = seed
+											out = append(out, c)
+										}
+									}
 								}
 							}
 						}

@@ -15,6 +15,9 @@ type Level interface {
 	Lookup(vpn uint64) bool
 	// Insert places vpn, evicting per the replacement policy.
 	Insert(vpn uint64)
+	// Evict invalidates vpn if resident (a TLB shootdown), reporting
+	// whether it was.
+	Evict(vpn uint64) bool
 	// Flush invalidates every entry, preserving statistics.
 	Flush()
 	// Resident returns the number of valid entries.

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Multicore builds a trace for an N-core machine: each core runs its own
+// multiprogrammed mix of the named benchmarks (round-robin with the
+// given quantum, exactly as Multiprogram schedules one core), and the
+// per-core streams are interleaved reference by reference so that
+// reference i of the result belongs to core i mod cores — the global
+// execution order sim.Multicore replays.
+//
+// Address spaces are distinct across the whole machine: core c's slot s
+// runs as ASID c*len(benchNames)+s, so cores never share a process and
+// every shootdown crossing cores invalidates a genuinely foreign
+// translation. The total address-space count cores*len(benchNames) must
+// fit trace.MaxASIDs.
+//
+// The result has n references in total (across all cores). The trailing
+// n%cores references leave the last cores short one reference each —
+// the same ragged tail any fixed-length run of a round-robin
+// interleaving has.
+func Multicore(benchNames []string, seed uint64, cores, n, quantum int) (*trace.Trace, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("workload: Multicore needs at least one core, got %d", cores)
+	}
+	if len(benchNames) == 0 {
+		return nil, fmt.Errorf("workload: Multicore needs at least one benchmark")
+	}
+	if spaces := cores * len(benchNames); spaces > trace.MaxASIDs {
+		return nil, fmt.Errorf("workload: %d cores x %d benchmarks = %d address spaces exceed the %d supported",
+			cores, len(benchNames), spaces, trace.MaxASIDs)
+	}
+	if quantum <= 0 {
+		return nil, fmt.Errorf("workload: quantum must be positive, got %d", quantum)
+	}
+	// One generator per (core, slot), with a distinct seed lineage per
+	// core (the golden-ratio stride sim.CoreSeed also uses) and per slot
+	// within a core (Multiprogram's stride), so no two streams anywhere
+	// on the machine replay identically.
+	type coreState struct {
+		gens []*Generator
+		slot int
+		used int // references emitted in the current quantum
+	}
+	states := make([]coreState, cores)
+	for c := range states {
+		coreSeed := seed + uint64(c)*0x9E3779B97F4A7C15
+		gens := make([]*Generator, len(benchNames))
+		for i, name := range benchNames {
+			p, err := ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			gens[i] = New(p, coreSeed+uint64(i)*0x9E3779B9)
+		}
+		states[c] = coreState{gens: gens}
+	}
+	refs := make([]trace.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		c := i % cores
+		st := &states[c]
+		if st.used == quantum {
+			st.slot = (st.slot + 1) % len(st.gens)
+			st.used = 0
+		}
+		r := st.gens[st.slot].Next()
+		r.ASID = uint8(c*len(benchNames) + st.slot)
+		st.used++
+		refs = append(refs, r)
+	}
+	return &trace.Trace{
+		Name: fmt.Sprintf("mc%d[%s]/q%d", cores, strings.Join(benchNames, "+"), quantum),
+		Refs: refs,
+	}, nil
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestMultiprogramBoundaries table-tests the interleaving edge cases:
+// a single process (no switches at all), totals that do not divide
+// evenly into quanta (ragged final timeslice), and a quantum longer
+// than the whole trace (the schedule degenerates to one slice).
+func TestMultiprogramBoundaries(t *testing.T) {
+	cases := []struct {
+		name       string
+		benches    []string
+		n, quantum int
+		// wantASID maps reference index to the expected address space.
+		wantASID func(i int) uint8
+		switches int
+	}{
+		{
+			name:    "one process",
+			benches: []string{"gcc"},
+			n:       3_000, quantum: 1_000,
+			wantASID: func(int) uint8 { return 0 },
+			switches: 0,
+		},
+		{
+			name:    "uneven total: ragged final quantum",
+			benches: []string{"gcc", "ijpeg"},
+			n:       2_500, quantum: 1_000,
+			// 0 for [0,1000), 1 for [1000,2000), 0 again for the 500-ref
+			// tail — the final slice is cut short, not skipped.
+			wantASID: func(i int) uint8 { return uint8((i / 1_000) % 2) },
+			switches: 2,
+		},
+		{
+			name:    "quantum longer than trace",
+			benches: []string{"gcc", "ijpeg"},
+			n:       500, quantum: 1_000,
+			// The first slice never completes: only slot 0 runs.
+			wantASID: func(int) uint8 { return 0 },
+			switches: 0,
+		},
+		{
+			name:    "quantum of one: switch every reference",
+			benches: []string{"gcc", "ijpeg"},
+			n:       100, quantum: 1,
+			wantASID: func(i int) uint8 { return uint8(i % 2) },
+			switches: 99,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := Multiprogram(tc.benches, 7, tc.n, tc.quantum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() != tc.n {
+				t.Fatalf("len = %d, want %d", tr.Len(), tc.n)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range tr.Refs {
+				if want := tc.wantASID(i); r.ASID != want {
+					t.Fatalf("ref %d: ASID %d, want %d", i, r.ASID, want)
+				}
+			}
+			if got := tr.ContextSwitches(); got != tc.switches {
+				t.Fatalf("context switches = %d, want %d", got, tc.switches)
+			}
+		})
+	}
+}
+
+func TestMulticoreInterleaving(t *testing.T) {
+	const cores, n, quantum = 4, 8_000, 500
+	tr, err := Multicore([]string{"gcc", "ijpeg"}, 7, cores, n, quantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Reference i belongs to core i mod cores: its ASID must sit in that
+	// core's block of address spaces, and core c's subsequence must
+	// follow c's own round-robin schedule (quantum refs of slot 0, then
+	// quantum of slot 1, ...).
+	for i, r := range tr.Refs {
+		c := i % cores
+		sub := i / cores // position within core c's own stream
+		slot := (sub / quantum) % 2
+		want := uint8(c*2 + slot)
+		if r.ASID != want {
+			t.Fatalf("ref %d (core %d, sub %d): ASID %d, want %d", i, c, sub, r.ASID, want)
+		}
+	}
+}
+
+func TestMulticoreOneCoreMatchesMultiprogram(t *testing.T) {
+	// A 1-core multicore workload is Multiprogram with the same seed
+	// lineage: the references must agree exactly.
+	mc, err := Multicore([]string{"gcc", "vortex"}, 11, 1, 4_000, 750)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Multiprogram([]string{"gcc", "vortex"}, 11, 4_000, 750)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mc.Refs {
+		if mc.Refs[i] != mp.Refs[i] {
+			t.Fatalf("1-core multicore diverged from multiprogram at %d", i)
+		}
+	}
+}
+
+func TestMulticoreDistinctStreamsAcrossCores(t *testing.T) {
+	const cores, n = 2, 4_000
+	tr, err := Multicore([]string{"gcc"}, 7, cores, n, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two cores run the same benchmark but must not replay
+	// identical address streams.
+	same := 0
+	for i := 0; i+1 < n; i += 2 {
+		a, b := tr.Refs[i], tr.Refs[i+1]
+		if a.PC == b.PC && a.Data == b.Data {
+			same++
+		}
+	}
+	if same == n/2 {
+		t.Fatal("two cores replayed identical streams")
+	}
+}
+
+func TestMulticoreDeterministic(t *testing.T) {
+	a, err := Multicore([]string{"gcc", "ijpeg"}, 3, 4, 6_000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Multicore([]string{"gcc", "ijpeg"}, 3, 4, 6_000, 500)
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			t.Fatalf("multicore traces diverged at %d", i)
+		}
+	}
+}
+
+func TestMulticoreErrors(t *testing.T) {
+	if _, err := Multicore([]string{"gcc"}, 1, 0, 100, 10); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := Multicore(nil, 1, 2, 100, 10); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := Multicore([]string{"nonesuch"}, 1, 2, 100, 10); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Multicore([]string{"gcc"}, 1, 2, 100, 0); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	// cores * benches must fit the address-space budget.
+	if _, err := Multicore([]string{"gcc", "ijpeg"}, 1, trace.MaxASIDs, 100, 10); err == nil {
+		t.Fatal("over-wide core x benchmark product accepted")
+	}
+}

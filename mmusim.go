@@ -7,8 +7,10 @@ import (
 	"repro/internal/check"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/oskernel"
 	"repro/internal/sim"
 	"repro/internal/simerr"
+	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/tlb"
 	"repro/internal/trace"
@@ -73,6 +75,39 @@ const (
 func Multiprogram(benchNames []string, seed uint64, n, quantum int) (*Trace, error) {
 	return workload.Multiprogram(benchNames, seed, n, quantum)
 }
+
+// Multicore builds a multicore workload trace: each of cores cores runs
+// its own independently-seeded multiprogrammed mix of the named
+// benchmarks (quantum instructions per scheduling slice), and the
+// streams are interleaved round-robin — reference i belongs to core
+// i mod cores, the interleaving Config.Cores > 1 replays. Every
+// (core, benchmark) pair gets a distinct address space.
+func Multicore(benchNames []string, seed uint64, cores, n, quantum int) (*Trace, error) {
+	return workload.Multicore(benchNames, seed, cores, n, quantum)
+}
+
+// CostComponent identifies one row of the MCPI/VMCPI cost break-down —
+// the index type of Result.Counters.Events and .Cycles.
+type CostComponent = stats.Component
+
+// Cost components introduced by the multicore/OS extension; the paper's
+// Table 2/Table 3 rows precede them in the same index space.
+const (
+	// EventPageFault: a demand-paging OS policy allocated (and possibly
+	// evicted) a physical frame.
+	EventPageFault = stats.PageFault
+	// EventShootdown: a page eviction invalidated the victim's
+	// translation on a remote core (one event per remote core).
+	EventShootdown = stats.Shootdown
+)
+
+// OSPolicies returns the pluggable OS page-allocation policy names
+// accepted by Config.OSPolicy: "first-touch" (the paper's allocator,
+// the default), "round-robin", "random", "lru", and "clock". Policies
+// other than first-touch charge a page-fault cost on every first touch
+// and, under a bounded Config.MemFrames budget, evict — triggering TLB
+// shootdowns on every other core.
+func OSPolicies() []string { return oskernel.Policies() }
 
 // VM organization names.
 const (
@@ -228,8 +263,20 @@ func NewTraceStreamReader(r io.Reader) (*TraceStreamReader, error) {
 	return trace.NewVMTRCStreamReader(r)
 }
 
-// Simulate runs cfg over tr.
+// Simulate runs cfg over tr. A Config with Cores > 1 runs the
+// multicore cluster: private TLBs and caches per core over one shared
+// physical memory, page table, and OS kernel, with Result.PerCore
+// carrying each core's own counters alongside the cluster totals.
 func Simulate(cfg Config, tr *Trace) (*Result, error) { return sim.Simulate(cfg, tr) }
+
+// Streamer is the incremental simulation interface behind the live
+// streaming path: BeginStream/Feed/EndStream over .vmtrc chunks, with
+// results bit-identical to a batch Simulate of the same trace.
+type Streamer = sim.Streamer
+
+// NewStreamer returns the streaming engine for cfg — the single-core
+// engine, or the multicore cluster when cfg.Cores > 1.
+func NewStreamer(cfg Config) (Streamer, error) { return sim.NewStreamer(cfg) }
 
 // WriteTimelineCSV renders a sampled run's Result.Timeline as
 // deterministic CSV — MCPI/VMCPI, interrupts, and TLB miss rates per
@@ -246,9 +293,20 @@ func WriteTimelineCSV(w io.Writer, samples []TimelineSample) error {
 // dumps), or "" when the two implementations agree over the whole
 // trace. Machines whose refill mechanism is one of the six paper
 // organizations' are supported, whatever their TLB hierarchy (the
-// bundled l2tlb included); the hardware hybrids are rejected.
+// bundled l2tlb included); the hardware hybrids are rejected. A config
+// with Cores > 1 is checked through the multicore reference cluster,
+// which additionally confirms per-core counters, shootdown charges,
+// and eviction decisions in lockstep.
 func CheckDivergence(cfg Config, tr *Trace) (string, error) {
-	d, err := check.Diff(cfg, tr)
+	var (
+		d   *check.Divergence
+		err error
+	)
+	if cfg.Cores > 1 {
+		d, err = check.DiffMulticore(cfg, tr)
+	} else {
+		d, err = check.Diff(cfg, tr)
+	}
 	if err != nil {
 		return "", err
 	}
